@@ -1,0 +1,30 @@
+//! # apps — the paper's workloads, generic over the MPI runtime
+//!
+//! * [`pingpong`] — raw RDMA direction study (Fig. 5) and MPI round-trip /
+//!   bandwidth sweeps (Figs. 7, 8, 9).
+//! * [`commonly`] — the communication-only application (Table II,
+//!   Fig. 10).
+//! * [`stencil`] — the five-point stencil with MPI + OpenMP-model
+//!   parallelization (Table III, Figs. 11, 12), computing real arithmetic
+//!   on simulated memory so all runtimes must agree bit-for-bit.
+//! * [`omp`] — the OpenMP fork/join compute model.
+//!
+//! Every experiment entry point builds its own fresh [`simcore::Simulation`]
+//! and returns plain serializable data, so sweeps are deterministic and
+//! embarrassingly parallel at the harness level.
+
+pub mod commonly;
+pub mod omp;
+pub mod pingpong;
+pub mod stencil;
+pub mod traffic;
+
+pub use commonly::{commonly_dcfa, commonly_offload, CommOnly};
+pub use omp::OmpModel;
+pub use pingpong::{
+    mpi_pingpong_blocking, mpi_pingpong_nonblocking, rdma_direction, Direction, MpiRuntime, PingPong,
+};
+pub use stencil::{
+    stencil_dcfa, stencil_intel_phi, stencil_offload, stencil_serial, StencilParams, StencilResult,
+};
+pub use traffic::{run_rank as run_traffic_rank, TrafficMsg, TrafficPattern};

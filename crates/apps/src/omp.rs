@@ -1,0 +1,115 @@
+//! OpenMP-style fork/join compute model for the Xeon Phi.
+//!
+//! Time for one parallel region over `points` grid updates with `t`
+//! threads:
+//!
+//! ```text
+//! T(points, t) = fork_join + points * point_time / S(t)
+//! S(t) = t / (1 + alpha * (t - 1))        (thread-scaling friction)
+//! ```
+//!
+//! `alpha` captures the per-thread coordination/memory-bandwidth friction
+//! that keeps a 56-thread KNC region well short of 56x; it is calibrated
+//! so the Fig. 12 speed-up envelope lands near the paper's 117x at
+//! 8 procs × 56 threads.
+
+use fabric::CostModel;
+use simcore::SimDuration;
+
+/// Per-card compute model.
+#[derive(Debug, Clone)]
+pub struct OmpModel {
+    /// Threads in the parallel region.
+    pub threads: u32,
+    /// Time for one point update on a single thread.
+    pub point_time: SimDuration,
+    /// Scaling friction (see module docs).
+    pub alpha: f64,
+    /// Fork/join overhead per region.
+    pub fork_join: SimDuration,
+}
+
+impl OmpModel {
+    /// Model for a Phi-resident region with `threads` threads.
+    pub fn phi(cost: &CostModel, threads: u32) -> Self {
+        OmpModel {
+            threads: threads.max(1),
+            point_time: cost.phi_point_update,
+            alpha: cost.omp_alpha,
+            fork_join: cost.omp_fork_join,
+        }
+    }
+
+    /// Model for a host (Xeon) region.
+    pub fn host(cost: &CostModel, threads: u32) -> Self {
+        OmpModel {
+            threads: threads.max(1),
+            point_time: cost.host_point_update,
+            alpha: cost.omp_alpha,
+            fork_join: cost.omp_fork_join,
+        }
+    }
+
+    /// Effective parallel speed-up of `t` threads.
+    pub fn speedup(&self) -> f64 {
+        let t = self.threads as f64;
+        t / (1.0 + self.alpha * (t - 1.0))
+    }
+
+    /// Virtual time for one parallel region over `points` updates.
+    pub fn region_time(&self, points: u64) -> SimDuration {
+        if points == 0 {
+            return SimDuration::ZERO;
+        }
+        let serial = self.point_time * points;
+        let base = if self.threads == 1 {
+            // No fork/join cost without a parallel region.
+            return serial;
+        } else {
+            serial * (1.0 / self.speedup())
+        };
+        self.fork_join + base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(threads: u32) -> OmpModel {
+        OmpModel::phi(&CostModel::paper(), threads)
+    }
+
+    #[test]
+    fn single_thread_is_serial() {
+        let m = model(1);
+        assert_eq!(m.region_time(1000), m.point_time * 1000);
+        assert!((m.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_is_monotone_but_sublinear() {
+        let points = 1_000_000;
+        let mut prev = model(1).region_time(points);
+        for t in [2u32, 4, 8, 16, 28, 56] {
+            let cur = model(t).region_time(points);
+            assert!(cur < prev, "t={t} should be faster");
+            // Sublinear: speedup below t.
+            let m = model(t);
+            assert!(m.speedup() < t as f64);
+            assert!(m.speedup() > t as f64 * 0.3, "not absurdly bad at t={t}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_points_is_free() {
+        assert_eq!(model(56).region_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn host_point_update_faster_than_phi_per_thread() {
+        let cost = CostModel::paper();
+        assert!(OmpModel::host(&cost, 1).region_time(1000) < OmpModel::phi(&cost, 1).region_time(1000));
+    }
+}

@@ -1,0 +1,213 @@
+//! Workload tests: numerical parity across all three runtimes, and
+//! paper-shape checks on the microbenchmarks (these are small/fast
+//! variants; the full sweeps live in the bench harness).
+
+use apps::{
+    commonly_dcfa, commonly_offload, mpi_pingpong_blocking, mpi_pingpong_nonblocking,
+    rdma_direction, stencil_dcfa, stencil_intel_phi, stencil_offload, stencil_serial, Direction,
+    MpiRuntime, StencilParams,
+};
+use dcfa_mpi::MpiConfig;
+use fabric::ClusterConfig;
+
+fn ccfg() -> ClusterConfig {
+    ClusterConfig::with_nodes(8)
+}
+
+// ---- Fig. 5 shape -----------------------------------------------------------
+
+#[test]
+fn fig5_direction_ordering() {
+    let c = ccfg();
+    let size = 1 << 20;
+    let hh = rdma_direction(&c, Direction::HostToHost, size, 4);
+    let hp = rdma_direction(&c, Direction::HostToPhi, size, 4);
+    let ph = rdma_direction(&c, Direction::PhiToHost, size, 4);
+    let pp = rdma_direction(&c, Direction::PhiToPhi, size, 4);
+    // Host-sourced directions match each other; Phi-sourced are >4x slower.
+    assert!((hh.bw_gbs / hp.bw_gbs) < 1.15);
+    assert!(hh.bw_gbs / ph.bw_gbs > 4.0, "hh={} ph={}", hh.bw_gbs, ph.bw_gbs);
+    assert!(hh.bw_gbs / pp.bw_gbs > 4.0);
+    // And the Phi-sourced ones are within noise of each other.
+    assert!((ph.bw_gbs / pp.bw_gbs - 1.0).abs() < 0.2);
+}
+
+// ---- Fig. 9 calibration ------------------------------------------------------
+
+#[test]
+fn fig9_small_message_latencies() {
+    let c = ccfg();
+    let dcfa = mpi_pingpong_blocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 4, 30);
+    let intel = mpi_pingpong_blocking(&c, &MpiRuntime::IntelPhi, 4, 30);
+    // Paper: 15us vs 28us for a 4-byte round trip.
+    assert!(
+        (10.0..20.0).contains(&dcfa.rtt_us),
+        "DCFA 4B RTT = {:.1}us, expected ~15",
+        dcfa.rtt_us
+    );
+    assert!(
+        (22.0..36.0).contains(&intel.rtt_us),
+        "Intel-Phi 4B RTT = {:.1}us, expected ~28",
+        intel.rtt_us
+    );
+    assert!(intel.rtt_us / dcfa.rtt_us > 1.5);
+}
+
+#[test]
+fn fig9_large_message_bandwidth_gap() {
+    let c = ccfg();
+    let size = 4 << 20;
+    let dcfa = mpi_pingpong_blocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), size, 4);
+    let intel = mpi_pingpong_blocking(&c, &MpiRuntime::IntelPhi, size, 4);
+    // Paper: DCFA-MPI grows to 2.8 GB/s, Intel-Phi stays under 1 GB/s,
+    // i.e. a ~3x gap after 1 MB.
+    assert!(
+        (2.2..3.2).contains(&dcfa.bw_gbs),
+        "DCFA large bw = {:.2} GB/s, expected ~2.8",
+        dcfa.bw_gbs
+    );
+    assert!(intel.bw_gbs < 1.05, "Intel-Phi bw = {:.2} GB/s, expected < 1", intel.bw_gbs);
+    let ratio = dcfa.bw_gbs / intel.bw_gbs;
+    assert!((2.4..4.0).contains(&ratio), "ratio = {ratio:.2}, expected ~3x");
+}
+
+// ---- Figs. 7/8 shape ---------------------------------------------------------
+
+#[test]
+fn fig7_offload_buffer_helps_large_messages_only() {
+    let c = ccfg();
+    let with = MpiRuntime::Dcfa(MpiConfig::dcfa());
+    let without = MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload());
+    // Below the 8 KiB offload threshold: identical.
+    let small_w = mpi_pingpong_nonblocking(&c, &with, 2048, 10);
+    let small_wo = mpi_pingpong_nonblocking(&c, &without, 2048, 10);
+    assert!((small_w.rtt_us - small_wo.rtt_us).abs() < 0.5);
+    // At 1 MiB: the offloading send buffer wins big.
+    let big_w = mpi_pingpong_nonblocking(&c, &with, 1 << 20, 6);
+    let big_wo = mpi_pingpong_nonblocking(&c, &without, 1 << 20, 6);
+    assert!(
+        big_wo.rtt_us / big_w.rtt_us > 2.0,
+        "with={:.0}us without={:.0}us",
+        big_w.rtt_us,
+        big_wo.rtt_us
+    );
+}
+
+#[test]
+fn fig7_dcfa_approaches_host_for_large_messages() {
+    let c = ccfg();
+    let host = mpi_pingpong_nonblocking(&c, &MpiRuntime::Dcfa(MpiConfig::host()), 1 << 20, 6);
+    let dcfa = mpi_pingpong_nonblocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 1 << 20, 6);
+    // Paper: "It is only 2 times slower than the host at 1Mbytes."
+    let ratio = dcfa.rtt_us / host.rtt_us;
+    assert!((1.5..2.6).contains(&ratio), "DCFA/host at 1MB = {ratio:.2}, expected ~2");
+}
+
+#[test]
+fn fig8_peak_bandwidth_reaches_2_8() {
+    let c = ccfg();
+    let r = mpi_pingpong_nonblocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 8 << 20, 4);
+    assert!(
+        (2.5..3.1).contains(&r.bw_gbs),
+        "DCFA-MPI non-blocking peak = {:.2} GB/s, expected ~2.8",
+        r.bw_gbs
+    );
+}
+
+// ---- Fig. 10 shape -----------------------------------------------------------
+
+#[test]
+fn fig10_small_messages_12x() {
+    let c = ccfg();
+    let x = 64;
+    let dcfa = commonly_dcfa(&c, MpiConfig::dcfa(), x, 20);
+    let off = commonly_offload(&c, x, 20);
+    let ratio = off.iter_us / dcfa.iter_us;
+    assert!(
+        (8.0..16.0).contains(&ratio),
+        "comm-only speedup at {x}B = {ratio:.1}, expected ~12"
+    );
+}
+
+#[test]
+fn fig10_large_messages_2x() {
+    let c = ccfg();
+    let x = 1 << 20;
+    let dcfa = commonly_dcfa(&c, MpiConfig::dcfa(), x, 8);
+    let off = commonly_offload(&c, x, 8);
+    let ratio = off.iter_us / dcfa.iter_us;
+    assert!(
+        (1.6..3.0).contains(&ratio),
+        "comm-only speedup at 1MB = {ratio:.1}, expected ~2"
+    );
+}
+
+// ---- Stencil correctness and shape ------------------------------------------
+
+#[test]
+fn stencil_checksums_agree_across_runtimes() {
+    // Small grid, all three runtimes + a different proc count must produce
+    // the exact same arithmetic result.
+    let c = ccfg();
+    let p = StencilParams { n: 66, iters: 10, procs: 4, threads: 8 };
+    let a = stencil_dcfa(&c, MpiConfig::dcfa(), p);
+    let b = stencil_intel_phi(&c, p);
+    let d = stencil_offload(&c, p);
+    let serial = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { procs: 1, ..p });
+    // Same proc count, same partition, same reduction tree: bit-exact.
+    assert_eq!(a.checksum.to_bits(), b.checksum.to_bits(), "dcfa vs intel-phi");
+    assert_eq!(a.checksum.to_bits(), d.checksum.to_bits(), "dcfa vs offload");
+    // Different proc count changes the summation association: ULP-level
+    // differences only.
+    let rel = (a.checksum - serial.checksum).abs() / serial.checksum.abs();
+    assert!(rel < 1e-12, "4 procs vs serial rel err = {rel:e}");
+    assert!(a.checksum.is_finite() && a.checksum != 0.0);
+}
+
+#[test]
+fn stencil_dcfa_beats_offload_mode() {
+    let c = ccfg();
+    let p = StencilParams { n: 258, iters: 6, procs: 4, threads: 16 };
+    let dcfa = stencil_dcfa(&c, MpiConfig::dcfa(), p);
+    let off = stencil_offload(&c, p);
+    let ratio = off.iter_us / dcfa.iter_us;
+    assert!(ratio > 1.5, "offload/dcfa = {ratio:.2}, expected > 1.5");
+}
+
+#[test]
+fn stencil_dcfa_and_intelphi_close() {
+    // Paper: "The results of DCFA-MPI and 'Intel MPI on Xeon Phi' mode do
+    // not show a big difference."
+    let c = ccfg();
+    let p = StencilParams { n: 258, iters: 6, procs: 4, threads: 16 };
+    let dcfa = stencil_dcfa(&c, MpiConfig::dcfa(), p);
+    let ip = stencil_intel_phi(&c, p);
+    let ratio = ip.iter_us / dcfa.iter_us;
+    assert!((0.8..1.6).contains(&ratio), "intelphi/dcfa = {ratio:.2}");
+}
+
+#[test]
+fn stencil_scales_with_procs_and_threads() {
+    let c = ccfg();
+    let base = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 258, iters: 4, procs: 1, threads: 1 });
+    let threaded = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 258, iters: 4, procs: 1, threads: 16 });
+    let parallel = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 258, iters: 4, procs: 4, threads: 16 });
+    assert!(threaded.iter_us < base.iter_us / 4.0);
+    // At this small grid the halo exchange is a large fraction of the
+    // iteration, so expect a modest (not linear) multi-process win.
+    assert!(parallel.iter_us < threaded.iter_us / 1.2);
+}
+
+#[test]
+fn stencil_serial_matches_compute_model() {
+    let c = ccfg();
+    let r = stencil_serial(&c, 130, 4);
+    // Serial: no MPI, 1 thread: iter time == points * point_update.
+    let expected_us = (130.0 * 130.0) * c.cost.phi_point_update.as_nanos() as f64 / 1e3;
+    assert!(
+        (r.iter_us - expected_us).abs() / expected_us < 0.05,
+        "serial iter = {:.1}us, model = {:.1}us",
+        r.iter_us,
+        expected_us
+    );
+}

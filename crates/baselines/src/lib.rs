@@ -1,0 +1,23 @@
+//! # baselines — the Intel MPI execution modes the paper compares against
+//!
+//! Two honest re-implementations on the shared simulation substrate:
+//!
+//! * [`IntelPhiWorld`]/[`IntelPhiComm`] — "Intel MPI on Xeon Phi
+//!   co-processors" mode: ranks on the cards over the MPSS/SCIF proxy
+//!   stack; large messages ride the direct Phi-sourced InfiniBand path
+//!   (DMA-read limited, no offloading send buffer) — the Fig. 9
+//!   comparison.
+//! * [`OffloadRuntime`] — the Intel offload pragmas for the "Intel MPI on
+//!   Xeon + offload" mode: ranks on the hosts (host MPI =
+//!   `dcfa_mpi::MpiConfig::host()`), compute pushed to the card with
+//!   copy-in/copy-out, persistent buffers and double buffering — the
+//!   Figs. 10/11/12 comparison.
+//!
+//! `IntelPhiComm` implements [`dcfa_mpi::Communicator`], so every workload
+//! in the `apps` crate runs unchanged over either library.
+
+mod intel_phi;
+mod xeon_offload;
+
+pub use intel_phi::{IntelPhiComm, IntelPhiWorld};
+pub use xeon_offload::OffloadRuntime;

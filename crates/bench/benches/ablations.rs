@@ -1,0 +1,33 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! offloading-send-buffer threshold, the MR cache pool, the eager
+//! threshold and rendezvous-flavour timing skew.
+
+use bench::{
+    ablation_eager_threshold, ablation_host_staged_bcast, ablation_mr_cache,
+    ablation_offload_threshold, ablation_rndv_skew,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let ccfg = ClusterConfig::paper();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("offload_threshold_sweep_256k", |b| {
+        b.iter(|| ablation_offload_threshold(&ccfg, 256 << 10))
+    });
+    g.bench_function("mr_cache_on_off_1m", |b| b.iter(|| ablation_mr_cache(&ccfg, 1 << 20)));
+    g.bench_function("eager_threshold_sweep_8k", |b| {
+        b.iter(|| ablation_eager_threshold(&ccfg, 8 << 10))
+    });
+    g.bench_function("rndv_skew_512k", |b| b.iter(|| ablation_rndv_skew(&ccfg, 512 << 10)));
+    g.bench_function("host_staged_bcast_2m", |b| {
+        b.iter(|| ablation_host_staged_bcast(&ccfg, 2 << 20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 5 bench: RDMA-write ping-pong in the four direction pairs.
+//! Criterion measures the wall-clock of running one deterministic
+//! simulation; the *virtual-time* results are printed by `repro fig5`.
+
+use apps::{rdma_direction, Direction};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fabric::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let ccfg = ClusterConfig::paper();
+    let mut g = c.benchmark_group("fig05_rdma_directions");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for dir in Direction::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(dir.label()), &dir, |b, &dir| {
+            b.iter(|| rdma_direction(&ccfg, dir, 1 << 20, 4));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

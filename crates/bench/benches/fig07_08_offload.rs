@@ -1,0 +1,33 @@
+//! Figures 7/8 bench: non-blocking exchange with/without the offloading
+//! send buffer and on the host.
+
+use apps::{mpi_pingpong_nonblocking, MpiRuntime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcfa_mpi::MpiConfig;
+use fabric::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let ccfg = ClusterConfig::paper();
+    let mut g = c.benchmark_group("fig07_08_offload");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let cases = [
+        ("dcfa_offload", MpiRuntime::Dcfa(MpiConfig::dcfa())),
+        ("dcfa_no_offload", MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload())),
+        ("host", MpiRuntime::Dcfa(MpiConfig::host())),
+    ];
+    for (name, rt) in &cases {
+        for size in [4096u64, 1 << 20] {
+            g.bench_with_input(
+                BenchmarkId::new(*name, size),
+                &(rt, size),
+                |b, (rt, size)| b.iter(|| mpi_pingpong_nonblocking(&ccfg, rt, *size, 4)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 9 bench: blocking ping-pong, DCFA-MPI vs Intel-MPI-on-Phi.
+
+use apps::{mpi_pingpong_blocking, MpiRuntime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcfa_mpi::MpiConfig;
+use fabric::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let ccfg = ClusterConfig::paper();
+    let mut g = c.benchmark_group("fig09_vs_intelphi");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, rt) in [
+        ("dcfa", MpiRuntime::Dcfa(MpiConfig::dcfa())),
+        ("intel_phi", MpiRuntime::IntelPhi),
+    ] {
+        for size in [4u64, 1 << 20] {
+            g.bench_with_input(BenchmarkId::new(name, size), &(&rt, size), |b, (rt, size)| {
+                b.iter(|| mpi_pingpong_blocking(&ccfg, rt, *size, 6))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 10 bench: communication-only application, DCFA-MPI vs the
+//! Xeon+offload mode.
+
+use apps::{commonly_dcfa, commonly_offload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcfa_mpi::MpiConfig;
+use fabric::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let ccfg = ClusterConfig::paper();
+    let mut g = c.benchmark_group("fig10_commonly");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for size in [64u64, 512 << 10] {
+        g.bench_with_input(BenchmarkId::new("dcfa", size), &size, |b, &s| {
+            b.iter(|| commonly_dcfa(&ccfg, MpiConfig::dcfa(), s, 6))
+        });
+        g.bench_with_input(BenchmarkId::new("xeon_offload", size), &size, |b, &s| {
+            b.iter(|| commonly_offload(&ccfg, s, 6))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

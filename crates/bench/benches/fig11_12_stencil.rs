@@ -1,0 +1,30 @@
+//! Figures 11/12 bench: the five-point stencil across the three runtimes
+//! (reduced grid so criterion iterations stay fast; the full 1282-point
+//! sweep is `repro fig11 fig12`).
+
+use apps::{stencil_dcfa, stencil_intel_phi, stencil_offload, StencilParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcfa_mpi::MpiConfig;
+use fabric::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let ccfg = ClusterConfig::paper();
+    let mut g = c.benchmark_group("fig11_12_stencil");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let p = StencilParams { n: 258, iters: 5, procs: 4, threads: 16 };
+    g.bench_with_input(BenchmarkId::new("dcfa", "4x16"), &p, |b, &p| {
+        b.iter(|| stencil_dcfa(&ccfg, MpiConfig::dcfa(), p))
+    });
+    g.bench_with_input(BenchmarkId::new("intel_phi", "4x16"), &p, |b, &p| {
+        b.iter(|| stencil_intel_phi(&ccfg, p))
+    });
+    g.bench_with_input(BenchmarkId::new("xeon_offload", "4x16"), &p, |b, &p| {
+        b.iter(|| stencil_offload(&ccfg, p))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all            # everything (a few minutes in release mode)
+//! repro table1         # server architecture (Table I analogue)
+//! repro fig5           # RDMA-write bandwidth by direction
+//! repro fig7 | fig8    # non-blocking RTT / bandwidth (offload buffer)
+//! repro fig9           # DCFA-MPI vs Intel-MPI-on-Phi bandwidth
+//! repro table2 fig10   # communication-only app
+//! repro table3 fig11 fig12   # five-point stencil
+//! repro --quick all    # reduced sweeps (for smoke testing)
+//! ```
+
+use bench::{
+    ablation_eager_threshold, ablation_host_staged_bcast, ablation_mr_cache,
+    ablation_offload_threshold, ablation_rndv_skew, fig10, fig11_fig12, fig5, fig7_fig8, fig9,
+    fig9_small_rtt, print_series, write_series_csv, write_stencil_csv,
+};
+use fabric::ClusterConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--csv DIR` additionally writes figN.csv data files into DIR.
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(d) = &csv_dir {
+        std::fs::create_dir_all(d).expect("cannot create csv dir");
+    }
+    let mut skip_next = false;
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .map(|s| s.as_str())
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |k: &str| all || wanted.contains(&k);
+
+    let ccfg = ClusterConfig::paper();
+    let max_pow = if quick { 18 } else { 22 }; // 256 KiB or 4 MiB sweeps
+    let (sn, siters) = if quick { (258, 10) } else { (1282, 100) };
+
+    if want("table1") {
+        println!("== Table I: simulated server architecture ==");
+        println!("{ccfg}");
+    }
+
+    if want("fig5") {
+        let series = fig5(&ccfg, max_pow);
+        print_series(
+            "Figure 5: InfiniBand RDMA-write bandwidth by transfer direction",
+            "GB/s",
+            &series,
+        );
+        if let Some(d) = &csv_dir {
+            write_series_csv(&d.join("fig5.csv"), &series).expect("csv write");
+        }
+    }
+
+    if want("fig7") || want("fig8") {
+        let (rtt, bw) = fig7_fig8(&ccfg, max_pow);
+        if want("fig7") {
+            print_series(
+                "Figure 7: non-blocking inter-node RTT (MPI_Isend/MPI_Irecv)",
+                "us",
+                &rtt,
+            );
+            if let Some(d) = &csv_dir {
+                write_series_csv(&d.join("fig7.csv"), &rtt).expect("csv write");
+            }
+        }
+        if want("fig8") {
+            print_series("Figure 8: non-blocking inter-node bandwidth", "GB/s", &bw);
+            if let Some(d) = &csv_dir {
+                write_series_csv(&d.join("fig8.csv"), &bw).expect("csv write");
+            }
+        }
+    }
+
+    if want("fig9") {
+        let series = fig9(&ccfg, max_pow);
+        print_series(
+            "Figure 9: blocking ping-pong bandwidth, DCFA-MPI vs Intel MPI on Xeon Phi",
+            "GB/s",
+            &series,
+        );
+        let (d, i) = fig9_small_rtt(&ccfg);
+        println!("4-byte blocking RTT: DCFA-MPI {d:.1} us (paper: 15), Intel-MPI-on-Phi {i:.1} us (paper: 28)");
+        if let Some(dir) = &csv_dir {
+            write_series_csv(&dir.join("fig9.csv"), &series).expect("csv write");
+        }
+    }
+
+    if want("table2") {
+        println!("\n== Table II: communication-only data volume per iteration ==");
+        println!("{:>12} | {:<40}", "Data size", "X bytes");
+        println!("{:>12} | {:<40}", "Offloading", "Copy In X + Copy Out X (offload mode only)");
+        println!("{:>12} | {:<40}", "MPI", "Send X + Receive X");
+    }
+
+    if want("fig10") {
+        let series = fig10(&ccfg, max_pow);
+        print_series(
+            "Figure 10: communication-only app, per-iteration time",
+            "us",
+            &series,
+        );
+        if let Some(dir) = &csv_dir {
+            write_series_csv(&dir.join("fig10.csv"), &series).expect("csv write");
+        }
+        if let (Some(d), Some(o)) = (series.first(), series.get(1)) {
+            let first = o.points[0].1 / d.points[0].1;
+            let last = o.points.last().unwrap().1 / d.points.last().unwrap().1;
+            println!("speed-up of DCFA-MPI: {first:.1}x at {}B (paper: ~12x) .. {last:.1}x at {}B (paper: ~2x)",
+                d.points[0].0, d.points.last().unwrap().0);
+        }
+    }
+
+    if want("table3") {
+        let p = apps::StencilParams::paper(8, 56);
+        println!("\n== Table III: five-point stencil data sizes (n = {}) ==", p.n);
+        println!("{:>22} | {:>12}", "Problem size", format!("{0} x {0}", p.n));
+        println!("{:>22} | {:>12}", "Computing data", format!("{:.1} MB", p.grid_bytes() as f64 / 1e6));
+        println!("{:>22} | {:>12}", "Offloading data", format!("2 x {:.1} KB", p.halo_bytes() as f64 / 1e3));
+        println!("{:>22} | {:>12}", "MPI data", format!("2 x {:.1} KB", p.halo_bytes() as f64 / 1e3));
+    }
+
+    if want("fig11") || want("fig12") {
+        let procs: &[usize] = &[1, 2, 4, 8];
+        let threads: &[u32] = if quick { &[1, 8, 56] } else { &[1, 4, 8, 16, 28, 56] };
+        let (serial_us, cells) = fig11_fig12(&ccfg, sn, siters, procs, threads);
+        println!(
+            "\n== Figures 11/12: five-point stencil, n = {sn}, {siters} iterations (serial: {:.1} us/iter) ==",
+            serial_us
+        );
+        println!(
+            "{:>30} {:>6} {:>8} {:>14} {:>10}",
+            "runtime", "procs", "threads", "us/iter", "speedup"
+        );
+        for c in &cells {
+            println!(
+                "{:>30} {:>6} {:>8} {:>14.1} {:>10.1}",
+                c.runtime, c.procs, c.threads, c.iter_us, c.speedup_vs_serial
+            );
+        }
+        // Headline numbers (paper: 117x / 113x / 74x at 8 procs x 56 threads).
+        let headline: Vec<_> = cells
+            .iter()
+            .filter(|c| c.procs == 8 && c.threads == *threads.last().unwrap())
+            .collect();
+        println!("\nheadline @ 8 procs x {} threads:", threads.last().unwrap());
+        for c in headline {
+            println!("  {:<30} {:>7.1}x", c.runtime, c.speedup_vs_serial);
+        }
+        if let Some(dir) = &csv_dir {
+            write_stencil_csv(&dir.join("fig11_12.csv"), &cells).expect("csv write");
+        }
+    }
+
+    if want("ablations") {
+        println!("\n== Ablations (design choices, DESIGN.md §6) ==");
+        println!("offloading-send-buffer threshold sweep @256 KiB message (RTT us):");
+        for (thr, us) in ablation_offload_threshold(&ccfg, 256 << 10) {
+            let label = if thr == u64::MAX { "off".to_string() } else { format!("{}K", thr >> 10) };
+            println!("  threshold {label:>5}: {us:>10.1} us");
+        }
+        let (with_us, without_us) = ablation_mr_cache(&ccfg, 1 << 20);
+        println!("MR cache pool @1 MiB rendezvous: with {with_us:.1} us, without {without_us:.1} us ({:.2}x)",
+            without_us / with_us);
+        println!("eager-threshold sweep @8 KiB message (RTT us):");
+        for (thr, us) in ablation_eager_threshold(&ccfg, 8 << 10) {
+            println!("  eager <= {:>4}K: {us:>10.1} us", thr >> 10);
+        }
+        let (rf, sf) = ablation_rndv_skew(&ccfg, 512 << 10);
+        println!("rendezvous skew @512 KiB: receiver-first {rf:.1} us, sender-first {sf:.1} us");
+        let (plain, staged) = ablation_host_staged_bcast(&ccfg, 2 << 20);
+        println!("host-staged bcast @2 MiB x 8 ranks (future work §VI): plain {plain:.1} us, staged {staged:.1} us ({:.2}x)",
+            plain / staged);
+    }
+}

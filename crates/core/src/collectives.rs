@@ -1,0 +1,403 @@
+//! Collective operations built on the point-to-point layer, generic over
+//! [`Communicator`] so they run identically over DCFA-MPI and the baseline
+//! models. Algorithms are the classic ones a YAMPII-era MPI would ship:
+//! dissemination barrier, binomial-tree broadcast/reduce, ring allgather
+//! and pairwise alltoall.
+
+use fabric::Buffer;
+use simcore::Ctx;
+
+use crate::comm::Communicator;
+use crate::types::{Datatype, MpiError, Rank, ReduceOp, Src, Tag, TagSel};
+
+/// Internal tag namespace for collectives (well above application tags).
+const COLL_TAG: Tag = 0xF000_0000;
+
+fn tmp(c: &impl Communicator, len: u64) -> Result<Buffer, MpiError> {
+    c.cluster().alloc_pages(c.mem(), len.max(1)).map_err(|_| MpiError::OutOfMemory)
+}
+
+/// Dissemination barrier: ceil(log2(n)) rounds of 1-byte exchanges.
+pub fn barrier(c: &mut impl Communicator, ctx: &mut Ctx) -> Result<(), MpiError> {
+    let n = c.size();
+    if n <= 1 {
+        return Ok(());
+    }
+    let me = c.rank();
+    let token = tmp(c, 1)?;
+    let sink = tmp(c, 1)?;
+    let mut k = 0u32;
+    let mut dist = 1usize;
+    while dist < n {
+        let dst = (me + dist) % n;
+        let src = (me + n - dist % n) % n;
+        let rr = c.irecv(ctx, &sink, Src::Rank(src), TagSel::Tag(COLL_TAG + k))?;
+        let sr = c.isend(ctx, &token, dst, COLL_TAG + k)?;
+        c.wait(ctx, sr)?;
+        c.wait(ctx, rr)?;
+        dist *= 2;
+        k += 1;
+    }
+    c.cluster().free(&token);
+    c.cluster().free(&sink);
+    Ok(())
+}
+
+/// Binomial-tree broadcast of `buf` from `root`.
+pub fn bcast(c: &mut impl Communicator, ctx: &mut Ctx, buf: &Buffer, root: Rank) -> Result<(), MpiError> {
+    let n = c.size();
+    if n <= 1 {
+        return Ok(());
+    }
+    // Rotate so the root is virtual rank 0.
+    let me = (c.rank() + n - root) % n;
+    let mut mask = 1usize;
+    // Receive phase: find our parent.
+    while mask < n {
+        if me & mask != 0 {
+            let parent = (me - mask + root) % n;
+            c.recv(ctx, buf, Src::Rank(parent), TagSel::Tag(COLL_TAG + 64))?;
+            break;
+        }
+        mask *= 2;
+    }
+    // Send phase: fan out below our bit.
+    mask /= 2;
+    while mask > 0 {
+        if me + mask < n {
+            let child = (me + mask + root) % n;
+            c.send(ctx, buf, child, COLL_TAG + 64)?;
+        }
+        mask /= 2;
+    }
+    Ok(())
+}
+
+/// Binomial-tree reduction of `buf` (in place on `root`; all ranks' `buf`
+/// contents are combined elementwise with `op`). Non-root buffers are
+/// clobbered with partial results.
+pub fn reduce(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    buf: &Buffer,
+    dtype: Datatype,
+    op: ReduceOp,
+    root: Rank,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    if n <= 1 {
+        return Ok(());
+    }
+    let me = (c.rank() + n - root) % n;
+    let scratch = tmp(c, buf.len)?;
+    let mut mask = 1usize;
+    while mask < n {
+        if me & mask != 0 {
+            // Send our partial to the parent and stop.
+            let parent = (me - mask + root) % n;
+            c.send(ctx, buf, parent, COLL_TAG + 65)?;
+            break;
+        }
+        let child = me + mask;
+        if child < n {
+            let child_rank = (child + root) % n;
+            c.recv(ctx, &scratch, Src::Rank(child_rank), TagSel::Tag(COLL_TAG + 65))?;
+            // Combine: read both, apply, write back. Charge the memcpy-rate
+            // cost of touching both operands.
+            let mut a = c.cluster().read_vec(buf);
+            let b = c.cluster().read_vec(&scratch);
+            op.apply(dtype, &mut a, &b);
+            c.cluster().write(buf, 0, &a);
+            let d = c.cluster().copy_duration(c.mem().domain, buf.len * 2);
+            ctx.sleep(d);
+        }
+        mask *= 2;
+    }
+    c.cluster().free(&scratch);
+    Ok(())
+}
+
+/// Allreduce = reduce to rank 0 + broadcast.
+pub fn allreduce(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    buf: &Buffer,
+    dtype: Datatype,
+    op: ReduceOp,
+) -> Result<(), MpiError> {
+    reduce(c, ctx, buf, dtype, op, 0)?;
+    bcast(c, ctx, buf, 0)
+}
+
+/// Gather equal-size blocks to `root`. `recv` must be `n * send.len` long
+/// on the root (ignored elsewhere; pass `None`).
+pub fn gather(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: &Buffer,
+    recv: Option<&Buffer>,
+    root: Rank,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    let me = c.rank();
+    if me == root {
+        let recv = recv.expect("root needs a receive buffer");
+        assert!(recv.len >= send.len * n as u64, "gather buffer too small");
+        // Own block.
+        let mine = c.cluster().read_vec(send);
+        c.cluster().write(recv, root as u64 * send.len, &mine);
+        for p in 0..n {
+            if p == root {
+                continue;
+            }
+            let slot = recv.slice(p as u64 * send.len, send.len);
+            c.recv(ctx, &slot, Src::Rank(p), TagSel::Tag(COLL_TAG + 66))?;
+        }
+        Ok(())
+    } else {
+        c.send(ctx, send, root, COLL_TAG + 66)
+    }
+}
+
+/// Scatter equal-size blocks from `root`. On the root, `send` holds
+/// `n * recv.len` bytes.
+pub fn scatter(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: Option<&Buffer>,
+    recv: &Buffer,
+    root: Rank,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    let me = c.rank();
+    if me == root {
+        let send = send.expect("root needs a send buffer");
+        assert!(send.len >= recv.len * n as u64, "scatter buffer too small");
+        for p in 0..n {
+            let slot = send.slice(p as u64 * recv.len, recv.len);
+            if p == root {
+                let mine = c.cluster().read_vec(&slot);
+                c.cluster().write(recv, 0, &mine);
+            } else {
+                c.send(ctx, &slot, p, COLL_TAG + 67)?;
+            }
+        }
+        Ok(())
+    } else {
+        c.recv(ctx, recv, Src::Rank(root), TagSel::Tag(COLL_TAG + 67)).map(|_| ())
+    }
+}
+
+/// Ring allgather: every rank contributes `send` and ends with all blocks
+/// concatenated (rank-major) in `recv` (`n * send.len` bytes).
+pub fn allgather(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: &Buffer,
+    recv: &Buffer,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    let me = c.rank();
+    let blk = send.len;
+    assert!(recv.len >= blk * n as u64, "allgather buffer too small");
+    let mine = c.cluster().read_vec(send);
+    c.cluster().write(recv, me as u64 * blk, &mine);
+    if n == 1 {
+        return Ok(());
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    // In round k we forward the block that originated k hops to our left.
+    for k in 0..n - 1 {
+        let send_block = (me + n - k) % n;
+        let recv_block = (me + n - k - 1) % n;
+        let sb = recv.slice(send_block as u64 * blk, blk);
+        let rb = recv.slice(recv_block as u64 * blk, blk);
+        let rr = c.irecv(ctx, &rb, Src::Rank(left), TagSel::Tag(COLL_TAG + 68 + k as u32))?;
+        let sr = c.isend(ctx, &sb, right, COLL_TAG + 68 + k as u32)?;
+        c.wait(ctx, sr)?;
+        c.wait(ctx, rr)?;
+    }
+    Ok(())
+}
+
+/// Inclusive prefix reduction (`MPI_Scan`): rank r ends with the
+/// combination of ranks 0..=r. Linear chain.
+pub fn scan(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    buf: &Buffer,
+    dtype: Datatype,
+    op: ReduceOp,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    let me = c.rank();
+    if me > 0 {
+        let scratch = tmp(c, buf.len)?;
+        c.recv(ctx, &scratch, Src::Rank(me - 1), TagSel::Tag(COLL_TAG + 90))?;
+        let mut a = c.cluster().read_vec(buf);
+        let b = c.cluster().read_vec(&scratch);
+        // Combine prefix-from-left INTO our value, preserving order
+        // semantics (prefix op value).
+        let mut combined = b.clone();
+        op.apply(dtype, &mut combined, &a);
+        a = combined;
+        c.cluster().write(buf, 0, &a);
+        let d = c.cluster().copy_duration(c.mem().domain, buf.len * 2);
+        ctx.sleep(d);
+        c.cluster().free(&scratch);
+    }
+    if me + 1 < n {
+        c.send(ctx, buf, me + 1, COLL_TAG + 90)?;
+    }
+    Ok(())
+}
+
+/// Gather variable-size blocks to `root` (`MPI_Gatherv`). `counts[p]` is
+/// the byte count contributed by rank `p`; on the root, `recv` holds the
+/// blocks packed back-to-back in rank order.
+#[allow(clippy::needless_range_loop)]
+pub fn gatherv(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: &Buffer,
+    recv: Option<&Buffer>,
+    counts: &[u64],
+    root: Rank,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    assert_eq!(counts.len(), n, "one count per rank");
+    let me = c.rank();
+    assert!(send.len >= counts[me], "send buffer smaller than my count");
+    if me == root {
+        let recv = recv.expect("root needs a receive buffer");
+        let total: u64 = counts.iter().sum();
+        assert!(recv.len >= total, "gatherv buffer too small");
+        let mut off = 0u64;
+        for p in 0..n {
+            if counts[p] > 0 {
+                let slot = recv.slice(off, counts[p]);
+                if p == root {
+                    let mine = c.cluster().read_vec(&send.slice(0, counts[p]));
+                    c.cluster().write(&slot, 0, &mine);
+                } else {
+                    c.recv(ctx, &slot, Src::Rank(p), TagSel::Tag(COLL_TAG + 70))?;
+                }
+            }
+            off += counts[p];
+        }
+        Ok(())
+    } else if counts[me] > 0 {
+        c.send(ctx, &send.slice(0, counts[me]), root, COLL_TAG + 70)
+    } else {
+        Ok(())
+    }
+}
+
+/// Scatter variable-size blocks from `root` (`MPI_Scatterv`).
+#[allow(clippy::needless_range_loop)]
+pub fn scatterv(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: Option<&Buffer>,
+    recv: &Buffer,
+    counts: &[u64],
+    root: Rank,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    assert_eq!(counts.len(), n, "one count per rank");
+    let me = c.rank();
+    assert!(recv.len >= counts[me], "recv buffer smaller than my count");
+    if me == root {
+        let send = send.expect("root needs a send buffer");
+        let total: u64 = counts.iter().sum();
+        assert!(send.len >= total, "scatterv buffer too small");
+        let mut off = 0u64;
+        for p in 0..n {
+            if counts[p] > 0 {
+                let slot = send.slice(off, counts[p]);
+                if p == root {
+                    let mine = c.cluster().read_vec(&slot);
+                    c.cluster().write(recv, 0, &mine);
+                } else {
+                    c.send(ctx, &slot, p, COLL_TAG + 71)?;
+                }
+            }
+            off += counts[p];
+        }
+        Ok(())
+    } else if counts[me] > 0 {
+        c.recv(ctx, &recv.slice(0, counts[me]), Src::Rank(root), TagSel::Tag(COLL_TAG + 71))
+            .map(|_| ())
+    } else {
+        Ok(())
+    }
+}
+
+/// Pairwise alltoall with per-pair byte counts (`MPI_Alltoallv`).
+/// `send_counts[p]` bytes go to rank `p` from offset `send_offs[p]`;
+/// symmetric for the receive side. Counts must agree pairwise
+/// (`my send_counts[p] == p's recv_counts[me]`).
+#[allow(clippy::too_many_arguments)]
+pub fn alltoallv(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: &Buffer,
+    send_counts: &[u64],
+    send_offs: &[u64],
+    recv: &Buffer,
+    recv_counts: &[u64],
+    recv_offs: &[u64],
+) -> Result<(), MpiError> {
+    let n = c.size();
+    assert!(send_counts.len() == n && send_offs.len() == n);
+    assert!(recv_counts.len() == n && recv_offs.len() == n);
+    let me = c.rank();
+    // Own block.
+    if send_counts[me] > 0 {
+        let mine = c.cluster().read_vec(&send.slice(send_offs[me], send_counts[me]));
+        c.cluster().write(&recv.slice(recv_offs[me], recv_counts[me]), 0, &mine);
+    }
+    for k in 1..n {
+        let dst = (me + k) % n;
+        let src = (me + n - k) % n;
+        let mut reqs = Vec::with_capacity(2);
+        if recv_counts[src] > 0 {
+            let rb = recv.slice(recv_offs[src], recv_counts[src]);
+            reqs.push(c.irecv(ctx, &rb, Src::Rank(src), TagSel::Tag(COLL_TAG + 300 + k as u32))?);
+        }
+        if send_counts[dst] > 0 {
+            let sb = send.slice(send_offs[dst], send_counts[dst]);
+            reqs.push(c.isend(ctx, &sb, dst, COLL_TAG + 300 + k as u32)?);
+        }
+        c.waitall(ctx, &reqs)?;
+    }
+    Ok(())
+}
+
+/// Pairwise-exchange alltoall: `send` and `recv` hold `n` equal blocks.
+pub fn alltoall(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    send: &Buffer,
+    recv: &Buffer,
+    blk: u64,
+) -> Result<(), MpiError> {
+    let n = c.size();
+    let me = c.rank();
+    assert!(send.len >= blk * n as u64 && recv.len >= blk * n as u64);
+    // Own block.
+    let mine = c.cluster().read_vec(&send.slice(me as u64 * blk, blk));
+    c.cluster().write(recv, me as u64 * blk, &mine);
+    for k in 1..n {
+        let dst = (me + k) % n;
+        let src = (me + n - k) % n;
+        let sb = send.slice(dst as u64 * blk, blk);
+        let rb = recv.slice(src as u64 * blk, blk);
+        let rr = c.irecv(ctx, &rb, Src::Rank(src), TagSel::Tag(COLL_TAG + 200 + k as u32))?;
+        let sr = c.isend(ctx, &sb, dst, COLL_TAG + 200 + k as u32)?;
+        c.wait(ctx, sr)?;
+        c.wait(ctx, rr)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! The public communicator: MPI-flavoured point-to-point API over the
+//! protocol engine, plus the [`Communicator`] abstraction the workloads are
+//! written against (so the Intel-MPI baseline models can run the same
+//! applications).
+
+use std::sync::Arc;
+
+use fabric::{Buffer, Cluster, MemRef};
+use simcore::Ctx;
+
+use crate::engine::{CommStats, Engine};
+use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel};
+
+/// Minimal point-to-point surface the workloads need. Implemented by
+/// DCFA-MPI's [`Comm`] and by the Intel-MPI baseline models in the
+/// `baselines` crate.
+pub trait Communicator {
+    fn rank(&self) -> Rank;
+    fn size(&self) -> usize;
+    /// The memory domain this rank's buffers live in.
+    fn mem(&self) -> MemRef;
+    fn cluster(&self) -> &Arc<Cluster>;
+    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError>;
+    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError>;
+    fn wait(&mut self, ctx: &mut Ctx, req: Request) -> Result<Status, MpiError>;
+
+    /// Blocking send.
+    fn send(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<(), MpiError> {
+        let r = self.isend(ctx, buf, dst, tag)?;
+        self.wait(ctx, r).map(|_| ())
+    }
+
+    /// Blocking receive.
+    fn recv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Status, MpiError> {
+        let r = self.irecv(ctx, buf, src, tag)?;
+        self.wait(ctx, r)
+    }
+
+    /// Combined send+receive (deadlock-free halo exchange building block).
+    fn sendrecv(
+        &mut self,
+        ctx: &mut Ctx,
+        sbuf: &Buffer,
+        dst: Rank,
+        rbuf: &Buffer,
+        src: Rank,
+        tag: Tag,
+    ) -> Result<Status, MpiError> {
+        let rr = self.irecv(ctx, rbuf, Src::Rank(src), TagSel::Tag(tag))?;
+        let sr = self.isend(ctx, sbuf, dst, tag)?;
+        self.wait(ctx, sr)?;
+        self.wait(ctx, rr)
+    }
+
+    /// Wait for all requests in order.
+    fn waitall(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> Result<Vec<Status>, MpiError> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for &r in reqs {
+            out.push(self.wait(ctx, r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// `MPI_COMM_WORLD` for a DCFA-MPI (or host-YAMPII) rank.
+pub struct Comm {
+    engine: Engine,
+}
+
+impl Comm {
+    pub(crate) fn new(engine: Engine) -> Self {
+        Comm { engine }
+    }
+
+    /// Non-blocking test; `Some` consumes the request.
+    pub fn test(&mut self, ctx: &mut Ctx, req: Request) -> Option<Result<Status, MpiError>> {
+        self.engine.test(ctx, req)
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`): envelope of a matching message
+    /// that could be received now, without consuming it.
+    pub fn iprobe(&mut self, ctx: &mut Ctx, src: Src, tag: TagSel) -> Option<Status> {
+        self.engine.iprobe(ctx, src, tag)
+    }
+
+    /// Blocking probe (`MPI_Probe`).
+    pub fn probe(&mut self, ctx: &mut Ctx, src: Src, tag: TagSel) -> Status {
+        self.engine.probe(ctx, src, tag)
+    }
+
+    /// Wait for any request in the set (`MPI_Waitany`).
+    pub fn waitany(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> (usize, Result<Status, MpiError>) {
+        self.engine.waitany(ctx, reqs)
+    }
+
+    /// Protocol/traffic counters for this rank.
+    pub fn stats(&self) -> CommStats {
+        self.engine.stats()
+    }
+
+    /// Allocate a page-aligned buffer in this rank's memory domain.
+    pub fn alloc(&self, len: u64) -> Result<Buffer, MpiError> {
+        self.engine
+            .cluster()
+            .alloc_pages(self.engine.mem(), len)
+            .map_err(|_| MpiError::OutOfMemory)
+    }
+
+    /// Free a buffer allocated with [`Comm::alloc`].
+    pub fn free(&self, buf: &Buffer) {
+        self.engine.cluster().free(buf);
+    }
+
+    /// Write into a buffer (content plane).
+    pub fn write(&self, buf: &Buffer, offset: u64, data: &[u8]) {
+        self.engine.cluster().write(buf, offset, data);
+    }
+
+    /// Read a buffer's content.
+    pub fn read_vec(&self, buf: &Buffer) -> Vec<u8> {
+        self.engine.cluster().read_vec(buf)
+    }
+
+    /// MR-cache statistics `(hits, misses)` — for the ablation benches.
+    pub fn mr_cache_stats(&self) -> (u64, u64) {
+        (self.engine.mr_cache.hits, self.engine.mr_cache.misses)
+    }
+
+    /// Number of regions currently held by the MR cache pool.
+    pub fn mr_cache_len(&self) -> usize {
+        self.engine.mr_cache.cached_regions()
+    }
+
+    /// Offload-cache statistics `(hits, misses)`.
+    pub fn offload_cache_stats(&self) -> (u64, u64) {
+        (self.engine.offload_cache.hits, self.engine.offload_cache.misses)
+    }
+
+    /// Library configuration in force.
+    pub fn config(&self) -> &crate::MpiConfig {
+        self.engine.config()
+    }
+
+    /// Host twin of a Phi-resident buffer (for host-staged collectives —
+    /// the paper's future-work direction of offloading heavy MPI
+    /// functions to the host). `None` on host placement or with the
+    /// offloading buffer disabled.
+    pub fn host_twin(&mut self, ctx: &mut Ctx, buf: &Buffer) -> Option<Buffer> {
+        self.engine.host_twin(ctx, buf)
+    }
+
+    /// DMA `buf` up into its host twin (blocking).
+    pub fn sync_to_twin(&mut self, ctx: &mut Ctx, buf: &Buffer, twin: &Buffer) {
+        self.engine.sync_to_twin(ctx, buf, twin);
+    }
+
+    /// DMA the host twin back down into `buf` (blocking).
+    pub fn sync_from_twin(&mut self, ctx: &mut Ctx, twin: &Buffer, buf: &Buffer) {
+        self.engine.sync_from_twin(ctx, twin, buf);
+    }
+
+    /// Create a persistent send request (`MPI_Send_init`): captures the
+    /// argument set once; every [`Comm::start`] issues one send with it.
+    pub fn send_init(&self, buf: &Buffer, dst: Rank, tag: Tag) -> Persistent {
+        Persistent { kind: PersistentKind::Send { dst, tag }, buf: buf.clone() }
+    }
+
+    /// Create a persistent receive request (`MPI_Recv_init`).
+    pub fn recv_init(&self, buf: &Buffer, src: Src, tag: TagSel) -> Persistent {
+        Persistent { kind: PersistentKind::Recv { src, tag }, buf: buf.clone() }
+    }
+
+    /// Start a persistent request (`MPI_Start`); complete it with the
+    /// ordinary [`Communicator::wait`].
+    pub fn start(&mut self, ctx: &mut Ctx, p: &Persistent) -> Result<Request, MpiError> {
+        match p.kind {
+            PersistentKind::Send { dst, tag } => self.engine.isend(ctx, &p.buf, dst, tag),
+            PersistentKind::Recv { src, tag } => self.engine.irecv(ctx, &p.buf, src, tag),
+        }
+    }
+
+    /// Start a whole set of persistent requests (`MPI_Startall`).
+    pub fn startall(&mut self, ctx: &mut Ctx, ps: &[&Persistent]) -> Result<Vec<Request>, MpiError> {
+        ps.iter().map(|p| self.start(ctx, p)).collect()
+    }
+
+    pub(crate) fn quiesce(&mut self, ctx: &mut Ctx) {
+        self.engine.quiesce(ctx);
+    }
+
+    pub(crate) fn finalize(&mut self, ctx: &mut Ctx) {
+        self.engine.finalize(ctx);
+    }
+}
+
+enum PersistentKind {
+    Send { dst: Rank, tag: Tag },
+    Recv { src: Src, tag: TagSel },
+}
+
+/// A persistent communication request: the fixed argument set of a send
+/// or receive, reusable across iterations
+/// (`MPI_Send_init`/`MPI_Recv_init` + `MPI_Start`) — the classic way
+/// fixed-pattern codes such as halo exchanges amortize per-call setup.
+pub struct Persistent {
+    kind: PersistentKind,
+    buf: Buffer,
+}
+
+impl Communicator for Comm {
+    fn rank(&self) -> Rank {
+        self.engine.rank
+    }
+
+    fn size(&self) -> usize {
+        self.engine.size
+    }
+
+    fn mem(&self) -> MemRef {
+        self.engine.mem()
+    }
+
+    fn cluster(&self) -> &Arc<Cluster> {
+        self.engine.cluster()
+    }
+
+    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+        self.engine.isend(ctx, buf, dst, tag)
+    }
+
+    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+        self.engine.irecv(ctx, buf, src, tag)
+    }
+
+    fn wait(&mut self, ctx: &mut Ctx, req: Request) -> Result<Status, MpiError> {
+        self.engine.wait(ctx, req)
+    }
+}

@@ -1,0 +1,120 @@
+//! DCFA-MPI library configuration: protocol thresholds and feature toggles
+//! (the knobs the paper's evaluation and our ablation benches turn).
+
+/// Where MPI ranks execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Ranks on Xeon Phi co-processors — DCFA-MPI proper.
+    Phi,
+    /// Ranks on the host Xeons — the YAMPII host MPI baseline the paper
+    /// compares RTT/bandwidth against ("host" curves in Figs. 7/8).
+    Host,
+}
+
+/// Library configuration.
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Where the ranks run.
+    pub placement: Placement,
+    /// Eager/rendezvous switch point: messages strictly larger than this go
+    /// through a rendezvous protocol.
+    pub eager_threshold: u64,
+    /// Offloading-send-buffer activation size (paper §IV-B4: "an
+    /// offloading send buffer starting from 8Kbytes shows the best
+    /// performance" in their environment). `None` disables the mode
+    /// (also forced off for Host placement).
+    pub offload_threshold: Option<u64>,
+    /// Memory-region cache pool for send/receive buffers ("a buffer cache
+    /// pool was designed for caching the most recently used memory
+    /// regions"). Capacity in regions; 0 disables caching.
+    pub mr_cache_capacity: usize,
+    /// Slots per eager ring (per ordered peer pair).
+    pub ring_slots: u32,
+    /// Payload capacity of one eager ring slot. Must be at least
+    /// `eager_threshold`.
+    pub ring_slot_payload: u64,
+}
+
+impl MpiConfig {
+    /// DCFA-MPI as evaluated in the paper: ranks on Phi, offloading send
+    /// buffer from 8 KiB, MR cache enabled.
+    pub fn dcfa() -> Self {
+        MpiConfig {
+            placement: Placement::Phi,
+            // Rendezvous (and with it the offloading send buffer) takes
+            // over above 8 KiB — the activation point the paper found
+            // best in its environment (§IV-B4).
+            eager_threshold: 8 << 10,
+            offload_threshold: Some(8 << 10),
+            mr_cache_capacity: 64,
+            ring_slots: 64,
+            ring_slot_payload: 8 << 10,
+        }
+    }
+
+    /// DCFA-MPI without the offloading send buffer (the "w/o offload"
+    /// curves of Figs. 7/8).
+    pub fn dcfa_no_offload() -> Self {
+        MpiConfig { offload_threshold: None, ..Self::dcfa() }
+    }
+
+    /// Host MPI (YAMPII) — ranks on the Xeons.
+    pub fn host() -> Self {
+        MpiConfig {
+            placement: Placement::Host,
+            offload_threshold: None,
+            ..Self::dcfa()
+        }
+    }
+
+    /// Sanity-check invariants; called by the launcher.
+    pub fn validate(&self) {
+        assert!(self.ring_slots >= 4, "need at least 4 ring slots");
+        assert!(
+            self.ring_slot_payload >= self.eager_threshold,
+            "ring slot payload must hold an eager message"
+        );
+        if self.placement == Placement::Host {
+            assert!(
+                self.offload_threshold.is_none(),
+                "offload send buffer is a Phi-only mode"
+            );
+        }
+    }
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        Self::dcfa()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        MpiConfig::dcfa().validate();
+        MpiConfig::dcfa_no_offload().validate();
+        MpiConfig::host().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Phi-only")]
+    fn host_with_offload_rejected() {
+        let cfg = MpiConfig {
+            placement: Placement::Host,
+            offload_threshold: Some(8 << 10),
+            ..MpiConfig::dcfa()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot payload")]
+    fn slot_smaller_than_eager_rejected() {
+        let cfg = MpiConfig { ring_slot_payload: 1024, ..MpiConfig::dcfa() };
+        cfg.validate();
+    }
+}

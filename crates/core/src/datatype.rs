@@ -1,0 +1,208 @@
+//! Derived datatypes (contiguous, strided vector, indexed) with pack /
+//! unpack through a staging buffer.
+//!
+//! The paper lists "communication using user defined data types" as future
+//! work to be offloaded to the host CPU (§VI); this module implements the
+//! datatype layer itself: non-contiguous layouts are packed into a
+//! contiguous staging buffer (charged at the local memcpy rate) and sent
+//! with the ordinary byte path — the classic YAMPII-era design. Column
+//! halos of a 2-D grid are the motivating case (see the
+//! `column_halo` example).
+
+use fabric::Buffer;
+use simcore::Ctx;
+
+use crate::comm::Communicator;
+use crate::types::{MpiError, Rank, Src, Status, Tag, TagSel};
+
+/// A data layout over a base buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// `len` contiguous bytes starting at `offset`.
+    Contiguous { offset: u64, len: u64 },
+    /// `count` blocks of `block_len` bytes, the start of consecutive
+    /// blocks `stride` bytes apart (`stride >= block_len`). An `MPI_Type_vector`
+    /// in byte units — e.g. one matrix column.
+    Vector { offset: u64, count: u64, block_len: u64, stride: u64 },
+    /// Arbitrary `(offset, len)` blocks (an `MPI_Type_indexed`).
+    Indexed { blocks: Vec<(u64, u64)> },
+}
+
+impl Layout {
+    /// One matrix column of `rows` elements of `elem` bytes in a
+    /// row-major `rows x cols` matrix.
+    pub fn column(col: u64, rows: u64, cols: u64, elem: u64) -> Layout {
+        Layout::Vector { offset: col * elem, count: rows, block_len: elem, stride: cols * elem }
+    }
+
+    /// Total packed size in bytes.
+    pub fn packed_len(&self) -> u64 {
+        match self {
+            Layout::Contiguous { len, .. } => *len,
+            Layout::Vector { count, block_len, .. } => count * block_len,
+            Layout::Indexed { blocks } => blocks.iter().map(|(_, l)| l).sum(),
+        }
+    }
+
+    /// Extent: bytes of the base buffer the layout touches.
+    pub fn extent(&self) -> u64 {
+        match self {
+            Layout::Contiguous { offset, len } => offset + len,
+            Layout::Vector { offset, count, block_len, stride } => {
+                if *count == 0 {
+                    *offset
+                } else {
+                    offset + (count - 1) * stride + block_len
+                }
+            }
+            Layout::Indexed { blocks } => {
+                blocks.iter().map(|(o, l)| o + l).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Validate against a base buffer.
+    pub fn check(&self, base: &Buffer) {
+        if let Layout::Vector { block_len, stride, .. } = self {
+            assert!(stride >= block_len, "overlapping vector blocks");
+        }
+        assert!(self.extent() <= base.len, "layout exceeds base buffer");
+    }
+
+    /// Visit each `(offset, len)` block in order.
+    fn for_each_block(&self, mut f: impl FnMut(u64, u64)) {
+        match self {
+            Layout::Contiguous { offset, len } => f(*offset, *len),
+            Layout::Vector { offset, count, block_len, stride } => {
+                for i in 0..*count {
+                    f(offset + i * stride, *block_len);
+                }
+            }
+            Layout::Indexed { blocks } => {
+                for (o, l) in blocks {
+                    f(*o, *l);
+                }
+            }
+        }
+    }
+}
+
+/// Pack `layout` of `base` into contiguous `stage` (which must hold
+/// `layout.packed_len()` bytes). Charges the local memcpy rate.
+pub fn pack<C: Communicator>(ctx: &mut Ctx, comm: &C, base: &Buffer, layout: &Layout, stage: &Buffer) {
+    layout.check(base);
+    let need = layout.packed_len();
+    assert!(stage.len >= need, "staging buffer too small");
+    let cl = comm.cluster().clone();
+    let mut cursor = 0u64;
+    layout.for_each_block(|off, len| {
+        let mut tmp = vec![0u8; len as usize];
+        cl.read(base, off, &mut tmp);
+        cl.write(stage, cursor, &tmp);
+        cursor += len;
+    });
+    let d = cl.copy_duration(comm.mem().domain, need);
+    ctx.sleep(d);
+}
+
+/// Unpack contiguous `stage` into `layout` of `base`.
+pub fn unpack<C: Communicator>(ctx: &mut Ctx, comm: &C, stage: &Buffer, layout: &Layout, base: &Buffer) {
+    layout.check(base);
+    let need = layout.packed_len();
+    assert!(stage.len >= need, "staging buffer too small");
+    let cl = comm.cluster().clone();
+    let mut cursor = 0u64;
+    layout.for_each_block(|off, len| {
+        let mut tmp = vec![0u8; len as usize];
+        cl.read(stage, cursor, &mut tmp);
+        cl.write(base, off, &tmp);
+        cursor += len;
+    });
+    let d = cl.copy_duration(comm.mem().domain, need);
+    ctx.sleep(d);
+}
+
+/// Typed send: pack + send. Allocates (and frees) a staging buffer.
+pub fn send_typed<C: Communicator>(
+    ctx: &mut Ctx,
+    comm: &mut C,
+    base: &Buffer,
+    layout: &Layout,
+    dst: Rank,
+    tag: Tag,
+) -> Result<(), MpiError> {
+    let stage = comm
+        .cluster()
+        .alloc_pages(comm.mem(), layout.packed_len().max(1))
+        .map_err(|_| MpiError::OutOfMemory)?;
+    pack(ctx, comm, base, layout, &stage);
+    let r = comm.send(ctx, &stage, dst, tag);
+    comm.cluster().free(&stage);
+    r
+}
+
+/// Typed receive: receive + unpack. The incoming message must be exactly
+/// `layout.packed_len()` bytes (or shorter).
+pub fn recv_typed<C: Communicator>(
+    ctx: &mut Ctx,
+    comm: &mut C,
+    base: &Buffer,
+    layout: &Layout,
+    src: Src,
+    tag: TagSel,
+) -> Result<Status, MpiError> {
+    let stage = comm
+        .cluster()
+        .alloc_pages(comm.mem(), layout.packed_len().max(1))
+        .map_err(|_| MpiError::OutOfMemory)?;
+    let st = comm.recv(ctx, &stage, src, tag)?;
+    unpack(ctx, comm, &stage, layout, base);
+    comm.cluster().free(&stage);
+    Ok(st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_len_and_extent() {
+        let c = Layout::Contiguous { offset: 8, len: 100 };
+        assert_eq!(c.packed_len(), 100);
+        assert_eq!(c.extent(), 108);
+
+        let v = Layout::Vector { offset: 0, count: 4, block_len: 8, stride: 32 };
+        assert_eq!(v.packed_len(), 32);
+        assert_eq!(v.extent(), 3 * 32 + 8);
+
+        let i = Layout::Indexed { blocks: vec![(0, 4), (100, 8)] };
+        assert_eq!(i.packed_len(), 12);
+        assert_eq!(i.extent(), 108);
+    }
+
+    #[test]
+    fn column_layout() {
+        // 4x3 matrix of f64, column 1.
+        let l = Layout::column(1, 4, 3, 8);
+        assert_eq!(l.packed_len(), 32);
+        assert_eq!(l.extent(), 8 + 3 * 24 + 8);
+    }
+
+    #[test]
+    fn empty_vector_extent() {
+        let v = Layout::Vector { offset: 16, count: 0, block_len: 8, stride: 32 };
+        assert_eq!(v.packed_len(), 0);
+        assert_eq!(v.extent(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping vector blocks")]
+    fn overlapping_stride_rejected() {
+        let base = Buffer {
+            mem: fabric::MemRef { node: fabric::NodeId(0), domain: fabric::Domain::Host },
+            addr: 0,
+            len: 1024,
+        };
+        Layout::Vector { offset: 0, count: 2, block_len: 16, stride: 8 }.check(&base);
+    }
+}

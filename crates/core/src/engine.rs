@@ -1,0 +1,1184 @@
+//! The DCFA-MPI point-to-point protocol engine.
+//!
+//! One engine instance runs inside each rank's simulated process and owns
+//! that rank's QPs, eager rings, staging buffers, MR caches and request
+//! table. The protocol follows §IV-B3/§IV-B4 of the paper:
+//!
+//! * **Eager** for small messages: one copy into a pre-registered staging
+//!   slot, then an RDMA WRITE of `header ‖ payload ‖ tail` into the peer's
+//!   ring slot; the receiver polls the tail.
+//! * **Sender-first rendezvous**: RTS (buffer address + rkey) → receiver
+//!   RDMA READ → DONE.
+//! * **Receiver-first rendezvous**: receiver posts a large receive early
+//!   and sends RTR; the sender RDMA WRITEs straight into the user buffer
+//!   and sends DONE.
+//! * **Simultaneous**: the sender disregards the RTR and waits for the
+//!   receiver's RDMA READ; the receiver follows the sender-first protocol.
+//! * **Sequence ids** pair each send with its receive per process pair;
+//!   `MPI_ANY_SOURCE` receives lock sequence assignment for later receives
+//!   until matched. Mis-predictions (eager vs. rendezvous) resolve via the
+//!   sequence ids: a stale RTR is dropped; a too-large rendezvous message
+//!   into a small receive raises an MPI error.
+//! * **Offloading send buffer** (§IV-B4): large sends sync the payload to
+//!   a host twin over the PCIe DMA engine and source the InfiniBand
+//!   transfer from host memory, dodging the slow HCA-read-from-Phi path.
+
+use std::collections::HashMap;
+
+use fabric::{Buffer, CostModel, MemRef};
+use simcore::{Ctx, SimDuration, SimEvent};
+use verbs::{CompletionQueue, MemoryRegion, MrKey, QueuePair, SendWr, Wc, WcStatus};
+
+use crate::config::{MpiConfig, Placement};
+use crate::mrcache::{MrCache, OffloadCache};
+use crate::packet::{tail_seq, tail_word, PacketHeader, PacketKind, HEADER_LEN, SLOT_OVERHEAD, TAIL_LEN};
+use crate::resources::Resources;
+use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel};
+
+/// wr_id used for control-packet writes whose completion nobody waits on.
+const CTRL_WR: u64 = u64::MAX;
+
+/// Per-peer connection state.
+pub(crate) struct Peer {
+    qp: QueuePair,
+    /// Remote (peer-side) inbound ring we write into.
+    out_ring_addr: u64,
+    out_ring_rkey: MrKey,
+    /// Next outbound ring-slot sequence number.
+    out_slot_seq: u64,
+    /// Cumulative slots the peer reported consumed (credits).
+    out_consumed: u64,
+    /// Local staging region mirroring the remote ring layout.
+    stage: Buffer,
+    stage_mr: MemoryRegion,
+    /// Local inbound ring this peer writes into.
+    in_ring: Buffer,
+    #[allow(dead_code)]
+    in_ring_mr: MemoryRegion,
+    /// Next inbound slot sequence to consume.
+    in_next_seq: u64,
+    /// Consumed slots not yet reported as credit.
+    in_unreported: u64,
+    /// Whether any *non-credit* packet was consumed since the last credit
+    /// report. CREDIT packets occupy (and free) slots like everything
+    /// else, but must never *trigger* a report themselves — otherwise two
+    /// idle ranks with small rings acknowledge each other's credits
+    /// forever (credit ping-pong livelock).
+    in_noncredit_pending: bool,
+    /// Pair sequence ids (paper §IV-B3).
+    tx_seq: u64,
+    rx_seq: u64,
+    /// RTRs that arrived before their matching send was posted.
+    stashed_rtrs: Vec<PacketHeader>,
+    /// Control packets waiting for ring credit. Control sends never block
+    /// (they are issued from inside the progress engine); they queue here
+    /// and drain as credits arrive, ahead of any later data packet.
+    pending_ctrl: std::collections::VecDeque<PacketHeader>,
+}
+
+/// Info a rank publishes during bootstrap, consumed by its peers.
+#[derive(Clone)]
+pub struct PeerEndpoint {
+    pub qpn: verbs::QpNum,
+    pub node: fabric::NodeId,
+    pub ring_addr: u64,
+    pub ring_rkey: MrKey,
+}
+
+enum ReqState {
+    /// Eager RDMA write in flight; completes on local WC.
+    EagerSend { status: Status },
+    /// RTS sent; waiting for the receiver's DONE.
+    RndvSendAwaitDone { dst: Rank, seq: u64, status: Status },
+    /// Receiver-first: our RDMA write is in flight.
+    RndvSendWriting { dst: Rank, seq: u64, full_len: u64, status: Status },
+    /// Posted receive sitting in the match queue.
+    RecvQueued,
+    /// Sender-first: our RDMA read is in flight.
+    RndvRecvReading { src: Rank, seq: u64, status: Status, truncated: Option<MpiError> },
+    /// Receiver-first: RTR sent, waiting for the sender's DONE.
+    RecvAwaitDone,
+    Done(Status),
+    Failed(MpiError),
+}
+
+struct PostedRecv {
+    req: u64,
+    buf: Buffer,
+    src: Src,
+    tag: TagSel,
+    /// Pair sequence id; `None` while locked behind an any-source receive.
+    seq: Option<u64>,
+    rtr_sent: bool,
+}
+
+enum Unexpected {
+    Eager { src: Rank, tag: Tag, seq: u64, data: Vec<u8> },
+    Rts { hdr: PacketHeader },
+}
+
+/// Protocol/traffic counters for one rank (exposed via
+/// `Comm::stats`; used by tests and the ablation benches to verify
+/// protocol selection without timing heuristics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent with the eager protocol.
+    pub eager_sends: u64,
+    /// Messages sent with a rendezvous protocol (either flavour).
+    pub rndv_sends: u64,
+    /// Rendezvous sends that took the receiver-first (RTR) path.
+    pub rndv_recv_first: u64,
+    /// Sends that synced through the offloading send buffer.
+    pub offload_syncs: u64,
+    /// Application payload bytes sent.
+    pub bytes_sent: u64,
+    /// Application payload bytes received.
+    pub bytes_received: u64,
+    /// Ring packets processed (all kinds).
+    pub packets_processed: u64,
+    /// Stale RTRs dropped thanks to sequence ids (mis-predictions).
+    pub stale_rtrs_dropped: u64,
+}
+
+/// The per-rank protocol engine.
+pub struct Engine {
+    pub(crate) rank: Rank,
+    pub(crate) size: usize,
+    cfg: MpiConfig,
+    res: Resources,
+    cost: CostModel,
+    cq: CompletionQueue,
+    progress_event: SimEvent,
+    peers: Vec<Option<Peer>>,
+    pub(crate) mr_cache: MrCache,
+    pub(crate) offload_cache: OffloadCache,
+    reqs: HashMap<u64, ReqState>,
+    next_req: u64,
+    recv_q: Vec<PostedRecv>,
+    unexpected: Vec<Unexpected>,
+    mpi_call: SimDuration,
+    pub(crate) stats: CommStats,
+    /// Re-entrancy guard: progress() invoked from within progress() (via
+    /// a packet handler) is a no-op; the outer sweep picks up the work.
+    in_progress: bool,
+}
+
+impl Engine {
+    /// Size in bytes of one ring slot for `cfg`.
+    pub fn slot_size(cfg: &MpiConfig) -> u64 {
+        cfg.ring_slot_payload + SLOT_OVERHEAD
+    }
+
+    /// Ring bytes per ordered peer pair for `cfg`.
+    pub fn ring_bytes(cfg: &MpiConfig) -> u64 {
+        Self::slot_size(cfg) * cfg.ring_slots as u64
+    }
+
+    /// Phase 1 of bootstrap: allocate local resources and produce the
+    /// endpoint info to publish for every peer.
+    #[allow(clippy::type_complexity)]
+    pub fn create(
+        ctx: &mut Ctx,
+        rank: Rank,
+        size: usize,
+        cfg: MpiConfig,
+        res: Resources,
+    ) -> (Engine, Vec<Option<PeerEndpoint>>) {
+        cfg.validate();
+        let cost = res.cluster().config().cost.clone();
+        let progress_event = SimEvent::new();
+        let cq = res.create_cq(ctx, progress_event.clone());
+        let mem = res.mem();
+        let ring_bytes = Self::ring_bytes(&cfg);
+
+        let mut peers: Vec<Option<Peer>> = Vec::with_capacity(size);
+        let mut endpoints: Vec<Option<PeerEndpoint>> = Vec::with_capacity(size);
+        for p in 0..size {
+            if p == rank {
+                peers.push(None);
+                endpoints.push(None);
+                continue;
+            }
+            let qp = res.create_qp(ctx, &cq, &cq);
+            // Inbound ring: registered with the shared progress event so an
+            // inbound packet wakes this rank.
+            let in_ring = res
+                .cluster()
+                .alloc_pages(mem, ring_bytes)
+                .expect("ring allocation failed");
+            let in_ring_mr = {
+                // Registration cost through the placement-appropriate path,
+                // then attach the shared progress event.
+                let mr = res.reg_mr(ctx, in_ring.clone());
+                res.ib()
+                    .set_write_event(mr.key(), progress_event.clone())
+                    .expect("ring MR vanished")
+            };
+            let stage = res
+                .cluster()
+                .alloc_pages(mem, ring_bytes)
+                .expect("stage allocation failed");
+            let stage_mr = res.reg_mr(ctx, stage.clone());
+            endpoints.push(Some(PeerEndpoint {
+                qpn: qp.qpn(),
+                node: qp.node(),
+                ring_addr: in_ring.addr,
+                ring_rkey: in_ring_mr.key(),
+            }));
+            peers.push(Some(Peer {
+                qp,
+                out_ring_addr: 0,
+                out_ring_rkey: MrKey(0),
+                out_slot_seq: 0,
+                out_consumed: 0,
+                stage,
+                stage_mr,
+                in_ring,
+                in_ring_mr,
+                in_next_seq: 0,
+                in_unreported: 0,
+                in_noncredit_pending: false,
+                tx_seq: 0,
+                rx_seq: 0,
+                stashed_rtrs: Vec::new(),
+                pending_ctrl: std::collections::VecDeque::new(),
+            }));
+        }
+        let mpi_call = match cfg.placement {
+            Placement::Phi => cost.mpi_call_phi,
+            Placement::Host => cost.mpi_call_host,
+        };
+        let mr_cache = MrCache::new(cfg.mr_cache_capacity);
+        let offload_cache = OffloadCache::new(16);
+        (
+            Engine {
+                rank,
+                size,
+                cfg,
+                res,
+                cost,
+                cq,
+                progress_event,
+                peers,
+                mr_cache,
+                offload_cache,
+                reqs: HashMap::new(),
+                next_req: 1,
+                recv_q: Vec::new(),
+                unexpected: Vec::new(),
+                mpi_call,
+                stats: CommStats::default(),
+                in_progress: false,
+            },
+            endpoints,
+        )
+    }
+
+    /// Phase 2 of bootstrap: wire QPs and outbound rings using the peers'
+    /// published endpoints (`their_view[p]` = what rank `p` published for
+    /// *us*).
+    #[allow(clippy::needless_range_loop)]
+    pub fn connect(&mut self, endpoints: &[Option<PeerEndpoint>]) {
+        for p in 0..self.size {
+            let Some(peer) = self.peers[p].as_mut() else { continue };
+            let ep = endpoints[p].as_ref().expect("peer endpoint missing");
+            peer.qp.connect(ep.node, ep.qpn);
+            peer.out_ring_addr = ep.ring_addr;
+            peer.out_ring_rkey = ep.ring_rkey;
+        }
+    }
+
+    pub fn mem(&self) -> MemRef {
+        self.res.mem()
+    }
+
+    pub fn resources(&self) -> &Resources {
+        &self.res
+    }
+
+    pub fn cluster(&self) -> &std::sync::Arc<fabric::Cluster> {
+        self.res.cluster()
+    }
+
+    pub fn config(&self) -> &MpiConfig {
+        &self.cfg
+    }
+
+    fn new_req(&mut self, state: ReqState) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        self.reqs.insert(id, state);
+        id
+    }
+
+    // ---- public operations -------------------------------------------------
+
+    /// Non-blocking send.
+    pub fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+        if dst >= self.size || dst == self.rank {
+            return Err(MpiError::BadRank(dst));
+        }
+        ctx.sleep(self.mpi_call);
+        let len = buf.len;
+        let seq = {
+            let peer = self.peers[dst].as_mut().expect("no peer");
+            let s = peer.tx_seq;
+            peer.tx_seq += 1;
+            s
+        };
+        let status = Status { source: dst, tag, len };
+
+        self.stats.bytes_sent += len;
+        if len <= self.cfg.eager_threshold {
+            self.stats.eager_sends += 1;
+            let req = self.new_req(ReqState::EagerSend { status });
+            let hdr = PacketHeader {
+                kind: PacketKind::Eager,
+                src_rank: self.rank,
+                tag,
+                seq,
+                len,
+                addr: 0,
+                rkey: 0,
+            };
+            self.send_packet(ctx, dst, hdr, Some(buf), req);
+            return Ok(Request(req));
+        }
+
+        // Rendezvous. Pick the data source: offloaded host twin or the user
+        // buffer registered directly.
+        self.stats.rndv_sends += 1;
+        let (src_addr, src_rkey) = self.rndv_source(ctx, buf);
+
+        // Receiver-first? A stashed RTR with our sequence id means the
+        // receiver already advertised its buffer.
+        let stashed = {
+            let peer = self.peers[dst].as_mut().expect("no peer");
+            peer.stashed_rtrs
+                .iter()
+                .position(|r| r.seq == seq)
+                .map(|i| peer.stashed_rtrs.swap_remove(i))
+        };
+        if let Some(rtr) = stashed {
+            self.stats.rndv_recv_first += 1;
+            let req = self.new_req(ReqState::RndvSendWriting { dst, seq, full_len: len, status });
+            self.rndv_write(ctx, dst, req, src_addr, src_rkey, len, &rtr);
+            return Ok(Request(req));
+        }
+
+        // Sender-first: RTS with our buffer info, then await DONE.
+        let req = self.new_req(ReqState::RndvSendAwaitDone { dst, seq, status });
+        let hdr = PacketHeader {
+            kind: PacketKind::Rts,
+            src_rank: self.rank,
+            tag,
+            seq,
+            len,
+            addr: src_addr,
+            rkey: src_rkey.0,
+        };
+        self.send_ctrl(ctx, dst, hdr);
+        Ok(Request(req))
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+        if let Src::Rank(r) = src {
+            if r >= self.size || r == self.rank {
+                return Err(MpiError::BadRank(r));
+            }
+        }
+        ctx.sleep(self.mpi_call);
+        // Drain anything already sitting in the rings so protocol
+        // selection sees the latest state (an RTS that already arrived
+        // must match here instead of triggering a needless RTR).
+        self.progress(ctx);
+        let req = self.new_req(ReqState::RecvQueued);
+
+        // Try the unexpected queue first.
+        if let Some(idx) = self.match_unexpected(src, tag) {
+            let u = self.unexpected.remove(idx);
+            self.consume_unexpected(ctx, req, buf, u);
+            return Ok(Request(req));
+        }
+
+        // Sequence assignment: locked while an unmatched any-source receive
+        // sits ahead of us (paper §IV-B3).
+        let locked = self
+            .recv_q
+            .iter()
+            .any(|r| r.seq.is_none());
+        let seq = match (src, locked) {
+            (Src::Rank(s), false) => {
+                let peer = self.peers[s].as_mut().expect("no peer");
+                let q = peer.rx_seq;
+                peer.rx_seq += 1;
+                Some(q)
+            }
+            _ => None, // any-source gets its id when it meets its packet
+        };
+        let mut posted = PostedRecv { req, buf: buf.clone(), src, tag, seq, rtr_sent: false };
+
+        // Receiver-first rendezvous initiation: a large receive with a known
+        // source advertises its buffer immediately.
+        if let (Src::Rank(s), Some(q)) = (src, seq) {
+            if buf.len > self.cfg.eager_threshold {
+                self.send_rtr(ctx, s, q, &mut posted);
+            }
+        }
+        self.recv_q.push(posted);
+        Ok(Request(req))
+    }
+
+    /// Non-blocking completion test. `Some` removes the request.
+    pub fn test(&mut self, ctx: &mut Ctx, req: Request) -> Option<Result<Status, MpiError>> {
+        self.progress(ctx);
+        match self.reqs.get(&req.0) {
+            Some(ReqState::Done(_)) => match self.reqs.remove(&req.0) {
+                Some(ReqState::Done(s)) => Some(Ok(s)),
+                _ => unreachable!(),
+            },
+            Some(ReqState::Failed(_)) => match self.reqs.remove(&req.0) {
+                Some(ReqState::Failed(e)) => Some(Err(e)),
+                _ => unreachable!(),
+            },
+            Some(_) => None,
+            None => Some(Err(MpiError::BadRequest)),
+        }
+    }
+
+    /// Block until the request completes.
+    pub fn wait(&mut self, ctx: &mut Ctx, req: Request) -> Result<Status, MpiError> {
+        loop {
+            let seen = self.progress_event.epoch();
+            if let Some(r) = self.test(ctx, req) {
+                return r;
+            }
+            ctx.wait_event(&self.progress_event, seen, "mpi wait");
+        }
+    }
+
+    /// Wait for all requests, returning the first error (like
+    /// `MPI_Waitall`).
+    pub fn waitall(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> Result<Vec<Status>, MpiError> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for &r in reqs {
+            out.push(self.wait(ctx, r)?);
+        }
+        Ok(out)
+    }
+
+    /// Non-blocking probe: is a matching message available to receive
+    /// right now? Returns its envelope without consuming it (an arrived
+    /// eager payload or rendezvous RTS in the unexpected queue).
+    pub fn iprobe(&mut self, ctx: &mut Ctx, src: Src, tag: TagSel) -> Option<Status> {
+        self.progress(ctx);
+        self.match_unexpected(src, tag).map(|i| match &self.unexpected[i] {
+            Unexpected::Eager { src, tag, data, .. } => {
+                Status { source: *src, tag: *tag, len: data.len() as u64 }
+            }
+            Unexpected::Rts { hdr } => Status { source: hdr.src_rank, tag: hdr.tag, len: hdr.len },
+        })
+    }
+
+    /// Blocking probe.
+    pub fn probe(&mut self, ctx: &mut Ctx, src: Src, tag: TagSel) -> Status {
+        loop {
+            let seen = self.progress_event.epoch();
+            if let Some(st) = self.iprobe(ctx, src, tag) {
+                return st;
+            }
+            ctx.wait_event(&self.progress_event, seen, "mpi probe");
+        }
+    }
+
+    /// Wait until any of `reqs` completes; returns `(index, result)` and
+    /// consumes only that request.
+    pub fn waitany(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> (usize, Result<Status, MpiError>) {
+        assert!(!reqs.is_empty(), "waitany on empty set");
+        loop {
+            let seen = self.progress_event.epoch();
+            self.progress(ctx);
+            for (i, &r) in reqs.iter().enumerate() {
+                match self.reqs.get(&r.0) {
+                    Some(ReqState::Done(_)) | Some(ReqState::Failed(_)) | None => {
+                        return (i, self.test(ctx, r).expect("just checked"));
+                    }
+                    _ => {}
+                }
+            }
+            ctx.wait_event(&self.progress_event, seen, "mpi waitany");
+        }
+    }
+
+    /// Protocol/traffic counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Host twin of a Phi buffer (creating/caching it on first use), for
+    /// host-staged operations. `None` on host placement or when the
+    /// offloading send buffer is disabled.
+    pub fn host_twin(&mut self, ctx: &mut Ctx, buf: &Buffer) -> Option<Buffer> {
+        if self.cfg.placement != Placement::Phi
+            || self.cfg.offload_threshold.is_none()
+            || buf.mem.domain != fabric::Domain::Phi
+        {
+            return None;
+        }
+        let omr = self.offload_cache.get_or_create(ctx, &self.res, buf);
+        let off = buf.addr - omr.phi.addr;
+        Some(omr.host_mr.buffer().slice(off, buf.len))
+    }
+
+    /// DMA the latest bytes of `buf` up into its host twin (blocking).
+    pub fn sync_to_twin(&mut self, ctx: &mut Ctx, buf: &Buffer, twin: &Buffer) {
+        let t = self.res.cluster().pci_dma(buf, twin, ctx.now());
+        ctx.wait_reason(&t.completion, "sync to twin");
+    }
+
+    /// DMA the host twin's bytes back down into `buf` (blocking).
+    pub fn sync_from_twin(&mut self, ctx: &mut Ctx, twin: &Buffer, buf: &Buffer) {
+        let t = self.res.cluster().pci_dma(twin, buf, ctx.now());
+        ctx.wait_reason(&t.completion, "sync from twin");
+    }
+
+    /// Drain queued control packets (DONEs, credits) before teardown so a
+    /// peer still waiting on one of them can complete. Called by the
+    /// launcher before the finalize barrier.
+    pub fn quiesce(&mut self, ctx: &mut Ctx) {
+        loop {
+            let seen = self.progress_event.epoch();
+            self.progress(ctx);
+            let pending = self
+                .peers
+                .iter()
+                .flatten()
+                .any(|p| !p.pending_ctrl.is_empty());
+            if !pending {
+                return;
+            }
+            ctx.wait_event(&self.progress_event, seen, "finalize quiesce");
+        }
+    }
+
+    /// Tear down: drain caches and tell the DCFA daemon we're done.
+    pub fn finalize(&mut self, ctx: &mut Ctx) {
+        self.mr_cache.clear(ctx, &self.res);
+        self.offload_cache.clear(ctx, &self.res);
+        self.res.close(ctx);
+    }
+
+    // ---- protocol internals ------------------------------------------------
+
+    /// Choose the rendezvous data source: the offloaded host twin (synced
+    /// first) above the offload threshold, otherwise the user buffer via
+    /// the MR cache.
+    fn rndv_source(&mut self, ctx: &mut Ctx, buf: &Buffer) -> (u64, MrKey) {
+        if let Some(thr) = self.cfg.offload_threshold {
+            // Only Phi-resident buffers need the host twin; a buffer that
+            // already lives in host memory (e.g. a host-staged collective)
+            // is sourced directly at full speed.
+            if buf.len >= thr
+                && self.cfg.placement == Placement::Phi
+                && buf.mem.domain == fabric::Domain::Phi
+            {
+                let (host_addr, host_key, off) = {
+                    let omr = self.offload_cache.get_or_create(ctx, &self.res, buf);
+                    let off = buf.addr - omr.phi.addr;
+                    (omr.host_mr.addr() + off, omr.host_mr.key(), off)
+                };
+                // Sync the latest bytes into the twin (blocking DMA).
+                let omr = self.offload_cache.get_or_create(ctx, &self.res, buf);
+                let omr_phi = omr.phi.clone();
+                let omr_host = omr.host_mr.buffer().clone();
+                let src = omr_phi.slice(off, buf.len);
+                let dst = omr_host.slice(off, buf.len);
+                let t = self.res.cluster().pci_dma(&src, &dst, ctx.now());
+                ctx.wait_reason(&t.completion, "offload sync");
+                self.stats.offload_syncs += 1;
+                return (host_addr, host_key);
+            }
+        }
+        let mr = self.mr_cache.get_or_register(ctx, &self.res, buf);
+        (buf.addr, mr.key())
+    }
+
+    /// Receiver-first: advertise the receive buffer.
+    fn send_rtr(&mut self, ctx: &mut Ctx, src: Rank, seq: u64, posted: &mut PostedRecv) {
+        let mr = self.mr_cache.get_or_register(ctx, &self.res, &posted.buf);
+        let tag = match posted.tag {
+            TagSel::Tag(t) => t,
+            TagSel::Any => 0,
+        };
+        let hdr = PacketHeader {
+            kind: PacketKind::Rtr,
+            src_rank: self.rank,
+            tag,
+            seq,
+            len: posted.buf.len,
+            addr: posted.buf.addr,
+            rkey: mr.key().0,
+        };
+        self.send_ctrl(ctx, src, hdr);
+        posted.rtr_sent = true;
+        self.reqs.insert(posted.req, ReqState::RecvAwaitDone);
+    }
+
+    /// Receiver-first data movement on the sender: RDMA WRITE into the
+    /// advertised buffer, then DONE on completion (driven by `handle_wc`).
+    #[allow(clippy::too_many_arguments)]
+    fn rndv_write(
+        &mut self,
+        ctx: &mut Ctx,
+        dst: Rank,
+        req: u64,
+        src_addr: u64,
+        src_rkey: MrKey,
+        len: u64,
+        rtr: &PacketHeader,
+    ) {
+        let write_len = len.min(rtr.len);
+        let sge = verbs::Sge { addr: src_addr, len: write_len, lkey: src_rkey };
+        let peer = self.peers[dst].as_mut().expect("no peer");
+        peer.qp
+            .post_send(ctx, SendWr::rdma_write(req, vec![sge], rtr.addr, MrKey(rtr.rkey)))
+            .expect("rndv write failed");
+    }
+
+    /// Ring window for a packet kind: CREDITs may use the 2 reserve slots
+    /// so flow control can always make progress.
+    fn window_for(&self, kind: PacketKind) -> u64 {
+        let slots = self.cfg.ring_slots as u64;
+        if kind == PacketKind::Credit {
+            slots
+        } else {
+            slots - 2
+        }
+    }
+
+    /// Queue a control packet (RTS/RTR/DONE/CREDIT) for `dst` and drain as
+    /// much of the queue as current credit allows. Never blocks — safe to
+    /// call from inside the progress engine.
+    fn send_ctrl(&mut self, ctx: &mut Ctx, dst: Rank, hdr: PacketHeader) {
+        {
+            let peer = self.peers[dst].as_mut().expect("no peer");
+            peer.pending_ctrl.push_back(hdr);
+        }
+        self.flush_ctrl(ctx, dst);
+    }
+
+    /// Transmit queued control packets while the window allows.
+    fn flush_ctrl(&mut self, ctx: &mut Ctx, dst: Rank) {
+        loop {
+            let hdr = {
+                let Some(peer) = self.peers[dst].as_ref() else { return };
+                let Some(front) = peer.pending_ctrl.front() else { return };
+                if peer.out_slot_seq - peer.out_consumed >= self.window_for(front.kind) {
+                    return; // still no room
+                }
+                peer.pending_ctrl.front().cloned().expect("checked")
+            };
+            self.peers[dst].as_mut().expect("no peer").pending_ctrl.pop_front();
+            self.transmit_packet(ctx, dst, hdr, None, CTRL_WR);
+        }
+    }
+
+    /// Send a data-bearing (eager) packet: waits for ring credit at top
+    /// level, draining queued control packets first so packet order on
+    /// the ring matches issue order.
+    fn send_packet(&mut self, ctx: &mut Ctx, dst: Rank, hdr: PacketHeader, payload: Option<&Buffer>, wr_id: u64) {
+        loop {
+            self.flush_ctrl(ctx, dst);
+            let ready = {
+                let peer = self.peers[dst].as_ref().expect("no peer");
+                peer.pending_ctrl.is_empty()
+                    && peer.out_slot_seq - peer.out_consumed < self.window_for(hdr.kind)
+            };
+            if ready {
+                break;
+            }
+            let seen = self.progress_event.epoch();
+            self.progress(ctx);
+            let ready = {
+                let peer = self.peers[dst].as_ref().expect("no peer");
+                peer.pending_ctrl.is_empty()
+                    && peer.out_slot_seq - peer.out_consumed < self.window_for(hdr.kind)
+            };
+            if ready {
+                break;
+            }
+            ctx.wait_event(&self.progress_event, seen, "eager ring credit");
+        }
+        self.transmit_packet(ctx, dst, hdr, payload, wr_id);
+    }
+
+    /// Unconditionally place one packet into the peer's ring (caller has
+    /// verified the window).
+    fn transmit_packet(&mut self, ctx: &mut Ctx, dst: Rank, hdr: PacketHeader, payload: Option<&Buffer>, wr_id: u64) {
+        let slots = self.cfg.ring_slots as u64;
+
+        let slot_size = Self::slot_size(&self.cfg);
+        let payload_len = payload.map_or(0, |b| b.len);
+        assert!(payload_len <= self.cfg.ring_slot_payload, "payload exceeds slot");
+        let (slot_seq, base) = {
+            let peer = self.peers[dst].as_mut().expect("no peer");
+            let s = peer.out_slot_seq;
+            peer.out_slot_seq += 1;
+            (s, (s % slots) * slot_size)
+        };
+        let total = HEADER_LEN + payload_len + TAIL_LEN;
+
+        // Assemble header ‖ payload ‖ tail in the staging slot. The payload
+        // copy is the eager protocol's "one copy" (charged at the local
+        // domain's memcpy bandwidth).
+        let cluster = self.res.cluster().clone();
+        let mem_domain = self.res.mem().domain;
+        let (stage, stage_mr, out_ring_addr, out_ring_rkey) = {
+            let peer = self.peers[dst].as_ref().expect("no peer");
+            (peer.stage.clone(), peer.stage_mr.clone(), peer.out_ring_addr, peer.out_ring_rkey)
+        };
+        cluster.write(&stage, base, &hdr.encode());
+        if let Some(p) = payload {
+            let data = cluster.read_vec(p);
+            cluster.write(&stage, base + HEADER_LEN, &data);
+            ctx.sleep(cluster.copy_duration(mem_domain, payload_len));
+        }
+        cluster.write(
+            &stage,
+            base + HEADER_LEN + payload_len,
+            &tail_word(slot_seq).to_le_bytes(),
+        );
+
+        if ctx.has_trace() {
+            ctx.trace(&format!(
+                "rank{} -> rank{dst}: {:?} seq={} len={} (slot {})",
+                self.rank, hdr.kind, hdr.seq, hdr.len, slot_seq % slots
+            ));
+        }
+        let off_in_stage = stage.addr + base;
+        let sge = verbs::Sge { addr: off_in_stage, len: total, lkey: stage_mr.key() };
+        let wr = if wr_id == CTRL_WR {
+            SendWr::rdma_write(CTRL_WR, vec![sge], out_ring_addr + base, out_ring_rkey).unsignaled()
+        } else {
+            SendWr::rdma_write(wr_id, vec![sge], out_ring_addr + base, out_ring_rkey)
+        };
+        let peer = self.peers[dst].as_mut().expect("no peer");
+        peer.qp.post_send(ctx, wr).expect("ring write failed");
+    }
+
+    /// One progress sweep: drain CQ completions, then inbound rings.
+    pub fn progress(&mut self, ctx: &mut Ctx) {
+        if self.in_progress {
+            return; // re-entered from a handler; the outer sweep continues
+        }
+        self.in_progress = true;
+        self.progress_inner(ctx);
+        self.in_progress = false;
+    }
+
+    fn progress_inner(&mut self, ctx: &mut Ctx) {
+        while let Some(wc) = self.cq.poll() {
+            self.handle_wc(ctx, wc);
+        }
+        for p in 0..self.size {
+            while let Some((hdr, slot_base)) = self.peek_ring(p) {
+                // Consume the slot before handling so handlers can send.
+                {
+                    let peer = self.peers[p].as_mut().expect("no peer");
+                    peer.in_next_seq += 1;
+                    peer.in_unreported += 1;
+                }
+                ctx.sleep(self.cost.cpu_op(self.res.mem().domain));
+                self.stats.packets_processed += 1;
+                if hdr.kind != PacketKind::Credit {
+                    if let Some(peer) = self.peers[p].as_mut() {
+                        peer.in_noncredit_pending = true;
+                    }
+                }
+                self.handle_packet(ctx, p, hdr, slot_base);
+            }
+            self.maybe_credit(ctx, p);
+            self.flush_ctrl(ctx, p);
+        }
+    }
+
+    /// Check the next inbound slot of peer `p`.
+    fn peek_ring(&self, p: usize) -> Option<(PacketHeader, u64)> {
+        let peer = self.peers[p].as_ref()?;
+        let slots = self.cfg.ring_slots as u64;
+        let slot_size = Self::slot_size(&self.cfg);
+        let base = (peer.in_next_seq % slots) * slot_size;
+        let cluster = self.res.cluster();
+        let mut hdr_bytes = vec![0u8; HEADER_LEN as usize];
+        cluster.read(&peer.in_ring, base, &mut hdr_bytes);
+        let hdr = PacketHeader::decode(&hdr_bytes)?;
+        let payload_len = match hdr.kind {
+            PacketKind::Eager => hdr.len,
+            _ => 0,
+        };
+        if HEADER_LEN + payload_len + TAIL_LEN > slot_size {
+            return None; // corrupt / stale
+        }
+        let mut tail = [0u8; 8];
+        cluster.read(&peer.in_ring, base + HEADER_LEN + payload_len, &mut tail);
+        (tail_seq(u64::from_le_bytes(tail)) == Some(peer.in_next_seq)).then_some((hdr, base))
+    }
+
+    fn maybe_credit(&mut self, ctx: &mut Ctx, p: usize) {
+        let Some(peer) = self.peers[p].as_ref() else { return };
+        // Two thresholds: consumption involving real packets reports at
+        // slots/4; *pure credit* consumption reports only at slots/2.
+        // The 2:1 ratio makes credit-only exchanges decay geometrically
+        // (no ping-pong livelock) while still recycling the slots that
+        // CREDIT packets themselves occupy (no ack-stream starvation).
+        let data_threshold = (self.cfg.ring_slots / 4).max(1) as u64;
+        let pure_threshold = (self.cfg.ring_slots / 2).max(2) as u64;
+        let due = if peer.in_noncredit_pending {
+            peer.in_unreported >= data_threshold
+        } else {
+            peer.in_unreported >= pure_threshold
+        };
+        if !due {
+            return;
+        }
+        let consumed = peer.in_next_seq;
+        let hdr = PacketHeader::control(PacketKind::Credit, self.rank, 0, 0, consumed);
+        self.send_ctrl(ctx, p, hdr);
+        if let Some(peer) = self.peers[p].as_mut() {
+            peer.in_unreported = 0;
+            peer.in_noncredit_pending = false;
+        }
+    }
+
+    fn handle_wc(&mut self, ctx: &mut Ctx, wc: Wc) {
+        if wc.wr_id == CTRL_WR {
+            return;
+        }
+        assert_eq!(wc.status, WcStatus::Success, "internal transfer failed: {wc:?}");
+        let Some(state) = self.reqs.remove(&wc.wr_id) else { return };
+        match state {
+            ReqState::EagerSend { status } => {
+                self.reqs.insert(wc.wr_id, ReqState::Done(status));
+            }
+            ReqState::RndvSendWriting { dst, seq, full_len, status } => {
+                // Data placed; tell the receiver.
+                let hdr =
+                    PacketHeader::control(PacketKind::DoneWrite, self.rank, status.tag, seq, full_len);
+                self.send_ctrl(ctx, dst, hdr);
+                self.reqs.insert(wc.wr_id, ReqState::Done(status));
+            }
+            ReqState::RndvRecvReading { src, seq, status, truncated } => {
+                self.stats.bytes_received += status.len;
+                let hdr = PacketHeader::control(PacketKind::Done, self.rank, status.tag, seq, status.len);
+                self.send_ctrl(ctx, src, hdr);
+                let final_state = match truncated {
+                    Some(e) => ReqState::Failed(e),
+                    None => ReqState::Done(status),
+                };
+                self.reqs.insert(wc.wr_id, final_state);
+            }
+            other => {
+                // Completion for a request not in a transfer state is an
+                // engine bug.
+                self.reqs.insert(wc.wr_id, other);
+                panic!("unexpected WC for request {}", wc.wr_id);
+            }
+        }
+    }
+
+    fn handle_packet(&mut self, ctx: &mut Ctx, p: usize, hdr: PacketHeader, slot_base: u64) {
+        if ctx.has_trace() {
+            ctx.trace(&format!(
+                "rank{} <- rank{p}: {:?} seq={} len={}",
+                self.rank, hdr.kind, hdr.seq, hdr.len
+            ));
+        }
+        match hdr.kind {
+            PacketKind::Credit => {
+                let peer = self.peers[p].as_mut().expect("no peer");
+                peer.out_consumed = peer.out_consumed.max(hdr.len);
+            }
+            PacketKind::Eager => {
+                match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
+                    Some(idx) => {
+                        let posted = self.recv_q.remove(idx);
+                        self.deliver_eager_to(ctx, &posted, &hdr, p, slot_base);
+                        self.after_match(ctx, posted.seq.is_none(), hdr.src_rank, hdr.seq);
+                    }
+                    None => {
+                        // Copy out so the slot can be reused (unexpected
+                        // message queue).
+                        let cluster = self.res.cluster().clone();
+                        let peer = self.peers[p].as_ref().expect("no peer");
+                        let mut data = vec![0u8; hdr.len as usize];
+                        cluster.read(&peer.in_ring, slot_base + HEADER_LEN, &mut data);
+                        ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
+                        self.unexpected.push(Unexpected::Eager {
+                            src: hdr.src_rank,
+                            tag: hdr.tag,
+                            seq: hdr.seq,
+                            data,
+                        });
+                    }
+                }
+            }
+            PacketKind::Rts => {
+                match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
+                    Some(idx) => {
+                        let posted = self.recv_q.remove(idx);
+                        let was_any = posted.seq.is_none();
+                        self.start_rndv_read(ctx, posted, &hdr);
+                        self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
+                    }
+                    None => self.unexpected.push(Unexpected::Rts { hdr }),
+                }
+            }
+            PacketKind::Rtr => {
+                // Find the send awaiting this sequence id.
+                let awaiting = self.reqs.iter().find_map(|(id, st)| match st {
+                    ReqState::RndvSendAwaitDone { dst, seq, .. }
+                        if *dst == hdr.src_rank && *seq == hdr.seq =>
+                    {
+                        Some(*id)
+                    }
+                    _ => None,
+                });
+                if awaiting.is_some() {
+                    // Simultaneous send/receive: "The sender will disregard
+                    // the RTR and still wait for the receiver's RDMA read."
+                    return;
+                }
+                // Completed or eager-satisfied sends: drop ("the sender
+                // drops the RTR packet ... thanks to the sequence id").
+                let peer = self.peers[p].as_mut().expect("no peer");
+                if hdr.seq >= peer.tx_seq {
+                    // Send not posted yet: receiver-first, stash for later.
+                    peer.stashed_rtrs.push(hdr);
+                } else {
+                    self.stats.stale_rtrs_dropped += 1;
+                }
+            }
+            PacketKind::Done => {
+                // Sender-first: the receiver finished its RDMA READ;
+                // completes our RndvSendAwaitDone with this id.
+                let sender_req = self.reqs.iter().find_map(|(id, st)| match st {
+                    ReqState::RndvSendAwaitDone { dst, seq, .. }
+                        if *dst == hdr.src_rank && *seq == hdr.seq =>
+                    {
+                        Some(*id)
+                    }
+                    _ => None,
+                });
+                if let Some(id) = sender_req {
+                    if let Some(ReqState::RndvSendAwaitDone { status, .. }) = self.reqs.remove(&id) {
+                        self.reqs.insert(id, ReqState::Done(status));
+                    }
+                }
+            }
+            PacketKind::DoneWrite => {
+                // Receiver-first: the sender finished its RDMA WRITE into
+                // our advertised buffer; completes our RecvAwaitDone.
+                let recv_idx = self.recv_q.iter().position(|r| {
+                    r.rtr_sent && r.seq == Some(hdr.seq) && matches!(r.src, Src::Rank(s) if s == hdr.src_rank)
+                });
+                if let Some(idx) = recv_idx {
+                    let posted = self.recv_q.remove(idx);
+                    let state = if hdr.len > posted.buf.len {
+                        // Sender had more data than our buffer: MPI error.
+                        ReqState::Failed(MpiError::Truncated { got: hdr.len, capacity: posted.buf.len })
+                    } else {
+                        self.stats.bytes_received += hdr.len;
+                        ReqState::Done(Status { source: hdr.src_rank, tag: hdr.tag, len: hdr.len })
+                    };
+                    self.reqs.insert(posted.req, state);
+                }
+            }
+        }
+    }
+
+    /// Account a *pairing*: sequence id `seq` of peer `p`'s stream has
+    /// been consumed by a receive. Only pairings may advance the receive
+    /// counter — bumping on mere packet arrival would make later-posted
+    /// receives skip ids and fall out of step with the sender's counter.
+    fn note_rx_seq(&mut self, p: usize, seq: u64) {
+        let peer = self.peers[p].as_mut().expect("no peer");
+        peer.rx_seq = peer.rx_seq.max(seq + 1);
+    }
+
+    /// Match an inbound data packet against the posted-receive queue,
+    /// honouring the any-source sequence lock: scanning stops at the first
+    /// unassigned entry unless that entry itself matches.
+    fn match_posted(&self, src: Rank, tag: Tag, seq: u64) -> Option<usize> {
+        for (i, r) in self.recv_q.iter().enumerate() {
+            // Receives that already sent an RTR are *coupled to one
+            // sequence id*: they only match the packet carrying that id.
+            // An arriving RTS with the id is the simultaneous case (the
+            // receiver switches to the sender-first RDMA read); an
+            // arriving EAGER with the id is the sender-eager
+            // mis-prediction (the receiver copies the data and completes;
+            // the sender drops the stale RTR by sequence id). Packets for
+            // *later* sends with the same (src, tag) must skip the
+            // coupled receive — that's exactly what the paper's sequence
+            // ids are for.
+            if r.rtr_sent && r.seq != Some(seq) {
+                continue;
+            }
+            let src_ok = match r.src {
+                Src::Rank(s) => s == src,
+                Src::Any => true,
+            };
+            let matches = src_ok && r.tag.matches(tag);
+            if r.seq.is_none() {
+                // The lock: this (and everything behind it) has no sequence
+                // id yet. Only this entry itself may match.
+                return matches.then_some(i);
+            }
+            if matches {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Match the unexpected queue at post time.
+    fn match_unexpected(&self, src: Src, tag: TagSel) -> Option<usize> {
+        self.unexpected.iter().position(|u| {
+            let (usrc, utag) = match u {
+                Unexpected::Eager { src, tag, .. } => (*src, *tag),
+                Unexpected::Rts { hdr } => (hdr.src_rank, hdr.tag),
+            };
+            let src_ok = match src {
+                Src::Rank(s) => s == usrc,
+                Src::Any => true,
+            };
+            src_ok && tag.matches(utag)
+        })
+    }
+
+    fn consume_unexpected(&mut self, ctx: &mut Ctx, req: u64, buf: &Buffer, u: Unexpected) {
+        match u {
+            Unexpected::Eager { src, tag, seq, data } => {
+                if data.len() as u64 > buf.len {
+                    self.reqs.insert(
+                        req,
+                        ReqState::Failed(MpiError::Truncated { got: data.len() as u64, capacity: buf.len }),
+                    );
+                    return;
+                }
+                let cluster = self.res.cluster().clone();
+                cluster.write(buf, 0, &data);
+                ctx.sleep(cluster.copy_duration(self.res.mem().domain, data.len() as u64));
+                self.note_rx_seq(src, seq);
+                self.stats.bytes_received += data.len() as u64;
+                self.reqs
+                    .insert(req, ReqState::Done(Status { source: src, tag, len: data.len() as u64 }));
+            }
+            Unexpected::Rts { hdr } => {
+                self.note_rx_seq(hdr.src_rank, hdr.seq);
+                let posted = PostedRecv {
+                    req,
+                    buf: buf.clone(),
+                    src: Src::Rank(hdr.src_rank),
+                    tag: TagSel::Tag(hdr.tag),
+                    seq: Some(hdr.seq),
+                    rtr_sent: false,
+                };
+                self.start_rndv_read(ctx, posted, &hdr);
+            }
+        }
+    }
+
+    /// Copy an in-ring eager payload straight into the matched user buffer.
+    fn deliver_eager_to(&mut self, ctx: &mut Ctx, posted: &PostedRecv, hdr: &PacketHeader, p: usize, slot_base: u64) {
+        if hdr.len > posted.buf.len {
+            self.reqs.insert(
+                posted.req,
+                ReqState::Failed(MpiError::Truncated { got: hdr.len, capacity: posted.buf.len }),
+            );
+            return;
+        }
+        let cluster = self.res.cluster().clone();
+        let peer = self.peers[p].as_ref().expect("no peer");
+        let mut data = vec![0u8; hdr.len as usize];
+        cluster.read(&peer.in_ring, slot_base + HEADER_LEN, &mut data);
+        cluster.write(&posted.buf, 0, &data);
+        ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
+        self.stats.bytes_received += hdr.len;
+        self.reqs.insert(
+            posted.req,
+            ReqState::Done(Status { source: hdr.src_rank, tag: hdr.tag, len: hdr.len }),
+        );
+    }
+
+    /// Sender-first rendezvous on the receiver: RDMA READ from the RTS
+    /// buffer into the user buffer.
+    fn start_rndv_read(&mut self, ctx: &mut Ctx, posted: PostedRecv, hdr: &PacketHeader) {
+        let read_len = hdr.len.min(posted.buf.len);
+        let truncated = (hdr.len > posted.buf.len).then_some(MpiError::Truncated {
+            got: hdr.len,
+            capacity: posted.buf.len,
+        });
+        let mr = self.mr_cache.get_or_register(ctx, &self.res, &posted.buf);
+        let sge = verbs::Sge { addr: posted.buf.addr, len: read_len, lkey: mr.key() };
+        let status = Status { source: hdr.src_rank, tag: hdr.tag, len: read_len };
+        self.reqs.insert(
+            posted.req,
+            ReqState::RndvRecvReading { src: hdr.src_rank, seq: hdr.seq, status, truncated },
+        );
+        let peer = self.peers[hdr.src_rank].as_mut().expect("no peer");
+        peer.qp
+            .post_send(ctx, SendWr::rdma_read(posted.req, vec![sge], hdr.addr, MrKey(hdr.rkey)))
+            .expect("rndv read failed");
+    }
+
+    /// After matching an any-source receive, assign sequence ids to the
+    /// receives it was locking, fire deferred RTRs and recheck the
+    /// unexpected queue ("all the sequences locked will be unlocked and
+    /// later receive requests can also get their ids").
+    fn after_match(&mut self, ctx: &mut Ctx, was_any_lock: bool, src: Rank, seq: u64) {
+        if !was_any_lock {
+            return;
+        }
+        // The any-source receive consumed `seq` of `src`'s stream ("the
+        // MPI ANY SOURCE request will get its sequence id when it first
+        // meets the matching packet").
+        self.note_rx_seq(src, seq);
+        let mut i = 0;
+        while i < self.recv_q.len() {
+            if self.recv_q[i].seq.is_some() {
+                i += 1;
+                continue;
+            }
+            match self.recv_q[i].src {
+                Src::Any => break, // the next any-source lock takes over
+                Src::Rank(s) => {
+                    let q = {
+                        let peer = self.peers[s].as_mut().expect("no peer");
+                        let q = peer.rx_seq;
+                        peer.rx_seq += 1;
+                        q
+                    };
+                    self.recv_q[i].seq = Some(q);
+                    // Re-check the unexpected queue for this receive.
+                    let (rsrc, rtag) = (self.recv_q[i].src, self.recv_q[i].tag);
+                    if let Some(uidx) = self.match_unexpected(rsrc, rtag) {
+                        let posted = self.recv_q.remove(i);
+                        let u = self.unexpected.remove(uidx);
+                        let req = posted.req;
+                        let buf = posted.buf.clone();
+                        self.consume_unexpected(ctx, req, &buf, u);
+                        continue; // don't advance: entry removed
+                    }
+                    // Deferred receiver-first initiation.
+                    if self.recv_q[i].buf.len > self.cfg.eager_threshold {
+                        let mut posted = self.recv_q.remove(i);
+                        self.send_rtr(ctx, s, q, &mut posted);
+                        self.recv_q.insert(i, posted);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The buffer cache pool (paper §IV-B3): memory-region registration on the
+//! Phi is expensive (offloaded to the host), so DCFA-MPI caches the most
+//! recently used regions. A lookup hits when a cached region *contains* the
+//! requested range. Eviction is least-recently-used.
+//!
+//! The same structure caches offloading twin buffers (host-side staging
+//! regions of `reg_offload_mr`), which are just as expensive to create.
+
+use dcfa::OffloadMr;
+use fabric::Buffer;
+use simcore::Ctx;
+use verbs::MemoryRegion;
+
+use crate::resources::Resources;
+
+struct Entry {
+    addr: u64,
+    len: u64,
+    mr: MemoryRegion,
+    last_use: u64,
+}
+
+/// LRU cache of registered memory regions.
+pub struct MrCache {
+    capacity: usize,
+    entries: Vec<Entry>,
+    clock: u64,
+    /// Lookup statistics (exposed for the ablation benches).
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl MrCache {
+    /// `capacity == 0` disables caching: every lookup registers and every
+    /// release deregisters immediately.
+    pub fn new(capacity: usize) -> Self {
+        MrCache { capacity, entries: Vec::new(), clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// Get a region covering `buf`, registering (and caching) on miss.
+    pub fn get_or_register(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> MemoryRegion {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
+        {
+            e.last_use = clock;
+            self.hits += 1;
+            return e.mr.clone();
+        }
+        self.misses += 1;
+        let mr = res.reg_mr(ctx, buf.clone());
+        if self.capacity == 0 {
+            return mr; // caller-managed lifetime; released via `release`
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1");
+            let evicted = self.entries.swap_remove(lru);
+            res.dereg_mr(ctx, &evicted.mr);
+        }
+        self.entries.push(Entry { addr: buf.addr, len: buf.len, mr: mr.clone(), last_use: clock });
+        mr
+    }
+
+    /// Drop everything (finalize).
+    pub fn clear(&mut self, ctx: &mut Ctx, res: &Resources) {
+        for e in self.entries.drain(..) {
+            res.dereg_mr(ctx, &e.mr);
+        }
+    }
+
+    /// Number of cached regions (ablation instrumentation).
+    pub fn cached_regions(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// LRU cache of offloading twin buffers keyed by the Phi-side range.
+pub struct OffloadCache {
+    capacity: usize,
+    entries: Vec<OffloadEntry>,
+    clock: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+struct OffloadEntry {
+    addr: u64,
+    len: u64,
+    omr: OffloadMr,
+    last_use: u64,
+}
+
+impl OffloadCache {
+    pub fn new(capacity: usize) -> Self {
+        OffloadCache { capacity: capacity.max(1), entries: Vec::new(), clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// Get (or create) the offload twin for a Phi buffer. The returned
+    /// index stays valid until the next call.
+    pub fn get_or_create(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> &OffloadMr {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.addr == buf.addr && e.len == buf.len)
+        {
+            self.entries[i].last_use = clock;
+            self.hits += 1;
+            return &self.entries[i].omr;
+        }
+        self.misses += 1;
+        let omr = res.reg_offload(ctx, buf).expect("offload requires Phi placement");
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1");
+            let evicted = self.entries.swap_remove(lru);
+            res.dereg_offload(ctx, evicted.omr);
+        }
+        self.entries.push(OffloadEntry { addr: buf.addr, len: buf.len, omr, last_use: clock });
+        &self.entries.last().expect("just pushed").omr
+    }
+
+    pub fn clear(&mut self, ctx: &mut Ctx, res: &Resources) {
+        for e in self.entries.drain(..) {
+            res.dereg_offload(ctx, e.omr);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Sub-communicators: `MPI_Comm_split` over DCFA-MPI.
+//!
+//! A [`SubComm`] is a view over the parent communicator: members are
+//! selected by `color`, ordered by `(key, parent_rank)`, and traffic is
+//! namespaced by shifting application tags into a per-color tag space so
+//! concurrent sub-communicators on the same parent never cross-match.
+
+use std::sync::Arc;
+
+use fabric::{Buffer, Cluster, MemRef};
+use simcore::Ctx;
+
+use crate::collectives;
+use crate::comm::{Comm, Communicator};
+use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel};
+
+/// Application tags inside a sub-communicator must stay below this.
+pub const SUBCOMM_TAG_SPACE: Tag = 1 << 20;
+
+/// A communicator over a subset of the parent's ranks.
+pub struct SubComm<'a> {
+    parent: &'a mut Comm,
+    /// Parent ranks of the members, in sub-rank order.
+    members: Vec<Rank>,
+    my_idx: usize,
+    tag_base: Tag,
+}
+
+/// Split the parent communicator (`MPI_Comm_split`). Collective over the
+/// parent: every rank calls it with its `color` (group selector) and
+/// `key` (ordering hint; ties broken by parent rank). Returns `None` for
+/// ranks that passed `color == u32::MAX` (`MPI_UNDEFINED`).
+pub fn split<'a>(
+    parent: &'a mut Comm,
+    ctx: &mut Ctx,
+    color: u32,
+    key: i32,
+) -> Result<Option<SubComm<'a>>, MpiError> {
+    let n = parent.size();
+    let me = parent.rank();
+    // Allgather (color, key) — 8 bytes per rank.
+    let mine = parent.alloc(8)?;
+    let mut enc = color.to_le_bytes().to_vec();
+    enc.extend_from_slice(&key.to_le_bytes());
+    parent.write(&mine, 0, &enc);
+    let all = parent.alloc(8 * n as u64)?;
+    collectives::allgather(parent, ctx, &mine, &all)?;
+    let bytes = parent.read_vec(&all);
+    parent.free(&mine);
+    parent.free(&all);
+
+    if color == u32::MAX {
+        return Ok(None);
+    }
+    // Collect members of my color, ordered by (key, parent rank).
+    let mut members: Vec<(i32, Rank)> = (0..n)
+        .filter_map(|r| {
+            let c = u32::from_le_bytes(bytes[r * 8..r * 8 + 4].try_into().unwrap());
+            let k = i32::from_le_bytes(bytes[r * 8 + 4..r * 8 + 8].try_into().unwrap());
+            (c == color).then_some((k, r))
+        })
+        .collect();
+    members.sort();
+    let members: Vec<Rank> = members.into_iter().map(|(_, r)| r).collect();
+    let my_idx = members.iter().position(|&r| r == me).expect("I am in my color");
+    // Tag namespace per color (colors expected small; wraps harmlessly
+    // within the reserved band otherwise).
+    let tag_base = SUBCOMM_TAG_SPACE * ((color % 2048) + 1);
+    Ok(Some(SubComm { parent, members, my_idx, tag_base }))
+}
+
+impl SubComm<'_> {
+    /// Parent rank of sub-rank `r`.
+    pub fn parent_rank(&self, r: Rank) -> Rank {
+        self.members[r]
+    }
+
+    /// The parent communicator.
+    pub fn parent(&mut self) -> &mut Comm {
+        self.parent
+    }
+
+    fn xlate_tag(&self, tag: Tag) -> Tag {
+        // Application tags must stay below SUBCOMM_TAG_SPACE; internal
+        // collective tags (high band) shift wrapping, which keeps them
+        // disjoint across colors because the per-color offset differs.
+        debug_assert!(
+            !(SUBCOMM_TAG_SPACE..0xF000_0000).contains(&tag),
+            "sub-communicator application tags must be < 2^20"
+        );
+        self.tag_base.wrapping_add(tag)
+    }
+}
+
+impl Communicator for SubComm<'_> {
+    fn rank(&self) -> Rank {
+        self.my_idx
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn mem(&self) -> MemRef {
+        self.parent.mem()
+    }
+
+    fn cluster(&self) -> &Arc<Cluster> {
+        self.parent.cluster()
+    }
+
+    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+        if dst >= self.members.len() {
+            return Err(MpiError::BadRank(dst));
+        }
+        let pdst = self.members[dst];
+        let ptag = self.xlate_tag(tag);
+        self.parent.isend(ctx, buf, pdst, ptag)
+    }
+
+    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+        let psrc = match src {
+            Src::Any => Src::Any,
+            Src::Rank(r) => {
+                if r >= self.members.len() {
+                    return Err(MpiError::BadRank(r));
+                }
+                Src::Rank(self.members[r])
+            }
+        };
+        let ptag = match tag {
+            TagSel::Any => TagSel::Any,
+            TagSel::Tag(t) => TagSel::Tag(self.xlate_tag(t)),
+        };
+        self.parent.irecv(ctx, buf, psrc, ptag)
+    }
+
+    fn wait(&mut self, ctx: &mut Ctx, req: Request) -> Result<Status, MpiError> {
+        let st = self.parent.wait(ctx, req)?;
+        // Translate the status back into the sub-communicator's frame.
+        let source = self
+            .members
+            .iter()
+            .position(|&r| r == st.source)
+            .unwrap_or(st.source);
+        let tag = st.tag.wrapping_sub(self.tag_base);
+        Ok(Status { source, tag, len: st.len })
+    }
+}

@@ -1,0 +1,169 @@
+//! The `mpirun` analogue: launch `n` ranks as simulated processes, run the
+//! out-of-band bootstrap (QP number / ring address exchange — the job the
+//! real launcher does over its PMI channel), and hand each rank a
+//! [`Comm`].
+
+use std::sync::Arc;
+
+use fabric::{Domain, NodeId};
+use parking_lot::Mutex;
+use scif::ScifFabric;
+use simcore::{Ctx, SimEvent, Simulation};
+use verbs::{IbFabric, VerbsContext};
+
+use crate::comm::Comm;
+use crate::config::{MpiConfig, Placement};
+use crate::engine::{Engine, PeerEndpoint};
+use crate::resources::Resources;
+
+struct Boot {
+    n: usize,
+    /// `published[r][j]` = endpoint rank `r` allocated for peer `j`.
+    published: Mutex<Vec<Option<Vec<Option<PeerEndpoint>>>>>,
+    event: SimEvent,
+    /// Finalize barrier counter.
+    arrived: Mutex<usize>,
+}
+
+/// Launch options beyond the MPI configuration itself.
+#[derive(Debug, Clone)]
+pub struct LaunchOpts {
+    /// Spawn the per-node DCFA daemons (needed exactly once per simulation
+    /// for Phi placement; set false if the caller already did).
+    pub spawn_daemons: bool,
+    /// Node for rank r is `nodes[r % nodes.len()]`… by default simply
+    /// `r % cluster nodes` (one rank per node up to the cluster size, like
+    /// the paper's one-Phi-per-node runs).
+    pub ranks_per_node: usize,
+    /// *Symmetric mode* (the third Intel MPI mode of §III-B): an explicit
+    /// per-rank placement overriding `cfg.placement`. Ranks on the Phi use
+    /// DCFA (with the offloading send buffer); ranks on the host use host
+    /// verbs directly. `None` = homogeneous placement from the config.
+    pub placements: Option<Vec<Placement>>,
+}
+
+impl Default for LaunchOpts {
+    fn default() -> Self {
+        LaunchOpts { spawn_daemons: true, ranks_per_node: 1, placements: None }
+    }
+}
+
+/// Launch `n` MPI ranks running `f`. Rank `r` executes on node
+/// `r / ranks_per_node % cluster_nodes`, in the domain selected by
+/// `cfg.placement`.
+pub fn launch<F>(
+    sim: &Simulation,
+    ib: &Arc<IbFabric>,
+    scif: &Arc<ScifFabric>,
+    cfg: MpiConfig,
+    n: usize,
+    opts: LaunchOpts,
+    f: F,
+) where
+    F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
+{
+    assert!(n >= 1, "need at least one rank");
+    cfg.validate();
+    if let Some(p) = &opts.placements {
+        assert_eq!(p.len(), n, "one placement per rank");
+    }
+    let any_phi = opts
+        .placements
+        .as_ref()
+        .map(|ps| ps.contains(&Placement::Phi))
+        .unwrap_or(cfg.placement == Placement::Phi);
+    if any_phi && opts.spawn_daemons {
+        dcfa::spawn_daemons(&sim.scheduler(), scif, ib);
+    }
+    let boot = Arc::new(Boot {
+        n,
+        published: Mutex::new(vec![None; n]),
+        event: SimEvent::new(),
+        arrived: Mutex::new(0),
+    });
+    let f = Arc::new(f);
+    let nodes = ib.cluster().num_nodes();
+    for r in 0..n {
+        let node = NodeId(r / opts.ranks_per_node.max(1) % nodes);
+        let ib = ib.clone();
+        let scif = scif.clone();
+        let mut cfg = cfg.clone();
+        if let Some(p) = opts.placements.as_ref().map(|ps| ps[r]) {
+            cfg.placement = p;
+            if p == Placement::Host {
+                // The offloading send buffer is a Phi-only mechanism.
+                cfg.offload_threshold = None;
+            }
+        }
+        let boot = boot.clone();
+        let f = f.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let res = match cfg.placement {
+                Placement::Phi => {
+                    let d = dcfa::DcfaContext::open(ctx, &ib, &scif, node)
+                        .expect("DCFA open failed");
+                    Resources::Phi(d)
+                }
+                Placement::Host => {
+                    Resources::Host(VerbsContext::open(ib.clone(), node, Domain::Host))
+                }
+            };
+            let (mut engine, endpoints) = Engine::create(ctx, r, n, cfg, res);
+
+            // Publish and wait for everyone (the PMI exchange).
+            {
+                boot.published.lock()[r] = Some(endpoints);
+                boot.event.notify_all(&ctx.scheduler());
+            }
+            loop {
+                let seen = boot.event.epoch();
+                if boot.published.lock().iter().all(|e| e.is_some()) {
+                    break;
+                }
+                ctx.wait_event(&boot.event, seen, "mpi bootstrap");
+            }
+            // Wire QPs/rings: peer j's endpoint *for us* is published[j][r].
+            let their_view: Vec<Option<PeerEndpoint>> = {
+                let pub_guard = boot.published.lock();
+                (0..n)
+                    .map(|j| {
+                        if j == r {
+                            None
+                        } else {
+                            pub_guard[j].as_ref().expect("published")[r].clone()
+                        }
+                    })
+                    .collect()
+            };
+            engine.connect(&their_view);
+            barrier_boot(ctx, &boot);
+
+            let mut comm = Comm::new(engine);
+            f(ctx, &mut comm);
+
+            // MPI_Finalize: flush outstanding protocol acknowledgements,
+            // synchronize, then tear down.
+            comm.quiesce(ctx);
+            barrier_boot(ctx, &boot);
+            comm.finalize(ctx);
+        });
+    }
+}
+
+/// Out-of-band barrier used by the launcher (not charged as MPI traffic).
+fn barrier_boot(ctx: &mut Ctx, boot: &Boot) {
+    let gen_target = {
+        let mut a = boot.arrived.lock();
+        *a += 1;
+        (*a).div_ceil(boot.n) * boot.n
+    };
+    boot.event.notify_all(&ctx.scheduler());
+    loop {
+        let seen = boot.event.epoch();
+        if *boot.arrived.lock() >= gen_target {
+            break;
+        }
+        ctx.wait_event(&boot.event, seen, "mpi finalize barrier");
+    }
+}
+

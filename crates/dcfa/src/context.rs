@@ -1,0 +1,232 @@
+//! The Phi-side DCFA library: the "DCFA IB IF" exposing the host's Verbs
+//! interface in co-processor user space, plus the offloading send buffer.
+
+use std::sync::Arc;
+
+use fabric::{Buffer, Cluster, Domain, MemRef, NodeId};
+use scif::{ScifError, ScifFabric};
+use simcore::{Ctx, SimDuration};
+use verbs::{CompletionQueue, IbFabric, MemoryRegion, MrKey, QueuePair, VerbsContext};
+
+use crate::daemon::DCFA_PORT;
+use crate::wire::{Cmd, Reply};
+
+/// Errors surfaced by the DCFA user-space library.
+#[derive(Debug)]
+pub enum DcfaError {
+    /// Couldn't reach the host delegation daemon.
+    Connect(ScifError),
+    /// The daemon refused or failed a command.
+    Command { code: u8 },
+    /// The daemon replied with something unexpected (protocol bug).
+    Protocol,
+}
+
+impl std::fmt::Display for DcfaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcfaError::Connect(e) => write!(f, "cannot reach DCFA daemon: {e}"),
+            DcfaError::Command { code } => write!(f, "DCFA command failed (code {code})"),
+            DcfaError::Protocol => write!(f, "DCFA protocol violation"),
+        }
+    }
+}
+
+impl std::error::Error for DcfaError {}
+
+/// An offloading memory region (paper §IV-B4, Fig. 6): the Phi-resident
+/// user buffer plus its host twin. Sends source the *host* buffer after a
+/// DMA-engine sync, sidestepping the slow HCA-reads-Phi path.
+pub struct OffloadMr {
+    // (Debug below — MemoryRegion carries a SimEvent, so derive won't do.)
+    /// The Phi-resident user buffer.
+    pub phi: Buffer,
+    /// The host twin, registered as an InfiniBand MR.
+    pub host_mr: MemoryRegion,
+}
+
+impl std::fmt::Debug for OffloadMr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffloadMr")
+            .field("phi", &self.phi)
+            .field("host", self.host_mr.buffer())
+            .finish()
+    }
+}
+
+/// The DCFA user-space context on a Xeon Phi co-processor: same interface
+/// shape as the host Verbs library, with resource operations transparently
+/// offloaded to the host delegation daemon over the command channel.
+pub struct DcfaContext {
+    // (Debug impl below.)
+    vctx: VerbsContext,
+    ep: scif::ScifEndpoint,
+    cluster: Arc<Cluster>,
+}
+
+impl std::fmt::Debug for DcfaContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DcfaContext").field("node", &self.node()).finish_non_exhaustive()
+    }
+}
+
+impl DcfaContext {
+    /// Connect to the node's DCFA daemon and perform the hello handshake.
+    /// Retries briefly to tolerate same-instant daemon startup.
+    pub fn open(
+        ctx: &mut Ctx,
+        ib: &Arc<IbFabric>,
+        scif_fabric: &Arc<ScifFabric>,
+        node: NodeId,
+    ) -> Result<DcfaContext, DcfaError> {
+        let local = MemRef { node, domain: Domain::Phi };
+        let mut last_err = None;
+        for _ in 0..4 {
+            match scif_fabric.connect(ctx, local, Domain::Host, DCFA_PORT) {
+                Ok(ep) => {
+                    let dcfa = DcfaContext {
+                        vctx: VerbsContext::open(ib.clone(), node, Domain::Phi),
+                        ep,
+                        cluster: ib.cluster().clone(),
+                    };
+                    match dcfa.roundtrip(ctx, Cmd::Hello)? {
+                        Reply::Ok => return Ok(dcfa),
+                        Reply::Error { code } => return Err(DcfaError::Command { code }),
+                        _ => return Err(DcfaError::Protocol),
+                    }
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    ctx.sleep(SimDuration::from_micros(1));
+                }
+            }
+        }
+        Err(DcfaError::Connect(last_err.unwrap()))
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.vctx.node()
+    }
+
+    /// Phi memory of this node.
+    pub fn mem_ref(&self) -> MemRef {
+        self.vctx.mem_ref()
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The underlying verbs context (data-path operations are direct).
+    pub fn verbs(&self) -> &VerbsContext {
+        &self.vctx
+    }
+
+    fn roundtrip(&self, ctx: &mut Ctx, cmd: Cmd) -> Result<Reply, DcfaError> {
+        self.ep.send(ctx, &cmd.encode());
+        let raw = self.ep.recv(ctx);
+        Reply::decode(&raw).ok_or(DcfaError::Protocol)
+    }
+
+    /// Register a Phi-resident buffer as an InfiniBand memory region. The
+    /// CMD client translates the buffer's pages to physical addresses and
+    /// offloads the registration to the host daemon — this is why Phi-side
+    /// registration "is much more expensive than that on the host"
+    /// (§IV-B3), motivating DCFA-MPI's buffer cache pool.
+    pub fn reg_mr(&self, ctx: &mut Ctx, buffer: Buffer) -> Result<MemoryRegion, DcfaError> {
+        let cost = &self.cluster.config().cost;
+        // Virtual→physical translation of every page, on a slow Phi core.
+        ctx.sleep(cost.cpu_op(Domain::Phi) + cost.cmd_translate_per_page * buffer.pages());
+        match self.roundtrip(
+            ctx,
+            Cmd::RegMr { mem: buffer.mem, addr: buffer.addr, len: buffer.len },
+        )? {
+            Reply::MrKey { key } => self
+                .vctx
+                .fabric()
+                .mr_handle(MrKey(key))
+                .ok_or(DcfaError::Protocol),
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// Deregister a memory region through the daemon.
+    pub fn dereg_mr(&self, ctx: &mut Ctx, mr: &MemoryRegion) -> Result<(), DcfaError> {
+        match self.roundtrip(ctx, Cmd::DeregMr { key: mr.key().0 })? {
+            Reply::Ok => Ok(()),
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// Create a completion queue (resource setup offloaded; the CQ itself
+    /// lives in Phi memory and is polled directly).
+    pub fn create_cq(&self, ctx: &mut Ctx) -> Result<CompletionQueue, DcfaError> {
+        match self.roundtrip(ctx, Cmd::CreateCq)? {
+            Reply::Ok => Ok(self.vctx.create_cq()),
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// Create a reliable-connected QP. Resource initialization runs on the
+    /// host; posts are issued from the Phi directly to the HCA.
+    pub fn create_qp(
+        &self,
+        ctx: &mut Ctx,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+    ) -> Result<QueuePair, DcfaError> {
+        match self.roundtrip(ctx, Cmd::CreateQp)? {
+            Reply::Ok => Ok(self.vctx.create_qp(send_cq, recv_cq)),
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// `reg_offload_mr`: allocate + register a host twin for `phi_buffer`
+    /// (paper §IV-B4). Subsequent sends can source the host twin at full
+    /// host DMA speed after a [`DcfaContext::sync_offload_mr`].
+    pub fn reg_offload_mr(&self, ctx: &mut Ctx, phi_buffer: &Buffer) -> Result<OffloadMr, DcfaError> {
+        assert_eq!(phi_buffer.mem.node, self.node(), "offload twin must be node-local");
+        match self.roundtrip(ctx, Cmd::RegOffloadMr { len: phi_buffer.len })? {
+            Reply::Offload { key, .. } => {
+                let host_mr = self
+                    .vctx
+                    .fabric()
+                    .mr_handle(MrKey(key))
+                    .ok_or(DcfaError::Protocol)?;
+                Ok(OffloadMr { phi: phi_buffer.clone(), host_mr })
+            }
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// `sync_offload_mr`: DMA the latest bytes `[offset, offset+len)` from
+    /// the Phi buffer into its host twin. Blocks until the host twin is
+    /// up to date ("data must be synchronized into the corresponding host
+    /// buffer using the DMA engine" before posting the send).
+    pub fn sync_offload_mr(&self, ctx: &mut Ctx, omr: &OffloadMr, offset: u64, len: u64) {
+        let src = omr.phi.slice(offset, len);
+        let dst = omr.host_mr.buffer().slice(offset, len);
+        let t = self.cluster.pci_dma(&src, &dst, ctx.now());
+        ctx.wait_reason(&t.completion, "sync_offload_mr");
+    }
+
+    /// `dereg_offload_mr`: destroy the Phi-side descriptor, deregister the
+    /// host MR and free the host twin.
+    pub fn dereg_offload_mr(&self, ctx: &mut Ctx, omr: OffloadMr) -> Result<(), DcfaError> {
+        match self.roundtrip(ctx, Cmd::DeregOffloadMr { key: omr.host_mr.key().0 })? {
+            Reply::Ok => Ok(()),
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// Tell the daemon this client is going away (handler exits).
+    pub fn close(&self, ctx: &mut Ctx) {
+        let _ = self.roundtrip(ctx, Cmd::Bye);
+    }
+}

@@ -1,0 +1,135 @@
+//! The host-side DCFA CMD server: the delegation process that services
+//! offloaded InfiniBand resource operations for Phi-resident programs.
+//!
+//! One daemon runs per node; each connecting CMD client (one per MPI rank)
+//! gets a dedicated handler process, mirroring the paper's `mcexec`
+//! delegation process with the DCFA CMD server "registered as an extension
+//! of the delegation process" (§IV-B1). Created InfiniBand objects are kept
+//! in a per-connection hash table keyed by the published MR key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{Buffer, Domain, MemRef, NodeId};
+use scif::{ScifEndpoint, ScifFabric};
+use simcore::{Ctx, Scheduler};
+use verbs::{IbFabric, VerbsContext};
+
+use crate::wire::{err_code, Cmd, Reply};
+
+/// The well-known SCIF port the DCFA daemon listens on.
+pub const DCFA_PORT: scif::Port = 4791;
+
+/// Spawn one DCFA host daemon per cluster node. Must run before any
+/// [`crate::DcfaContext::open`] (clients retry briefly, so same-instant
+/// spawn ordering is forgiving).
+pub fn spawn_daemons(sched: &Scheduler, scif_fabric: &Arc<ScifFabric>, ib: &Arc<IbFabric>) {
+    for n in 0..scif_fabric.cluster().num_nodes() {
+        spawn_node_daemon(sched, scif_fabric, ib, NodeId(n));
+    }
+}
+
+/// Spawn the DCFA host daemon for one node.
+pub fn spawn_node_daemon(
+    sched: &Scheduler,
+    scif_fabric: &Arc<ScifFabric>,
+    ib: &Arc<IbFabric>,
+    node: NodeId,
+) {
+    let scif_fabric = scif_fabric.clone();
+    let ib = ib.clone();
+    sched.spawn_daemon(format!("dcfa-daemon-{node}"), move |ctx| {
+        let listener = scif_fabric.listen(MemRef { node, domain: Domain::Host }, DCFA_PORT);
+        let mut conn_id = 0u32;
+        loop {
+            let ep = listener.accept(ctx);
+            let ib = ib.clone();
+            ctx.scheduler().spawn_daemon(
+                format!("dcfa-handler-{node}.{conn_id}"),
+                move |hctx| handler(hctx, ep, ib, node),
+            );
+            conn_id += 1;
+        }
+    });
+}
+
+/// Serve one CMD client until `Bye`.
+fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId) {
+    let vctx = VerbsContext::open(ib.clone(), node, Domain::Host);
+    let cluster = ib.cluster().clone();
+    let cost = cluster.config().cost.clone();
+    // "registers all the InfiniBand objects created for Xeon Phi
+    // co-processor in a hash table, and publishes a hash key for later
+    // reuse" — key -> (registered buffer, host twin if offload-mode).
+    let mut objects: HashMap<u32, (Buffer, bool)> = HashMap::new();
+
+    loop {
+        let raw = ep.recv(ctx);
+        let Some(cmd) = Cmd::decode(&raw) else {
+            ep.send(ctx, &Reply::Error { code: err_code::BAD_REQUEST }.encode());
+            continue;
+        };
+        // Host CPU work to service any offloaded command.
+        ctx.sleep(cost.cmd_host_work);
+        let reply = match cmd {
+            Cmd::Hello | Cmd::CreateQp | Cmd::CreateCq => Reply::Ok,
+            Cmd::RegMr { mem, addr, len } => {
+                let buffer = Buffer { mem, addr, len };
+                // Pin + HCA translation-table update on the host side.
+                ctx.sleep(cost.host_mr_reg_base + cost.host_mr_reg_per_page * buffer.pages());
+                let mr = vctx.reg_mr_uncharged(buffer.clone());
+                objects.insert(mr.key().0, (buffer, false));
+                Reply::MrKey { key: mr.key().0 }
+            }
+            Cmd::DeregMr { key } => match objects.remove(&key) {
+                Some((buffer, is_offload)) => {
+                    if let Some(mr) = ib_mr(&ib, key) {
+                        vctx.dereg_mr(&mr);
+                    }
+                    if is_offload {
+                        cluster.free(&buffer);
+                    }
+                    Reply::Ok
+                }
+                None => Reply::Error { code: err_code::UNKNOWN_KEY },
+            },
+            Cmd::RegOffloadMr { len } => {
+                // "the corresponding host buffer is then allocated in the
+                // host delegation process and registered as an InfiniBand
+                // memory region" (§IV-B4).
+                match cluster.alloc_pages(MemRef { node, domain: Domain::Host }, len) {
+                    Ok(host_buf) => {
+                        ctx.sleep(cost.host_mr_reg_base + cost.host_mr_reg_per_page * host_buf.pages());
+                        let mr = vctx.reg_mr_uncharged(host_buf.clone());
+                        objects.insert(mr.key().0, (host_buf.clone(), true));
+                        Reply::Offload {
+                            key: mr.key().0,
+                            host_addr: host_buf.addr,
+                            host_len: host_buf.len,
+                        }
+                    }
+                    Err(_) => Reply::Error { code: err_code::OOM },
+                }
+            }
+            Cmd::DeregOffloadMr { key } => match objects.remove(&key) {
+                Some((buffer, _)) => {
+                    if let Some(mr) = ib_mr(&ib, key) {
+                        vctx.dereg_mr(&mr);
+                    }
+                    cluster.free(&buffer);
+                    Reply::Ok
+                }
+                None => Reply::Error { code: err_code::UNKNOWN_KEY },
+            },
+            Cmd::Bye => {
+                ep.send(ctx, &Reply::Ok.encode());
+                return;
+            }
+        };
+        ep.send(ctx, &reply.encode());
+    }
+}
+
+fn ib_mr(ib: &Arc<IbFabric>, key: u32) -> Option<verbs::MemoryRegion> {
+    ib.mr_handle(verbs::MrKey(key))
+}

@@ -1,0 +1,261 @@
+//! Binary codec for the DCFA command channel (Phi CMD client → host CMD
+//! server). Commands are small fixed-layout messages: one tag byte followed
+//! by little-endian fields, mirroring the paper's "command mechanism ...
+//! for offloading these requests to a host delegation process" (§IV-B1).
+
+use fabric::{Domain, MemRef, NodeId};
+
+/// Commands sent from the Phi-side CMD client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Initial handshake after connecting (HCA init / resource setup).
+    Hello,
+    /// Register `len` bytes at `addr` in `mem` as an InfiniBand MR. The
+    /// client has already translated virtual→physical (charged separately).
+    RegMr { mem: MemRef, addr: u64, len: u64 },
+    /// Deregister an MR by key.
+    DeregMr { key: u32 },
+    /// Allocate QP resources on the host side (timing; structures are
+    /// distributed between host and Phi memory).
+    CreateQp,
+    /// Allocate CQ resources on the host side.
+    CreateCq,
+    /// Allocate and register a host twin buffer of `len` bytes for the
+    /// offloading-send-buffer mode (paper §IV-B4, `reg_offload_mr`).
+    RegOffloadMr { len: u64 },
+    /// Tear down an offload twin buffer (`dereg_offload_mr`).
+    DeregOffloadMr { key: u32 },
+    /// Client is going away.
+    Bye,
+}
+
+/// Replies from the host CMD server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    Ok,
+    /// MR registered under `key`.
+    MrKey { key: u32 },
+    /// Offload twin registered: host-side key and buffer address.
+    Offload { key: u32, host_addr: u64, host_len: u64 },
+    /// Command failed (e.g. host out of memory).
+    Error { code: u8 },
+}
+
+/// Error codes carried by [`Reply::Error`].
+pub mod err_code {
+    pub const OOM: u8 = 1;
+    pub const UNKNOWN_KEY: u8 = 2;
+    pub const BAD_REQUEST: u8 = 3;
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.data.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let bytes = self.data.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.data.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn domain_tag(d: Domain) -> u8 {
+    match d {
+        Domain::Host => 0,
+        Domain::Phi => 1,
+    }
+}
+
+fn domain_from(tag: u8) -> Option<Domain> {
+    match tag {
+        0 => Some(Domain::Host),
+        1 => Some(Domain::Phi),
+        _ => None,
+    }
+}
+
+impl Cmd {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            Cmd::Hello => b.push(0),
+            Cmd::RegMr { mem, addr, len } => {
+                b.push(1);
+                put_u32(&mut b, mem.node.0 as u32);
+                b.push(domain_tag(mem.domain));
+                put_u64(&mut b, *addr);
+                put_u64(&mut b, *len);
+            }
+            Cmd::DeregMr { key } => {
+                b.push(2);
+                put_u32(&mut b, *key);
+            }
+            Cmd::CreateQp => b.push(3),
+            Cmd::CreateCq => b.push(4),
+            Cmd::RegOffloadMr { len } => {
+                b.push(5);
+                put_u64(&mut b, *len);
+            }
+            Cmd::DeregOffloadMr { key } => {
+                b.push(6);
+                put_u32(&mut b, *key);
+            }
+            Cmd::Bye => b.push(7),
+        }
+        b
+    }
+
+    pub fn decode(data: &[u8]) -> Option<Cmd> {
+        let mut r = Reader::new(data);
+        let cmd = match r.u8()? {
+            0 => Cmd::Hello,
+            1 => {
+                let node = NodeId(r.u32()? as usize);
+                let domain = domain_from(r.u8()?)?;
+                Cmd::RegMr { mem: MemRef { node, domain }, addr: r.u64()?, len: r.u64()? }
+            }
+            2 => Cmd::DeregMr { key: r.u32()? },
+            3 => Cmd::CreateQp,
+            4 => Cmd::CreateCq,
+            5 => Cmd::RegOffloadMr { len: r.u64()? },
+            6 => Cmd::DeregOffloadMr { key: r.u32()? },
+            7 => Cmd::Bye,
+            _ => return None,
+        };
+        r.done().then_some(cmd)
+    }
+}
+
+impl Reply {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(24);
+        match self {
+            Reply::Ok => b.push(0),
+            Reply::MrKey { key } => {
+                b.push(1);
+                put_u32(&mut b, *key);
+            }
+            Reply::Offload { key, host_addr, host_len } => {
+                b.push(2);
+                put_u32(&mut b, *key);
+                put_u64(&mut b, *host_addr);
+                put_u64(&mut b, *host_len);
+            }
+            Reply::Error { code } => {
+                b.push(3);
+                b.push(*code);
+            }
+        }
+        b
+    }
+
+    pub fn decode(data: &[u8]) -> Option<Reply> {
+        let mut r = Reader::new(data);
+        let reply = match r.u8()? {
+            0 => Reply::Ok,
+            1 => Reply::MrKey { key: r.u32()? },
+            2 => Reply::Offload { key: r.u32()?, host_addr: r.u64()?, host_len: r.u64()? },
+            3 => Reply::Error { code: r.u8()? },
+            _ => return None,
+        };
+        r.done().then_some(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_cmd(c: Cmd) {
+        let enc = c.encode();
+        assert_eq!(Cmd::decode(&enc), Some(c));
+    }
+
+    fn roundtrip_reply(r: Reply) {
+        let enc = r.encode();
+        assert_eq!(Reply::decode(&enc), Some(r));
+    }
+
+    #[test]
+    fn cmd_roundtrips() {
+        roundtrip_cmd(Cmd::Hello);
+        roundtrip_cmd(Cmd::RegMr {
+            mem: MemRef { node: NodeId(3), domain: Domain::Phi },
+            addr: 0xDEAD_BEEF,
+            len: 1 << 22,
+        });
+        roundtrip_cmd(Cmd::DeregMr { key: 42 });
+        roundtrip_cmd(Cmd::CreateQp);
+        roundtrip_cmd(Cmd::CreateCq);
+        roundtrip_cmd(Cmd::RegOffloadMr { len: 8192 });
+        roundtrip_cmd(Cmd::DeregOffloadMr { key: 17 });
+        roundtrip_cmd(Cmd::Bye);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip_reply(Reply::Ok);
+        roundtrip_reply(Reply::MrKey { key: 7 });
+        roundtrip_reply(Reply::Offload { key: 9, host_addr: 0x1000, host_len: 65536 });
+        roundtrip_reply(Reply::Error { code: err_code::OOM });
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        assert_eq!(Cmd::decode(&[]), None);
+        assert_eq!(Cmd::decode(&[255]), None);
+        let mut enc = Cmd::RegMr {
+            mem: MemRef { node: NodeId(0), domain: Domain::Host },
+            addr: 1,
+            len: 2,
+        }
+        .encode();
+        enc.pop();
+        assert_eq!(Cmd::decode(&enc), None);
+        // Trailing junk rejected too.
+        let mut enc = Cmd::Hello.encode();
+        enc.push(0);
+        assert_eq!(Cmd::decode(&enc), None);
+        assert_eq!(Reply::decode(&[9, 9]), None);
+    }
+
+    #[test]
+    fn bad_domain_tag_rejected() {
+        let mut b = vec![1u8];
+        b.extend_from_slice(&0u32.to_le_bytes());
+        b.push(7); // invalid domain
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(Cmd::decode(&b), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! The simulated cluster: nodes with host/Phi memory, PCIe links, HCAs and
+//! the InfiniBand network, plus the data-movement primitives every higher
+//! layer is built from.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simcore::{Completion, Scheduler, SimDuration, SimTime};
+
+use crate::channel::BwChannel;
+use crate::config::{ClusterConfig, Domain};
+use crate::mem::{Buffer, MemRef, Memory, NodeId, OutOfMemory};
+
+/// A scheduled data movement: channel reservations are made at post time
+/// (deterministically), bytes land in the destination and `completion`
+/// fires at `end`.
+#[derive(Clone)]
+pub struct Transfer {
+    /// When the transfer actually starts (after queueing on busy channels).
+    pub start: SimTime,
+    /// When the last byte is delivered.
+    pub end: SimTime,
+    /// Fires at `end`.
+    pub completion: Completion,
+}
+
+struct NodeState {
+    host_mem: Arc<Mutex<Memory>>,
+    phi_mem: Arc<Mutex<Memory>>,
+    /// PCIe, host→Phi direction (offload copy-in, HCA writes into Phi mem).
+    pci_h2p: Mutex<BwChannel>,
+    /// PCIe, Phi→host direction (offload sync/copy-out, HCA reads from Phi).
+    pci_p2h: Mutex<BwChannel>,
+    /// InfiniBand egress port.
+    ib_egress: Mutex<BwChannel>,
+    /// InfiniBand ingress port.
+    ib_ingress: Mutex<BwChannel>,
+}
+
+/// The whole simulated machine. Shared via `Arc` by every device model and
+/// simulated process.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    sched: Scheduler,
+    nodes: Vec<NodeState>,
+}
+
+impl Cluster {
+    pub fn new(sched: Scheduler, cfg: ClusterConfig) -> Arc<Cluster> {
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                let node = NodeId(i);
+                NodeState {
+                    host_mem: Arc::new(Mutex::new(Memory::new(
+                        MemRef { node, domain: Domain::Host },
+                        cfg.host_mem_capacity,
+                    ))),
+                    phi_mem: Arc::new(Mutex::new(Memory::new(
+                        MemRef { node, domain: Domain::Phi },
+                        cfg.phi_mem_capacity,
+                    ))),
+                    pci_h2p: Mutex::new(BwChannel::new("pci-h2p")),
+                    pci_p2h: Mutex::new(BwChannel::new("pci-p2h")),
+                    ib_egress: Mutex::new(BwChannel::new("ib-egress")),
+                    ib_ingress: Mutex::new(BwChannel::new("ib-ingress")),
+                }
+            })
+            .collect();
+        Arc::new(Cluster { cfg, sched, nodes })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.0]
+    }
+
+    fn memory(&self, mem: MemRef) -> &Arc<Mutex<Memory>> {
+        match mem.domain {
+            Domain::Host => &self.node(mem.node).host_mem,
+            Domain::Phi => &self.node(mem.node).phi_mem,
+        }
+    }
+
+    // ---- memory plane -----------------------------------------------------
+
+    /// Allocate in a domain with explicit alignment.
+    pub fn alloc(&self, mem: MemRef, len: u64, align: u64) -> Result<Buffer, OutOfMemory> {
+        self.memory(mem).lock().alloc(len, align)
+    }
+
+    /// Allocate page-aligned.
+    pub fn alloc_pages(&self, mem: MemRef, len: u64) -> Result<Buffer, OutOfMemory> {
+        self.memory(mem).lock().alloc_pages(len)
+    }
+
+    /// Free a buffer.
+    pub fn free(&self, buf: &Buffer) {
+        self.memory(buf.mem).lock().free(buf);
+    }
+
+    /// Bytes currently allocated in a domain.
+    pub fn mem_used(&self, mem: MemRef) -> u64 {
+        self.memory(mem).lock().used()
+    }
+
+    /// Write bytes (content plane only — charge time separately if needed).
+    pub fn write(&self, buf: &Buffer, offset: u64, data: &[u8]) {
+        self.memory(buf.mem).lock().write(buf, offset, data);
+    }
+
+    /// Read bytes.
+    pub fn read(&self, buf: &Buffer, offset: u64, out: &mut [u8]) {
+        self.memory(buf.mem).lock().read(buf, offset, out);
+    }
+
+    /// Read a whole buffer.
+    pub fn read_vec(&self, buf: &Buffer) -> Vec<u8> {
+        self.memory(buf.mem).lock().read_vec(buf)
+    }
+
+    /// CPU memcpy duration for `bytes` within `domain` (caller sleeps this).
+    pub fn copy_duration(&self, domain: Domain, bytes: u64) -> SimDuration {
+        simcore::transfer_time(bytes, self.cfg.cost.copy_bw(domain))
+    }
+
+    /// CPU-driven local copy within one domain. Moves the bytes immediately
+    /// and returns the duration the calling process must charge itself.
+    pub fn local_copy(&self, src: &Buffer, dst: &Buffer) -> SimDuration {
+        assert_eq!(src.mem, dst.mem, "local_copy must stay within one domain");
+        assert_eq!(src.len, dst.len, "local_copy length mismatch");
+        let data = self.read_vec(src);
+        self.write(dst, 0, &data);
+        self.copy_duration(src.mem.domain, src.len)
+    }
+
+    // ---- PCIe DMA engine (host <-> Phi within one node) --------------------
+
+    /// Reserve the PCIe DMA-engine path between host and Phi of one node,
+    /// without moving content. Returns `(start, end)` including DMA latency.
+    pub fn reserve_pci_path(
+        &self,
+        node: NodeId,
+        src_domain: Domain,
+        bytes: u64,
+        after: SimTime,
+    ) -> (SimTime, SimTime) {
+        let cost = &self.cfg.cost;
+        let (chan, rate) = match src_domain {
+            Domain::Host => (&self.node(node).pci_h2p, cost.pci_h2p_bw),
+            Domain::Phi => (&self.node(node).pci_p2h, cost.pci_p2h_bw),
+        };
+        let (start, busy_end) = chan.lock().reserve_bytes(after, bytes, rate);
+        (start, busy_end + cost.pci_dma_latency)
+    }
+
+    /// DMA-engine transfer between host and Phi memory of the same node
+    /// (SCIF RMA, offload copy-in/out, offload-send-buffer sync).
+    pub fn pci_dma(&self, src: &Buffer, dst: &Buffer, after: SimTime) -> Transfer {
+        assert_eq!(src.mem.node, dst.mem.node, "pci_dma is intra-node");
+        assert_ne!(src.mem.domain, dst.mem.domain, "pci_dma crosses the PCIe bus");
+        assert_eq!(src.len, dst.len, "pci_dma length mismatch");
+        let (start, end) = self.reserve_pci_path(src.mem.node, src.mem.domain, src.len, after);
+        self.finish_transfer(src, dst, start, end)
+    }
+
+    /// Like [`Cluster::pci_dma`] but capped at `rate` bytes/sec (modeling a
+    /// software path — e.g. the Intel offload runtime — that cannot drive
+    /// the DMA engine at full speed). The stream still occupies the real
+    /// PCIe channel for its whole duration.
+    pub fn pci_dma_at_rate(&self, src: &Buffer, dst: &Buffer, after: SimTime, rate: f64) -> Transfer {
+        assert_eq!(src.mem.node, dst.mem.node, "pci_dma is intra-node");
+        assert_ne!(src.mem.domain, dst.mem.domain, "pci_dma crosses the PCIe bus");
+        assert_eq!(src.len, dst.len, "pci_dma length mismatch");
+        let cost = &self.cfg.cost;
+        let (chan, hw_rate) = match src.mem.domain {
+            Domain::Host => (&self.node(src.mem.node).pci_h2p, cost.pci_h2p_bw),
+            Domain::Phi => (&self.node(src.mem.node).pci_p2h, cost.pci_p2h_bw),
+        };
+        let eff = rate.min(hw_rate);
+        let (start, busy_end) = chan.lock().reserve_bytes(after, src.len, eff);
+        let end = busy_end + cost.pci_dma_latency;
+        self.finish_transfer(src, dst, start, end)
+    }
+
+    // ---- InfiniBand path ----------------------------------------------------
+
+    /// End-to-end RDMA data movement between two registered buffers through
+    /// the HCAs and the switch. `initiator` is the node whose HCA executes
+    /// the work request: if it is the *destination* node, this is an RDMA
+    /// READ and one extra wire latency is charged for the request packet.
+    ///
+    /// The path bandwidth is the minimum of: local HCA DMA read (slow when
+    /// the source is Phi memory — the paper's bottleneck), the wire, and the
+    /// remote HCA DMA write. Every traversed channel is reserved for the
+    /// whole stream duration (cut-through, head-of-line queueing).
+    pub fn ib_transfer(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        initiator: NodeId,
+        after: SimTime,
+    ) -> Transfer {
+        assert_eq!(src.len, dst.len, "ib_transfer length mismatch");
+        let (start, end) = self.reserve_ib_path(src.mem, dst.mem, src.len, initiator, after);
+        self.finish_transfer(src, dst, start, end)
+    }
+
+    /// Reserve the InfiniBand path without moving content. Returns
+    /// `(start, end)`; the caller schedules its own delivery at `end`.
+    pub fn reserve_ib_path(
+        &self,
+        src: MemRef,
+        dst: MemRef,
+        bytes: u64,
+        initiator: NodeId,
+        after: SimTime,
+    ) -> (SimTime, SimTime) {
+        let cost = &self.cfg.cost;
+        let read_bw = cost.hca_read_bw(src.domain);
+        let write_bw = cost.hca_write_bw(dst.domain);
+        let min_rate = read_bw.min(cost.ib_bw).min(write_bw);
+        let dur = simcore::transfer_time(bytes, min_rate);
+
+        let mut latency = cost.ib_latency;
+        if initiator == dst.node && initiator != src.node {
+            // RDMA READ: request hop to the remote HCA first.
+            latency += cost.ib_latency;
+        }
+
+        // Collect the channels this stream occupies.
+        let src_node = self.node(src.node);
+        let dst_node = self.node(dst.node);
+        let mut channels: Vec<&Mutex<BwChannel>> = Vec::with_capacity(4);
+        if src.domain == Domain::Phi {
+            channels.push(&src_node.pci_p2h);
+        }
+        if src.node != dst.node {
+            channels.push(&src_node.ib_egress);
+            channels.push(&dst_node.ib_ingress);
+        }
+        if dst.domain == Domain::Phi {
+            channels.push(&dst_node.pci_h2p);
+        }
+
+        let mut start = after;
+        for ch in &channels {
+            start = start.max(ch.lock().ready_at());
+        }
+        for ch in &channels {
+            ch.lock().reserve_stream(start, dur, bytes);
+        }
+        (start, start + dur + latency)
+    }
+
+    /// Schedule `f` at virtual time `t` (engine context). Convenience
+    /// passthrough so device layers don't need their own scheduler handle.
+    pub fn call_at<F>(&self, t: SimTime, f: F)
+    where
+        F: FnOnce(&Scheduler) + Send + 'static,
+    {
+        self.sched.call_at(t, f);
+    }
+
+    /// Move the bytes and fire the completion at `end`. Bytes are sampled at
+    /// post time (the DMA engine reads the source as the transfer starts; a
+    /// well-behaved protocol never mutates an in-flight buffer).
+    fn finish_transfer(&self, src: &Buffer, dst: &Buffer, start: SimTime, end: SimTime) -> Transfer {
+        let data = self.read_vec(src);
+        let dst = dst.clone();
+        let completion = Completion::new();
+        let c2 = completion.clone();
+        let mem = self.memory(dst.mem).clone();
+        self.sched.call_at(end, move |s| {
+            mem.lock().write(&dst, 0, &data);
+            c2.complete_now(s);
+        });
+        Transfer { start, end, completion }
+    }
+
+    /// Channel utilization for diagnostics and ablation benches:
+    /// `(name, total_bytes, total_busy)` per channel of `node`.
+    pub fn channel_stats(&self, node: NodeId) -> Vec<(&'static str, u64, SimDuration)> {
+        let n = self.node(node);
+        [&n.pci_h2p, &n.pci_p2h, &n.ib_egress, &n.ib_ingress]
+            .iter()
+            .map(|c| {
+                let c = c.lock();
+                (c.name(), c.total_bytes(), c.total_busy())
+            })
+            .collect()
+    }
+}

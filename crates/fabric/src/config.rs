@@ -1,0 +1,301 @@
+//! Cluster configuration and calibrated cost model.
+//!
+//! The defaults reproduce Table I of the paper (Intel Xeon E5-2670 hosts,
+//! pre-production Knights Corner Xeon Phi cards, Mellanox ConnectX-3 HCAs)
+//! as *behavioural* parameters: bandwidths, latencies and software overheads
+//! calibrated against the numbers the paper prints (see DESIGN.md §7).
+
+use std::fmt;
+
+use simcore::SimDuration;
+
+/// Which memory a buffer lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Host (Xeon) DRAM.
+    Host,
+    /// Xeon Phi co-processor GDDR.
+    Phi,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Host => write!(f, "host"),
+            Domain::Phi => write!(f, "phi"),
+        }
+    }
+}
+
+/// Hardware timing model. All bandwidths in bytes/second.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// InfiniBand wire bandwidth (ConnectX-3 effective).
+    pub ib_bw: f64,
+    /// One-way InfiniBand wire latency.
+    pub ib_latency: SimDuration,
+    /// HCA DMA bandwidth to/from host DRAM (not a bottleneck).
+    pub host_dma_bw: f64,
+    /// HCA DMA **read** bandwidth from Phi memory — the bottleneck the paper
+    /// discovers (§IV-B4, Fig. 5): Phi-sourced transfers are >4x slower.
+    pub phi_hca_read_bw: f64,
+    /// HCA DMA **write** bandwidth into Phi memory (Fig. 5: host→Phi runs at
+    /// host-to-host speed).
+    pub phi_hca_write_bw: f64,
+    /// PCIe DMA-engine bandwidth host→Phi (offload copy-in, SCIF RMA).
+    pub pci_h2p_bw: f64,
+    /// PCIe DMA-engine bandwidth Phi→host (offload send-buffer sync,
+    /// offload copy-out).
+    pub pci_p2h_bw: f64,
+    /// PCIe DMA-engine per-operation latency.
+    pub pci_dma_latency: SimDuration,
+    /// Host memcpy bandwidth (eager-protocol copies on the host).
+    pub host_copy_bw: f64,
+    /// Phi memcpy bandwidth; the paper measures <1us for 4 KiB (§IV-B3),
+    /// which motivates the one-copy eager design.
+    pub phi_copy_bw: f64,
+    /// Host per-software-operation overhead (post/poll on a Xeon core).
+    pub host_cpu_op: SimDuration,
+    /// Phi per-software-operation overhead (post/poll on a slow in-order
+    /// Phi core).
+    pub phi_cpu_op: SimDuration,
+    /// HCA per-WQE processing overhead (doorbell + WQE fetch).
+    pub hca_wqe_overhead: SimDuration,
+    /// Host memory-region registration: fixed cost.
+    pub host_mr_reg_base: SimDuration,
+    /// Host memory-region registration: per-4KiB-page cost.
+    pub host_mr_reg_per_page: SimDuration,
+    /// Host-side work to service one offloaded DCFA command (beyond the
+    /// SCIF round trip itself).
+    pub cmd_host_work: SimDuration,
+    /// Phi-side virtual→physical translation cost per 4-KiB page when the
+    /// DCFA CMD client prepares a registration request (§IV-B1).
+    pub cmd_translate_per_page: SimDuration,
+    /// One-way SCIF message latency between host and Phi (kernel-mediated
+    /// doorbell + shared-ring copy for small control messages).
+    pub scif_msg_latency: SimDuration,
+    /// SCIF small-message bandwidth (ring-buffer copies, not DMA).
+    pub scif_msg_bw: f64,
+    /// Intel-MPI-on-Phi proxy mode: host-side proxy daemon work per relayed
+    /// message (HCA Proxy / IB Proxy Daemon, §III-A).
+    pub proxy_host_work: SimDuration,
+    /// Intel-MPI-on-Phi direct path: pipeline chunk size for large
+    /// messages.
+    pub intel_chunk: u64,
+    /// Intel-MPI-on-Phi direct path: per-chunk software overhead.
+    pub intel_chunk_overhead: SimDuration,
+    /// Intel offload runtime: per-`offload_transfer` invocation overhead
+    /// (pragma dispatch + COI round trip), even with persistent buffers.
+    pub offload_transfer_overhead: SimDuration,
+    /// Intel offload runtime: per-compute-region invocation overhead
+    /// (kernel dispatch + OpenMP team wakeup on the card).
+    pub offload_region_overhead: SimDuration,
+    /// Intel offload runtime: effective PCIe copy bandwidth of
+    /// `offload_transfer` (below the raw DMA engine; runtime bookkeeping
+    /// and segmentation).
+    pub offload_copy_bw: f64,
+    /// Software overhead of one MPI-level call (argument checking, request
+    /// bookkeeping, protocol selection) on a host core (YAMPII on Xeon).
+    pub mpi_call_host: SimDuration,
+    /// Same, on a slow in-order Phi core (DCFA-MPI).
+    pub mpi_call_phi: SimDuration,
+    /// Time for one stencil point update on a single Phi thread.
+    pub phi_point_update: SimDuration,
+    /// Time for one stencil point update on a single host (Xeon) core.
+    pub host_point_update: SimDuration,
+    /// OpenMP-style fork/join overhead per parallel region on the Phi.
+    pub omp_fork_join: SimDuration,
+    /// Thread-scaling friction: efficiency(t) = 1 / (1 + alpha * (t - 1)).
+    pub omp_alpha: f64,
+}
+
+impl CostModel {
+    /// Values calibrated against the paper's printed numbers (DESIGN.md §7).
+    pub fn paper() -> Self {
+        CostModel {
+            ib_bw: 6.0e9,
+            ib_latency: SimDuration::from_nanos(700),
+            host_dma_bw: 16.0e9,
+            phi_hca_read_bw: 1.1e9,
+            phi_hca_write_bw: 5.5e9,
+            pci_h2p_bw: 6.0e9,
+            pci_p2h_bw: 5.8e9,
+            pci_dma_latency: SimDuration::from_micros_f64(1.5),
+            host_copy_bw: 8.0e9,
+            phi_copy_bw: 4.5e9,
+            host_cpu_op: SimDuration::from_nanos(300),
+            phi_cpu_op: SimDuration::from_nanos(1400),
+            hca_wqe_overhead: SimDuration::from_nanos(150),
+            host_mr_reg_base: SimDuration::from_micros(4),
+            host_mr_reg_per_page: SimDuration::from_nanos(45),
+            cmd_host_work: SimDuration::from_micros(6),
+            cmd_translate_per_page: SimDuration::from_nanos(120),
+            scif_msg_latency: SimDuration::from_micros_f64(2.4),
+            scif_msg_bw: 1.2e9,
+            proxy_host_work: SimDuration::from_micros_f64(1.5),
+            intel_chunk: 256 << 10,
+            intel_chunk_overhead: SimDuration::from_micros(25),
+            offload_transfer_overhead: SimDuration::from_micros(55),
+            offload_region_overhead: SimDuration::from_micros(25),
+            offload_copy_bw: 3.0e9,
+            mpi_call_host: SimDuration::from_nanos(400),
+            mpi_call_phi: SimDuration::from_nanos(2800),
+            phi_point_update: SimDuration::from_nanos(12),
+            host_point_update: SimDuration::from_nanos(3),
+            omp_fork_join: SimDuration::from_micros(8),
+            omp_alpha: 0.033,
+        }
+    }
+
+    /// HCA DMA read bandwidth for a buffer in `domain` (local side of an
+    /// outbound transfer).
+    pub fn hca_read_bw(&self, domain: Domain) -> f64 {
+        match domain {
+            Domain::Host => self.host_dma_bw,
+            Domain::Phi => self.phi_hca_read_bw,
+        }
+    }
+
+    /// HCA DMA write bandwidth for a buffer in `domain` (remote side of an
+    /// inbound transfer).
+    pub fn hca_write_bw(&self, domain: Domain) -> f64 {
+        match domain {
+            Domain::Host => self.host_dma_bw,
+            Domain::Phi => self.phi_hca_write_bw,
+        }
+    }
+
+    /// Local memcpy bandwidth in `domain`.
+    pub fn copy_bw(&self, domain: Domain) -> f64 {
+        match domain {
+            Domain::Host => self.host_copy_bw,
+            Domain::Phi => self.phi_copy_bw,
+        }
+    }
+
+    /// Per-software-operation CPU overhead in `domain`.
+    pub fn cpu_op(&self, domain: Domain) -> SimDuration {
+        match domain {
+            Domain::Host => self.host_cpu_op,
+            Domain::Phi => self.phi_cpu_op,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Simulated page size (both domains).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Whole-cluster configuration (Table I analogue).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of compute nodes (paper: 8-node cluster).
+    pub nodes: usize,
+    /// Host DRAM capacity per node.
+    pub host_mem_capacity: u64,
+    /// Phi GDDR capacity per node. The paper's kernel has no demand paging,
+    /// so exhausting this is a hard allocation failure.
+    pub phi_mem_capacity: u64,
+    /// Xeon cores per host (E5-2670: 16 with HT in Table I).
+    pub host_cores: u32,
+    /// Phi cores per card (pre-production KNC).
+    pub phi_cores: u32,
+    /// Hardware threads per Phi core.
+    pub phi_threads_per_core: u32,
+    /// Timing model.
+    pub cost: CostModel,
+}
+
+impl ClusterConfig {
+    /// The paper's 8-node evaluation cluster (Table I).
+    pub fn paper() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            host_mem_capacity: 64 << 30,
+            phi_mem_capacity: 8 << 30,
+            host_cores: 16,
+            phi_cores: 57,
+            phi_threads_per_core: 4,
+            cost: CostModel::paper(),
+        }
+    }
+
+    /// A paper-calibrated cluster with a custom node count.
+    pub fn with_nodes(nodes: usize) -> Self {
+        ClusterConfig { nodes, ..Self::paper() }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl fmt::Display for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Simulated server architecture (cf. paper Table I)")?;
+        writeln!(f, "  Nodes                  : {}", self.nodes)?;
+        writeln!(f, "  CPU                    : Intel Xeon E5-2670-class, {} cores (simulated)", self.host_cores)?;
+        writeln!(
+            f,
+            "  Co-processor           : pre-production Xeon Phi-class, {} cores x {} threads (simulated)",
+            self.phi_cores, self.phi_threads_per_core
+        )?;
+        writeln!(f, "  InfiniBand HCA         : ConnectX-3-class, {:.1} GB/s wire, {} latency",
+            self.cost.ib_bw / 1e9, self.cost.ib_latency)?;
+        writeln!(f, "  Host memory            : {} GiB", self.host_mem_capacity >> 30)?;
+        writeln!(f, "  Phi memory             : {} GiB (no demand paging)", self.phi_mem_capacity >> 30)?;
+        writeln!(f, "  HCA DMA read from Phi  : {:.2} GB/s (measured bottleneck)",
+            self.cost.phi_hca_read_bw / 1e9)?;
+        writeln!(f, "  HCA DMA write to Phi   : {:.2} GB/s", self.cost.phi_hca_write_bw / 1e9)?;
+        writeln!(f, "  PCIe DMA engine        : {:.2} / {:.2} GB/s (h2p / p2h), {} latency",
+            self.cost.pci_h2p_bw / 1e9, self.cost.pci_p2h_bw / 1e9, self.cost.pci_dma_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_expose_the_bottleneck() {
+        let c = CostModel::paper();
+        // The paper: Phi-sourced IB transfer is >4x slower than host-sourced.
+        assert!(c.host_dma_bw / c.phi_hca_read_bw > 4.0);
+        // Host->Phi writes run at host-to-host speed (within ~10%).
+        assert!(c.phi_hca_write_bw >= 0.9 * c.ib_bw);
+    }
+
+    #[test]
+    fn phi_copy_meets_paper_microbench() {
+        // "the data copy operation on the Xeon Phi co-processor spends less
+        // than 1 microsecond for 4Kbytes of data"
+        let c = CostModel::paper();
+        let t = simcore::transfer_time(4096, c.phi_copy_bw);
+        assert!(t < SimDuration::from_micros(1), "4KiB Phi copy took {t}");
+    }
+
+    #[test]
+    fn domain_selectors() {
+        let c = CostModel::paper();
+        assert_eq!(c.hca_read_bw(Domain::Host), c.host_dma_bw);
+        assert_eq!(c.hca_read_bw(Domain::Phi), c.phi_hca_read_bw);
+        assert_eq!(c.hca_write_bw(Domain::Phi), c.phi_hca_write_bw);
+        assert_eq!(c.copy_bw(Domain::Phi), c.phi_copy_bw);
+        assert!(c.cpu_op(Domain::Phi) > c.cpu_op(Domain::Host));
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let s = ClusterConfig::paper().to_string();
+        assert!(s.contains("ConnectX-3"));
+        assert!(s.contains("Xeon Phi"));
+        assert!(s.contains("bottleneck"));
+    }
+}

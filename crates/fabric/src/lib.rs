@@ -1,0 +1,27 @@
+//! # fabric — simulated hardware substrate for the DCFA-MPI reproduction
+//!
+//! This crate replaces the hardware the paper ran on (Xeon hosts, Xeon Phi
+//! co-processor cards, PCIe, Mellanox ConnectX-3 HCAs and an InfiniBand
+//! switch) with calibrated behavioural models:
+//!
+//! * [`Memory`]/[`Buffer`] — per-domain byte arenas with a real allocator;
+//!   data movement moves real bytes so protocol correctness is testable.
+//! * [`BwChannel`] — serialized bandwidth resources (PCIe directions, IB
+//!   ports) with head-of-line queueing.
+//! * [`Cluster`] — node topology plus the two data-movement primitives the
+//!   software stack is built from: [`Cluster::pci_dma`] (host↔Phi DMA
+//!   engine) and [`Cluster::ib_transfer`] (HCA→wire→HCA path, including the
+//!   slow DMA-read-from-Phi leg that motivates the paper's offloading send
+//!   buffer).
+//! * [`ClusterConfig`]/[`CostModel`] — Table-I-analogue configuration with
+//!   constants calibrated against the paper's printed numbers.
+
+mod channel;
+mod cluster;
+mod config;
+mod mem;
+
+pub use channel::BwChannel;
+pub use cluster::{Cluster, Transfer};
+pub use config::{ClusterConfig, CostModel, Domain, PAGE_SIZE};
+pub use mem::{Buffer, MemRef, Memory, NodeId, OutOfMemory};

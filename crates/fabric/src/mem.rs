@@ -1,0 +1,348 @@
+//! Simulated memory: per-domain byte arenas with a first-fit allocator.
+//!
+//! Buffers hold *real bytes* so that protocol correctness (does the receive
+//! buffer contain exactly what was sent?) is testable, while capacity
+//! accounting models the Phi's hard memory limit (no demand paging on the
+//! paper's micro-kernel).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::config::{Domain, PAGE_SIZE};
+
+/// Node index within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A memory domain on a specific node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    pub node: NodeId,
+    pub domain: Domain,
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.node, self.domain)
+    }
+}
+
+/// A contiguous allocation inside one memory domain. Cheap to clone; freeing
+/// goes through [`Memory::free`] with the original base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buffer {
+    pub mem: MemRef,
+    /// Domain-local address (we treat virtual == physical per domain; the
+    /// DCFA command layer still *charges* for translation).
+    pub addr: u64,
+    pub len: u64,
+}
+
+impl Buffer {
+    /// A sub-range of this buffer.
+    pub fn slice(&self, offset: u64, len: u64) -> Buffer {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice {offset}+{len} out of buffer of len {}",
+            self.len
+        );
+        Buffer { mem: self.mem, addr: self.addr + offset, len }
+    }
+
+    /// Number of 4-KiB pages this buffer spans.
+    pub fn pages(&self) -> u64 {
+        let start = self.addr / PAGE_SIZE;
+        let end = (self.addr + self.len.max(1) - 1) / PAGE_SIZE;
+        end - start + 1
+    }
+
+    /// Whether the buffer starts on a page boundary and is a whole number of
+    /// pages (the Intel offload runtime's fast-transfer condition, §V).
+    pub fn is_page_aligned(&self) -> bool {
+        self.addr.is_multiple_of(PAGE_SIZE) && self.len.is_multiple_of(PAGE_SIZE)
+    }
+}
+
+/// Allocation failure: the domain is out of memory (the Phi kernel has no
+/// demand paging, so this is a hard error, cf. §V experiment 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    pub mem: MemRef,
+    pub requested: u64,
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory in {}: requested {} bytes, {} available",
+            self.mem, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// One memory domain: a byte arena plus a first-fit allocator.
+pub struct Memory {
+    mem: MemRef,
+    capacity: u64,
+    used: u64,
+    /// Arena backing store, grown lazily.
+    bytes: Vec<u8>,
+    /// Free list: base -> len, coalesced on free.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: base -> len (double-free / bad-free detection).
+    live: BTreeMap<u64, u64>,
+}
+
+impl Memory {
+    pub fn new(mem: MemRef, capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(0, capacity);
+        Memory { mem, capacity, used: 0, bytes: Vec::new(), free, live: BTreeMap::new() }
+    }
+
+    pub fn mem_ref(&self) -> MemRef {
+        self.mem
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Allocate `len` bytes aligned to `align` (power of two). First-fit.
+    pub fn alloc(&mut self, len: u64, align: u64) -> Result<Buffer, OutOfMemory> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let len = len.max(1);
+        let mut chosen: Option<(u64, u64, u64)> = None; // (base, blk_len, aligned_start)
+        for (&base, &blk_len) in &self.free {
+            let aligned = (base + align - 1) & !(align - 1);
+            let pad = aligned - base;
+            if blk_len >= pad + len {
+                chosen = Some((base, blk_len, aligned));
+                break;
+            }
+        }
+        let Some((base, blk_len, aligned)) = chosen else {
+            return Err(OutOfMemory {
+                mem: self.mem,
+                requested: len,
+                available: self.capacity - self.used,
+            });
+        };
+        self.free.remove(&base);
+        // Leading pad stays free.
+        if aligned > base {
+            self.free.insert(base, aligned - base);
+        }
+        // Trailing remainder stays free.
+        let end = aligned + len;
+        let blk_end = base + blk_len;
+        if blk_end > end {
+            self.free.insert(end, blk_end - end);
+        }
+        self.live.insert(aligned, len);
+        self.used += len;
+        // Grow backing store to cover the allocation, and zero the range:
+        // freshly mapped pages read as zero (kernel semantics), including
+        // recycled arena space.
+        let need = end as usize;
+        if self.bytes.len() < need {
+            self.bytes.resize(need, 0);
+        }
+        self.bytes[aligned as usize..end as usize].fill(0);
+        Ok(Buffer { mem: self.mem, addr: aligned, len })
+    }
+
+    /// Allocate page-aligned.
+    pub fn alloc_pages(&mut self, len: u64) -> Result<Buffer, OutOfMemory> {
+        self.alloc(len, PAGE_SIZE)
+    }
+
+    /// Free an allocation by its buffer. Panics on double free or on a
+    /// buffer that is not an allocation base (programming error in the
+    /// simulated software stack).
+    pub fn free(&mut self, buf: &Buffer) {
+        assert_eq!(buf.mem, self.mem, "freeing buffer from wrong domain");
+        let len = self
+            .live
+            .remove(&buf.addr)
+            .unwrap_or_else(|| panic!("free of unknown buffer at {:#x}", buf.addr));
+        assert_eq!(len, buf.len, "free with mismatched length");
+        self.used -= len;
+        // Insert and coalesce with neighbours.
+        let mut base = buf.addr;
+        let mut blk_len = len;
+        if let Some((&pbase, &plen)) = self.free.range(..base).next_back() {
+            if pbase + plen == base {
+                self.free.remove(&pbase);
+                base = pbase;
+                blk_len += plen;
+            }
+        }
+        if let Some((&nbase, &nlen)) = self.free.range(base + blk_len..).next() {
+            if base + blk_len == nbase {
+                self.free.remove(&nbase);
+                blk_len += nlen;
+            }
+        }
+        self.free.insert(base, blk_len);
+    }
+
+    fn check_range(&self, buf: &Buffer, offset: u64, len: usize) {
+        assert!(
+            offset.checked_add(len as u64).is_some_and(|e| e <= buf.len),
+            "access {offset}+{len} out of buffer len {}",
+            buf.len
+        );
+    }
+
+    /// Write bytes into a buffer.
+    pub fn write(&mut self, buf: &Buffer, offset: u64, data: &[u8]) {
+        assert_eq!(buf.mem, self.mem);
+        self.check_range(buf, offset, data.len());
+        let start = (buf.addr + offset) as usize;
+        if self.bytes.len() < start + data.len() {
+            self.bytes.resize(start + data.len(), 0);
+        }
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Read bytes out of a buffer.
+    pub fn read(&self, buf: &Buffer, offset: u64, out: &mut [u8]) {
+        assert_eq!(buf.mem, self.mem);
+        self.check_range(buf, offset, out.len());
+        let start = (buf.addr + offset) as usize;
+        if self.bytes.len() >= start + out.len() {
+            out.copy_from_slice(&self.bytes[start..start + out.len()]);
+        } else {
+            // Lazily-grown arena: untouched memory reads as zero.
+            let have = self.bytes.len().saturating_sub(start);
+            out[..have].copy_from_slice(&self.bytes[start..start + have]);
+            out[have..].fill(0);
+        }
+    }
+
+    /// Read a buffer fully into a fresh Vec.
+    pub fn read_vec(&self, buf: &Buffer) -> Vec<u8> {
+        let mut v = vec![0u8; buf.len as usize];
+        self.read(buf, 0, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(MemRef { node: NodeId(0), domain: Domain::Phi }, 1 << 20)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = mem();
+        let a = m.alloc(1000, 8).unwrap();
+        assert_eq!(m.used(), 1000);
+        m.free(&a);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn alloc_is_aligned() {
+        let mut m = mem();
+        let _pad = m.alloc(10, 1).unwrap();
+        let b = m.alloc(100, 256).unwrap();
+        assert_eq!(b.addr % 256, 0);
+        let p = m.alloc_pages(PAGE_SIZE * 2).unwrap();
+        assert_eq!(p.addr % PAGE_SIZE, 0);
+        assert!(p.is_page_aligned());
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut m = mem();
+        let err = m.alloc(2 << 20, 1).unwrap_err();
+        assert_eq!(err.requested, 2 << 20);
+        assert_eq!(err.available, 1 << 20);
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let mut m = mem();
+        let a = m.alloc(1024, 1).unwrap();
+        let b = m.alloc(1024, 1).unwrap();
+        let c = m.alloc(1024, 1).unwrap();
+        m.free(&a);
+        m.free(&c);
+        m.free(&b);
+        // After coalescing everything we can allocate the whole capacity.
+        let all = m.alloc(1 << 20, 1).unwrap();
+        assert_eq!(all.len, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unknown buffer")]
+    fn double_free_panics() {
+        let mut m = mem();
+        let a = m.alloc(64, 1).unwrap();
+        m.free(&a);
+        m.free(&a);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = mem();
+        let a = m.alloc(4096, 4096).unwrap();
+        let data: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        m.write(&a, 0, &data);
+        assert_eq!(m.read_vec(&a), data);
+        // Partial read at offset.
+        let mut out = [0u8; 4];
+        m.read(&a, 256, &mut out);
+        assert_eq!(out, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mut m = mem();
+        let a = m.alloc(128, 1).unwrap();
+        let mut out = [1u8; 16];
+        m.read(&a, 64, &mut out);
+        assert_eq!(out, [0u8; 16]);
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let mut m = mem();
+        let a = m.alloc(100, 1).unwrap();
+        let s = a.slice(10, 20);
+        assert_eq!(s.addr, a.addr + 10);
+        assert_eq!(s.len, 20);
+        let r = std::panic::catch_unwind(|| a.slice(90, 20));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pages_count() {
+        let b = Buffer { mem: MemRef { node: NodeId(0), domain: Domain::Host }, addr: 0, len: 4096 };
+        assert_eq!(b.pages(), 1);
+        let b2 = Buffer { addr: 4095, len: 2, ..b.clone() };
+        assert_eq!(b2.pages(), 2);
+        let b3 = Buffer { addr: 0, len: 4097, ..b };
+        assert_eq!(b3.pages(), 2);
+    }
+}

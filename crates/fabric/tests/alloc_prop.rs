@@ -1,0 +1,99 @@
+//! Property tests: the first-fit allocator maintains its invariants under
+//! arbitrary alloc/free interleavings, and byte transfers never corrupt
+//! adjacent memory.
+
+use fabric::{Domain, MemRef, Memory, NodeId, PAGE_SIZE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { len: u64, align_pow: u32 },
+    Free { idx: usize },
+    Write { idx: usize, salt: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..64 * 1024, 0u32..13).prop_map(|(len, align_pow)| Op::Alloc { len, align_pow }),
+        (0usize..64).prop_map(|idx| Op::Free { idx }),
+        (0usize..64, any::<u8>()).prop_map(|(idx, salt)| Op::Write { idx, salt }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let capacity = 1u64 << 20;
+        let mut mem = Memory::new(MemRef { node: NodeId(0), domain: Domain::Phi }, capacity);
+        let mut live: Vec<(fabric::Buffer, u8)> = Vec::new();
+        let mut expected_used = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Alloc { len, align_pow } => {
+                    let align = 1u64 << align_pow;
+                    match mem.alloc(len, align) {
+                        Ok(buf) => {
+                            // Alignment honoured.
+                            prop_assert_eq!(buf.addr % align, 0);
+                            // No overlap with any live allocation.
+                            for (other, _) in &live {
+                                let no_overlap = buf.addr + buf.len <= other.addr
+                                    || other.addr + other.len <= buf.addr;
+                                prop_assert!(no_overlap, "overlap: {:?} vs {:?}", buf, other);
+                            }
+                            expected_used += buf.len;
+                            live.push((buf, 0));
+                        }
+                        Err(e) => {
+                            // OOM must report consistent numbers.
+                            prop_assert_eq!(e.available, capacity - expected_used);
+                        }
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let (buf, _) = live.swap_remove(idx % live.len());
+                        expected_used -= buf.len;
+                        mem.free(&buf);
+                    }
+                }
+                Op::Write { idx, salt } => {
+                    if !live.is_empty() {
+                        let slot = idx % live.len();
+                        let (buf, tag) = &mut live[slot];
+                        let data = vec![salt; buf.len as usize];
+                        mem.write(buf, 0, &data);
+                        *tag = salt;
+                    }
+                }
+            }
+            prop_assert_eq!(mem.used(), expected_used);
+        }
+
+        // Every live buffer still holds exactly what was last written.
+        for (buf, tag) in &live {
+            let got = mem.read_vec(buf);
+            prop_assert!(got.iter().all(|b| b == tag), "content clobbered");
+        }
+
+        // Free everything: all capacity comes back in one piece.
+        for (buf, _) in live {
+            mem.free(&buf);
+        }
+        prop_assert_eq!(mem.used(), 0);
+        let all = mem.alloc(capacity, 1);
+        prop_assert!(all.is_ok(), "fragmentation after full free");
+    }
+
+    #[test]
+    fn page_alloc_always_page_aligned(lens in proptest::collection::vec(1u64..32 * 1024, 1..20)) {
+        let mut mem = Memory::new(MemRef { node: NodeId(0), domain: Domain::Host }, 16 << 20);
+        for len in lens {
+            let b = mem.alloc_pages(len).unwrap();
+            prop_assert_eq!(b.addr % PAGE_SIZE, 0);
+        }
+    }
+}

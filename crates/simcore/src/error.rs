@@ -1,0 +1,63 @@
+//! Engine-level error reporting.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A process that was still blocked when the event queue drained.
+#[derive(Debug, Clone)]
+pub struct BlockedProc {
+    /// Process name given at spawn time.
+    pub name: String,
+    /// Reason string recorded at the blocking call site.
+    pub reason: String,
+}
+
+/// Errors surfaced by [`crate::Simulation::run`].
+#[derive(Debug)]
+pub enum SimError {
+    /// The event queue drained while processes were still blocked: classic
+    /// distributed deadlock (e.g. two MPI ranks both in blocking receive).
+    Deadlock {
+        /// Virtual time at which the queue drained.
+        at: SimTime,
+        /// Every still-blocked process with its recorded wait reason.
+        blocked: Vec<BlockedProc>,
+    },
+    /// A process panicked; the payload message is captured.
+    ProcessPanic {
+        /// Name of the panicking process.
+        name: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The configured event limit was exceeded (livelock guard).
+    EventLimit {
+        /// The limit that was hit.
+        limit: u64,
+        /// Virtual time when the limit was hit.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                writeln!(f, "simulation deadlocked at t={at} with {} blocked process(es):", blocked.len())?;
+                for b in blocked {
+                    writeln!(f, "  - {} (waiting: {})", b.name, b.reason)?;
+                }
+                Ok(())
+            }
+            SimError::ProcessPanic { name, message } => {
+                write!(f, "process '{name}' panicked: {message}")
+            }
+            SimError::EventLimit { limit, at } => {
+                write!(f, "event limit {limit} exceeded at t={at} (livelock?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

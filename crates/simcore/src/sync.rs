@@ -1,0 +1,241 @@
+//! Synchronization objects connecting device models to processes:
+//! one-shot [`Completion`]s, broadcast [`SimEvent`]s and FIFO [`Mailbox`]es.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{fire_completion, fire_event, Ctx, Scheduler, WakeTarget};
+use crate::time::SimTime;
+
+pub(crate) struct CompletionInner {
+    pub(crate) done: bool,
+    pub(crate) waiters: Vec<WakeTarget>,
+}
+
+/// A one-shot flag in virtual time. Devices signal it (immediately or at a
+/// scheduled instant); processes block on it with [`Ctx::wait`].
+#[derive(Clone)]
+pub struct Completion {
+    inner: Arc<Mutex<CompletionInner>>,
+}
+
+impl Default for Completion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Completion {
+    pub fn new() -> Self {
+        Completion {
+            inner: Arc::new(Mutex::new(CompletionInner { done: false, waiters: Vec::new() })),
+        }
+    }
+
+    /// True once the completion has fired.
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().done
+    }
+
+    /// Fire at virtual time `t` (clamped to now if `t` is in the past).
+    pub fn complete_at(&self, sched: &Scheduler, t: SimTime) {
+        let inner = self.inner.clone();
+        sched.call_at(t, move |s| fire_completion(s, &inner));
+    }
+
+    /// Fire at the current virtual time.
+    pub fn complete_now(&self, sched: &Scheduler) {
+        fire_completion(sched, &self.inner);
+    }
+
+    pub(crate) fn inner(&self) -> &Mutex<CompletionInner> {
+        &self.inner
+    }
+}
+
+pub(crate) struct EventInner {
+    pub(crate) epoch: u64,
+    pub(crate) waiters: Vec<WakeTarget>,
+}
+
+/// A broadcast notification channel in virtual time, analogous to a condition
+/// variable. Waiters capture the epoch, test their condition, then sleep
+/// until the epoch changes.
+#[derive(Clone)]
+pub struct SimEvent {
+    inner: Arc<Mutex<EventInner>>,
+}
+
+impl Default for SimEvent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimEvent {
+    pub fn new() -> Self {
+        SimEvent {
+            inner: Arc::new(Mutex::new(EventInner { epoch: 0, waiters: Vec::new() })),
+        }
+    }
+
+    /// Current notification epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Wake all current waiters at the present virtual time.
+    pub fn notify_all(&self, sched: &Scheduler) {
+        fire_event(sched, &self.inner);
+    }
+
+    /// Wake all waiters registered at time `t` when it arrives.
+    pub fn notify_at(&self, sched: &Scheduler, t: SimTime) {
+        let inner = self.inner.clone();
+        sched.call_at(t, move |s| fire_event(s, &inner));
+    }
+
+    pub(crate) fn inner(&self) -> &Mutex<EventInner> {
+        &self.inner
+    }
+}
+
+struct MailboxInner<T> {
+    queue: VecDeque<T>,
+}
+
+/// An unbounded FIFO channel in virtual time: sends are instantaneous
+/// (callers model any transfer cost themselves); receives block the calling
+/// process until an item is available.
+pub struct Mailbox<T> {
+    inner: Arc<Mutex<MailboxInner<T>>>,
+    event: SimEvent,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox { inner: self.inner.clone(), event: self.event.clone() }
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    pub fn new() -> Self {
+        Mailbox {
+            inner: Arc::new(Mutex::new(MailboxInner { queue: VecDeque::new() })),
+            event: SimEvent::new(),
+        }
+    }
+
+    /// Enqueue an item now and wake any waiting receiver.
+    pub fn send(&self, sched: &Scheduler, item: T) {
+        self.inner.lock().queue.push_back(item);
+        self.event.notify_all(sched);
+    }
+
+    /// Enqueue an item when virtual time `t` arrives (models delivery delay).
+    pub fn send_at(&self, sched: &Scheduler, t: SimTime, item: T)
+    where
+        T: Send + 'static,
+    {
+        let inner = self.inner.clone();
+        let event = self.event.clone();
+        sched.call_at(t, move |s| {
+            inner.lock().queue.push_back(item);
+            event.notify_all(s);
+        });
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Blocking receive in virtual time.
+    pub fn recv(&self, ctx: &mut Ctx) -> T {
+        loop {
+            let seen = self.event.epoch();
+            if let Some(item) = self.try_recv() {
+                return item;
+            }
+            ctx.wait_event(&self.event, seen, "mailbox recv");
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn completion_fires_once() {
+        let c = Completion::new();
+        assert!(!c.is_done());
+        let sim = Simulation::new();
+        let sched = sim.scheduler();
+        c.complete_now(&sched);
+        assert!(c.is_done());
+        // Second fire is a no-op, not a panic.
+        c.complete_now(&sched);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn mailbox_try_recv_order() {
+        let sim = Simulation::new();
+        let sched = sim.scheduler();
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.send(&sched, 1);
+        mb.send(&sched, 2);
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.try_recv(), Some(1));
+        assert_eq!(mb.try_recv(), Some(2));
+        assert_eq!(mb.try_recv(), None);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn event_epoch_advances_on_notify() {
+        let sim = Simulation::new();
+        let sched = sim.scheduler();
+        let ev = SimEvent::new();
+        let e0 = ev.epoch();
+        ev.notify_all(&sched);
+        assert_eq!(ev.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn delayed_send_arrives_at_time() {
+        let mut sim = Simulation::new();
+        let sched = sim.scheduler();
+        let mb: Mailbox<&'static str> = Mailbox::new();
+        let mb2 = mb.clone();
+        mb.send_at(&sched, crate::time::SimTime(500), "hello");
+        sim.spawn("rx", move |ctx| {
+            let item = mb2.recv(ctx);
+            assert_eq!(item, "hello");
+            assert_eq!(ctx.now().as_nanos(), 500);
+            ctx.sleep(SimDuration::from_nanos(1));
+        });
+        let report = sim.run_expect();
+        assert_eq!(report.final_time.as_nanos(), 501);
+    }
+}

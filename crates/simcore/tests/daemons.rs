@@ -1,0 +1,97 @@
+//! Daemon-process semantics: daemons neither keep the simulation alive nor
+//! count as deadlocked, but still serve requests while regular processes
+//! run.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simcore::{Mailbox, SimDuration, SimError, Simulation};
+
+#[test]
+fn blocked_daemon_does_not_keep_simulation_alive() {
+    let mut sim = Simulation::new();
+    let mb: Mailbox<u32> = Mailbox::new();
+    let mb2 = mb.clone();
+    sim.spawn_daemon("server", move |ctx| loop {
+        let _ = mb2.recv(ctx); // blocks forever once the queue drains
+    });
+    sim.spawn("client", |ctx| {
+        ctx.sleep(SimDuration::from_micros(5));
+    });
+    let report = sim.run_expect();
+    assert_eq!(report.final_time.as_nanos(), 5_000);
+}
+
+#[test]
+fn daemon_serves_requests_then_parks_quietly() {
+    let mut sim = Simulation::new();
+    let req: Mailbox<u32> = Mailbox::new();
+    let resp: Mailbox<u32> = Mailbox::new();
+    let (rq, rs) = (req.clone(), resp.clone());
+    sim.spawn_daemon("echo-server", move |ctx| loop {
+        let v = rq.recv(ctx);
+        ctx.sleep(SimDuration::from_micros(1));
+        let sched = ctx.scheduler();
+        rs.send(&sched, v * 2);
+    });
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let g2 = got.clone();
+    sim.spawn("client", move |ctx| {
+        for i in 0..5 {
+            let sched = ctx.scheduler();
+            req.send(&sched, i);
+            let v = resp.recv(ctx);
+            g2.lock().push(v);
+        }
+    });
+    sim.run_expect();
+    assert_eq!(*got.lock(), vec![0, 2, 4, 6, 8]);
+}
+
+#[test]
+fn deadlock_report_excludes_daemons() {
+    let mut sim = Simulation::new();
+    let mb: Mailbox<u32> = Mailbox::new();
+    let mb2 = mb.clone();
+    sim.spawn_daemon("idle-daemon", move |ctx| {
+        let _ = mb2.recv(ctx);
+    });
+    let other: Mailbox<u32> = Mailbox::new();
+    sim.spawn("stuck", move |ctx| {
+        let _ = other.recv(ctx); // nobody ever sends
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert_eq!(blocked.len(), 1);
+            assert_eq!(blocked[0].name, "stuck");
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemon_spawned_from_daemon_works() {
+    let mut sim = Simulation::new();
+    let mb: Mailbox<u32> = Mailbox::new();
+    let mb2 = mb.clone();
+    let hits = Arc::new(Mutex::new(0u32));
+    let h2 = hits.clone();
+    sim.spawn_daemon("acceptor", move |ctx| {
+        // Accept one "connection", spawn a handler daemon, park forever.
+        let v = mb2.recv(ctx);
+        let h3 = h2.clone();
+        ctx.scheduler().spawn_daemon("handler", move |hctx| {
+            hctx.sleep(SimDuration::from_micros(v as u64));
+            *h3.lock() += 1;
+        });
+        let forever: Mailbox<u32> = Mailbox::new();
+        let _ = forever.recv(ctx);
+    });
+    sim.spawn("client", move |ctx| {
+        let sched = ctx.scheduler();
+        mb.send(&sched, 3);
+        ctx.sleep(SimDuration::from_micros(10));
+    });
+    sim.run_expect();
+    assert_eq!(*hits.lock(), 1);
+}

@@ -1,0 +1,658 @@
+//! The Verbs-style user API: fabric-wide registry, per-process contexts,
+//! memory regions and queue pairs.
+//!
+//! Semantics implemented (the subset DCFA-MPI relies on, per the paper):
+//!
+//! * Reliable-connected QPs; send-queue work requests execute in post
+//!   order and their data transfers never overtake each other on a QP.
+//! * Two-sided Send/Recv with SGE gather/scatter and FIFO receive matching;
+//!   an inbound Send larger than the posted receive completes with
+//!   `LocalLengthError` (the paper's §IV-B3 mis-prediction case relies on
+//!   length checking).
+//! * One-sided RDMA WRITE and RDMA READ against registered regions, with
+//!   key and range validation. An RDMA WRITE delivers the payload in SGE
+//!   order, so a receiver can poll the tail byte to detect arrival —
+//!   exactly the eager-packet design of the paper ("it's ensured that the
+//!   data payload of the receive buffer uses the same order as the SGEs
+//!   defined in the sender request").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{Buffer, Cluster, Domain, MemRef, NodeId};
+use parking_lot::Mutex;
+use simcore::{Ctx, Scheduler, SimEvent, SimTime};
+
+use crate::cq::CompletionQueue;
+use crate::types::{
+    MrKey, QpNum, RecvWr, SendOpcode, SendWr, Sge, VerbsError, Wc, WcOpcode, WcStatus,
+};
+
+struct MrEntry {
+    buffer: Buffer,
+    write_event: SimEvent,
+}
+
+struct QpShared {
+    qpn: QpNum,
+    node: NodeId,
+    state: Mutex<QpState>,
+}
+
+struct QpState {
+    remote: Option<(NodeId, QpNum)>,
+    /// End time of the last transfer posted on the send queue (RC ordering).
+    sq_busy: SimTime,
+    rq: std::collections::VecDeque<RecvWr>,
+    /// Sends that arrived before a receive was posted (RNR-style holding).
+    backlog: std::collections::VecDeque<InboundSend>,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+}
+
+struct InboundSend {
+    data: Vec<u8>,
+    src: (NodeId, QpNum),
+}
+
+struct FaultSpec {
+    remaining: u64,
+    status: WcStatus,
+}
+
+struct FabState {
+    next_qpn: u32,
+    next_key: u32,
+    mrs: HashMap<u32, MrEntry>,
+    qps: HashMap<(NodeId, u32), Arc<QpShared>>,
+    faults: std::collections::VecDeque<FaultSpec>,
+}
+
+/// The fabric-wide InfiniBand software state: key and QP registries layered
+/// over the hardware [`Cluster`]. One per simulation.
+pub struct IbFabric {
+    cluster: Arc<Cluster>,
+    state: Mutex<FabState>,
+}
+
+impl IbFabric {
+    pub fn new(cluster: Arc<Cluster>) -> Arc<IbFabric> {
+        Arc::new(IbFabric {
+            cluster,
+            state: Mutex::new(FabState {
+                next_qpn: 1,
+                next_key: 1,
+                mrs: HashMap::new(),
+                qps: HashMap::new(),
+                faults: std::collections::VecDeque::new(),
+            }),
+        })
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Fault injection: make the data-path operation posted `after_ops`
+    /// send-queue posts from now complete with `status` instead of
+    /// executing (models HCA/link failures for error-path testing).
+    pub fn inject_fault(&self, after_ops: u64, status: WcStatus) {
+        self.state.lock().faults.push_back(FaultSpec { remaining: after_ops, status });
+    }
+
+    /// One fault-plan tick per posted data operation.
+    fn take_fault(&self) -> Option<WcStatus> {
+        let mut st = self.state.lock();
+        let front = st.faults.front_mut()?;
+        if front.remaining == 0 {
+            let f = st.faults.pop_front().expect("front exists");
+            Some(f.status)
+        } else {
+            front.remaining -= 1;
+            None
+        }
+    }
+
+    fn resolve_mr(&self, key: MrKey) -> Option<(Buffer, SimEvent)> {
+        let st = self.state.lock();
+        st.mrs.get(&key.0).map(|e| (e.buffer.clone(), e.write_event.clone()))
+    }
+
+    /// Rebuild a [`MemoryRegion`] handle from its key (used by the DCFA
+    /// command client after the host daemon performed the registration).
+    pub fn mr_handle(&self, key: MrKey) -> Option<MemoryRegion> {
+        self.resolve_mr(key)
+            .map(|(buffer, write_event)| MemoryRegion { key, buffer, write_event })
+    }
+
+    /// Replace the write-notification event of a registered region and
+    /// return the refreshed handle. Lets a region registered through the
+    /// DCFA daemon participate in a process's multiplexed progress event.
+    pub fn set_write_event(&self, key: MrKey, event: SimEvent) -> Option<MemoryRegion> {
+        let mut st = self.state.lock();
+        let entry = st.mrs.get_mut(&key.0)?;
+        entry.write_event = event.clone();
+        Some(MemoryRegion { key, buffer: entry.buffer.clone(), write_event: event })
+    }
+
+    /// Resolve an SGE to a concrete buffer slice, validating key and range.
+    fn resolve_sge(&self, sge: &Sge) -> Result<Buffer, VerbsError> {
+        let (buf, _ev) = self.resolve_mr(sge.lkey).ok_or(VerbsError::InvalidLKey(sge.lkey))?;
+        let end = sge.addr.checked_add(sge.len).ok_or(VerbsError::SgeOutOfRange {
+            addr: sge.addr,
+            len: sge.len,
+        })?;
+        if sge.addr < buf.addr || end > buf.addr + buf.len {
+            return Err(VerbsError::SgeOutOfRange { addr: sge.addr, len: sge.len });
+        }
+        Ok(buf.slice(sge.addr - buf.addr, sge.len))
+    }
+
+    fn resolve_remote(&self, rkey: MrKey, addr: u64, len: u64) -> Option<(Buffer, SimEvent)> {
+        let (buf, ev) = self.resolve_mr(rkey)?;
+        if addr < buf.addr || addr + len > buf.addr + buf.len {
+            return None;
+        }
+        Some((buf.slice(addr - buf.addr, len), ev))
+    }
+}
+
+/// Per-process device context (`ibv_open_device` analogue). `domain` is
+/// where the calling software runs: it determines per-operation CPU costs
+/// and where SGE content lives.
+pub struct VerbsContext {
+    fabric: Arc<IbFabric>,
+    node: NodeId,
+    domain: Domain,
+}
+
+impl VerbsContext {
+    pub fn open(fabric: Arc<IbFabric>, node: NodeId, domain: Domain) -> Self {
+        VerbsContext { fabric, node, domain }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    pub fn mem_ref(&self) -> MemRef {
+        MemRef { node: self.node, domain: self.domain }
+    }
+
+    pub fn fabric(&self) -> &Arc<IbFabric> {
+        &self.fabric
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        self.fabric.cluster()
+    }
+
+    /// Register a memory region, charging the host-side registration cost
+    /// (pin pages + HCA translation-table update). The DCFA layer wraps
+    /// this with its command round trip for Phi-resident callers.
+    pub fn reg_mr(&self, ctx: &mut Ctx, buffer: Buffer) -> MemoryRegion {
+        let cost = &self.cluster().config().cost;
+        let d = cost.host_mr_reg_base + cost.host_mr_reg_per_page * buffer.pages();
+        ctx.sleep(d);
+        self.reg_mr_uncharged(buffer)
+    }
+
+    /// Register without charging time (the caller models the cost, e.g. the
+    /// DCFA command server which charges the full offload round trip).
+    pub fn reg_mr_uncharged(&self, buffer: Buffer) -> MemoryRegion {
+        self.reg_mr_with_event(buffer, SimEvent::new())
+    }
+
+    /// Register (uncharged) with an externally supplied write event, so
+    /// inbound RDMA writes into this region wake a multiplexed waiter.
+    pub fn reg_mr_with_event(&self, buffer: Buffer, write_event: SimEvent) -> MemoryRegion {
+        let mut st = self.fabric.state.lock();
+        let key = MrKey(st.next_key);
+        st.next_key += 1;
+        st.mrs.insert(key.0, MrEntry { buffer: buffer.clone(), write_event: write_event.clone() });
+        MemoryRegion { key, buffer, write_event }
+    }
+
+    /// Deregister a memory region.
+    pub fn dereg_mr(&self, mr: &MemoryRegion) {
+        self.fabric.state.lock().mrs.remove(&mr.key.0);
+    }
+
+    /// Create a completion queue.
+    pub fn create_cq(&self) -> CompletionQueue {
+        CompletionQueue::new()
+    }
+
+    /// Create a reliable-connected queue pair.
+    pub fn create_qp(&self, send_cq: &CompletionQueue, recv_cq: &CompletionQueue) -> QueuePair {
+        let mut st = self.fabric.state.lock();
+        let qpn = QpNum(st.next_qpn);
+        st.next_qpn += 1;
+        let shared = Arc::new(QpShared {
+            qpn,
+            node: self.node,
+            state: Mutex::new(QpState {
+                remote: None,
+                sq_busy: SimTime::ZERO,
+                rq: Default::default(),
+                backlog: Default::default(),
+                send_cq: send_cq.clone(),
+                recv_cq: recv_cq.clone(),
+            }),
+        });
+        st.qps.insert((self.node, qpn.0), shared.clone());
+        QueuePair {
+            fabric: self.fabric.clone(),
+            shared,
+            domain: self.domain,
+        }
+    }
+}
+
+/// A registered memory region.
+#[derive(Clone)]
+pub struct MemoryRegion {
+    key: MrKey,
+    buffer: Buffer,
+    write_event: SimEvent,
+}
+
+impl MemoryRegion {
+    /// lkey == rkey in the simulated fabric.
+    pub fn key(&self) -> MrKey {
+        self.key
+    }
+
+    pub fn rkey(&self) -> MrKey {
+        self.key
+    }
+
+    pub fn buffer(&self) -> &Buffer {
+        &self.buffer
+    }
+
+    /// Base address of the region.
+    pub fn addr(&self) -> u64 {
+        self.buffer.addr
+    }
+
+    pub fn len(&self) -> u64 {
+        self.buffer.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buffer.len == 0
+    }
+
+    /// An SGE covering `[offset, offset+len)` of the region.
+    pub fn sge(&self, offset: u64, len: u64) -> Sge {
+        assert!(offset + len <= self.buffer.len, "sge outside region");
+        Sge { addr: self.buffer.addr + offset, len, lkey: self.key }
+    }
+
+    /// Fires whenever an inbound RDMA WRITE lands anywhere in this region —
+    /// the simulation's stand-in for polling a cache line.
+    pub fn write_event(&self) -> &SimEvent {
+        &self.write_event
+    }
+}
+
+/// A reliable-connected queue pair.
+pub struct QueuePair {
+    fabric: Arc<IbFabric>,
+    shared: Arc<QpShared>,
+    domain: Domain,
+}
+
+impl QueuePair {
+    pub fn qpn(&self) -> QpNum {
+        self.shared.qpn
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    /// Transition to RTR/RTS against a remote QP (both sides must connect).
+    pub fn connect(&self, remote_node: NodeId, remote_qpn: QpNum) {
+        self.shared.state.lock().remote = Some((remote_node, remote_qpn));
+    }
+
+    /// Convenience: wire two QPs to each other.
+    pub fn connect_pair(a: &QueuePair, b: &QueuePair) {
+        a.connect(b.node(), b.qpn());
+        b.connect(a.node(), a.qpn());
+    }
+
+    /// Post a receive work request.
+    pub fn post_recv(&self, ctx: &mut Ctx, wr: RecvWr) -> Result<(), VerbsError> {
+        // Validate scatter list eagerly.
+        for sge in &wr.sges {
+            self.fabric.resolve_sge(sge)?;
+        }
+        let cost = &self.fabric.cluster().config().cost;
+        ctx.sleep(cost.cpu_op(self.domain));
+        let sched = ctx.scheduler();
+        let mut st = self.shared.state.lock();
+        if let Some(inbound) = st.backlog.pop_front() {
+            // RNR-held send: deliver into this receive right away.
+            let (recv_cq, node) = (st.recv_cq.clone(), self.shared.node);
+            drop(st);
+            self.deliver_send_into(&sched, node, inbound, wr, &recv_cq);
+            return Ok(());
+        }
+        st.rq.push_back(wr);
+        Ok(())
+    }
+
+    /// Post a send-queue work request (Send / RDMA WRITE / RDMA READ).
+    pub fn post_send(&self, ctx: &mut Ctx, wr: SendWr) -> Result<(), VerbsError> {
+        let cost = self.fabric.cluster().config().cost.clone();
+        // Software post overhead + HCA doorbell/WQE fetch.
+        ctx.sleep(cost.cpu_op(self.domain) + cost.hca_wqe_overhead);
+
+        let remote = self
+            .shared
+            .state
+            .lock()
+            .remote
+            .ok_or(VerbsError::QpNotConnected)?;
+
+        // Resolve the local gather/scatter list now (errors are synchronous).
+        let mut local_slices = Vec::with_capacity(wr.sges.len());
+        for sge in &wr.sges {
+            local_slices.push(self.fabric.resolve_sge(sge)?);
+        }
+        let bytes: u64 = wr.byte_len();
+        let cluster = self.fabric.cluster().clone();
+
+        // Where does the data stream run? Send/RdmaWrite: local -> remote.
+        // RdmaRead: remote -> local (initiator is the destination node).
+        // The local endpoint of the stream is wherever the registered SGE
+        // memory actually lives — this is exactly what the offloading send
+        // buffer exploits: a Phi-resident process posting from a host twin
+        // sources the transfer at host DMA speed (§IV-B4).
+        let local_mem = local_slices
+            .first()
+            .map(|b| b.mem)
+            .unwrap_or(MemRef { node: self.shared.node, domain: self.domain });
+        // The remote side of RDMA ops is wherever the remote region lives;
+        // for Send it is wherever the matched receive's SGEs live. We take
+        // the remote memory domain from the registered region / remote QP's
+        // context at delivery time; for path costing we resolve it now.
+        let remote_mem = match wr.opcode {
+            SendOpcode::Send => {
+                // Cost with the remote QP's receive buffers; approximated by
+                // the domain of the first backing region at delivery. For
+                // path costing use the remote node with the same domain as
+                // the registered RQ entries — resolved at delivery; assume
+                // the common case (same domain as the remote QP's first
+                // posted buffer is unknowable now) and cost conservatively
+                // against the slower Phi write only if the remote node's QP
+                // was created from Phi. We look that up via the registry.
+                let rdomain = self.remote_qp_domain(remote).unwrap_or(Domain::Host);
+                MemRef { node: remote.0, domain: rdomain }
+            }
+            SendOpcode::RdmaWrite | SendOpcode::RdmaRead => {
+                let (rbuf, _) = self
+                    .fabric
+                    .resolve_remote(wr.rkey, wr.remote_addr, bytes)
+                    .ok_or(VerbsError::MissingRemote)?;
+                rbuf.mem
+            }
+            SendOpcode::FetchAdd | SendOpcode::CompareSwap => {
+                assert_eq!(bytes, 8, "IB atomics operate on one 8-byte word");
+                let (rbuf, _) = self
+                    .fabric
+                    .resolve_remote(wr.rkey, wr.remote_addr, 8)
+                    .ok_or(VerbsError::MissingRemote)?;
+                rbuf.mem
+            }
+        };
+
+        let after = {
+            let st = self.shared.state.lock();
+            st.sq_busy.max(ctx.now())
+        };
+
+        let (src_mem, dst_mem) = match wr.opcode {
+            SendOpcode::Send | SendOpcode::RdmaWrite => (local_mem, remote_mem),
+            // Reads and atomics: the payload flows back to the initiator
+            // (atomics additionally pay the request hop, like reads).
+            SendOpcode::RdmaRead | SendOpcode::FetchAdd | SendOpcode::CompareSwap => {
+                (remote_mem, local_mem)
+            }
+        };
+        let (_start, end) =
+            cluster.reserve_ib_path(src_mem, dst_mem, bytes.max(1), self.shared.node, after);
+        self.shared.state.lock().sq_busy = end;
+
+        // Fault plan: a planned failure completes with an error WC at the
+        // would-be completion time and moves no data.
+        if let Some(status) = self.fabric.take_fault() {
+            let shared = self.shared.clone();
+            let (wr_id, opcode) = (wr.wr_id, wc_opcode_for(wr.opcode));
+            cluster.call_at(end, move |s| {
+                let send_cq = shared.state.lock().send_cq.clone();
+                send_cq.push(s, Wc { wr_id, status, opcode, byte_len: bytes, src: None });
+            });
+            return Ok(());
+        }
+
+        // Schedule the delivery.
+        let fabric = self.fabric.clone();
+        let shared = self.shared.clone();
+        let wr2 = wr.clone();
+        let domain = self.domain;
+        cluster.call_at(end, move |s| {
+            deliver(&fabric, &shared, domain, wr2, local_slices, remote, bytes, s);
+        });
+        Ok(())
+    }
+
+    fn remote_qp_domain(&self, remote: (NodeId, QpNum)) -> Option<Domain> {
+        // The receive buffers of a Phi-resident process live in Phi memory.
+        // We infer the domain from the remote QP's posted receives if any;
+        // otherwise default to Host. This only affects path *costing* of
+        // two-sided sends (DCFA-MPI uses RDMA for all data movement).
+        let st = self.fabric.state.lock();
+        let qp = st.qps.get(&(remote.0, remote.1 .0))?.clone();
+        drop(st);
+        let qst = qp.state.lock();
+        let sge = qst.rq.front().map(|wr| wr.sges[0])?;
+        drop(qst);
+        let (buf, _) = self.fabric.resolve_mr(sge.lkey)?;
+        Some(buf.mem.domain)
+    }
+
+    fn deliver_send_into(
+        &self,
+        sched: &Scheduler,
+        _node: NodeId,
+        inbound: InboundSend,
+        rwr: RecvWr,
+        recv_cq: &CompletionQueue,
+    ) {
+        let cluster = self.fabric.cluster();
+        scatter_into(
+            &self.fabric,
+            cluster,
+            &inbound.data,
+            &rwr,
+            inbound.src,
+            recv_cq,
+            sched,
+        );
+    }
+}
+
+/// Scatter `data` into a receive WR's SGEs and complete it.
+fn scatter_into(
+    fabric: &Arc<IbFabric>,
+    cluster: &Arc<Cluster>,
+    data: &[u8],
+    rwr: &RecvWr,
+    src: (NodeId, QpNum),
+    recv_cq: &CompletionQueue,
+    sched: &Scheduler,
+) {
+    if (data.len() as u64) > rwr.byte_len() {
+        recv_cq.push(
+            sched,
+            Wc {
+                wr_id: rwr.wr_id,
+                status: WcStatus::LocalLengthError,
+                opcode: WcOpcode::Recv,
+                byte_len: data.len() as u64,
+                src: Some(src),
+            },
+        );
+        return;
+    }
+    let mut off = 0usize;
+    for sge in &rwr.sges {
+        if off >= data.len() {
+            break;
+        }
+        let take = (sge.len as usize).min(data.len() - off);
+        if let Ok(slice) = fabric.resolve_sge(&Sge { addr: sge.addr, len: take as u64, lkey: sge.lkey }) {
+            cluster.write(&slice, 0, &data[off..off + take]);
+        }
+        off += take;
+    }
+    recv_cq.push(
+        sched,
+        Wc {
+            wr_id: rwr.wr_id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Recv,
+            byte_len: data.len() as u64,
+            src: Some(src),
+        },
+    );
+}
+
+fn wc_opcode_for(op: SendOpcode) -> WcOpcode {
+    match op {
+        SendOpcode::Send => WcOpcode::Send,
+        SendOpcode::RdmaWrite => WcOpcode::RdmaWrite,
+        SendOpcode::RdmaRead => WcOpcode::RdmaRead,
+        SendOpcode::FetchAdd => WcOpcode::FetchAdd,
+        SendOpcode::CompareSwap => WcOpcode::CompareSwap,
+    }
+}
+
+/// Executed at transfer end time, in engine context.
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    fabric: &Arc<IbFabric>,
+    shared: &Arc<QpShared>,
+    _domain: Domain,
+    wr: SendWr,
+    local_slices: Vec<Buffer>,
+    remote: (NodeId, QpNum),
+    bytes: u64,
+    sched: &Scheduler,
+) {
+    let cluster = fabric.cluster().clone();
+    let push_local = |status: WcStatus, opcode: WcOpcode| {
+        if wr.signaled {
+            let send_cq = shared.state.lock().send_cq.clone();
+            send_cq.push(
+                sched,
+                Wc { wr_id: wr.wr_id, status, opcode, byte_len: bytes, src: None },
+            );
+        }
+    };
+
+    match wr.opcode {
+        SendOpcode::Send => {
+            // Gather now (completion-time content).
+            let mut data = Vec::with_capacity(bytes as usize);
+            for s in &local_slices {
+                data.extend_from_slice(&cluster.read_vec(s));
+            }
+            let rqp = {
+                let st = fabric.state.lock();
+                st.qps.get(&(remote.0, remote.1 .0)).cloned()
+            };
+            let Some(rqp) = rqp else {
+                push_local(WcStatus::RemoteAccessError, WcOpcode::Send);
+                return;
+            };
+            let mut rst = rqp.state.lock();
+            if let Some(rwr) = rst.rq.pop_front() {
+                let recv_cq = rst.recv_cq.clone();
+                drop(rst);
+                scatter_into(
+                    fabric,
+                    &cluster,
+                    &data,
+                    &rwr,
+                    (shared.node, shared.qpn),
+                    &recv_cq,
+                    sched,
+                );
+            } else {
+                rst.backlog.push_back(InboundSend { data, src: (shared.node, shared.qpn) });
+            }
+            push_local(WcStatus::Success, WcOpcode::Send);
+        }
+        SendOpcode::RdmaWrite => {
+            let Some((rbuf, wev)) = fabric.resolve_remote(wr.rkey, wr.remote_addr, bytes) else {
+                push_local(WcStatus::RemoteAccessError, WcOpcode::RdmaWrite);
+                return;
+            };
+            // Deliver payload in SGE order (tail lands last — pollable).
+            let mut off = 0u64;
+            for s in &local_slices {
+                let data = cluster.read_vec(s);
+                cluster.write(&rbuf.slice(off, s.len), 0, &data);
+                off += s.len;
+            }
+            wev.notify_all(sched);
+            push_local(WcStatus::Success, WcOpcode::RdmaWrite);
+        }
+        SendOpcode::RdmaRead => {
+            let Some((rbuf, _wev)) = fabric.resolve_remote(wr.rkey, wr.remote_addr, bytes) else {
+                push_local(WcStatus::RemoteAccessError, WcOpcode::RdmaRead);
+                return;
+            };
+            let data = cluster.read_vec(&rbuf);
+            let mut off = 0usize;
+            for s in &local_slices {
+                cluster.write(s, 0, &data[off..off + s.len as usize]);
+                off += s.len as usize;
+            }
+            push_local(WcStatus::Success, WcOpcode::RdmaRead);
+        }
+        SendOpcode::FetchAdd | SendOpcode::CompareSwap => {
+            let opcode = wc_opcode_for(wr.opcode);
+            let Some((rbuf, wev)) = fabric.resolve_remote(wr.rkey, wr.remote_addr, 8) else {
+                push_local(WcStatus::RemoteAccessError, opcode);
+                return;
+            };
+            // The serialized engine makes the read-modify-write atomic by
+            // construction (the HCA guarantee).
+            let mut word = [0u8; 8];
+            cluster.read(&rbuf, 0, &mut word);
+            let original = u64::from_le_bytes(word);
+            let new = match wr.opcode {
+                SendOpcode::FetchAdd => Some(original.wrapping_add(wr.compare_add)),
+                SendOpcode::CompareSwap => (original == wr.compare_add).then_some(wr.swap),
+                _ => unreachable!(),
+            };
+            if let Some(v) = new {
+                cluster.write(&rbuf, 0, &v.to_le_bytes());
+                wev.notify_all(sched);
+            }
+            // Original value lands in the local result SGE.
+            cluster.write(&local_slices[0], 0, &original.to_le_bytes());
+            push_local(WcStatus::Success, opcode);
+        }
+    }
+}

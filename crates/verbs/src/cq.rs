@@ -1,0 +1,83 @@
+//! Completion queues.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simcore::{Ctx, Scheduler, SimEvent};
+
+use crate::types::Wc;
+
+struct CqInner {
+    queue: VecDeque<Wc>,
+}
+
+/// A completion queue. Cloning yields another handle to the same queue.
+///
+/// Real HCAs are polled through cache traffic; the simulation additionally
+/// exposes a [`SimEvent`] that fires whenever a CQE is pushed so blocked
+/// processes wake exactly when a completion lands (standing in for the
+/// memory-polling loop without spinning the event queue).
+#[derive(Clone)]
+pub struct CompletionQueue {
+    inner: Arc<Mutex<CqInner>>,
+    event: SimEvent,
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionQueue {
+    pub fn new() -> Self {
+        Self::with_event(SimEvent::new())
+    }
+
+    /// Create a CQ whose pushes notify an externally supplied event, so one
+    /// process can multiplex-wait on several completion sources (CQs plus
+    /// inbound-RDMA region events) — the `ibv_comp_channel` analogue.
+    pub fn with_event(event: SimEvent) -> Self {
+        CompletionQueue {
+            inner: Arc::new(Mutex::new(CqInner { queue: VecDeque::new() })),
+            event,
+        }
+    }
+
+    /// Non-blocking poll, like `ibv_poll_cq` with one entry.
+    pub fn poll(&self) -> Option<Wc> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Blocking poll: parks the process until a CQE is available.
+    pub fn wait(&self, ctx: &mut Ctx) -> Wc {
+        loop {
+            let seen = self.event.epoch();
+            if let Some(wc) = self.poll() {
+                return wc;
+            }
+            ctx.wait_event(&self.event, seen, "cq wait");
+        }
+    }
+
+    /// Number of queued completions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The notification event (for multiplexed waiting).
+    pub fn event(&self) -> &SimEvent {
+        &self.event
+    }
+
+    /// Device side: push a completion and wake pollers.
+    pub(crate) fn push(&self, sched: &Scheduler, wc: Wc) {
+        self.inner.lock().queue.push_back(wc);
+        self.event.notify_all(sched);
+    }
+}

@@ -1,0 +1,22 @@
+//! # verbs — InfiniBand Verbs-style API over the simulated HCA
+//!
+//! The programming interface DCFA exposes on the Xeon Phi is "uniform with
+//! the original host's InfiniBand Verbs library" (§I). This crate implements
+//! that library for the simulation: protection-less contexts, memory-region
+//! registration, reliable-connected queue pairs, completion queues,
+//! two-sided Send/Recv and one-sided RDMA WRITE / RDMA READ with SGE
+//! gather/scatter.
+//!
+//! Data transfers charge virtual time through [`fabric::Cluster`]'s path
+//! model, which includes the paper's discovered bottleneck: the HCA's DMA
+//! read from Xeon Phi memory.
+
+mod api;
+mod cq;
+mod types;
+
+pub use api::{IbFabric, MemoryRegion, QueuePair, VerbsContext};
+pub use cq::CompletionQueue;
+pub use types::{
+    MrKey, QpNum, RecvWr, SendOpcode, SendWr, Sge, VerbsError, Wc, WcOpcode, WcStatus,
+};

@@ -1,0 +1,233 @@
+//! Wire-level types of the Verbs-style API: scatter/gather elements, work
+//! requests, work completions and errors.
+
+use std::fmt;
+
+use fabric::NodeId;
+
+/// Queue-pair number, unique across the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QpNum(pub u32);
+
+impl fmt::Display for QpNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+/// Memory-region key. The simulation uses one key namespace for local and
+/// remote access (lkey == rkey), as many real stacks effectively do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MrKey(pub u32);
+
+/// A scatter/gather element: a range of registered memory, addressed with
+/// the same domain-local addresses the application sees.
+#[derive(Debug, Clone, Copy)]
+pub struct Sge {
+    pub addr: u64,
+    pub len: u64,
+    pub lkey: MrKey,
+}
+
+/// Send-queue operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOpcode {
+    /// Two-sided send; requires a posted receive at the remote QP.
+    Send,
+    /// One-sided write into `(remote_addr, rkey)`.
+    RdmaWrite,
+    /// One-sided read from `(remote_addr, rkey)` into the local SGEs.
+    RdmaRead,
+    /// Atomic fetch-and-add on an 8-byte remote word; the original value
+    /// lands in the (8-byte) local SGE.
+    FetchAdd,
+    /// Atomic compare-and-swap on an 8-byte remote word; the original
+    /// value lands in the local SGE.
+    CompareSwap,
+}
+
+/// A send work request.
+#[derive(Debug, Clone)]
+pub struct SendWr {
+    pub wr_id: u64,
+    pub opcode: SendOpcode,
+    /// Local gather list (Send/RdmaWrite: source; RdmaRead/atomics:
+    /// destination).
+    pub sges: Vec<Sge>,
+    /// Remote address for RDMA operations.
+    pub remote_addr: u64,
+    /// Remote key for RDMA operations.
+    pub rkey: MrKey,
+    /// FetchAdd: the addend. CompareSwap: the expected value.
+    pub compare_add: u64,
+    /// CompareSwap: the replacement value.
+    pub swap: u64,
+    /// Whether a work completion is generated on success.
+    pub signaled: bool,
+}
+
+impl SendWr {
+    fn base(wr_id: u64, opcode: SendOpcode, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
+        SendWr { wr_id, opcode, sges, remote_addr, rkey, compare_add: 0, swap: 0, signaled: true }
+    }
+
+    pub fn send(wr_id: u64, sges: Vec<Sge>) -> Self {
+        Self::base(wr_id, SendOpcode::Send, sges, 0, MrKey(0))
+    }
+
+    pub fn rdma_write(wr_id: u64, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
+        Self::base(wr_id, SendOpcode::RdmaWrite, sges, remote_addr, rkey)
+    }
+
+    pub fn rdma_read(wr_id: u64, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
+        Self::base(wr_id, SendOpcode::RdmaRead, sges, remote_addr, rkey)
+    }
+
+    /// Atomic fetch-and-add of `add` on the 8-byte word at
+    /// `(remote_addr, rkey)`; `result_sge` (8 bytes) receives the
+    /// original value.
+    pub fn fetch_add(wr_id: u64, result_sge: Sge, remote_addr: u64, rkey: MrKey, add: u64) -> Self {
+        let mut wr = Self::base(wr_id, SendOpcode::FetchAdd, vec![result_sge], remote_addr, rkey);
+        wr.compare_add = add;
+        wr
+    }
+
+    /// Atomic compare-and-swap: if the remote word equals `compare`,
+    /// replace it with `swap`; the original value lands in `result_sge`.
+    pub fn compare_swap(
+        wr_id: u64,
+        result_sge: Sge,
+        remote_addr: u64,
+        rkey: MrKey,
+        compare: u64,
+        swap: u64,
+    ) -> Self {
+        let mut wr = Self::base(wr_id, SendOpcode::CompareSwap, vec![result_sge], remote_addr, rkey);
+        wr.compare_add = compare;
+        wr.swap = swap;
+        wr
+    }
+
+    pub fn unsignaled(mut self) -> Self {
+        self.signaled = false;
+        self
+    }
+
+    /// Total gather length.
+    pub fn byte_len(&self) -> u64 {
+        self.sges.iter().map(|s| s.len).sum()
+    }
+}
+
+/// A receive work request (scatter list for an inbound Send).
+#[derive(Debug, Clone)]
+pub struct RecvWr {
+    pub wr_id: u64,
+    pub sges: Vec<Sge>,
+}
+
+impl RecvWr {
+    pub fn new(wr_id: u64, sges: Vec<Sge>) -> Self {
+        RecvWr { wr_id, sges }
+    }
+
+    pub fn byte_len(&self) -> u64 {
+        self.sges.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Work-completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WcStatus {
+    Success,
+    /// Inbound Send larger than the posted receive buffers.
+    LocalLengthError,
+    /// RDMA access outside the registered remote region / bad key.
+    RemoteAccessError,
+}
+
+/// Work-completion opcode (which operation finished).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WcOpcode {
+    Send,
+    RdmaWrite,
+    RdmaRead,
+    FetchAdd,
+    CompareSwap,
+    Recv,
+}
+
+/// A work completion.
+#[derive(Debug, Clone)]
+pub struct Wc {
+    pub wr_id: u64,
+    pub status: WcStatus,
+    pub opcode: WcOpcode,
+    pub byte_len: u64,
+    /// For Recv completions: the sending QP.
+    pub src: Option<(NodeId, QpNum)>,
+}
+
+/// Errors detected synchronously at post time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbsError {
+    QpNotConnected,
+    /// Unknown or deregistered local key.
+    InvalidLKey(MrKey),
+    /// SGE range outside its memory region.
+    SgeOutOfRange { addr: u64, len: u64 },
+    /// RDMA op without a remote key on an op that needs one.
+    MissingRemote,
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::QpNotConnected => write!(f, "queue pair is not connected"),
+            VerbsError::InvalidLKey(k) => write!(f, "invalid local key {k:?}"),
+            VerbsError::SgeOutOfRange { addr, len } => {
+                write!(f, "SGE [{addr:#x}, +{len}) outside its memory region")
+            }
+            VerbsError::MissingRemote => write!(f, "RDMA operation without remote address/key"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_wr_builders() {
+        let sge = Sge { addr: 0x1000, len: 64, lkey: MrKey(7) };
+        let wr = SendWr::send(1, vec![sge]);
+        assert_eq!(wr.opcode, SendOpcode::Send);
+        assert!(wr.signaled);
+        assert_eq!(wr.byte_len(), 64);
+        let wr = SendWr::rdma_write(2, vec![sge, sge], 0x2000, MrKey(9)).unsignaled();
+        assert_eq!(wr.opcode, SendOpcode::RdmaWrite);
+        assert!(!wr.signaled);
+        assert_eq!(wr.byte_len(), 128);
+        assert_eq!(wr.rkey, MrKey(9));
+    }
+
+    #[test]
+    fn recv_wr_len() {
+        let wr = RecvWr::new(
+            3,
+            vec![
+                Sge { addr: 0, len: 10, lkey: MrKey(1) },
+                Sge { addr: 16, len: 22, lkey: MrKey(1) },
+            ],
+        );
+        assert_eq!(wr.byte_len(), 32);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VerbsError::SgeOutOfRange { addr: 0x10, len: 4 };
+        assert!(e.to_string().contains("outside"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Bandwidth sweeps in the style of Figs. 5, 8 and 9: raw RDMA directions
+//! and the MPI runtimes, 4 B – 1 MiB.
+//!
+//! ```text
+//! cargo run --release --example bandwidth_sweep
+//! ```
+
+use dcfa_mpi_repro::apps::{
+    mpi_pingpong_blocking, mpi_pingpong_nonblocking, rdma_direction, Direction, MpiRuntime,
+};
+use dcfa_mpi_repro::dcfa_mpi::MpiConfig;
+use dcfa_mpi_repro::fabric::ClusterConfig;
+
+fn main() {
+    let ccfg = ClusterConfig::paper();
+    let sizes: Vec<u64> = (2..=20).map(|p| 1u64 << p).collect();
+
+    println!("== raw RDMA write bandwidth by direction (GB/s, cf. Fig. 5) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "size", "host->host", "host->phi", "phi->host", "phi->phi"
+    );
+    for &s in sizes.iter().step_by(3) {
+        let row: Vec<f64> = [
+            Direction::HostToHost,
+            Direction::HostToPhi,
+            Direction::PhiToHost,
+            Direction::PhiToPhi,
+        ]
+        .iter()
+        .map(|&d| rdma_direction(&ccfg, d, s, 4).bw_gbs)
+        .collect();
+        println!(
+            "{s:>10} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!("\n== MPI bandwidth (GB/s): DCFA-MPI (±offload buffer) and Intel-MPI-on-Phi ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "size", "dcfa+offload", "dcfa-no-off", "intel-phi"
+    );
+    for &s in sizes.iter().step_by(3) {
+        let a = mpi_pingpong_nonblocking(&ccfg, &MpiRuntime::Dcfa(MpiConfig::dcfa()), s, 6);
+        let b = mpi_pingpong_nonblocking(&ccfg, &MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload()), s, 6);
+        let c = mpi_pingpong_blocking(&ccfg, &MpiRuntime::IntelPhi, s, 6);
+        println!("{s:>10} {:>14.2} {:>14.2} {:>14.2}", a.bw_gbs, b.bw_gbs, c.bw_gbs);
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the full DCFA-MPI reproduction stack.
+//!
+//! See the README for an overview and `examples/` for runnable entry points.
+
+pub use apps;
+pub use baselines;
+pub use dcfa;
+pub use dcfa_mpi;
+pub use fabric;
+pub use scif;
+pub use simcore;
+pub use verbs;
