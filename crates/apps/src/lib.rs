@@ -22,7 +22,8 @@ pub mod traffic;
 pub use commonly::{commonly_dcfa, commonly_offload, CommOnly};
 pub use omp::OmpModel;
 pub use pingpong::{
-    mpi_pingpong_blocking, mpi_pingpong_nonblocking, rdma_direction, Direction, MpiRuntime, PingPong,
+    mpi_pingpong_blocking, mpi_pingpong_nonblocking, rdma_direction, Direction, MpiRuntime,
+    PingPong,
 };
 pub use stencil::{
     stencil_dcfa, stencil_intel_phi, stencil_offload, stencil_serial, StencilParams, StencilResult,

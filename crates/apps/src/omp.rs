@@ -110,6 +110,8 @@ mod tests {
     #[test]
     fn host_point_update_faster_than_phi_per_thread() {
         let cost = CostModel::paper();
-        assert!(OmpModel::host(&cost, 1).region_time(1000) < OmpModel::phi(&cost, 1).region_time(1000));
+        assert!(
+            OmpModel::host(&cost, 1).region_time(1000) < OmpModel::phi(&cost, 1).region_time(1000)
+        );
     }
 }

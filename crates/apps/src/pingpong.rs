@@ -22,8 +22,12 @@ pub enum Direction {
 }
 
 impl Direction {
-    pub const ALL: [Direction; 4] =
-        [Direction::HostToPhi, Direction::PhiToHost, Direction::PhiToPhi, Direction::HostToHost];
+    pub const ALL: [Direction; 4] = [
+        Direction::HostToPhi,
+        Direction::PhiToHost,
+        Direction::PhiToPhi,
+        Direction::HostToHost,
+    ];
 
     pub fn domains(self) -> (Domain, Domain) {
         match self {
@@ -61,15 +65,35 @@ pub fn rdma_direction(ccfg: &ClusterConfig, dir: Direction, size: u64, iters: u3
     let mut sim = Simulation::new();
     let cluster = Cluster::new(sim.scheduler(), ccfg.clone());
     let ib = IbFabric::new(cluster.clone());
-    let out = Arc::new(Mutex::new(PingPong { size, rtt_us: 0.0, bw_gbs: 0.0 }));
+    let out = Arc::new(Mutex::new(PingPong {
+        size,
+        rtt_us: 0.0,
+        bw_gbs: 0.0,
+    }));
     let out2 = out.clone();
     let (sd, dd) = dir.domains();
     sim.spawn("rdma-pingpong", move |ctx| {
         let cl = ib.cluster().clone();
         let a = verbs::VerbsContext::open(ib.clone(), NodeId(0), sd);
         let b = verbs::VerbsContext::open(ib.clone(), NodeId(1), dd);
-        let abuf = cl.alloc_pages(MemRef { node: NodeId(0), domain: sd }, size).unwrap();
-        let bbuf = cl.alloc_pages(MemRef { node: NodeId(1), domain: dd }, size).unwrap();
+        let abuf = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: sd,
+                },
+                size,
+            )
+            .unwrap();
+        let bbuf = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(1),
+                    domain: dd,
+                },
+                size,
+            )
+            .unwrap();
         let amr = a.reg_mr_uncharged(abuf);
         let bmr = b.reg_mr_uncharged(bbuf);
         let cqa = a.create_cq();
@@ -99,7 +123,11 @@ pub fn rdma_direction(ccfg: &ClusterConfig, dir: Direction, size: u64, iters: u3
             cqb.wait(ctx);
         }
         let rtt = (ctx.now() - t0).as_micros_f64() / iters as f64;
-        *out2.lock() = PingPong { size, rtt_us: rtt, bw_gbs: size as f64 / (rtt * 1e-6) / 1e9 };
+        *out2.lock() = PingPong {
+            size,
+            rtt_us: rtt,
+            bw_gbs: size as f64 / (rtt * 1e-6) / 1e9,
+        };
     });
     sim.run_expect();
     let r = *out.lock();
@@ -117,17 +145,33 @@ pub enum MpiRuntime {
 
 /// Blocking MPI ping-pong (Fig. 9 methodology: bandwidth from the round
 /// trip latency of blocking communication, 2 ranks on 2 nodes).
-pub fn mpi_pingpong_blocking(ccfg: &ClusterConfig, rt: &MpiRuntime, size: u64, iters: u32) -> PingPong {
+pub fn mpi_pingpong_blocking(
+    ccfg: &ClusterConfig,
+    rt: &MpiRuntime,
+    size: u64,
+    iters: u32,
+) -> PingPong {
     run_pingpong(ccfg, rt, size, iters, true)
 }
 
 /// Non-blocking exchange (Figs. 7/8 methodology: `MPI_Isend`+`MPI_Irecv`
 /// both ways per iteration).
-pub fn mpi_pingpong_nonblocking(ccfg: &ClusterConfig, rt: &MpiRuntime, size: u64, iters: u32) -> PingPong {
+pub fn mpi_pingpong_nonblocking(
+    ccfg: &ClusterConfig,
+    rt: &MpiRuntime,
+    size: u64,
+    iters: u32,
+) -> PingPong {
     run_pingpong(ccfg, rt, size, iters, false)
 }
 
-fn run_pingpong(ccfg: &ClusterConfig, rt: &MpiRuntime, size: u64, iters: u32, blocking: bool) -> PingPong {
+fn run_pingpong(
+    ccfg: &ClusterConfig,
+    rt: &MpiRuntime,
+    size: u64,
+    iters: u32,
+    blocking: bool,
+) -> PingPong {
     let mut sim = Simulation::new();
     let cluster = Cluster::new(sim.scheduler(), ccfg.clone());
     let out = Arc::new(Mutex::new(0.0f64));
@@ -138,12 +182,20 @@ fn run_pingpong(ccfg: &ClusterConfig, rt: &MpiRuntime, size: u64, iters: u32, bl
         MpiRuntime::Dcfa(cfg) => {
             let ib = IbFabric::new(cluster.clone());
             let scif = ScifFabric::new(cluster.clone());
-            launch(&sim, &ib, &scif, cfg.clone(), 2, LaunchOpts::default(), move |ctx, comm| {
-                let us = body(ctx, comm, size, iters, warmup, blocking);
-                if comm.rank() == 0 {
-                    *out2.lock() = us;
-                }
-            });
+            launch(
+                &sim,
+                &ib,
+                &scif,
+                cfg.clone(),
+                2,
+                LaunchOpts::default(),
+                move |ctx, comm| {
+                    let us = body(ctx, comm, size, iters, warmup, blocking);
+                    if comm.rank() == 0 {
+                        *out2.lock() = us;
+                    }
+                },
+            );
         }
         MpiRuntime::IntelPhi => {
             let world = IntelPhiWorld::new(cluster.clone(), 2);
@@ -158,7 +210,11 @@ fn run_pingpong(ccfg: &ClusterConfig, rt: &MpiRuntime, size: u64, iters: u32, bl
     sim.run_expect();
     let rtt_us = *out.lock();
     let one_way = rtt_us / if blocking { 2.0 } else { 1.0 };
-    PingPong { size, rtt_us, bw_gbs: size as f64 / (one_way * 1e-6) / 1e9 }
+    PingPong {
+        size,
+        rtt_us,
+        bw_gbs: size as f64 / (one_way * 1e-6) / 1e9,
+    }
 }
 
 /// The measured loop, shared by both runtimes via the `Communicator`
@@ -184,13 +240,17 @@ fn body<C: Communicator>(
         if blocking {
             if me == 0 {
                 comm.send(ctx, &sbuf, peer, 1).unwrap();
-                comm.recv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(2)).unwrap();
+                comm.recv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(2))
+                    .unwrap();
             } else {
-                comm.recv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(1)).unwrap();
+                comm.recv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(1))
+                    .unwrap();
                 comm.send(ctx, &sbuf, peer, 2).unwrap();
             }
         } else {
-            let rr = comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(3)).unwrap();
+            let rr = comm
+                .irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(3))
+                .unwrap();
             let sr = comm.isend(ctx, &sbuf, peer, 3).unwrap();
             comm.wait(ctx, sr).unwrap();
             comm.wait(ctx, rr).unwrap();

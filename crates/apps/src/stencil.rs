@@ -36,7 +36,12 @@ pub struct StencilParams {
 impl StencilParams {
     /// The paper's configuration (Table III): 1282² points ≈ 12 MB of f64.
     pub fn paper(procs: usize, threads: u32) -> Self {
-        StencilParams { n: 1282, iters: 100, procs, threads }
+        StencilParams {
+            n: 1282,
+            iters: 100,
+            procs,
+            threads,
+        }
     }
 
     /// Bytes of one halo row (Table III: ~10 KB at n = 1282).
@@ -93,7 +98,13 @@ impl LocalGrid {
             }
         }
         let next = cur.clone();
-        LocalGrid { n: p.n, lr, row0, cur, next }
+        LocalGrid {
+            n: p.n,
+            lr,
+            row0,
+            cur,
+            next,
+        }
     }
 
     fn points(&self) -> u64 {
@@ -184,12 +195,18 @@ fn exchange<C: Communicator>(
     let mut reqs = Vec::with_capacity(4);
     if let Some(u) = up {
         cl.write(&bufs.send_up, 0, &grid.pack_row(1));
-        reqs.push(comm.irecv(ctx, &bufs.recv_up, Src::Rank(u), TagSel::Tag(11)).unwrap());
+        reqs.push(
+            comm.irecv(ctx, &bufs.recv_up, Src::Rank(u), TagSel::Tag(11))
+                .unwrap(),
+        );
         reqs.push(comm.isend(ctx, &bufs.send_up, u, 12).unwrap());
     }
     if let Some(d) = down {
         cl.write(&bufs.send_down, 0, &grid.pack_row(grid.lr));
-        reqs.push(comm.irecv(ctx, &bufs.recv_down, Src::Rank(d), TagSel::Tag(12)).unwrap());
+        reqs.push(
+            comm.irecv(ctx, &bufs.recv_down, Src::Rank(d), TagSel::Tag(12))
+                .unwrap(),
+        );
         reqs.push(comm.isend(ctx, &bufs.send_down, d, 11).unwrap());
     }
     comm.waitall(ctx, &reqs).unwrap();
@@ -227,7 +244,8 @@ fn stencil_body<C: Communicator>(
     let total = ctx.now() - t0;
     // Global checksum (also validates the reduction path).
     let csbuf = comm.cluster().alloc_pages(comm.mem(), 8).unwrap();
-    comm.cluster().write(&csbuf, 0, &grid.checksum().to_le_bytes());
+    comm.cluster()
+        .write(&csbuf, 0, &grid.checksum().to_le_bytes());
     collectives::allreduce(comm, ctx, &csbuf, Datatype::F64, ReduceOp::Sum).unwrap();
     let cs = f64::from_le_bytes(comm.cluster().read_vec(&csbuf).try_into().unwrap());
     (total.as_micros_f64(), cs)
@@ -242,12 +260,20 @@ pub fn stencil_dcfa(ccfg: &ClusterConfig, cfg: MpiConfig, p: StencilParams) -> S
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let out2 = out.clone();
     let omp = OmpModel::phi(&cluster.config().cost, p.threads);
-    launch(&sim, &ib, &scif, cfg, p.procs, LaunchOpts::default(), move |ctx, comm| {
-        let (us, cs) = stencil_body(ctx, comm, p, &omp);
-        if comm.rank() == 0 {
-            *out2.lock() = (us, cs);
-        }
-    });
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        cfg,
+        p.procs,
+        LaunchOpts::default(),
+        move |ctx, comm| {
+            let (us, cs) = stencil_body(ctx, comm, p, &omp);
+            if comm.rank() == 0 {
+                *out2.lock() = (us, cs);
+            }
+        },
+    );
     sim.run_expect();
     let (total_us, checksum) = *out.lock();
     StencilResult {
@@ -297,100 +323,123 @@ pub fn stencil_offload(ccfg: &ClusterConfig, p: StencilParams) -> StencilResult 
     let out2 = out.clone();
     let omp = OmpModel::phi(&cluster.config().cost, p.threads);
     let cl = cluster.clone();
-    launch(&sim, &ib, &scif, MpiConfig::host(), p.procs, LaunchOpts::default(), move |ctx, comm| {
-        let node = fabric::NodeId(comm.rank() % cl.num_nodes());
-        let rt = OffloadRuntime::new(ctx, cl.clone(), node);
-        let mut grid = LocalGrid::new(&p, comm.rank());
-        let bufs = halo_bufs(comm, &p);
-        // Persistent card-side halo staging (the rest of the grid never
-        // leaves the card — paper: "all the other areas can persistently
-        // be kept on the Xeon Phi co-processors"). Both boundary rows are
-        // bundled into ONE offload transfer per direction, matching Table
-        // III's "Copy In 10 KB + Copy Out 10 KB" per stage.
-        let hb = p.halo_bytes();
-        let card_stage = rt.alloc_phi(2 * hb).unwrap();
-        let host_stage = comm.alloc(2 * hb).unwrap();
-        collectives::barrier(comm, ctx).unwrap();
-        let t0 = ctx.now();
-        for _ in 0..p.iters {
-            if p.procs > 1 {
-                let me = comm.rank();
-                let has_up = me > 0;
-                let has_down = me + 1 < p.procs;
-                // Copy Out: both boundary rows card → host in one bundled
-                // offload transfer (Table III).
-                let rows = u64::from(has_up) + u64::from(has_down);
-                let mut off = 0;
-                if has_up {
-                    cl.write(&card_stage, 0, &grid.pack_row(1));
-                    off += hb;
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::host(),
+        p.procs,
+        LaunchOpts::default(),
+        move |ctx, comm| {
+            let node = fabric::NodeId(comm.rank() % cl.num_nodes());
+            let rt = OffloadRuntime::new(ctx, cl.clone(), node);
+            let mut grid = LocalGrid::new(&p, comm.rank());
+            let bufs = halo_bufs(comm, &p);
+            // Persistent card-side halo staging (the rest of the grid never
+            // leaves the card — paper: "all the other areas can persistently
+            // be kept on the Xeon Phi co-processors"). Both boundary rows are
+            // bundled into ONE offload transfer per direction, matching Table
+            // III's "Copy In 10 KB + Copy Out 10 KB" per stage.
+            let hb = p.halo_bytes();
+            let card_stage = rt.alloc_phi(2 * hb).unwrap();
+            let host_stage = comm.alloc(2 * hb).unwrap();
+            collectives::barrier(comm, ctx).unwrap();
+            let t0 = ctx.now();
+            for _ in 0..p.iters {
+                if p.procs > 1 {
+                    let me = comm.rank();
+                    let has_up = me > 0;
+                    let has_down = me + 1 < p.procs;
+                    // Copy Out: both boundary rows card → host in one bundled
+                    // offload transfer (Table III).
+                    let rows = u64::from(has_up) + u64::from(has_down);
+                    let mut off = 0;
+                    if has_up {
+                        cl.write(&card_stage, 0, &grid.pack_row(1));
+                        off += hb;
+                    }
+                    if has_down {
+                        cl.write(&card_stage, off, &grid.pack_row(grid.lr));
+                    }
+                    rt.copy_out(
+                        ctx,
+                        &card_stage.slice(0, rows * hb),
+                        &host_stage.slice(0, rows * hb),
+                    );
+                    // Scatter the staged rows into the MPI send buffers (host
+                    // memcpy; negligible next to the PCIe hop).
+                    let mut off = 0;
+                    if has_up {
+                        let row = cl.read_vec(&host_stage.slice(off, hb));
+                        cl.write(&bufs.send_up, 0, &row);
+                        off += hb;
+                    }
+                    if has_down {
+                        let row = cl.read_vec(&host_stage.slice(off, hb));
+                        cl.write(&bufs.send_down, 0, &row);
+                    }
+                    // Host MPI exchange.
+                    let mut reqs = Vec::new();
+                    if has_up {
+                        reqs.push(
+                            comm.irecv(ctx, &bufs.recv_up, Src::Rank(me - 1), TagSel::Tag(11))
+                                .unwrap(),
+                        );
+                        reqs.push(comm.isend(ctx, &bufs.send_up, me - 1, 12).unwrap());
+                    }
+                    if has_down {
+                        reqs.push(
+                            comm.irecv(ctx, &bufs.recv_down, Src::Rank(me + 1), TagSel::Tag(12))
+                                .unwrap(),
+                        );
+                        reqs.push(comm.isend(ctx, &bufs.send_down, me + 1, 11).unwrap());
+                    }
+                    comm.waitall(ctx, &reqs).unwrap();
+                    // Copy In: both received halos host → card in one bundled
+                    // transfer.
+                    let mut off = 0;
+                    if has_up {
+                        let row = cl.read_vec(&bufs.recv_up);
+                        cl.write(&host_stage, 0, &row);
+                        off += hb;
+                    }
+                    if has_down {
+                        let row = cl.read_vec(&bufs.recv_down);
+                        cl.write(&host_stage, off, &row);
+                    }
+                    rt.copy_in(
+                        ctx,
+                        &host_stage.slice(0, rows * hb),
+                        &card_stage.slice(0, rows * hb),
+                    );
+                    let mut off = 0;
+                    if has_up {
+                        let row = cl.read_vec(&card_stage.slice(off, hb));
+                        grid.unpack_row(0, &row);
+                        off += hb;
+                    }
+                    if has_down {
+                        let row = cl.read_vec(&card_stage.slice(off, hb));
+                        let last = grid.lr + 1;
+                        grid.unpack_row(last, &row);
+                    }
                 }
-                if has_down {
-                    cl.write(&card_stage, off, &grid.pack_row(grid.lr));
-                }
-                rt.copy_out(ctx, &card_stage.slice(0, rows * hb), &host_stage.slice(0, rows * hb));
-                // Scatter the staged rows into the MPI send buffers (host
-                // memcpy; negligible next to the PCIe hop).
-                let mut off = 0;
-                if has_up {
-                    let row = cl.read_vec(&host_stage.slice(off, hb));
-                    cl.write(&bufs.send_up, 0, &row);
-                    off += hb;
-                }
-                if has_down {
-                    let row = cl.read_vec(&host_stage.slice(off, hb));
-                    cl.write(&bufs.send_down, 0, &row);
-                }
-                // Host MPI exchange.
-                let mut reqs = Vec::new();
-                if has_up {
-                    reqs.push(comm.irecv(ctx, &bufs.recv_up, Src::Rank(me - 1), TagSel::Tag(11)).unwrap());
-                    reqs.push(comm.isend(ctx, &bufs.send_up, me - 1, 12).unwrap());
-                }
-                if has_down {
-                    reqs.push(comm.irecv(ctx, &bufs.recv_down, Src::Rank(me + 1), TagSel::Tag(12)).unwrap());
-                    reqs.push(comm.isend(ctx, &bufs.send_down, me + 1, 11).unwrap());
-                }
-                comm.waitall(ctx, &reqs).unwrap();
-                // Copy In: both received halos host → card in one bundled
-                // transfer.
-                let mut off = 0;
-                if has_up {
-                    let row = cl.read_vec(&bufs.recv_up);
-                    cl.write(&host_stage, 0, &row);
-                    off += hb;
-                }
-                if has_down {
-                    let row = cl.read_vec(&bufs.recv_down);
-                    cl.write(&host_stage, off, &row);
-                }
-                rt.copy_in(ctx, &host_stage.slice(0, rows * hb), &card_stage.slice(0, rows * hb));
-                let mut off = 0;
-                if has_up {
-                    let row = cl.read_vec(&card_stage.slice(off, hb));
-                    grid.unpack_row(0, &row);
-                    off += hb;
-                }
-                if has_down {
-                    let row = cl.read_vec(&card_stage.slice(off, hb));
-                    let last = grid.lr + 1;
-                    grid.unpack_row(last, &row);
-                }
+                // Compute region dispatched to the card.
+                let kernel = omp.region_time(grid.points());
+                rt.offload_region(ctx, kernel, |_cl| grid.step(p.n));
             }
-            // Compute region dispatched to the card.
-            let kernel = omp.region_time(grid.points());
-            rt.offload_region(ctx, kernel, |_cl| grid.step(p.n));
-        }
-        collectives::barrier(comm, ctx).unwrap();
-        let total = ctx.now() - t0;
-        let csbuf = comm.cluster().alloc_pages(comm.mem(), 8).unwrap();
-        comm.cluster().write(&csbuf, 0, &grid.checksum().to_le_bytes());
-        collectives::allreduce(comm, ctx, &csbuf, Datatype::F64, ReduceOp::Sum).unwrap();
-        let cs = f64::from_le_bytes(comm.cluster().read_vec(&csbuf).try_into().unwrap());
-        if comm.rank() == 0 {
-            *out2.lock() = (total.as_micros_f64(), cs);
-        }
-    });
+            collectives::barrier(comm, ctx).unwrap();
+            let total = ctx.now() - t0;
+            let csbuf = comm.cluster().alloc_pages(comm.mem(), 8).unwrap();
+            comm.cluster()
+                .write(&csbuf, 0, &grid.checksum().to_le_bytes());
+            collectives::allreduce(comm, ctx, &csbuf, Datatype::F64, ReduceOp::Sum).unwrap();
+            let cs = f64::from_le_bytes(comm.cluster().read_vec(&csbuf).try_into().unwrap());
+            if comm.rank() == 0 {
+                *out2.lock() = (total.as_micros_f64(), cs);
+            }
+        },
+    );
     sim.run_expect();
     let (total_us, checksum) = *out.lock();
     StencilResult {
@@ -407,6 +456,11 @@ pub fn stencil_serial(ccfg: &ClusterConfig, n: usize, iters: u32) -> StencilResu
     stencil_dcfa(
         ccfg,
         MpiConfig::dcfa(),
-        StencilParams { n, iters, procs: 1, threads: 1 },
+        StencilParams {
+            n,
+            iters,
+            procs: 1,
+            threads: 1,
+        },
     )
 }

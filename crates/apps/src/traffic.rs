@@ -94,7 +94,8 @@ pub fn run_rank<C: Communicator>(ctx: &mut Ctx, comm: &mut C, pattern: &TrafficP
     let mut sbufs = Vec::new();
     for m in pattern.sends_of(me) {
         let buf = comm.cluster().alloc_pages(comm.mem(), m.size).unwrap();
-        comm.cluster().write(&buf, 0, &vec![m.salt; m.size as usize]);
+        comm.cluster()
+            .write(&buf, 0, &vec![m.salt; m.size as usize]);
         reqs.push(comm.isend(ctx, &buf, m.to, m.tag).expect("isend"));
         sbufs.push(buf);
     }

@@ -22,10 +22,18 @@ fn soak_dcfa(seed: u64, n: usize, count: usize, cfg: MpiConfig) -> usize {
     let verified = Arc::new(Mutex::new(0usize));
     let v2 = verified.clone();
     let p2 = pattern.clone();
-    launch(&sim, &ib, &scif, cfg, n, LaunchOpts::default(), move |ctx, comm| {
-        let k = run_traffic_rank(ctx, comm, &p2);
-        *v2.lock() += k;
-    });
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        cfg,
+        n,
+        LaunchOpts::default(),
+        move |ctx, comm| {
+            let k = run_traffic_rank(ctx, comm, &p2);
+            *v2.lock() += k;
+        },
+    );
     sim.run_expect();
     let v = *verified.lock();
     assert_eq!(v, count, "every message verified exactly once");
@@ -74,12 +82,25 @@ fn soak_symmetric_placement() {
     let v2 = verified.clone();
     let p2 = pattern.clone();
     let opts = LaunchOpts {
-        placements: Some(vec![Placement::Phi, Placement::Host, Placement::Phi, Placement::Host]),
+        placements: Some(vec![
+            Placement::Phi,
+            Placement::Host,
+            Placement::Phi,
+            Placement::Host,
+        ]),
         ..Default::default()
     };
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), n, opts, move |ctx, comm| {
-        *v2.lock() += run_traffic_rank(ctx, comm, &p2);
-    });
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        n,
+        opts,
+        move |ctx, comm| {
+            *v2.lock() += run_traffic_rank(ctx, comm, &p2);
+        },
+    );
     sim.run_expect();
     assert_eq!(*verified.lock(), 100);
 }
@@ -111,9 +132,17 @@ fn soak_is_deterministic_in_virtual_time() {
         let scif = ScifFabric::new(cluster);
         let pattern = Arc::new(TrafficPattern::generate(seed, n, 60, 1 << 18));
         let p2 = pattern.clone();
-        launch(&sim, &ib, &scif, MpiConfig::dcfa(), n, LaunchOpts::default(), move |ctx, comm| {
-            run_traffic_rank(ctx, comm, &p2);
-        });
+        launch(
+            &sim,
+            &ib,
+            &scif,
+            MpiConfig::dcfa(),
+            n,
+            LaunchOpts::default(),
+            move |ctx, comm| {
+                run_traffic_rank(ctx, comm, &p2);
+            },
+        );
         sim.run_expect().final_time.as_nanos()
     }
     assert_eq!(run(8008), run(8008));

@@ -26,7 +26,12 @@ fn fig5_direction_ordering() {
     let pp = rdma_direction(&c, Direction::PhiToPhi, size, 4);
     // Host-sourced directions match each other; Phi-sourced are >4x slower.
     assert!((hh.bw_gbs / hp.bw_gbs) < 1.15);
-    assert!(hh.bw_gbs / ph.bw_gbs > 4.0, "hh={} ph={}", hh.bw_gbs, ph.bw_gbs);
+    assert!(
+        hh.bw_gbs / ph.bw_gbs > 4.0,
+        "hh={} ph={}",
+        hh.bw_gbs,
+        ph.bw_gbs
+    );
     assert!(hh.bw_gbs / pp.bw_gbs > 4.0);
     // And the Phi-sourced ones are within noise of each other.
     assert!((ph.bw_gbs / pp.bw_gbs - 1.0).abs() < 0.2);
@@ -66,9 +71,16 @@ fn fig9_large_message_bandwidth_gap() {
         "DCFA large bw = {:.2} GB/s, expected ~2.8",
         dcfa.bw_gbs
     );
-    assert!(intel.bw_gbs < 1.05, "Intel-Phi bw = {:.2} GB/s, expected < 1", intel.bw_gbs);
+    assert!(
+        intel.bw_gbs < 1.05,
+        "Intel-Phi bw = {:.2} GB/s, expected < 1",
+        intel.bw_gbs
+    );
     let ratio = dcfa.bw_gbs / intel.bw_gbs;
-    assert!((2.4..4.0).contains(&ratio), "ratio = {ratio:.2}, expected ~3x");
+    assert!(
+        (2.4..4.0).contains(&ratio),
+        "ratio = {ratio:.2}, expected ~3x"
+    );
 }
 
 // ---- Figs. 7/8 shape ---------------------------------------------------------
@@ -100,7 +112,10 @@ fn fig7_dcfa_approaches_host_for_large_messages() {
     let dcfa = mpi_pingpong_nonblocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 1 << 20, 6);
     // Paper: "It is only 2 times slower than the host at 1Mbytes."
     let ratio = dcfa.rtt_us / host.rtt_us;
-    assert!((1.5..2.6).contains(&ratio), "DCFA/host at 1MB = {ratio:.2}, expected ~2");
+    assert!(
+        (1.5..2.6).contains(&ratio),
+        "DCFA/host at 1MB = {ratio:.2}, expected ~2"
+    );
 }
 
 #[test]
@@ -149,14 +164,27 @@ fn stencil_checksums_agree_across_runtimes() {
     // Small grid, all three runtimes + a different proc count must produce
     // the exact same arithmetic result.
     let c = ccfg();
-    let p = StencilParams { n: 66, iters: 10, procs: 4, threads: 8 };
+    let p = StencilParams {
+        n: 66,
+        iters: 10,
+        procs: 4,
+        threads: 8,
+    };
     let a = stencil_dcfa(&c, MpiConfig::dcfa(), p);
     let b = stencil_intel_phi(&c, p);
     let d = stencil_offload(&c, p);
     let serial = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { procs: 1, ..p });
     // Same proc count, same partition, same reduction tree: bit-exact.
-    assert_eq!(a.checksum.to_bits(), b.checksum.to_bits(), "dcfa vs intel-phi");
-    assert_eq!(a.checksum.to_bits(), d.checksum.to_bits(), "dcfa vs offload");
+    assert_eq!(
+        a.checksum.to_bits(),
+        b.checksum.to_bits(),
+        "dcfa vs intel-phi"
+    );
+    assert_eq!(
+        a.checksum.to_bits(),
+        d.checksum.to_bits(),
+        "dcfa vs offload"
+    );
     // Different proc count changes the summation association: ULP-level
     // differences only.
     let rel = (a.checksum - serial.checksum).abs() / serial.checksum.abs();
@@ -167,7 +195,12 @@ fn stencil_checksums_agree_across_runtimes() {
 #[test]
 fn stencil_dcfa_beats_offload_mode() {
     let c = ccfg();
-    let p = StencilParams { n: 258, iters: 6, procs: 4, threads: 16 };
+    let p = StencilParams {
+        n: 258,
+        iters: 6,
+        procs: 4,
+        threads: 16,
+    };
     let dcfa = stencil_dcfa(&c, MpiConfig::dcfa(), p);
     let off = stencil_offload(&c, p);
     let ratio = off.iter_us / dcfa.iter_us;
@@ -179,7 +212,12 @@ fn stencil_dcfa_and_intelphi_close() {
     // Paper: "The results of DCFA-MPI and 'Intel MPI on Xeon Phi' mode do
     // not show a big difference."
     let c = ccfg();
-    let p = StencilParams { n: 258, iters: 6, procs: 4, threads: 16 };
+    let p = StencilParams {
+        n: 258,
+        iters: 6,
+        procs: 4,
+        threads: 16,
+    };
     let dcfa = stencil_dcfa(&c, MpiConfig::dcfa(), p);
     let ip = stencil_intel_phi(&c, p);
     let ratio = ip.iter_us / dcfa.iter_us;
@@ -189,9 +227,36 @@ fn stencil_dcfa_and_intelphi_close() {
 #[test]
 fn stencil_scales_with_procs_and_threads() {
     let c = ccfg();
-    let base = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 258, iters: 4, procs: 1, threads: 1 });
-    let threaded = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 258, iters: 4, procs: 1, threads: 16 });
-    let parallel = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 258, iters: 4, procs: 4, threads: 16 });
+    let base = stencil_dcfa(
+        &c,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n: 258,
+            iters: 4,
+            procs: 1,
+            threads: 1,
+        },
+    );
+    let threaded = stencil_dcfa(
+        &c,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n: 258,
+            iters: 4,
+            procs: 1,
+            threads: 16,
+        },
+    );
+    let parallel = stencil_dcfa(
+        &c,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n: 258,
+            iters: 4,
+            procs: 4,
+            threads: 16,
+        },
+    );
     assert!(threaded.iter_us < base.iter_us / 4.0);
     // At this small grid the halo exchange is a large fraction of the
     // iteration, so expect a modest (not linear) multi-process win.

@@ -49,13 +49,24 @@ pub struct IntelPhiWorld {
 
 impl IntelPhiWorld {
     pub fn new(cluster: Arc<Cluster>, nprocs: usize) -> Arc<IntelPhiWorld> {
-        let nodes = (0..nprocs).map(|r| NodeId(r % cluster.num_nodes())).collect();
+        let nodes = (0..nprocs)
+            .map(|r| NodeId(r % cluster.num_nodes()))
+            .collect();
         let boxes = (0..nprocs)
-            .map(|_| Arc::new(RankBox { arrivals: Mutex::new(VecDeque::new()), event: SimEvent::new() }))
+            .map(|_| {
+                Arc::new(RankBox {
+                    arrivals: Mutex::new(VecDeque::new()),
+                    event: SimEvent::new(),
+                })
+            })
             .collect();
         Arc::new(IntelPhiWorld {
             cluster,
-            state: Arc::new(WorldState { boxes, nodes, pair_chain: Mutex::new(Default::default()) }),
+            state: Arc::new(WorldState {
+                boxes,
+                nodes,
+                pair_chain: Mutex::new(Default::default()),
+            }),
         })
     }
 
@@ -95,7 +106,13 @@ pub struct IntelPhiComm {
 impl IntelPhiComm {
     fn new(world: Arc<IntelPhiWorld>, rank: Rank) -> Self {
         let node = world.state.nodes[rank];
-        IntelPhiComm { world, rank, node, reqs: Default::default(), next_req: 1 }
+        IntelPhiComm {
+            world,
+            rank,
+            node,
+            reqs: Default::default(),
+            next_req: 1,
+        }
     }
 
     fn mailbox(&self) -> &Arc<RankBox> {
@@ -113,17 +130,30 @@ impl IntelPhiComm {
         let cost = cl.config().cost.clone();
         let dst_node = self.world.state.nodes[dst];
         let now = ctx.now();
-        let me_phi = MemRef { node: self.node, domain: Domain::Phi };
-        let dst_phi = MemRef { node: dst_node, domain: Domain::Phi };
+        let me_phi = MemRef {
+            node: self.node,
+            domain: Domain::Phi,
+        };
+        let dst_phi = MemRef {
+            node: dst_node,
+            domain: Domain::Phi,
+        };
 
         if len <= Self::PROXY_MAX {
             // SCIF hop up, host IB, SCIF hop down; proxy daemon work at
             // both ends.
-            let up_done = now + cost.scif_msg_latency + simcore::transfer_time(len.max(1), cost.scif_msg_bw);
+            let up_done =
+                now + cost.scif_msg_latency + simcore::transfer_time(len.max(1), cost.scif_msg_bw);
             let host_start = up_done + cost.proxy_host_work;
             let (_, wire_done) = cl.reserve_ib_path(
-                MemRef { node: self.node, domain: Domain::Host },
-                MemRef { node: dst_node, domain: Domain::Host },
+                MemRef {
+                    node: self.node,
+                    domain: Domain::Host,
+                },
+                MemRef {
+                    node: dst_node,
+                    domain: Domain::Host,
+                },
                 len.max(1),
                 self.node,
                 host_start,
@@ -133,7 +163,10 @@ impl IntelPhiComm {
                 + cost.scif_msg_latency
                 + simcore::transfer_time(len.max(1), cost.scif_msg_bw);
             // Sender-side completion: injection into SCIF is buffered.
-            (now + cost.cpu_op(Domain::Phi), down_done + cost.cpu_op(Domain::Phi))
+            (
+                now + cost.cpu_op(Domain::Phi),
+                down_done + cost.cpu_op(Domain::Phi),
+            )
         } else {
             // Direct path, pipelined in chunks, each paying the software
             // overhead — Phi-sourced, so DMA-read limited.
@@ -189,7 +222,11 @@ impl IntelPhiComm {
                     } else {
                         cl.write(&buf, 0, &a.data);
                         ctx.sleep(cost.cpu_op(Domain::Phi));
-                        ReqSlot::RecvDone(Status { source: a.src, tag: a.tag, len: a.data.len() as u64 })
+                        ReqSlot::RecvDone(Status {
+                            source: a.src,
+                            tag: a.tag,
+                            len: a.data.len() as u64,
+                        })
                     };
                     self.reqs.insert(id, slot);
                     matched = true;
@@ -213,14 +250,23 @@ impl Communicator for IntelPhiComm {
     }
 
     fn mem(&self) -> MemRef {
-        MemRef { node: self.node, domain: Domain::Phi }
+        MemRef {
+            node: self.node,
+            domain: Domain::Phi,
+        }
     }
 
     fn cluster(&self) -> &Arc<Cluster> {
         &self.world.cluster
     }
 
-    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+    fn isend(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        dst: Rank,
+        tag: Tag,
+    ) -> Result<Request, MpiError> {
         if dst >= self.size() || dst == self.rank {
             return Err(MpiError::BadRank(dst));
         }
@@ -230,7 +276,9 @@ impl Communicator for IntelPhiComm {
         {
             // Enforce non-overtaking per ordered pair.
             let mut chain = self.world.state.pair_chain.lock();
-            let last = chain.entry((self.rank, dst)).or_insert(simcore::SimTime::ZERO);
+            let last = chain
+                .entry((self.rank, dst))
+                .or_insert(simcore::SimTime::ZERO);
             delivered = delivered.max(*last);
             *last = delivered;
         }
@@ -244,7 +292,11 @@ impl Communicator for IntelPhiComm {
         });
         let id = self.next_req;
         self.next_req += 1;
-        let status = Status { source: dst, tag, len: buf.len };
+        let status = Status {
+            source: dst,
+            tag,
+            len: buf.len,
+        };
         // Sender-side completion time: park until `send_done`.
         if send_done > ctx.now() {
             ctx.sleep(send_done - ctx.now());
@@ -253,7 +305,13 @@ impl Communicator for IntelPhiComm {
         Ok(Request(id))
     }
 
-    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+    fn irecv(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Request, MpiError> {
         if let Src::Rank(s) = src {
             if s >= self.size() || s == self.rank {
                 return Err(MpiError::BadRank(s));
@@ -263,7 +321,14 @@ impl Communicator for IntelPhiComm {
         ctx.sleep(cost.mpi_call_phi);
         let id = self.next_req;
         self.next_req += 1;
-        self.reqs.insert(id, ReqSlot::RecvPending { buf: buf.clone(), src, tag });
+        self.reqs.insert(
+            id,
+            ReqSlot::RecvPending {
+                buf: buf.clone(),
+                src,
+                tag,
+            },
+        );
         self.try_match(ctx);
         Ok(Request(id))
     }

@@ -35,7 +35,11 @@ impl OffloadRuntime {
     pub fn new(ctx: &mut Ctx, cluster: Arc<Cluster>, node: NodeId) -> Self {
         let cost = &cluster.config().cost;
         ctx.sleep(cost.offload_region_overhead);
-        OffloadRuntime { cluster, node, dma_busy: Mutex::new(SimTime::ZERO) }
+        OffloadRuntime {
+            cluster,
+            node,
+            dma_busy: Mutex::new(SimTime::ZERO),
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -43,7 +47,10 @@ impl OffloadRuntime {
     }
 
     fn phi(&self) -> MemRef {
-        MemRef { node: self.node, domain: Domain::Phi }
+        MemRef {
+            node: self.node,
+            domain: Domain::Phi,
+        }
     }
 
     /// Allocate a persistent buffer on the card.
@@ -92,7 +99,9 @@ impl OffloadRuntime {
             let busy = self.dma_busy.lock();
             (*busy).max(ctx.now())
         };
-        let t = self.cluster.pci_dma_at_rate(src, dst, after, cost.offload_copy_bw);
+        let t = self
+            .cluster
+            .pci_dma_at_rate(src, dst, after, cost.offload_copy_bw);
         *self.dma_busy.lock() = t.end;
         t
     }

@@ -114,7 +114,10 @@ fn intel_phi_4byte_rtt_near_28us() {
     });
     sim.run_expect();
     let rtt = *rtt.lock();
-    assert!((20.0..36.0).contains(&rtt), "4B RTT = {rtt:.1}us, expected ~28us");
+    assert!(
+        (20.0..36.0).contains(&rtt),
+        "4B RTT = {rtt:.1}us, expected ~28us"
+    );
 }
 
 #[test]
@@ -141,7 +144,11 @@ fn intel_phi_large_bandwidth_below_1gbs() {
     });
     sim.run_expect();
     let bw = *bw.lock();
-    assert!(bw < 1.1e9, "Intel-Phi large bandwidth {:.2} GB/s should be < ~1", bw / 1e9);
+    assert!(
+        bw < 1.1e9,
+        "Intel-Phi large bandwidth {:.2} GB/s should be < ~1",
+        bw / 1e9
+    );
     assert!(bw > 0.5e9, "sanity: {:.2} GB/s", bw / 1e9);
 }
 
@@ -151,7 +158,15 @@ fn offload_runtime_copy_roundtrip() {
     let cl = cluster.clone();
     sim.spawn("host-rank", move |ctx| {
         let rt = OffloadRuntime::new(ctx, cl.clone(), NodeId(0));
-        let host = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Host }, 8192).unwrap();
+        let host = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Host,
+                },
+                8192,
+            )
+            .unwrap();
         let card = rt.alloc_phi(8192).unwrap();
         cl.write(&host, 0, &[9u8; 8192]);
         rt.copy_in(ctx, &host, &card);
@@ -173,7 +188,15 @@ fn offload_transfer_overhead_dominates_small_copies() {
     let t2 = times.clone();
     sim.spawn("host-rank", move |ctx| {
         let rt = OffloadRuntime::new(ctx, cl.clone(), NodeId(0));
-        let host = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Host }, 1 << 20).unwrap();
+        let host = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Host,
+                },
+                1 << 20,
+            )
+            .unwrap();
         let card = rt.alloc_phi(1 << 20).unwrap();
         let t0 = ctx.now();
         rt.copy_in(ctx, &host.slice(0, 64), &card.slice(0, 64));
@@ -207,7 +230,15 @@ fn offload_copies_serialize_on_the_coi_stream() {
     sim.spawn("host-rank", move |ctx| {
         let rt = OffloadRuntime::new(ctx, cl.clone(), NodeId(0));
         let len = 4 << 20;
-        let host = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Host }, 2 * len).unwrap();
+        let host = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Host,
+                },
+                2 * len,
+            )
+            .unwrap();
         let card = rt.alloc_phi(2 * len).unwrap();
         let t0 = ctx.now();
         rt.copy_in(ctx, &host.slice(0, len), &card.slice(0, len));

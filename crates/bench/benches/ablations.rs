@@ -18,11 +18,15 @@ fn bench(c: &mut Criterion) {
     g.bench_function("offload_threshold_sweep_256k", |b| {
         b.iter(|| ablation_offload_threshold(&ccfg, 256 << 10))
     });
-    g.bench_function("mr_cache_on_off_1m", |b| b.iter(|| ablation_mr_cache(&ccfg, 1 << 20)));
+    g.bench_function("mr_cache_on_off_1m", |b| {
+        b.iter(|| ablation_mr_cache(&ccfg, 1 << 20))
+    });
     g.bench_function("eager_threshold_sweep_8k", |b| {
         b.iter(|| ablation_eager_threshold(&ccfg, 8 << 10))
     });
-    g.bench_function("rndv_skew_512k", |b| b.iter(|| ablation_rndv_skew(&ccfg, 512 << 10)));
+    g.bench_function("rndv_skew_512k", |b| {
+        b.iter(|| ablation_rndv_skew(&ccfg, 512 << 10))
+    });
     g.bench_function("host_staged_bcast_2m", |b| {
         b.iter(|| ablation_host_staged_bcast(&ccfg, 2 << 20))
     });

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     let cases = [
         ("dcfa_offload", MpiRuntime::Dcfa(MpiConfig::dcfa())),
-        ("dcfa_no_offload", MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload())),
+        (
+            "dcfa_no_offload",
+            MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload()),
+        ),
         ("host", MpiRuntime::Dcfa(MpiConfig::host())),
     ];
     for (name, rt) in &cases {

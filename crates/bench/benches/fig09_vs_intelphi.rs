@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
         ("intel_phi", MpiRuntime::IntelPhi),
     ] {
         for size in [4u64, 1 << 20] {
-            g.bench_with_input(BenchmarkId::new(name, size), &(&rt, size), |b, (rt, size)| {
-                b.iter(|| mpi_pingpong_blocking(&ccfg, rt, *size, 6))
-            });
+            g.bench_with_input(
+                BenchmarkId::new(name, size),
+                &(&rt, size),
+                |b, (rt, size)| b.iter(|| mpi_pingpong_blocking(&ccfg, rt, *size, 6)),
+            );
         }
     }
     g.finish();

@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(3));
-    let p = StencilParams { n: 258, iters: 5, procs: 4, threads: 16 };
+    let p = StencilParams {
+        n: 258,
+        iters: 5,
+        procs: 4,
+        threads: 16,
+    };
     g.bench_with_input(BenchmarkId::new("dcfa", "4x16"), &p, |b, &p| {
         b.iter(|| stencil_dcfa(&ccfg, MpiConfig::dcfa(), p))
     });

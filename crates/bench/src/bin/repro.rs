@@ -9,6 +9,8 @@
 //! repro table2 fig10   # communication-only app
 //! repro table3 fig11 fig12   # five-point stencil
 //! repro --quick all    # reduced sweeps (for smoke testing)
+//! repro --stats        # per-protocol counters of a traced 4-rank run
+//! repro --trace        # tail of the protocol event ring + audit verdict
 //! ```
 
 use bench::{
@@ -45,8 +47,16 @@ fn main() {
         })
         .map(|s| s.as_str())
         .collect();
-    let all = wanted.is_empty() || wanted.contains(&"all");
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let show_trace = args.iter().any(|a| a == "--trace");
+    // A bare `repro --stats` / `--trace` runs only the observability
+    // report, not the full figure sweep.
+    let all = wanted.contains(&"all") || (wanted.is_empty() && !show_stats && !show_trace);
     let want = |k: &str| all || wanted.contains(&k);
+
+    if show_stats || show_trace {
+        observability(show_stats, show_trace);
+    }
 
     let ccfg = ClusterConfig::paper();
     let max_pow = if quick { 18 } else { 22 }; // 256 KiB or 4 MiB sweeps
@@ -106,7 +116,10 @@ fn main() {
     if want("table2") {
         println!("\n== Table II: communication-only data volume per iteration ==");
         println!("{:>12} | {:<40}", "Data size", "X bytes");
-        println!("{:>12} | {:<40}", "Offloading", "Copy In X + Copy Out X (offload mode only)");
+        println!(
+            "{:>12} | {:<40}",
+            "Offloading", "Copy In X + Copy Out X (offload mode only)"
+        );
         println!("{:>12} | {:<40}", "MPI", "Send X + Receive X");
     }
 
@@ -130,16 +143,35 @@ fn main() {
 
     if want("table3") {
         let p = apps::StencilParams::paper(8, 56);
-        println!("\n== Table III: five-point stencil data sizes (n = {}) ==", p.n);
+        println!(
+            "\n== Table III: five-point stencil data sizes (n = {}) ==",
+            p.n
+        );
         println!("{:>22} | {:>12}", "Problem size", format!("{0} x {0}", p.n));
-        println!("{:>22} | {:>12}", "Computing data", format!("{:.1} MB", p.grid_bytes() as f64 / 1e6));
-        println!("{:>22} | {:>12}", "Offloading data", format!("2 x {:.1} KB", p.halo_bytes() as f64 / 1e3));
-        println!("{:>22} | {:>12}", "MPI data", format!("2 x {:.1} KB", p.halo_bytes() as f64 / 1e3));
+        println!(
+            "{:>22} | {:>12}",
+            "Computing data",
+            format!("{:.1} MB", p.grid_bytes() as f64 / 1e6)
+        );
+        println!(
+            "{:>22} | {:>12}",
+            "Offloading data",
+            format!("2 x {:.1} KB", p.halo_bytes() as f64 / 1e3)
+        );
+        println!(
+            "{:>22} | {:>12}",
+            "MPI data",
+            format!("2 x {:.1} KB", p.halo_bytes() as f64 / 1e3)
+        );
     }
 
     if want("fig11") || want("fig12") {
         let procs: &[usize] = &[1, 2, 4, 8];
-        let threads: &[u32] = if quick { &[1, 8, 56] } else { &[1, 4, 8, 16, 28, 56] };
+        let threads: &[u32] = if quick {
+            &[1, 8, 56]
+        } else {
+            &[1, 4, 8, 16, 28, 56]
+        };
         let (serial_us, cells) = fig11_fig12(&ccfg, sn, siters, procs, threads);
         println!(
             "\n== Figures 11/12: five-point stencil, n = {sn}, {siters} iterations (serial: {:.1} us/iter) ==",
@@ -160,7 +192,10 @@ fn main() {
             .iter()
             .filter(|c| c.procs == 8 && c.threads == *threads.last().unwrap())
             .collect();
-        println!("\nheadline @ 8 procs x {} threads:", threads.last().unwrap());
+        println!(
+            "\nheadline @ 8 procs x {} threads:",
+            threads.last().unwrap()
+        );
         for c in headline {
             println!("  {:<30} {:>7.1}x", c.runtime, c.speedup_vs_serial);
         }
@@ -173,7 +208,11 @@ fn main() {
         println!("\n== Ablations (design choices, DESIGN.md §6) ==");
         println!("offloading-send-buffer threshold sweep @256 KiB message (RTT us):");
         for (thr, us) in ablation_offload_threshold(&ccfg, 256 << 10) {
-            let label = if thr == u64::MAX { "off".to_string() } else { format!("{}K", thr >> 10) };
+            let label = if thr == u64::MAX {
+                "off".to_string()
+            } else {
+                format!("{}K", thr >> 10)
+            };
             println!("  threshold {label:>5}: {us:>10.1} us");
         }
         let (with_us, without_us) = ablation_mr_cache(&ccfg, 1 << 20);
@@ -189,4 +228,56 @@ fn main() {
         println!("host-staged bcast @2 MiB x 8 ranks (future work §VI): plain {plain:.1} us, staged {staged:.1} us ({:.2}x)",
             plain / staged);
     }
+}
+
+/// `--stats` / `--trace`: run the traced 4-rank mixed-protocol workload
+/// and report counters, fabric utilization, the event-ring tail and the
+/// protocol-auditor verdict.
+fn observability(show_stats: bool, show_trace: bool) {
+    let run = bench::observability_run(&ClusterConfig::paper());
+    if show_stats {
+        println!("== per-rank protocol & cache counters (traced 4-rank mixed run) ==");
+        for r in &run.reports {
+            println!("{r}");
+        }
+        if let Some(d) = &run.daemon {
+            println!(
+                "dcfa daemons: {} connections, {} commands ({} reg / {} dereg MR, {} reg / {} dereg offload, {} errors)",
+                d.connections,
+                d.commands,
+                d.mr_registered,
+                d.mr_deregistered,
+                d.offload_registered,
+                d.offload_deregistered,
+                d.errors,
+            );
+        }
+        println!("fabric channels:");
+        for f in &run.fabric {
+            println!("{f}");
+        }
+    }
+    if show_trace {
+        const TAIL: usize = 40;
+        let skip = run.events.len().saturating_sub(TAIL);
+        println!(
+            "== protocol event trace: last {} of {} events ({} dropped by ring) ==",
+            run.events.len() - skip,
+            run.events.len(),
+            run.dropped
+        );
+        for ev in &run.events[skip..] {
+            println!("  {ev:?}");
+        }
+    }
+    match &run.audit {
+        Ok(report) => println!("auditor: OK — {report:?}"),
+        Err(errors) => {
+            println!("auditor: {} invariant violations", errors.len());
+            for e in errors {
+                println!("  {e}");
+            }
+        }
+    }
+    println!();
 }

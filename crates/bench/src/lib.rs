@@ -55,8 +55,14 @@ pub fn fig5(ccfg: &ClusterConfig, max_pow: u32) -> Vec<Series> {
 /// with/without the offloading send buffer vs. host MPI.
 pub fn fig7_fig8(ccfg: &ClusterConfig, max_pow: u32) -> (Vec<Series>, Vec<Series>) {
     let runtimes = [
-        ("DCFA-MPI (offload send buffer)", MpiRuntime::Dcfa(MpiConfig::dcfa())),
-        ("DCFA-MPI (no offload)", MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload())),
+        (
+            "DCFA-MPI (offload send buffer)",
+            MpiRuntime::Dcfa(MpiConfig::dcfa()),
+        ),
+        (
+            "DCFA-MPI (no offload)",
+            MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload()),
+        ),
         ("host MPI (YAMPII)", MpiRuntime::Dcfa(MpiConfig::host())),
     ];
     let mut rtt = Vec::new();
@@ -69,8 +75,14 @@ pub fn fig7_fig8(ccfg: &ClusterConfig, max_pow: u32) -> (Vec<Series>, Vec<Series
             rtt_pts.push((s, r.rtt_us));
             bw_pts.push((s, r.bw_gbs));
         }
-        rtt.push(Series { label: label.to_string(), points: rtt_pts });
-        bw.push(Series { label: label.to_string(), points: bw_pts });
+        rtt.push(Series {
+            label: label.to_string(),
+            points: rtt_pts,
+        });
+        bw.push(Series {
+            label: label.to_string(),
+            points: bw_pts,
+        });
     }
     (rtt, bw)
 }
@@ -109,7 +121,12 @@ pub fn fig10(ccfg: &ClusterConfig, max_pow: u32) -> Vec<Series> {
         label: "DCFA-MPI".into(),
         points: sizes
             .iter()
-            .map(|&s| (s, commonly_dcfa(ccfg, MpiConfig::dcfa(), s, iters_for(s)).iter_us))
+            .map(|&s| {
+                (
+                    s,
+                    commonly_dcfa(ccfg, MpiConfig::dcfa(), s, iters_for(s)).iter_us,
+                )
+            })
             .collect(),
     };
     let off = Series {
@@ -141,11 +158,25 @@ pub fn fig11_fig12(
     procs_list: &[usize],
     threads_list: &[u32],
 ) -> (f64, Vec<StencilCell>) {
-    let serial = stencil_dcfa(ccfg, MpiConfig::dcfa(), StencilParams { n, iters, procs: 1, threads: 1 });
+    let serial = stencil_dcfa(
+        ccfg,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n,
+            iters,
+            procs: 1,
+            threads: 1,
+        },
+    );
     let mut cells = Vec::new();
     for &procs in procs_list {
         for &threads in threads_list {
-            let p = StencilParams { n, iters, procs, threads };
+            let p = StencilParams {
+                n,
+                iters,
+                procs,
+                threads,
+            };
             for (runtime, r) in [
                 ("DCFA-MPI", stencil_dcfa(ccfg, MpiConfig::dcfa(), p)),
                 ("Intel MPI on Xeon Phi", stencil_intel_phi(ccfg, p)),
@@ -176,7 +207,10 @@ pub fn ablation_offload_threshold(ccfg: &ClusterConfig, msg: u64) -> Vec<(u64, f
         let cfg = if thr == u64::MAX {
             MpiConfig::dcfa_no_offload()
         } else {
-            MpiConfig { offload_threshold: Some(thr), ..MpiConfig::dcfa() }
+            MpiConfig {
+                offload_threshold: Some(thr),
+                ..MpiConfig::dcfa()
+            }
         };
         let r = mpi_pingpong_nonblocking(ccfg, &MpiRuntime::Dcfa(cfg), msg, 8);
         out.push((thr, r.rtt_us));
@@ -186,12 +220,77 @@ pub fn ablation_offload_threshold(ccfg: &ClusterConfig, msg: u64) -> Vec<(u64, f
 
 /// MR-cache ablation: ping-pong a large (rendezvous) message with the
 /// buffer cache pool on vs. off. Returns `(with_us, without_us)`.
+///
+/// Beyond timing, this asserts the cache actually behaved as configured:
+/// with the pool on, repeated sends from the same buffer must hit; with
+/// `mr_cache_capacity = 0` there must be no hits and no region may stay
+/// resident after the run (the leak this layer's lease model fixed).
 pub fn ablation_mr_cache(ccfg: &ClusterConfig, msg: u64) -> (f64, f64) {
-    let with = MpiConfig::dcfa_no_offload();
-    let without = MpiConfig { mr_cache_capacity: 0, ..MpiConfig::dcfa_no_offload() };
-    let a = mpi_pingpong_nonblocking(ccfg, &MpiRuntime::Dcfa(with), msg, 8);
-    let b = mpi_pingpong_nonblocking(ccfg, &MpiRuntime::Dcfa(without), msg, 8);
-    (a.rtt_us, b.rtt_us)
+    use dcfa_mpi::{Communicator, Src, TagSel};
+    use std::sync::Arc;
+
+    fn run(ccfg: &ClusterConfig, msg: u64, cached: bool) -> f64 {
+        let cfg = if cached {
+            MpiConfig::dcfa_no_offload()
+        } else {
+            MpiConfig {
+                mr_cache_capacity: 0,
+                ..MpiConfig::dcfa_no_offload()
+            }
+        };
+        let iters = 8u32;
+        let mut sim = simcore::Simulation::new();
+        let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
+        let ib = verbs::IbFabric::new(cluster.clone());
+        let scif = scif::ScifFabric::new(cluster);
+        let out = Arc::new(parking_lot::Mutex::new(0.0f64));
+        let out2 = out.clone();
+        dcfa_mpi::launch(
+            &sim,
+            &ib,
+            &scif,
+            cfg,
+            2,
+            dcfa_mpi::LaunchOpts::default(),
+            move |ctx, comm| {
+                let buf = comm.alloc(msg).unwrap();
+                let t0 = ctx.now();
+                for _ in 0..iters {
+                    if comm.rank() == 0 {
+                        comm.send(ctx, &buf, 1, 1).unwrap();
+                        comm.recv(ctx, &buf, Src::Rank(1), TagSel::Tag(1)).unwrap();
+                    } else {
+                        comm.recv(ctx, &buf, Src::Rank(0), TagSel::Tag(1)).unwrap();
+                        comm.send(ctx, &buf, 0, 1).unwrap();
+                    }
+                }
+                if comm.rank() == 0 {
+                    *out2.lock() = (ctx.now() - t0).as_micros_f64() / f64::from(iters);
+                }
+                let (hits, misses) = comm.mr_cache_stats();
+                if cached {
+                    assert!(
+                        hits > 0,
+                        "cache on: repeated same-buffer sends must hit (hits={hits})"
+                    );
+                } else {
+                    assert_eq!(hits, 0, "cache off: no lookups may hit");
+                    assert!(misses > 0, "cache off: every acquire is a miss");
+                    assert_eq!(
+                        comm.mr_cache_len(),
+                        0,
+                        "cache off: no region may stay resident (leak)"
+                    );
+                }
+                assert_eq!(comm.mr_pinned_len(), 0, "no lease may outlive its transfer");
+            },
+        );
+        sim.run_expect();
+        let v = *out.lock();
+        v
+    }
+
+    (run(ccfg, msg, true), run(ccfg, msg, false))
 }
 
 /// Eager/rendezvous switch-point sweep at a fixed message size.
@@ -300,6 +399,116 @@ pub fn ablation_host_staged_bcast(ccfg: &ClusterConfig, msg: u64) -> (f64, f64) 
     v
 }
 
+// ---- observability (`repro --stats` / `--trace`) ---------------------------
+
+/// Everything `repro --stats` / `repro --trace` reports: per-rank counter
+/// snapshots, daemon + fabric counters, and the audited protocol-event
+/// trace of a short mixed-protocol run.
+pub struct ObservabilityRun {
+    /// Per-rank [`dcfa_mpi::StatsReport`], indexed by rank.
+    pub reports: Vec<dcfa_mpi::StatsReport>,
+    /// DCFA host-daemon counters (all nodes aggregated).
+    pub daemon: Option<dcfa::DcfaCounters>,
+    /// Per-node channel utilization.
+    pub fabric: Vec<fabric::FabricStats>,
+    /// The recorded protocol events, in causal order.
+    pub events: Vec<dcfa_mpi::TraceEvent>,
+    /// Events dropped by the ring (0 unless the run outgrew the capacity).
+    pub dropped: u64,
+    /// Protocol-auditor verdict over `events`.
+    pub audit: Result<dcfa_mpi::AuditReport, Vec<String>>,
+}
+
+/// Run the 4-rank mixed workload behind `repro --stats`: eager ring
+/// traffic, sender-first and receiver-first rendezvous (forced by skewing
+/// the peers), `MPI_ANY_SOURCE` receives and offload-buffer syncs — every
+/// protocol path the trace layer instruments — with tracing enabled, then
+/// audit the event stream.
+pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
+    use dcfa_mpi::{Communicator, Src, TagSel};
+    use std::sync::Arc;
+
+    const N: usize = 4;
+    let mut sim = simcore::Simulation::new();
+    let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
+    let ib = verbs::IbFabric::new(cluster.clone());
+    let scif = scif::ScifFabric::new(cluster.clone());
+    let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
+    let reports2 = reports.clone();
+    let opts = dcfa_mpi::LaunchOpts {
+        tracer: Some(tracer.clone()),
+        ..Default::default()
+    };
+    let daemon = dcfa_mpi::launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        N,
+        opts,
+        move |ctx, comm| {
+            let (r, n) = (comm.rank(), comm.size());
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            let skew = simcore::SimDuration::from_micros(150);
+            let stx = comm.alloc(512).unwrap();
+            let srx = comm.alloc(512).unwrap();
+            let big = comm.alloc(64 << 10).unwrap();
+            // Eager ring traffic (and credit-return pressure).
+            for _ in 0..8 {
+                comm.sendrecv(ctx, &stx, next, &srx, prev, 10).unwrap();
+            }
+            // Rendezvous between pairs (0<->1, 2<->3), both flavours: first
+            // the receiver arrives late (sender-first RTS path), then the
+            // sender arrives late (receiver-first RTR path). 64 KiB is past
+            // the eager and offload thresholds, so the sends also exercise
+            // the offloading send buffer.
+            let peer = r ^ 1;
+            for recv_late in [true, false] {
+                if r % 2 == 0 {
+                    if !recv_late {
+                        ctx.sleep(skew);
+                    }
+                    comm.send(ctx, &big, peer, 20).unwrap();
+                } else {
+                    if recv_late {
+                        ctx.sleep(skew);
+                    }
+                    comm.recv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
+                        .unwrap();
+                }
+            }
+            // ANY_SOURCE fan-in to rank 0 (sequence-locking path).
+            if r == 0 {
+                for _ in 1..n {
+                    comm.recv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
+                }
+            } else {
+                comm.send(ctx, &stx, 0, 30).unwrap();
+            }
+            reports2.lock()[r] = Some(comm.dump());
+        },
+    );
+    sim.run_expect();
+    let events = tracer.snapshot();
+    let per_rank: Vec<_> = reports
+        .lock()
+        .iter()
+        .map(|r| r.expect("rank finished"))
+        .collect();
+    ObservabilityRun {
+        reports: per_rank,
+        daemon: daemon.map(|d| d.snapshot()),
+        fabric: (0..cluster.num_nodes())
+            .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
+            .collect(),
+        dropped: tracer.dropped(),
+        audit: dcfa_mpi::audit(&events),
+        events,
+    }
+}
+
 /// Write a set of series as CSV: `size,<label1>,<label2>,...`.
 pub fn write_series_csv(path: &std::path::Path, series: &[Series]) -> std::io::Result<()> {
     use std::io::Write;
@@ -387,8 +596,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
         let series = vec![
-            Series { label: "a,b".into(), points: vec![(4, 1.5), (8, 2.5)] },
-            Series { label: "c".into(), points: vec![(4, 3.0), (8, 4.0)] },
+            Series {
+                label: "a,b".into(),
+                points: vec![(4, 1.5), (8, 2.5)],
+            },
+            Series {
+                label: "c".into(),
+                points: vec![(4, 3.0), (8, 4.0)],
+            },
         ];
         write_series_csv(&path, &series).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

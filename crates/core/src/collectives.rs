@@ -14,7 +14,9 @@ use crate::types::{Datatype, MpiError, Rank, ReduceOp, Src, Tag, TagSel};
 const COLL_TAG: Tag = 0xF000_0000;
 
 fn tmp(c: &impl Communicator, len: u64) -> Result<Buffer, MpiError> {
-    c.cluster().alloc_pages(c.mem(), len.max(1)).map_err(|_| MpiError::OutOfMemory)
+    c.cluster()
+        .alloc_pages(c.mem(), len.max(1))
+        .map_err(|_| MpiError::OutOfMemory)
 }
 
 /// Dissemination barrier: ceil(log2(n)) rounds of 1-byte exchanges.
@@ -44,7 +46,12 @@ pub fn barrier(c: &mut impl Communicator, ctx: &mut Ctx) -> Result<(), MpiError>
 }
 
 /// Binomial-tree broadcast of `buf` from `root`.
-pub fn bcast(c: &mut impl Communicator, ctx: &mut Ctx, buf: &Buffer, root: Rank) -> Result<(), MpiError> {
+pub fn bcast(
+    c: &mut impl Communicator,
+    ctx: &mut Ctx,
+    buf: &Buffer,
+    root: Rank,
+) -> Result<(), MpiError> {
     let n = c.size();
     if n <= 1 {
         return Ok(());
@@ -101,7 +108,12 @@ pub fn reduce(
         let child = me + mask;
         if child < n {
             let child_rank = (child + root) % n;
-            c.recv(ctx, &scratch, Src::Rank(child_rank), TagSel::Tag(COLL_TAG + 65))?;
+            c.recv(
+                ctx,
+                &scratch,
+                Src::Rank(child_rank),
+                TagSel::Tag(COLL_TAG + 65),
+            )?;
             // Combine: read both, apply, write back. Charge the memcpy-rate
             // cost of touching both operands.
             let mut a = c.cluster().read_vec(buf);
@@ -184,7 +196,8 @@ pub fn scatter(
         }
         Ok(())
     } else {
-        c.recv(ctx, recv, Src::Rank(root), TagSel::Tag(COLL_TAG + 67)).map(|_| ())
+        c.recv(ctx, recv, Src::Rank(root), TagSel::Tag(COLL_TAG + 67))
+            .map(|_| ())
     }
 }
 
@@ -213,7 +226,12 @@ pub fn allgather(
         let recv_block = (me + n - k - 1) % n;
         let sb = recv.slice(send_block as u64 * blk, blk);
         let rb = recv.slice(recv_block as u64 * blk, blk);
-        let rr = c.irecv(ctx, &rb, Src::Rank(left), TagSel::Tag(COLL_TAG + 68 + k as u32))?;
+        let rr = c.irecv(
+            ctx,
+            &rb,
+            Src::Rank(left),
+            TagSel::Tag(COLL_TAG + 68 + k as u32),
+        )?;
         let sr = c.isend(ctx, &sb, right, COLL_TAG + 68 + k as u32)?;
         c.wait(ctx, sr)?;
         c.wait(ctx, rr)?;
@@ -327,8 +345,13 @@ pub fn scatterv(
         }
         Ok(())
     } else if counts[me] > 0 {
-        c.recv(ctx, &recv.slice(0, counts[me]), Src::Rank(root), TagSel::Tag(COLL_TAG + 71))
-            .map(|_| ())
+        c.recv(
+            ctx,
+            &recv.slice(0, counts[me]),
+            Src::Rank(root),
+            TagSel::Tag(COLL_TAG + 71),
+        )
+        .map(|_| ())
     } else {
         Ok(())
     }
@@ -355,8 +378,11 @@ pub fn alltoallv(
     let me = c.rank();
     // Own block.
     if send_counts[me] > 0 {
-        let mine = c.cluster().read_vec(&send.slice(send_offs[me], send_counts[me]));
-        c.cluster().write(&recv.slice(recv_offs[me], recv_counts[me]), 0, &mine);
+        let mine = c
+            .cluster()
+            .read_vec(&send.slice(send_offs[me], send_counts[me]));
+        c.cluster()
+            .write(&recv.slice(recv_offs[me], recv_counts[me]), 0, &mine);
     }
     for k in 1..n {
         let dst = (me + k) % n;
@@ -364,7 +390,12 @@ pub fn alltoallv(
         let mut reqs = Vec::with_capacity(2);
         if recv_counts[src] > 0 {
             let rb = recv.slice(recv_offs[src], recv_counts[src]);
-            reqs.push(c.irecv(ctx, &rb, Src::Rank(src), TagSel::Tag(COLL_TAG + 300 + k as u32))?);
+            reqs.push(c.irecv(
+                ctx,
+                &rb,
+                Src::Rank(src),
+                TagSel::Tag(COLL_TAG + 300 + k as u32),
+            )?);
         }
         if send_counts[dst] > 0 {
             let sb = send.slice(send_offs[dst], send_counts[dst]);
@@ -394,7 +425,12 @@ pub fn alltoall(
         let src = (me + n - k) % n;
         let sb = send.slice(dst as u64 * blk, blk);
         let rb = recv.slice(src as u64 * blk, blk);
-        let rr = c.irecv(ctx, &rb, Src::Rank(src), TagSel::Tag(COLL_TAG + 200 + k as u32))?;
+        let rr = c.irecv(
+            ctx,
+            &rb,
+            Src::Rank(src),
+            TagSel::Tag(COLL_TAG + 200 + k as u32),
+        )?;
         let sr = c.isend(ctx, &sb, dst, COLL_TAG + 200 + k as u32)?;
         c.wait(ctx, sr)?;
         c.wait(ctx, rr)?;

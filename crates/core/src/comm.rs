@@ -20,8 +20,20 @@ pub trait Communicator {
     /// The memory domain this rank's buffers live in.
     fn mem(&self) -> MemRef;
     fn cluster(&self) -> &Arc<Cluster>;
-    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError>;
-    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError>;
+    fn isend(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        dst: Rank,
+        tag: Tag,
+    ) -> Result<Request, MpiError>;
+    fn irecv(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Request, MpiError>;
     fn wait(&mut self, ctx: &mut Ctx, req: Request) -> Result<Status, MpiError>;
 
     /// Blocking send.
@@ -31,7 +43,13 @@ pub trait Communicator {
     }
 
     /// Blocking receive.
-    fn recv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Status, MpiError> {
+    fn recv(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Status, MpiError> {
         let r = self.irecv(ctx, buf, src, tag)?;
         self.wait(ctx, r)
     }
@@ -89,7 +107,11 @@ impl Comm {
     }
 
     /// Wait for any request in the set (`MPI_Waitany`).
-    pub fn waitany(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> (usize, Result<Status, MpiError>) {
+    pub fn waitany(
+        &mut self,
+        ctx: &mut Ctx,
+        reqs: &[Request],
+    ) -> (usize, Result<Status, MpiError>) {
         self.engine.waitany(ctx, reqs)
     }
 
@@ -123,7 +145,8 @@ impl Comm {
 
     /// MR-cache statistics `(hits, misses)` — for the ablation benches.
     pub fn mr_cache_stats(&self) -> (u64, u64) {
-        (self.engine.mr_cache.hits, self.engine.mr_cache.misses)
+        let s = self.engine.mr_cache.stats();
+        (s.hits, s.misses)
     }
 
     /// Number of regions currently held by the MR cache pool.
@@ -131,9 +154,20 @@ impl Comm {
         self.engine.mr_cache.cached_regions()
     }
 
+    /// Number of cached regions currently pinned by outstanding leases.
+    pub fn mr_pinned_len(&self) -> usize {
+        self.engine.mr_cache.pinned_regions()
+    }
+
     /// Offload-cache statistics `(hits, misses)`.
     pub fn offload_cache_stats(&self) -> (u64, u64) {
-        (self.engine.offload_cache.hits, self.engine.offload_cache.misses)
+        let s = self.engine.offload_cache.stats();
+        (s.hits, s.misses)
+    }
+
+    /// Consolidated snapshot of every counter this rank maintains.
+    pub fn dump(&self) -> crate::StatsReport {
+        self.engine.dump()
     }
 
     /// Library configuration in force.
@@ -162,12 +196,18 @@ impl Comm {
     /// Create a persistent send request (`MPI_Send_init`): captures the
     /// argument set once; every [`Comm::start`] issues one send with it.
     pub fn send_init(&self, buf: &Buffer, dst: Rank, tag: Tag) -> Persistent {
-        Persistent { kind: PersistentKind::Send { dst, tag }, buf: buf.clone() }
+        Persistent {
+            kind: PersistentKind::Send { dst, tag },
+            buf: buf.clone(),
+        }
     }
 
     /// Create a persistent receive request (`MPI_Recv_init`).
     pub fn recv_init(&self, buf: &Buffer, src: Src, tag: TagSel) -> Persistent {
-        Persistent { kind: PersistentKind::Recv { src, tag }, buf: buf.clone() }
+        Persistent {
+            kind: PersistentKind::Recv { src, tag },
+            buf: buf.clone(),
+        }
     }
 
     /// Start a persistent request (`MPI_Start`); complete it with the
@@ -180,7 +220,11 @@ impl Comm {
     }
 
     /// Start a whole set of persistent requests (`MPI_Startall`).
-    pub fn startall(&mut self, ctx: &mut Ctx, ps: &[&Persistent]) -> Result<Vec<Request>, MpiError> {
+    pub fn startall(
+        &mut self,
+        ctx: &mut Ctx,
+        ps: &[&Persistent],
+    ) -> Result<Vec<Request>, MpiError> {
         ps.iter().map(|p| self.start(ctx, p)).collect()
     }
 
@@ -224,11 +268,23 @@ impl Communicator for Comm {
         self.engine.cluster()
     }
 
-    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+    fn isend(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        dst: Rank,
+        tag: Tag,
+    ) -> Result<Request, MpiError> {
         self.engine.isend(ctx, buf, dst, tag)
     }
 
-    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+    fn irecv(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Request, MpiError> {
         self.engine.irecv(ctx, buf, src, tag)
     }
 

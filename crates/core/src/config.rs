@@ -55,7 +55,10 @@ impl MpiConfig {
     /// DCFA-MPI without the offloading send buffer (the "w/o offload"
     /// curves of Figs. 7/8).
     pub fn dcfa_no_offload() -> Self {
-        MpiConfig { offload_threshold: None, ..Self::dcfa() }
+        MpiConfig {
+            offload_threshold: None,
+            ..Self::dcfa()
+        }
     }
 
     /// Host MPI (YAMPII) — ranks on the Xeons.
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "slot payload")]
     fn slot_smaller_than_eager_rejected() {
-        let cfg = MpiConfig { ring_slot_payload: 1024, ..MpiConfig::dcfa() };
+        let cfg = MpiConfig {
+            ring_slot_payload: 1024,
+            ..MpiConfig::dcfa()
+        };
         cfg.validate();
     }
 }

@@ -23,7 +23,12 @@ pub enum Layout {
     /// `count` blocks of `block_len` bytes, the start of consecutive
     /// blocks `stride` bytes apart (`stride >= block_len`). An `MPI_Type_vector`
     /// in byte units — e.g. one matrix column.
-    Vector { offset: u64, count: u64, block_len: u64, stride: u64 },
+    Vector {
+        offset: u64,
+        count: u64,
+        block_len: u64,
+        stride: u64,
+    },
     /// Arbitrary `(offset, len)` blocks (an `MPI_Type_indexed`).
     Indexed { blocks: Vec<(u64, u64)> },
 }
@@ -32,14 +37,21 @@ impl Layout {
     /// One matrix column of `rows` elements of `elem` bytes in a
     /// row-major `rows x cols` matrix.
     pub fn column(col: u64, rows: u64, cols: u64, elem: u64) -> Layout {
-        Layout::Vector { offset: col * elem, count: rows, block_len: elem, stride: cols * elem }
+        Layout::Vector {
+            offset: col * elem,
+            count: rows,
+            block_len: elem,
+            stride: cols * elem,
+        }
     }
 
     /// Total packed size in bytes.
     pub fn packed_len(&self) -> u64 {
         match self {
             Layout::Contiguous { len, .. } => *len,
-            Layout::Vector { count, block_len, .. } => count * block_len,
+            Layout::Vector {
+                count, block_len, ..
+            } => count * block_len,
             Layout::Indexed { blocks } => blocks.iter().map(|(_, l)| l).sum(),
         }
     }
@@ -48,22 +60,28 @@ impl Layout {
     pub fn extent(&self) -> u64 {
         match self {
             Layout::Contiguous { offset, len } => offset + len,
-            Layout::Vector { offset, count, block_len, stride } => {
+            Layout::Vector {
+                offset,
+                count,
+                block_len,
+                stride,
+            } => {
                 if *count == 0 {
                     *offset
                 } else {
                     offset + (count - 1) * stride + block_len
                 }
             }
-            Layout::Indexed { blocks } => {
-                blocks.iter().map(|(o, l)| o + l).max().unwrap_or(0)
-            }
+            Layout::Indexed { blocks } => blocks.iter().map(|(o, l)| o + l).max().unwrap_or(0),
         }
     }
 
     /// Validate against a base buffer.
     pub fn check(&self, base: &Buffer) {
-        if let Layout::Vector { block_len, stride, .. } = self {
+        if let Layout::Vector {
+            block_len, stride, ..
+        } = self
+        {
             assert!(stride >= block_len, "overlapping vector blocks");
         }
         assert!(self.extent() <= base.len, "layout exceeds base buffer");
@@ -73,7 +91,12 @@ impl Layout {
     fn for_each_block(&self, mut f: impl FnMut(u64, u64)) {
         match self {
             Layout::Contiguous { offset, len } => f(*offset, *len),
-            Layout::Vector { offset, count, block_len, stride } => {
+            Layout::Vector {
+                offset,
+                count,
+                block_len,
+                stride,
+            } => {
                 for i in 0..*count {
                     f(offset + i * stride, *block_len);
                 }
@@ -89,7 +112,13 @@ impl Layout {
 
 /// Pack `layout` of `base` into contiguous `stage` (which must hold
 /// `layout.packed_len()` bytes). Charges the local memcpy rate.
-pub fn pack<C: Communicator>(ctx: &mut Ctx, comm: &C, base: &Buffer, layout: &Layout, stage: &Buffer) {
+pub fn pack<C: Communicator>(
+    ctx: &mut Ctx,
+    comm: &C,
+    base: &Buffer,
+    layout: &Layout,
+    stage: &Buffer,
+) {
     layout.check(base);
     let need = layout.packed_len();
     assert!(stage.len >= need, "staging buffer too small");
@@ -106,7 +135,13 @@ pub fn pack<C: Communicator>(ctx: &mut Ctx, comm: &C, base: &Buffer, layout: &La
 }
 
 /// Unpack contiguous `stage` into `layout` of `base`.
-pub fn unpack<C: Communicator>(ctx: &mut Ctx, comm: &C, stage: &Buffer, layout: &Layout, base: &Buffer) {
+pub fn unpack<C: Communicator>(
+    ctx: &mut Ctx,
+    comm: &C,
+    stage: &Buffer,
+    layout: &Layout,
+    base: &Buffer,
+) {
     layout.check(base);
     let need = layout.packed_len();
     assert!(stage.len >= need, "staging buffer too small");
@@ -167,15 +202,25 @@ mod tests {
 
     #[test]
     fn packed_len_and_extent() {
-        let c = Layout::Contiguous { offset: 8, len: 100 };
+        let c = Layout::Contiguous {
+            offset: 8,
+            len: 100,
+        };
         assert_eq!(c.packed_len(), 100);
         assert_eq!(c.extent(), 108);
 
-        let v = Layout::Vector { offset: 0, count: 4, block_len: 8, stride: 32 };
+        let v = Layout::Vector {
+            offset: 0,
+            count: 4,
+            block_len: 8,
+            stride: 32,
+        };
         assert_eq!(v.packed_len(), 32);
         assert_eq!(v.extent(), 3 * 32 + 8);
 
-        let i = Layout::Indexed { blocks: vec![(0, 4), (100, 8)] };
+        let i = Layout::Indexed {
+            blocks: vec![(0, 4), (100, 8)],
+        };
         assert_eq!(i.packed_len(), 12);
         assert_eq!(i.extent(), 108);
     }
@@ -190,7 +235,12 @@ mod tests {
 
     #[test]
     fn empty_vector_extent() {
-        let v = Layout::Vector { offset: 16, count: 0, block_len: 8, stride: 32 };
+        let v = Layout::Vector {
+            offset: 16,
+            count: 0,
+            block_len: 8,
+            stride: 32,
+        };
         assert_eq!(v.packed_len(), 0);
         assert_eq!(v.extent(), 16);
     }
@@ -199,10 +249,19 @@ mod tests {
     #[should_panic(expected = "overlapping vector blocks")]
     fn overlapping_stride_rejected() {
         let base = Buffer {
-            mem: fabric::MemRef { node: fabric::NodeId(0), domain: fabric::Domain::Host },
+            mem: fabric::MemRef {
+                node: fabric::NodeId(0),
+                domain: fabric::Domain::Host,
+            },
             addr: 0,
             len: 1024,
         };
-        Layout::Vector { offset: 0, count: 2, block_len: 16, stride: 8 }.check(&base);
+        Layout::Vector {
+            offset: 0,
+            count: 2,
+            block_len: 16,
+            stride: 8,
+        }
+        .check(&base);
     }
 }

@@ -30,9 +30,13 @@ use simcore::{Ctx, SimDuration, SimEvent};
 use verbs::{CompletionQueue, MemoryRegion, MrKey, QueuePair, SendWr, Wc, WcStatus};
 
 use crate::config::{MpiConfig, Placement};
-use crate::mrcache::{MrCache, OffloadCache};
-use crate::packet::{tail_seq, tail_word, PacketHeader, PacketKind, HEADER_LEN, SLOT_OVERHEAD, TAIL_LEN};
+use crate::mrcache::{MrCache, MrLease, OffloadCache, OffloadLease};
+use crate::packet::{
+    tail_seq, tail_word, PacketHeader, PacketKind, HEADER_LEN, SLOT_OVERHEAD, TAIL_LEN,
+};
 use crate::resources::Resources;
+use crate::stats::StatsReport;
+use crate::trace::{Trace, TraceBuf, TraceEvent};
 use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel};
 
 /// wr_id used for control-packet writes whose completion nobody waits on.
@@ -85,17 +89,46 @@ pub struct PeerEndpoint {
     pub ring_rkey: MrKey,
 }
 
+/// The pinned source region of an outgoing rendezvous transfer: either
+/// the user buffer via the MR cache, or the offloading send buffer's
+/// host twin. Held until the remote side confirms the data has moved.
+enum SendLease {
+    Mr(MrLease),
+    Offload(OffloadLease),
+}
+
 enum ReqState {
     /// Eager RDMA write in flight; completes on local WC.
-    EagerSend { status: Status },
-    /// RTS sent; waiting for the receiver's DONE.
-    RndvSendAwaitDone { dst: Rank, seq: u64, status: Status },
+    EagerSend {
+        status: Status,
+    },
+    /// RTS sent; waiting for the receiver's DONE. The lease pins the
+    /// advertised source until then (the peer RDMA-READs from it).
+    RndvSendAwaitDone {
+        dst: Rank,
+        seq: u64,
+        status: Status,
+        lease: SendLease,
+    },
     /// Receiver-first: our RDMA write is in flight.
-    RndvSendWriting { dst: Rank, seq: u64, full_len: u64, status: Status },
+    RndvSendWriting {
+        dst: Rank,
+        seq: u64,
+        full_len: u64,
+        status: Status,
+        lease: SendLease,
+    },
     /// Posted receive sitting in the match queue.
     RecvQueued,
-    /// Sender-first: our RDMA read is in flight.
-    RndvRecvReading { src: Rank, seq: u64, status: Status, truncated: Option<MpiError> },
+    /// Sender-first: our RDMA read is in flight; the lease pins the
+    /// destination buffer's registration.
+    RndvRecvReading {
+        src: Rank,
+        seq: u64,
+        status: Status,
+        truncated: Option<MpiError>,
+        lease: MrLease,
+    },
     /// Receiver-first: RTR sent, waiting for the sender's DONE.
     RecvAwaitDone,
     Done(Status),
@@ -110,11 +143,22 @@ struct PostedRecv {
     /// Pair sequence id; `None` while locked behind an any-source receive.
     seq: Option<u64>,
     rtr_sent: bool,
+    /// Pin on the buffer registration advertised by our RTR; released
+    /// when the receive resolves (DONE-WRITE, or the eager/simultaneous
+    /// mis-prediction paths).
+    rtr_lease: Option<MrLease>,
 }
 
 enum Unexpected {
-    Eager { src: Rank, tag: Tag, seq: u64, data: Vec<u8> },
-    Rts { hdr: PacketHeader },
+    Eager {
+        src: Rank,
+        tag: Tag,
+        seq: u64,
+        data: Vec<u8>,
+    },
+    Rts {
+        hdr: PacketHeader,
+    },
 }
 
 /// Protocol/traffic counters for one rank (exposed via
@@ -138,6 +182,8 @@ pub struct CommStats {
     pub packets_processed: u64,
     /// Stale RTRs dropped thanks to sequence ids (mis-predictions).
     pub stale_rtrs_dropped: u64,
+    /// CREDIT packets transmitted (flow-control slot recycling).
+    pub credit_grants: u64,
 }
 
 /// The per-rank protocol engine.
@@ -158,6 +204,7 @@ pub struct Engine {
     unexpected: Vec<Unexpected>,
     mpi_call: SimDuration,
     pub(crate) stats: CommStats,
+    trace: Trace,
     /// Re-entrancy guard: progress() invoked from within progress() (via
     /// a packet handler) is a no-op; the outer sweep picks up the work.
     in_progress: bool,
@@ -268,6 +315,7 @@ impl Engine {
                 unexpected: Vec::new(),
                 mpi_call,
                 stats: CommStats::default(),
+                trace: Trace::default(),
                 in_progress: false,
             },
             endpoints,
@@ -280,7 +328,9 @@ impl Engine {
     #[allow(clippy::needless_range_loop)]
     pub fn connect(&mut self, endpoints: &[Option<PeerEndpoint>]) {
         for p in 0..self.size {
-            let Some(peer) = self.peers[p].as_mut() else { continue };
+            let Some(peer) = self.peers[p].as_mut() else {
+                continue;
+            };
             let ep = endpoints[p].as_ref().expect("peer endpoint missing");
             peer.qp.connect(ep.node, ep.qpn);
             peer.out_ring_addr = ep.ring_addr;
@@ -314,7 +364,13 @@ impl Engine {
     // ---- public operations -------------------------------------------------
 
     /// Non-blocking send.
-    pub fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+    pub fn isend(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        dst: Rank,
+        tag: Tag,
+    ) -> Result<Request, MpiError> {
         if dst >= self.size || dst == self.rank {
             return Err(MpiError::BadRank(dst));
         }
@@ -326,7 +382,11 @@ impl Engine {
             peer.tx_seq += 1;
             s
         };
-        let status = Status { source: dst, tag, len };
+        let status = Status {
+            source: dst,
+            tag,
+            len,
+        };
 
         self.stats.bytes_sent += len;
         if len <= self.cfg.eager_threshold {
@@ -348,7 +408,7 @@ impl Engine {
         // Rendezvous. Pick the data source: offloaded host twin or the user
         // buffer registered directly.
         self.stats.rndv_sends += 1;
-        let (src_addr, src_rkey) = self.rndv_source(ctx, buf);
+        let (src_addr, src_rkey, lease) = self.rndv_source(ctx, buf);
 
         // Receiver-first? A stashed RTR with our sequence id means the
         // receiver already advertised its buffer.
@@ -361,13 +421,24 @@ impl Engine {
         };
         if let Some(rtr) = stashed {
             self.stats.rndv_recv_first += 1;
-            let req = self.new_req(ReqState::RndvSendWriting { dst, seq, full_len: len, status });
+            let req = self.new_req(ReqState::RndvSendWriting {
+                dst,
+                seq,
+                full_len: len,
+                status,
+                lease,
+            });
             self.rndv_write(ctx, dst, req, src_addr, src_rkey, len, &rtr);
             return Ok(Request(req));
         }
 
         // Sender-first: RTS with our buffer info, then await DONE.
-        let req = self.new_req(ReqState::RndvSendAwaitDone { dst, seq, status });
+        let req = self.new_req(ReqState::RndvSendAwaitDone {
+            dst,
+            seq,
+            status,
+            lease,
+        });
         let hdr = PacketHeader {
             kind: PacketKind::Rts,
             src_rank: self.rank,
@@ -382,7 +453,13 @@ impl Engine {
     }
 
     /// Non-blocking receive.
-    pub fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+    pub fn irecv(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Request, MpiError> {
         if let Src::Rank(r) = src {
             if r >= self.size || r == self.rank {
                 return Err(MpiError::BadRank(r));
@@ -404,10 +481,7 @@ impl Engine {
 
         // Sequence assignment: locked while an unmatched any-source receive
         // sits ahead of us (paper §IV-B3).
-        let locked = self
-            .recv_q
-            .iter()
-            .any(|r| r.seq.is_none());
+        let locked = self.recv_q.iter().any(|r| r.seq.is_none());
         let seq = match (src, locked) {
             (Src::Rank(s), false) => {
                 let peer = self.peers[s].as_mut().expect("no peer");
@@ -417,7 +491,15 @@ impl Engine {
             }
             _ => None, // any-source gets its id when it meets its packet
         };
-        let mut posted = PostedRecv { req, buf: buf.clone(), src, tag, seq, rtr_sent: false };
+        let mut posted = PostedRecv {
+            req,
+            buf: buf.clone(),
+            src,
+            tag,
+            seq,
+            rtr_sent: false,
+            rtr_lease: None,
+        };
 
         // Receiver-first rendezvous initiation: a large receive with a known
         // source advertises its buffer immediately.
@@ -473,12 +555,19 @@ impl Engine {
     /// eager payload or rendezvous RTS in the unexpected queue).
     pub fn iprobe(&mut self, ctx: &mut Ctx, src: Src, tag: TagSel) -> Option<Status> {
         self.progress(ctx);
-        self.match_unexpected(src, tag).map(|i| match &self.unexpected[i] {
-            Unexpected::Eager { src, tag, data, .. } => {
-                Status { source: *src, tag: *tag, len: data.len() as u64 }
-            }
-            Unexpected::Rts { hdr } => Status { source: hdr.src_rank, tag: hdr.tag, len: hdr.len },
-        })
+        self.match_unexpected(src, tag)
+            .map(|i| match &self.unexpected[i] {
+                Unexpected::Eager { src, tag, data, .. } => Status {
+                    source: *src,
+                    tag: *tag,
+                    len: data.len() as u64,
+                },
+                Unexpected::Rts { hdr } => Status {
+                    source: hdr.src_rank,
+                    tag: hdr.tag,
+                    len: hdr.len,
+                },
+            })
     }
 
     /// Blocking probe.
@@ -494,7 +583,11 @@ impl Engine {
 
     /// Wait until any of `reqs` completes; returns `(index, result)` and
     /// consumes only that request.
-    pub fn waitany(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> (usize, Result<Status, MpiError>) {
+    pub fn waitany(
+        &mut self,
+        ctx: &mut Ctx,
+        reqs: &[Request],
+    ) -> (usize, Result<Status, MpiError>) {
         assert!(!reqs.is_empty(), "waitany on empty set");
         loop {
             let seen = self.progress_event.epoch();
@@ -514,6 +607,27 @@ impl Engine {
     /// Protocol/traffic counters so far.
     pub fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    /// Consolidated counter snapshot: protocol counters plus both cache
+    /// pools' hit/miss/lifetime statistics.
+    pub fn dump(&self) -> StatsReport {
+        StatsReport {
+            rank: self.rank,
+            comm: self.stats,
+            mr_cache: self.mr_cache.stats(),
+            offload: self.offload_cache.stats(),
+            mr_cached: self.mr_cache.cached_regions(),
+            mr_pinned: self.mr_cache.pinned_regions(),
+        }
+    }
+
+    /// Attach this engine (and its caches) to a shared structured trace
+    /// ring. Recording is a no-op until this is called.
+    pub fn set_tracer(&mut self, buf: TraceBuf) {
+        self.trace.attach(buf);
+        self.mr_cache.set_trace(self.trace.clone(), self.rank);
+        self.offload_cache.set_trace(self.trace.clone(), self.rank);
     }
 
     /// Host twin of a Phi buffer (creating/caching it on first use), for
@@ -573,8 +687,9 @@ impl Engine {
 
     /// Choose the rendezvous data source: the offloaded host twin (synced
     /// first) above the offload threshold, otherwise the user buffer via
-    /// the MR cache.
-    fn rndv_source(&mut self, ctx: &mut Ctx, buf: &Buffer) -> (u64, MrKey) {
+    /// the MR cache. The returned lease pins the source until the remote
+    /// side confirms the transfer; release with [`Self::release_send_lease`].
+    fn rndv_source(&mut self, ctx: &mut Ctx, buf: &Buffer) -> (u64, MrKey, SendLease) {
         if let Some(thr) = self.cfg.offload_threshold {
             // Only Phi-resident buffers need the host twin; a buffer that
             // already lives in host memory (e.g. a host-staged collective)
@@ -583,30 +698,41 @@ impl Engine {
                 && self.cfg.placement == Placement::Phi
                 && buf.mem.domain == fabric::Domain::Phi
             {
-                let (host_addr, host_key, off) = {
-                    let omr = self.offload_cache.get_or_create(ctx, &self.res, buf);
-                    let off = buf.addr - omr.phi.addr;
-                    (omr.host_mr.addr() + off, omr.host_mr.key(), off)
-                };
+                let lease = self.offload_cache.acquire(ctx, &self.res, buf);
+                let off = buf.addr - lease.phi.addr;
+                let (host_addr, host_key) = (lease.host_mr.addr() + off, lease.host_mr.key());
                 // Sync the latest bytes into the twin (blocking DMA).
-                let omr = self.offload_cache.get_or_create(ctx, &self.res, buf);
-                let omr_phi = omr.phi.clone();
-                let omr_host = omr.host_mr.buffer().clone();
-                let src = omr_phi.slice(off, buf.len);
-                let dst = omr_host.slice(off, buf.len);
+                let src = lease.phi.slice(off, buf.len);
+                let dst = lease.host_mr.buffer().slice(off, buf.len);
+                let rank = self.rank;
+                let len = buf.len;
+                self.trace
+                    .record(|| TraceEvent::OffloadSyncStart { rank, len });
                 let t = self.res.cluster().pci_dma(&src, &dst, ctx.now());
                 ctx.wait_reason(&t.completion, "offload sync");
                 self.stats.offload_syncs += 1;
-                return (host_addr, host_key);
+                self.trace
+                    .record(|| TraceEvent::OffloadSyncEnd { rank, len });
+                return (host_addr, host_key, SendLease::Offload(lease));
             }
         }
-        let mr = self.mr_cache.get_or_register(ctx, &self.res, buf);
-        (buf.addr, mr.key())
+        let lease = self.mr_cache.acquire(ctx, &self.res, buf);
+        let key = lease.mr().key();
+        (buf.addr, key, SendLease::Mr(lease))
     }
 
-    /// Receiver-first: advertise the receive buffer.
+    /// Give back a rendezvous source lease once the peer has the data.
+    fn release_send_lease(&mut self, ctx: &mut Ctx, lease: SendLease) {
+        match lease {
+            SendLease::Mr(l) => self.mr_cache.release(ctx, &self.res, l),
+            SendLease::Offload(l) => self.offload_cache.release(ctx, &self.res, l),
+        }
+    }
+
+    /// Receiver-first: advertise the receive buffer. The registration is
+    /// pinned via `posted.rtr_lease` until the receive resolves.
     fn send_rtr(&mut self, ctx: &mut Ctx, src: Rank, seq: u64, posted: &mut PostedRecv) {
-        let mr = self.mr_cache.get_or_register(ctx, &self.res, &posted.buf);
+        let lease = self.mr_cache.acquire(ctx, &self.res, &posted.buf);
         let tag = match posted.tag {
             TagSel::Tag(t) => t,
             TagSel::Any => 0,
@@ -618,8 +744,9 @@ impl Engine {
             seq,
             len: posted.buf.len,
             addr: posted.buf.addr,
-            rkey: mr.key().0,
+            rkey: lease.mr().key().0,
         };
+        posted.rtr_lease = Some(lease);
         self.send_ctrl(ctx, src, hdr);
         posted.rtr_sent = true;
         self.reqs.insert(posted.req, ReqState::RecvAwaitDone);
@@ -639,10 +766,17 @@ impl Engine {
         rtr: &PacketHeader,
     ) {
         let write_len = len.min(rtr.len);
-        let sge = verbs::Sge { addr: src_addr, len: write_len, lkey: src_rkey };
+        let sge = verbs::Sge {
+            addr: src_addr,
+            len: write_len,
+            lkey: src_rkey,
+        };
         let peer = self.peers[dst].as_mut().expect("no peer");
         peer.qp
-            .post_send(ctx, SendWr::rdma_write(req, vec![sge], rtr.addr, MrKey(rtr.rkey)))
+            .post_send(
+                ctx,
+                SendWr::rdma_write(req, vec![sge], rtr.addr, MrKey(rtr.rkey)),
+            )
             .expect("rndv write failed");
     }
 
@@ -672,14 +806,22 @@ impl Engine {
     fn flush_ctrl(&mut self, ctx: &mut Ctx, dst: Rank) {
         loop {
             let hdr = {
-                let Some(peer) = self.peers[dst].as_ref() else { return };
-                let Some(front) = peer.pending_ctrl.front() else { return };
+                let Some(peer) = self.peers[dst].as_ref() else {
+                    return;
+                };
+                let Some(front) = peer.pending_ctrl.front() else {
+                    return;
+                };
                 if peer.out_slot_seq - peer.out_consumed >= self.window_for(front.kind) {
                     return; // still no room
                 }
                 peer.pending_ctrl.front().cloned().expect("checked")
             };
-            self.peers[dst].as_mut().expect("no peer").pending_ctrl.pop_front();
+            self.peers[dst]
+                .as_mut()
+                .expect("no peer")
+                .pending_ctrl
+                .pop_front();
             self.transmit_packet(ctx, dst, hdr, None, CTRL_WR);
         }
     }
@@ -687,7 +829,14 @@ impl Engine {
     /// Send a data-bearing (eager) packet: waits for ring credit at top
     /// level, draining queued control packets first so packet order on
     /// the ring matches issue order.
-    fn send_packet(&mut self, ctx: &mut Ctx, dst: Rank, hdr: PacketHeader, payload: Option<&Buffer>, wr_id: u64) {
+    fn send_packet(
+        &mut self,
+        ctx: &mut Ctx,
+        dst: Rank,
+        hdr: PacketHeader,
+        payload: Option<&Buffer>,
+        wr_id: u64,
+    ) {
         loop {
             self.flush_ctrl(ctx, dst);
             let ready = {
@@ -715,12 +864,22 @@ impl Engine {
 
     /// Unconditionally place one packet into the peer's ring (caller has
     /// verified the window).
-    fn transmit_packet(&mut self, ctx: &mut Ctx, dst: Rank, hdr: PacketHeader, payload: Option<&Buffer>, wr_id: u64) {
+    fn transmit_packet(
+        &mut self,
+        ctx: &mut Ctx,
+        dst: Rank,
+        hdr: PacketHeader,
+        payload: Option<&Buffer>,
+        wr_id: u64,
+    ) {
         let slots = self.cfg.ring_slots as u64;
 
         let slot_size = Self::slot_size(&self.cfg);
         let payload_len = payload.map_or(0, |b| b.len);
-        assert!(payload_len <= self.cfg.ring_slot_payload, "payload exceeds slot");
+        assert!(
+            payload_len <= self.cfg.ring_slot_payload,
+            "payload exceeds slot"
+        );
         let (slot_seq, base) = {
             let peer = self.peers[dst].as_mut().expect("no peer");
             let s = peer.out_slot_seq;
@@ -736,7 +895,12 @@ impl Engine {
         let mem_domain = self.res.mem().domain;
         let (stage, stage_mr, out_ring_addr, out_ring_rkey) = {
             let peer = self.peers[dst].as_ref().expect("no peer");
-            (peer.stage.clone(), peer.stage_mr.clone(), peer.out_ring_addr, peer.out_ring_rkey)
+            (
+                peer.stage.clone(),
+                peer.stage_mr.clone(),
+                peer.out_ring_addr,
+                peer.out_ring_rkey,
+            )
         };
         cluster.write(&stage, base, &hdr.encode());
         if let Some(p) = payload {
@@ -753,11 +917,35 @@ impl Engine {
         if ctx.has_trace() {
             ctx.trace(&format!(
                 "rank{} -> rank{dst}: {:?} seq={} len={} (slot {})",
-                self.rank, hdr.kind, hdr.seq, hdr.len, slot_seq % slots
+                self.rank,
+                hdr.kind,
+                hdr.seq,
+                hdr.len,
+                slot_seq % slots
             ));
         }
+        let rank = self.rank;
+        self.trace.record(|| TraceEvent::PacketTx {
+            from: rank,
+            to: dst,
+            kind: hdr.kind,
+            seq: hdr.seq,
+            len: hdr.len,
+        });
+        if hdr.kind == PacketKind::Credit {
+            self.stats.credit_grants += 1;
+            self.trace.record(|| TraceEvent::CreditGrant {
+                from: rank,
+                to: dst,
+                consumed: hdr.len,
+            });
+        }
         let off_in_stage = stage.addr + base;
-        let sge = verbs::Sge { addr: off_in_stage, len: total, lkey: stage_mr.key() };
+        let sge = verbs::Sge {
+            addr: off_in_stage,
+            len: total,
+            lkey: stage_mr.key(),
+        };
         let wr = if wr_id == CTRL_WR {
             SendWr::rdma_write(CTRL_WR, vec![sge], out_ring_addr + base, out_ring_rkey).unsignaled()
         } else {
@@ -826,7 +1014,9 @@ impl Engine {
     }
 
     fn maybe_credit(&mut self, ctx: &mut Ctx, p: usize) {
-        let Some(peer) = self.peers[p].as_ref() else { return };
+        let Some(peer) = self.peers[p].as_ref() else {
+            return;
+        };
         // Two thresholds: consumption involving real packets reports at
         // slots/4; *pure credit* consumption reports only at slots/2.
         // The 2:1 ratio makes credit-only exchanges decay geometrically
@@ -855,22 +1045,48 @@ impl Engine {
         if wc.wr_id == CTRL_WR {
             return;
         }
-        assert_eq!(wc.status, WcStatus::Success, "internal transfer failed: {wc:?}");
-        let Some(state) = self.reqs.remove(&wc.wr_id) else { return };
+        assert_eq!(
+            wc.status,
+            WcStatus::Success,
+            "internal transfer failed: {wc:?}"
+        );
+        let Some(state) = self.reqs.remove(&wc.wr_id) else {
+            return;
+        };
         match state {
             ReqState::EagerSend { status } => {
                 self.reqs.insert(wc.wr_id, ReqState::Done(status));
             }
-            ReqState::RndvSendWriting { dst, seq, full_len, status } => {
-                // Data placed; tell the receiver.
-                let hdr =
-                    PacketHeader::control(PacketKind::DoneWrite, self.rank, status.tag, seq, full_len);
+            ReqState::RndvSendWriting {
+                dst,
+                seq,
+                full_len,
+                status,
+                lease,
+            } => {
+                // Data placed; the source is free again. Tell the receiver.
+                self.release_send_lease(ctx, lease);
+                let hdr = PacketHeader::control(
+                    PacketKind::DoneWrite,
+                    self.rank,
+                    status.tag,
+                    seq,
+                    full_len,
+                );
                 self.send_ctrl(ctx, dst, hdr);
                 self.reqs.insert(wc.wr_id, ReqState::Done(status));
             }
-            ReqState::RndvRecvReading { src, seq, status, truncated } => {
+            ReqState::RndvRecvReading {
+                src,
+                seq,
+                status,
+                truncated,
+                lease,
+            } => {
+                self.mr_cache.release(ctx, &self.res, lease);
                 self.stats.bytes_received += status.len;
-                let hdr = PacketHeader::control(PacketKind::Done, self.rank, status.tag, seq, status.len);
+                let hdr =
+                    PacketHeader::control(PacketKind::Done, self.rank, status.tag, seq, status.len);
                 self.send_ctrl(ctx, src, hdr);
                 let final_state = match truncated {
                     Some(e) => ReqState::Failed(e),
@@ -894,15 +1110,33 @@ impl Engine {
                 self.rank, hdr.kind, hdr.seq, hdr.len
             ));
         }
+        let rank = self.rank;
+        self.trace.record(|| TraceEvent::PacketRx {
+            at: rank,
+            from: p,
+            kind: hdr.kind,
+            seq: hdr.seq,
+            len: hdr.len,
+        });
         match hdr.kind {
             PacketKind::Credit => {
+                self.trace.record(|| TraceEvent::CreditApply {
+                    at: rank,
+                    from: p,
+                    consumed: hdr.len,
+                });
                 let peer = self.peers[p].as_mut().expect("no peer");
                 peer.out_consumed = peer.out_consumed.max(hdr.len);
             }
             PacketKind::Eager => {
                 match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
                     Some(idx) => {
-                        let posted = self.recv_q.remove(idx);
+                        let mut posted = self.recv_q.remove(idx);
+                        // Eager mis-prediction into an RTR-coupled receive:
+                        // the advertised buffer is no longer an RDMA target.
+                        if let Some(l) = posted.rtr_lease.take() {
+                            self.mr_cache.release(ctx, &self.res, l);
+                        }
                         self.deliver_eager_to(ctx, &posted, &hdr, p, slot_base);
                         self.after_match(ctx, posted.seq.is_none(), hdr.src_rank, hdr.seq);
                     }
@@ -923,17 +1157,15 @@ impl Engine {
                     }
                 }
             }
-            PacketKind::Rts => {
-                match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
-                    Some(idx) => {
-                        let posted = self.recv_q.remove(idx);
-                        let was_any = posted.seq.is_none();
-                        self.start_rndv_read(ctx, posted, &hdr);
-                        self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
-                    }
-                    None => self.unexpected.push(Unexpected::Rts { hdr }),
+            PacketKind::Rts => match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
+                Some(idx) => {
+                    let posted = self.recv_q.remove(idx);
+                    let was_any = posted.seq.is_none();
+                    self.start_rndv_read(ctx, posted, &hdr);
+                    self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
                 }
-            }
+                None => self.unexpected.push(Unexpected::Rts { hdr }),
+            },
             PacketKind::Rtr => {
                 // Find the send awaiting this sequence id.
                 let awaiting = self.reqs.iter().find_map(|(id, st)| match st {
@@ -957,6 +1189,11 @@ impl Engine {
                     peer.stashed_rtrs.push(hdr);
                 } else {
                     self.stats.stale_rtrs_dropped += 1;
+                    self.trace.record(|| TraceEvent::StaleRtrDrop {
+                        rank,
+                        from: p,
+                        seq: hdr.seq,
+                    });
                 }
             }
             PacketKind::Done => {
@@ -971,7 +1208,10 @@ impl Engine {
                     _ => None,
                 });
                 if let Some(id) = sender_req {
-                    if let Some(ReqState::RndvSendAwaitDone { status, .. }) = self.reqs.remove(&id) {
+                    if let Some(ReqState::RndvSendAwaitDone { status, lease, .. }) =
+                        self.reqs.remove(&id)
+                    {
+                        self.release_send_lease(ctx, lease);
                         self.reqs.insert(id, ReqState::Done(status));
                     }
                 }
@@ -980,16 +1220,28 @@ impl Engine {
                 // Receiver-first: the sender finished its RDMA WRITE into
                 // our advertised buffer; completes our RecvAwaitDone.
                 let recv_idx = self.recv_q.iter().position(|r| {
-                    r.rtr_sent && r.seq == Some(hdr.seq) && matches!(r.src, Src::Rank(s) if s == hdr.src_rank)
+                    r.rtr_sent
+                        && r.seq == Some(hdr.seq)
+                        && matches!(r.src, Src::Rank(s) if s == hdr.src_rank)
                 });
                 if let Some(idx) = recv_idx {
-                    let posted = self.recv_q.remove(idx);
+                    let mut posted = self.recv_q.remove(idx);
+                    if let Some(l) = posted.rtr_lease.take() {
+                        self.mr_cache.release(ctx, &self.res, l);
+                    }
                     let state = if hdr.len > posted.buf.len {
                         // Sender had more data than our buffer: MPI error.
-                        ReqState::Failed(MpiError::Truncated { got: hdr.len, capacity: posted.buf.len })
+                        ReqState::Failed(MpiError::Truncated {
+                            got: hdr.len,
+                            capacity: posted.buf.len,
+                        })
                     } else {
                         self.stats.bytes_received += hdr.len;
-                        ReqState::Done(Status { source: hdr.src_rank, tag: hdr.tag, len: hdr.len })
+                        ReqState::Done(Status {
+                            source: hdr.src_rank,
+                            tag: hdr.tag,
+                            len: hdr.len,
+                        })
                     };
                     self.reqs.insert(posted.req, state);
                 }
@@ -1058,11 +1310,19 @@ impl Engine {
 
     fn consume_unexpected(&mut self, ctx: &mut Ctx, req: u64, buf: &Buffer, u: Unexpected) {
         match u {
-            Unexpected::Eager { src, tag, seq, data } => {
+            Unexpected::Eager {
+                src,
+                tag,
+                seq,
+                data,
+            } => {
                 if data.len() as u64 > buf.len {
                     self.reqs.insert(
                         req,
-                        ReqState::Failed(MpiError::Truncated { got: data.len() as u64, capacity: buf.len }),
+                        ReqState::Failed(MpiError::Truncated {
+                            got: data.len() as u64,
+                            capacity: buf.len,
+                        }),
                     );
                     return;
                 }
@@ -1071,8 +1331,14 @@ impl Engine {
                 ctx.sleep(cluster.copy_duration(self.res.mem().domain, data.len() as u64));
                 self.note_rx_seq(src, seq);
                 self.stats.bytes_received += data.len() as u64;
-                self.reqs
-                    .insert(req, ReqState::Done(Status { source: src, tag, len: data.len() as u64 }));
+                self.reqs.insert(
+                    req,
+                    ReqState::Done(Status {
+                        source: src,
+                        tag,
+                        len: data.len() as u64,
+                    }),
+                );
             }
             Unexpected::Rts { hdr } => {
                 self.note_rx_seq(hdr.src_rank, hdr.seq);
@@ -1083,6 +1349,7 @@ impl Engine {
                     tag: TagSel::Tag(hdr.tag),
                     seq: Some(hdr.seq),
                     rtr_sent: false,
+                    rtr_lease: None,
                 };
                 self.start_rndv_read(ctx, posted, &hdr);
             }
@@ -1090,11 +1357,21 @@ impl Engine {
     }
 
     /// Copy an in-ring eager payload straight into the matched user buffer.
-    fn deliver_eager_to(&mut self, ctx: &mut Ctx, posted: &PostedRecv, hdr: &PacketHeader, p: usize, slot_base: u64) {
+    fn deliver_eager_to(
+        &mut self,
+        ctx: &mut Ctx,
+        posted: &PostedRecv,
+        hdr: &PacketHeader,
+        p: usize,
+        slot_base: u64,
+    ) {
         if hdr.len > posted.buf.len {
             self.reqs.insert(
                 posted.req,
-                ReqState::Failed(MpiError::Truncated { got: hdr.len, capacity: posted.buf.len }),
+                ReqState::Failed(MpiError::Truncated {
+                    got: hdr.len,
+                    capacity: posted.buf.len,
+                }),
             );
             return;
         }
@@ -1107,28 +1384,54 @@ impl Engine {
         self.stats.bytes_received += hdr.len;
         self.reqs.insert(
             posted.req,
-            ReqState::Done(Status { source: hdr.src_rank, tag: hdr.tag, len: hdr.len }),
+            ReqState::Done(Status {
+                source: hdr.src_rank,
+                tag: hdr.tag,
+                len: hdr.len,
+            }),
         );
     }
 
     /// Sender-first rendezvous on the receiver: RDMA READ from the RTS
     /// buffer into the user buffer.
-    fn start_rndv_read(&mut self, ctx: &mut Ctx, posted: PostedRecv, hdr: &PacketHeader) {
+    fn start_rndv_read(&mut self, ctx: &mut Ctx, mut posted: PostedRecv, hdr: &PacketHeader) {
         let read_len = hdr.len.min(posted.buf.len);
         let truncated = (hdr.len > posted.buf.len).then_some(MpiError::Truncated {
             got: hdr.len,
             capacity: posted.buf.len,
         });
-        let mr = self.mr_cache.get_or_register(ctx, &self.res, &posted.buf);
-        let sge = verbs::Sge { addr: posted.buf.addr, len: read_len, lkey: mr.key() };
-        let status = Status { source: hdr.src_rank, tag: hdr.tag, len: read_len };
+        // Simultaneous rendezvous reuses the pin taken for our RTR (same
+        // buffer); a plain sender-first receive pins it now.
+        let lease = match posted.rtr_lease.take() {
+            Some(l) => l,
+            None => self.mr_cache.acquire(ctx, &self.res, &posted.buf),
+        };
+        let sge = verbs::Sge {
+            addr: posted.buf.addr,
+            len: read_len,
+            lkey: lease.mr().key(),
+        };
+        let status = Status {
+            source: hdr.src_rank,
+            tag: hdr.tag,
+            len: read_len,
+        };
         self.reqs.insert(
             posted.req,
-            ReqState::RndvRecvReading { src: hdr.src_rank, seq: hdr.seq, status, truncated },
+            ReqState::RndvRecvReading {
+                src: hdr.src_rank,
+                seq: hdr.seq,
+                status,
+                truncated,
+                lease,
+            },
         );
         let peer = self.peers[hdr.src_rank].as_mut().expect("no peer");
         peer.qp
-            .post_send(ctx, SendWr::rdma_read(posted.req, vec![sge], hdr.addr, MrKey(hdr.rkey)))
+            .post_send(
+                ctx,
+                SendWr::rdma_read(posted.req, vec![sge], hdr.addr, MrKey(hdr.rkey)),
+            )
             .expect("rndv read failed");
     }
 

@@ -29,7 +29,12 @@ use crate::types::{Datatype, MpiError, Rank, ReduceOp, Src, TagSel};
 const HTAG: u32 = 0xF100_0000;
 
 /// Binomial-tree broadcast through host twins.
-pub fn bcast_host_staged(c: &mut Comm, ctx: &mut Ctx, buf: &Buffer, root: Rank) -> Result<(), MpiError> {
+pub fn bcast_host_staged(
+    c: &mut Comm,
+    ctx: &mut Ctx,
+    buf: &Buffer,
+    root: Rank,
+) -> Result<(), MpiError> {
     let n = c.size();
     if n <= 1 {
         return Ok(());
@@ -109,9 +114,7 @@ pub fn reduce_host_staged(
             let b = c.cluster().read_vec(&scratch);
             op.apply(dtype, &mut a, &b);
             c.cluster().write(&twin, 0, &a);
-            let d = c
-                .cluster()
-                .copy_duration(fabric::Domain::Host, buf.len * 2);
+            let d = c.cluster().copy_duration(fabric::Domain::Host, buf.len * 2);
             ctx.sleep(d);
         }
         mask *= 2;

@@ -41,21 +41,27 @@
 //! ```
 
 pub mod collectives;
-pub mod datatype;
-pub mod hostcoll;
-pub mod subcomm;
 mod comm;
 mod config;
+pub mod datatype;
 mod engine;
+pub mod hostcoll;
 mod mrcache;
 mod packet;
 mod resources;
+mod stats;
+pub mod subcomm;
+pub mod trace;
 mod types;
 mod world;
 
 pub use comm::{Comm, Communicator, Persistent};
 pub use config::{MpiConfig, Placement};
 pub use engine::{CommStats, Engine, PeerEndpoint};
+pub use mrcache::CacheStats;
+pub use packet::PacketKind;
 pub use resources::Resources;
+pub use stats::StatsReport;
+pub use trace::{audit, AuditReport, TraceBuf, TraceEvent};
 pub use types::{Datatype, MpiError, Rank, ReduceOp, Request, Src, Status, Tag, TagSel};
 pub use world::{launch, LaunchOpts};

@@ -1,7 +1,17 @@
 //! The buffer cache pool (paper §IV-B3): memory-region registration on the
 //! Phi is expensive (offloaded to the host), so DCFA-MPI caches the most
 //! recently used regions. A lookup hits when a cached region *contains* the
-//! requested range. Eviction is least-recently-used.
+//! requested range. Eviction is least-recently-used among *unpinned*
+//! entries only — a region with an outstanding RDMA against it must never
+//! be deregistered out from under the HCA.
+//!
+//! Lifetime model: [`MrCache::acquire`] hands out an [`MrLease`] that pins
+//! the backing region for the duration of one protocol operation;
+//! [`MrCache::release`] unpins it. With caching disabled (`capacity == 0`)
+//! — or when every cached slot is pinned — the lease owns an *unmanaged*
+//! registration that `release` deregisters immediately, so the disabled
+//! configuration registers and deregisters symmetrically instead of
+//! leaking one MR per lookup.
 //!
 //! The same structure caches offloading twin buffers (host-side staging
 //! regions of `reg_offload_mr`), which are just as expensive to create.
@@ -12,12 +22,44 @@ use simcore::Ctx;
 use verbs::MemoryRegion;
 
 use crate::resources::Resources;
+use crate::trace::{Trace, TraceEvent};
+use crate::types::Rank;
+
+/// Hit/miss/lifetime counters of one cache, for `dump()` snapshots and
+/// the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Regions registered through the cache layer (cached or not).
+    pub registered: u64,
+    /// Regions deregistered through the cache layer.
+    pub deregistered: u64,
+}
 
 struct Entry {
     addr: u64,
     len: u64,
     mr: MemoryRegion,
     last_use: u64,
+    pins: u32,
+}
+
+/// A pinned claim on a registered region. Obtain with
+/// [`MrCache::acquire`]; give back with [`MrCache::release`] once the
+/// RDMA that used it has completed. Dropping a lease without releasing
+/// it leaves the region pinned (caught by the protocol auditor).
+#[must_use = "release the lease once the RDMA completes"]
+pub struct MrLease {
+    mr: MemoryRegion,
+    cached: bool,
+}
+
+impl MrLease {
+    pub fn mr(&self) -> &MemoryRegion {
+        &self.mr
+    }
 }
 
 /// LRU cache of registered memory regions.
@@ -25,55 +67,149 @@ pub struct MrCache {
     capacity: usize,
     entries: Vec<Entry>,
     clock: u64,
-    /// Lookup statistics (exposed for the ablation benches).
-    pub hits: u64,
-    pub misses: u64,
+    pub(crate) stats: CacheStats,
+    pub(crate) trace: Trace,
+    rank: Rank,
 }
 
 impl MrCache {
-    /// `capacity == 0` disables caching: every lookup registers and every
+    /// `capacity == 0` disables caching: every acquire registers and every
     /// release deregisters immediately.
     pub fn new(capacity: usize) -> Self {
-        MrCache { capacity, entries: Vec::new(), clock: 0, hits: 0, misses: 0 }
+        MrCache {
+            capacity,
+            entries: Vec::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+            trace: Trace::default(),
+            rank: 0,
+        }
     }
 
-    /// Get a region covering `buf`, registering (and caching) on miss.
-    pub fn get_or_register(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> MemoryRegion {
+    pub(crate) fn set_trace(&mut self, trace: Trace, rank: Rank) {
+        self.trace = trace;
+        self.rank = rank;
+    }
+
+    /// Acquire a pinned region covering `buf`, registering on miss.
+    pub fn acquire(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> MrLease {
         self.clock += 1;
         let clock = self.clock;
+        let rank = self.rank;
         if let Some(e) = self
             .entries
             .iter_mut()
             .find(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
         {
             e.last_use = clock;
-            self.hits += 1;
-            return e.mr.clone();
+            e.pins += 1;
+            self.stats.hits += 1;
+            let key = e.mr.key().0;
+            self.trace.record(|| TraceEvent::MrPin { rank, key });
+            return MrLease {
+                mr: e.mr.clone(),
+                cached: true,
+            };
         }
-        self.misses += 1;
+        self.stats.misses += 1;
         let mr = res.reg_mr(ctx, buf.clone());
+        self.stats.registered += 1;
+        let key = mr.key().0;
         if self.capacity == 0 {
-            return mr; // caller-managed lifetime; released via `release`
+            // Caching disabled: the lease owns the registration outright
+            // and `release` deregisters it.
+            self.trace.record(|| TraceEvent::MrRegister {
+                rank,
+                key,
+                addr: buf.addr,
+                len: buf.len,
+                cached: false,
+            });
+            self.trace.record(|| TraceEvent::MrPin { rank, key });
+            return MrLease { mr, cached: false };
         }
         if self.entries.len() >= self.capacity {
+            // Evict the LRU *unpinned* entry. If every slot is pinned by
+            // an in-flight RDMA, overflow into an unmanaged lease rather
+            // than yank a region the HCA is still using.
             let lru = self
                 .entries
                 .iter()
                 .enumerate()
+                .filter(|(_, e)| e.pins == 0)
                 .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1");
-            let evicted = self.entries.swap_remove(lru);
-            res.dereg_mr(ctx, &evicted.mr);
+                .map(|(i, _)| i);
+            match lru {
+                Some(i) => {
+                    let evicted = self.entries.swap_remove(i);
+                    res.dereg_mr(ctx, &evicted.mr);
+                    self.stats.evictions += 1;
+                    self.stats.deregistered += 1;
+                    let ekey = evicted.mr.key().0;
+                    self.trace
+                        .record(|| TraceEvent::MrEvict { rank, key: ekey });
+                }
+                None => {
+                    self.trace.record(|| TraceEvent::MrRegister {
+                        rank,
+                        key,
+                        addr: buf.addr,
+                        len: buf.len,
+                        cached: false,
+                    });
+                    self.trace.record(|| TraceEvent::MrPin { rank, key });
+                    return MrLease { mr, cached: false };
+                }
+            }
         }
-        self.entries.push(Entry { addr: buf.addr, len: buf.len, mr: mr.clone(), last_use: clock });
-        mr
+        self.trace.record(|| TraceEvent::MrRegister {
+            rank,
+            key,
+            addr: buf.addr,
+            len: buf.len,
+            cached: true,
+        });
+        self.trace.record(|| TraceEvent::MrPin { rank, key });
+        self.entries.push(Entry {
+            addr: buf.addr,
+            len: buf.len,
+            mr: mr.clone(),
+            last_use: clock,
+            pins: 1,
+        });
+        MrLease { mr, cached: true }
     }
 
-    /// Drop everything (finalize).
+    /// Release a lease obtained from [`MrCache::acquire`]. Unmanaged
+    /// leases (caching disabled, or cache overflow) deregister here.
+    pub fn release(&mut self, ctx: &mut Ctx, res: &Resources, lease: MrLease) {
+        let rank = self.rank;
+        let key = lease.mr.key().0;
+        self.trace.record(|| TraceEvent::MrUnpin { rank, key });
+        if !lease.cached {
+            res.dereg_mr(ctx, &lease.mr);
+            self.stats.deregistered += 1;
+            self.trace.record(|| TraceEvent::MrDeregister { rank, key });
+            return;
+        }
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.mr.key() == lease.mr.key())
+            .expect("released lease not in cache (double release?)");
+        debug_assert!(e.pins > 0, "unpinning an unpinned entry");
+        e.pins = e.pins.saturating_sub(1);
+    }
+
+    /// Drop everything (finalize). All leases must be released first.
     pub fn clear(&mut self, ctx: &mut Ctx, res: &Resources) {
+        let rank = self.rank;
         for e in self.entries.drain(..) {
+            debug_assert_eq!(e.pins, 0, "finalize with a pinned MR lease outstanding");
             res.dereg_mr(ctx, &e.mr);
+            self.stats.deregistered += 1;
+            let key = e.mr.key().0;
+            self.trace.record(|| TraceEvent::MrDeregister { rank, key });
         }
     }
 
@@ -81,15 +217,27 @@ impl MrCache {
     pub fn cached_regions(&self) -> usize {
         self.entries.len()
     }
+
+    /// Regions currently pinned by outstanding leases.
+    pub fn pinned_regions(&self) -> usize {
+        self.entries.iter().filter(|e| e.pins > 0).count()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
 }
 
-/// LRU cache of offloading twin buffers keyed by the Phi-side range.
-pub struct OffloadCache {
-    capacity: usize,
-    entries: Vec<OffloadEntry>,
-    clock: u64,
-    pub hits: u64,
-    pub misses: u64,
+/// A pinned claim on an offload twin, mirroring [`MrLease`]: holds the
+/// Phi-side range and host-side MR of the twin for the duration of one
+/// rendezvous transfer.
+#[must_use = "release the lease once the transfer completes"]
+pub struct OffloadLease {
+    /// Phi-side registered range the twin shadows.
+    pub phi: Buffer,
+    /// Host twin memory region (the RDMA source).
+    pub host_mr: MemoryRegion,
+    cached: bool,
 }
 
 struct OffloadEntry {
@@ -97,47 +245,149 @@ struct OffloadEntry {
     len: u64,
     omr: OffloadMr,
     last_use: u64,
+    pins: u32,
+}
+
+/// LRU cache of offloading twin buffers keyed by the Phi-side range.
+/// Like [`MrCache`], a lookup hits when a cached twin's Phi range
+/// *contains* the requested range, and pinned twins are never evicted.
+pub struct OffloadCache {
+    capacity: usize,
+    entries: Vec<OffloadEntry>,
+    clock: u64,
+    pub(crate) stats: CacheStats,
+    trace: Trace,
+    rank: Rank,
 }
 
 impl OffloadCache {
     pub fn new(capacity: usize) -> Self {
-        OffloadCache { capacity: capacity.max(1), entries: Vec::new(), clock: 0, hits: 0, misses: 0 }
+        OffloadCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+            trace: Trace::default(),
+            rank: 0,
+        }
     }
 
-    /// Get (or create) the offload twin for a Phi buffer. The returned
-    /// index stays valid until the next call.
-    pub fn get_or_create(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> &OffloadMr {
+    pub(crate) fn set_trace(&mut self, trace: Trace, rank: Rank) {
+        self.trace = trace;
+        self.rank = rank;
+    }
+
+    /// Find or create the twin covering `buf`, bump LRU, and return its
+    /// index. Containment test like the MR cache: a twin spanning a
+    /// larger Phi range serves any sub-range.
+    fn lookup(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> usize {
         self.clock += 1;
         let clock = self.clock;
+        let rank = self.rank;
         if let Some(i) = self
             .entries
             .iter()
-            .position(|e| e.addr == buf.addr && e.len == buf.len)
+            .position(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
         {
             self.entries[i].last_use = clock;
-            self.hits += 1;
-            return &self.entries[i].omr;
+            self.stats.hits += 1;
+            return i;
         }
-        self.misses += 1;
-        let omr = res.reg_offload(ctx, buf).expect("offload requires Phi placement");
+        self.stats.misses += 1;
+        let omr = res
+            .reg_offload(ctx, buf)
+            .expect("offload requires Phi placement");
+        self.stats.registered += 1;
+        let key = omr.host_mr.key().0;
+        self.trace.record(|| TraceEvent::MrRegister {
+            rank,
+            key,
+            addr: buf.addr,
+            len: buf.len,
+            cached: true,
+        });
         if self.entries.len() >= self.capacity {
             let lru = self
                 .entries
                 .iter()
                 .enumerate()
+                .filter(|(_, e)| e.pins == 0)
                 .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1");
-            let evicted = self.entries.swap_remove(lru);
-            res.dereg_offload(ctx, evicted.omr);
+                .map(|(i, _)| i);
+            // All pinned: grow past capacity rather than tear down a twin
+            // mid-transfer (shrinks back as pins release and LRU churns).
+            if let Some(i) = lru {
+                let evicted = self.entries.swap_remove(i);
+                let ekey = evicted.omr.host_mr.key().0;
+                res.dereg_offload(ctx, evicted.omr);
+                self.stats.evictions += 1;
+                self.stats.deregistered += 1;
+                self.trace
+                    .record(|| TraceEvent::MrEvict { rank, key: ekey });
+            }
         }
-        self.entries.push(OffloadEntry { addr: buf.addr, len: buf.len, omr, last_use: clock });
-        &self.entries.last().expect("just pushed").omr
+        self.entries.push(OffloadEntry {
+            addr: buf.addr,
+            len: buf.len,
+            omr,
+            last_use: clock,
+            pins: 0,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Get (or create) the offload twin for a Phi buffer without pinning
+    /// it. The returned reference stays valid until the next call.
+    pub fn get_or_create(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> &OffloadMr {
+        let i = self.lookup(ctx, res, buf);
+        &self.entries[i].omr
+    }
+
+    /// Acquire a pinned twin covering `buf` for one rendezvous transfer.
+    pub fn acquire(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> OffloadLease {
+        let i = self.lookup(ctx, res, buf);
+        let e = &mut self.entries[i];
+        e.pins += 1;
+        let rank = self.rank;
+        let key = e.omr.host_mr.key().0;
+        self.trace.record(|| TraceEvent::MrPin { rank, key });
+        OffloadLease {
+            phi: e.omr.phi.clone(),
+            host_mr: e.omr.host_mr.clone(),
+            cached: true,
+        }
+    }
+
+    /// Release a lease obtained from [`OffloadCache::acquire`].
+    pub fn release(&mut self, _ctx: &mut Ctx, _res: &Resources, lease: OffloadLease) {
+        let rank = self.rank;
+        let key = lease.host_mr.key().0;
+        self.trace.record(|| TraceEvent::MrUnpin { rank, key });
+        debug_assert!(lease.cached);
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.omr.host_mr.key() == lease.host_mr.key())
+            .expect("released offload lease not in cache");
+        debug_assert!(e.pins > 0, "unpinning an unpinned twin");
+        e.pins = e.pins.saturating_sub(1);
     }
 
     pub fn clear(&mut self, ctx: &mut Ctx, res: &Resources) {
+        let rank = self.rank;
         for e in self.entries.drain(..) {
+            debug_assert_eq!(
+                e.pins, 0,
+                "finalize with a pinned offload lease outstanding"
+            );
+            let key = e.omr.host_mr.key().0;
             res.dereg_offload(ctx, e.omr);
+            self.stats.deregistered += 1;
+            self.trace.record(|| TraceEvent::MrDeregister { rank, key });
         }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 }

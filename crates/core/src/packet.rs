@@ -76,7 +76,15 @@ pub const SLOT_OVERHEAD: u64 = HEADER_LEN + TAIL_LEN;
 impl PacketHeader {
     /// A data-less control header.
     pub fn control(kind: PacketKind, src_rank: Rank, tag: Tag, seq: u64, len: u64) -> Self {
-        PacketHeader { kind, src_rank, tag, seq, len, addr: 0, rkey: 0 }
+        PacketHeader {
+            kind,
+            src_rank,
+            tag,
+            seq,
+            len,
+            addr: 0,
+            rkey: 0,
+        }
     }
 
     pub fn encode(&self) -> Vec<u8> {
@@ -103,7 +111,15 @@ impl PacketHeader {
         let len = u64::from_le_bytes(data[17..25].try_into().unwrap());
         let addr = u64::from_le_bytes(data[25..33].try_into().unwrap());
         let rkey = u32::from_le_bytes(data[33..37].try_into().unwrap());
-        Some(PacketHeader { kind, src_rank, tag, seq, len, addr, rkey })
+        Some(PacketHeader {
+            kind,
+            src_rank,
+            tag,
+            seq,
+            len,
+            addr,
+            rkey,
+        })
     }
 }
 

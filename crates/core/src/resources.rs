@@ -75,7 +75,9 @@ impl Resources {
         recv_cq: &CompletionQueue,
     ) -> QueuePair {
         match self {
-            Resources::Phi(d) => d.create_qp(ctx, send_cq, recv_cq).expect("DCFA create_qp failed"),
+            Resources::Phi(d) => d
+                .create_qp(ctx, send_cq, recv_cq)
+                .expect("DCFA create_qp failed"),
             Resources::Host(v) => v.create_qp(send_cq, recv_cq),
         }
     }

@@ -62,11 +62,19 @@ pub fn split<'a>(
         .collect();
     members.sort();
     let members: Vec<Rank> = members.into_iter().map(|(_, r)| r).collect();
-    let my_idx = members.iter().position(|&r| r == me).expect("I am in my color");
+    let my_idx = members
+        .iter()
+        .position(|&r| r == me)
+        .expect("I am in my color");
     // Tag namespace per color (colors expected small; wraps harmlessly
     // within the reserved band otherwise).
     let tag_base = SUBCOMM_TAG_SPACE * ((color % 2048) + 1);
-    Ok(Some(SubComm { parent, members, my_idx, tag_base }))
+    Ok(Some(SubComm {
+        parent,
+        members,
+        my_idx,
+        tag_base,
+    }))
 }
 
 impl SubComm<'_> {
@@ -109,7 +117,13 @@ impl Communicator for SubComm<'_> {
         self.parent.cluster()
     }
 
-    fn isend(&mut self, ctx: &mut Ctx, buf: &Buffer, dst: Rank, tag: Tag) -> Result<Request, MpiError> {
+    fn isend(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        dst: Rank,
+        tag: Tag,
+    ) -> Result<Request, MpiError> {
         if dst >= self.members.len() {
             return Err(MpiError::BadRank(dst));
         }
@@ -118,7 +132,13 @@ impl Communicator for SubComm<'_> {
         self.parent.isend(ctx, buf, pdst, ptag)
     }
 
-    fn irecv(&mut self, ctx: &mut Ctx, buf: &Buffer, src: Src, tag: TagSel) -> Result<Request, MpiError> {
+    fn irecv(
+        &mut self,
+        ctx: &mut Ctx,
+        buf: &Buffer,
+        src: Src,
+        tag: TagSel,
+    ) -> Result<Request, MpiError> {
         let psrc = match src {
             Src::Any => Src::Any,
             Src::Rank(r) => {
@@ -144,6 +164,10 @@ impl Communicator for SubComm<'_> {
             .position(|&r| r == st.source)
             .unwrap_or(st.source);
         let tag = st.tag.wrapping_sub(self.tag_base);
-        Ok(Status { source, tag, len: st.len })
+        Ok(Status {
+            source,
+            tag,
+            len: st.len,
+        })
     }
 }

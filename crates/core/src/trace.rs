@@ -1,0 +1,546 @@
+//! Structured protocol tracing and the protocol auditor.
+//!
+//! Every rank's engine can record [`TraceEvent`]s into a shared,
+//! bounded [`TraceBuf`] ring: packet transmit/receive with kind,
+//! sequence id and peer (which covers the RTS/RTR/DONE rendezvous
+//! transitions), MR-cache register/pin/unpin/deregister/evict, credit
+//! grants and applications, offload-sync start/end, and stale-RTR
+//! drops. The simulation runs exactly one process thread at a time, so
+//! the ring's order *is* the simulation's causal order and a recorded
+//! run replays deterministically.
+//!
+//! Recording is zero-cost when the `trace` cargo feature is disabled:
+//! [`Trace::record`] takes the event as a closure and compiles to
+//! nothing, so even the event construction disappears. With the
+//! feature enabled (the default) an engine without an attached buffer
+//! pays one `Option` check per site.
+//!
+//! [`audit`] replays a recorded event stream and checks the protocol
+//! invariants the paper's design relies on (§IV-B3/§IV-B4):
+//!
+//! 1. per ordered pair, data sequence ids (EAGER/RTS) are assigned
+//!    `0, 1, 2, …` with no gap or repeat;
+//! 2. an MR is never deregistered or evicted while pinned by an
+//!    outstanding RDMA, and pin/unpin counts never go negative;
+//! 3. credit grants are cumulative, never retreat, and never exceed
+//!    the packets actually sent to the granter (the sender's window
+//!    `sent - consumed` can never go negative);
+//! 4. every RTS is answered by exactly one DONE, and every RTR by at
+//!    most one DONE-WRITE (stale RTRs are dropped by sequence id).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::packet::PacketKind;
+use crate::types::Rank;
+
+/// One recorded protocol event. `from`/`to`/`at` identify ranks;
+/// MR events identify regions by their registration key, which is
+/// unique per registration within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet was placed into `to`'s inbound ring.
+    PacketTx {
+        from: Rank,
+        to: Rank,
+        kind: PacketKind,
+        seq: u64,
+        len: u64,
+    },
+    /// A packet was consumed from `at`'s inbound ring.
+    PacketRx {
+        at: Rank,
+        from: Rank,
+        kind: PacketKind,
+        seq: u64,
+        len: u64,
+    },
+    /// A memory region entered the MR cache layer (fresh registration).
+    MrRegister {
+        rank: Rank,
+        key: u32,
+        addr: u64,
+        len: u64,
+        cached: bool,
+    },
+    /// A region left the cache layer and was deregistered.
+    MrDeregister { rank: Rank, key: u32 },
+    /// A cached region was evicted (LRU) and deregistered.
+    MrEvict { rank: Rank, key: u32 },
+    /// A lease pinned the region (an RDMA may now target it).
+    MrPin { rank: Rank, key: u32 },
+    /// The lease was released.
+    MrUnpin { rank: Rank, key: u32 },
+    /// `from` reported `consumed` cumulative ring slots to `to`.
+    CreditGrant { from: Rank, to: Rank, consumed: u64 },
+    /// `at` applied a credit report from `from`.
+    CreditApply { at: Rank, from: Rank, consumed: u64 },
+    /// Offloading-send-buffer DMA sync began (Phi -> host twin).
+    OffloadSyncStart { rank: Rank, len: u64 },
+    /// The DMA sync completed.
+    OffloadSyncEnd { rank: Rank, len: u64 },
+    /// A stale RTR was dropped thanks to sequence ids (mis-prediction
+    /// recovery).
+    StaleRtrDrop { rank: Rank, from: Rank, seq: u64 },
+}
+
+struct TraceInner {
+    events: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// Shared bounded ring of [`TraceEvent`]s. Clone-able; all ranks of a
+/// launch append to the same ring, in simulation order.
+#[derive(Clone)]
+pub struct TraceBuf {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+impl TraceBuf {
+    /// A ring holding at most `cap` events; older events are dropped
+    /// (and counted) once full.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace ring capacity must be positive");
+        TraceBuf {
+            inner: Arc::new(Mutex::new(TraceInner {
+                events: VecDeque::new(),
+                cap,
+                dropped: 0,
+            })),
+        }
+    }
+
+    pub fn record(&self, ev: TraceEvent) {
+        let mut g = self.inner.lock();
+        if g.events.len() == g.cap {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(ev);
+    }
+
+    /// Copy of the ring contents, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.iter().copied().collect()
+    }
+
+    /// Events discarded because the ring was full. Audits of a full run
+    /// are only meaningful when this is zero.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for TraceBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("TraceBuf")
+            .field("len", &g.events.len())
+            .field("cap", &g.cap)
+            .field("dropped", &g.dropped)
+            .finish()
+    }
+}
+
+/// Per-engine recording handle: the rank stamp plus (when tracing is
+/// compiled in) an optional attachment to a shared [`TraceBuf`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    #[cfg(feature = "trace")]
+    buf: Option<TraceBuf>,
+}
+
+impl Trace {
+    /// Attach to a shared ring.
+    pub fn attach(&mut self, buf: TraceBuf) {
+        #[cfg(feature = "trace")]
+        {
+            self.buf = Some(buf);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = buf;
+    }
+
+    /// Record an event. The closure only runs when a buffer is
+    /// attached; with the `trace` feature disabled the whole call
+    /// compiles away.
+    #[inline]
+    pub fn record(&self, ev: impl FnOnce() -> TraceEvent) {
+        #[cfg(feature = "trace")]
+        if let Some(buf) = &self.buf {
+            buf.record(ev());
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = ev;
+    }
+}
+
+/// Summary counts from a successful [`audit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Data packets (EAGER/RTS) transmitted.
+    pub data_packets: u64,
+    /// RTS handshakes observed, each matched by exactly one DONE.
+    pub rts_matched: u64,
+    /// RTR advertisements observed.
+    pub rtrs: u64,
+    /// Cache-layer MR registrations observed.
+    pub mr_registered: u64,
+    /// Regions registered but never deregistered within the stream.
+    /// Zero when the stream covers the full run through finalize.
+    pub mr_leaked: u64,
+    /// Credit grant packets observed.
+    pub credit_grants: u64,
+    /// Offloading-send-buffer syncs observed (start/end paired).
+    pub offload_syncs: u64,
+    /// Stale RTRs dropped by sequence id.
+    pub stale_rtrs: u64,
+}
+
+/// Check the protocol invariants over a recorded event stream.
+/// Returns the summary on success, or every violation found.
+pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
+    let mut errs: Vec<String> = Vec::new();
+    let mut report = AuditReport::default();
+
+    // Invariant 1: per-pair data seq ids count 0, 1, 2, …
+    let mut next_data_seq: HashMap<(Rank, Rank), u64> = HashMap::new();
+    // Invariant 2: per-(rank, key) MR lifecycle.
+    #[derive(Default)]
+    struct MrState {
+        pins: i64,
+        live: bool,
+        ever: bool,
+    }
+    let mut mrs: HashMap<(Rank, u32), MrState> = HashMap::new();
+    // Invariant 3: per ordered pair, packets sent and credits granted.
+    let mut sent: HashMap<(Rank, Rank), u64> = HashMap::new();
+    let mut granted: HashMap<(Rank, Rank), u64> = HashMap::new();
+    // Invariant 4: RTS -> DONE and RTR -> DONE-WRITE pairing.
+    let mut rts_done: HashMap<(Rank, Rank, u64), (u64, u64)> = HashMap::new();
+    let mut rtr_dw: HashMap<(Rank, Rank, u64), (u64, u64)> = HashMap::new();
+    let mut syncs_open: HashMap<Rank, u64> = HashMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            TraceEvent::PacketTx {
+                from,
+                to,
+                kind,
+                seq,
+                ..
+            } => {
+                *sent.entry((from, to)).or_default() += 1;
+                match kind {
+                    PacketKind::Eager | PacketKind::Rts => {
+                        report.data_packets += 1;
+                        let next = next_data_seq.entry((from, to)).or_default();
+                        if seq != *next {
+                            errs.push(format!(
+                                "[{i}] pair {from}->{to}: data seq {seq}, expected {next} (gap or repeat)"
+                            ));
+                        }
+                        *next = (*next).max(seq) + 1;
+                        if kind == PacketKind::Rts {
+                            rts_done.entry((from, to, seq)).or_default().0 += 1;
+                        }
+                    }
+                    PacketKind::Rtr => {
+                        report.rtrs += 1;
+                        // RTR from receiver `from` advertises seq of
+                        // sender `to`'s stream; DONE-WRITE comes back
+                        // to -> from with the same seq.
+                        rtr_dw.entry((from, to, seq)).or_default().0 += 1;
+                    }
+                    PacketKind::Done => {
+                        // DONE from receiver `from` answers `to`'s RTS.
+                        rts_done.entry((to, from, seq)).or_default().1 += 1;
+                    }
+                    PacketKind::DoneWrite => {
+                        // DONE-WRITE from sender `from` answers `to`'s RTR.
+                        rtr_dw.entry((to, from, seq)).or_default().1 += 1;
+                    }
+                    PacketKind::Credit => {}
+                }
+            }
+            TraceEvent::PacketRx { .. } => {}
+            TraceEvent::MrRegister { rank, key, .. } => {
+                report.mr_registered += 1;
+                let st = mrs.entry((rank, key)).or_default();
+                if st.live {
+                    errs.push(format!("[{i}] rank{rank} mr {key}: registered twice"));
+                }
+                st.live = true;
+                st.ever = true;
+            }
+            TraceEvent::MrDeregister { rank, key } | TraceEvent::MrEvict { rank, key } => {
+                let st = mrs.entry((rank, key)).or_default();
+                if !st.live {
+                    errs.push(format!(
+                        "[{i}] rank{rank} mr {key}: deregistered while not registered"
+                    ));
+                }
+                if st.pins > 0 {
+                    errs.push(format!(
+                        "[{i}] rank{rank} mr {key}: deregistered with {} outstanding pin(s) (use-after-free)",
+                        st.pins
+                    ));
+                }
+                st.live = false;
+            }
+            TraceEvent::MrPin { rank, key } => {
+                let st = mrs.entry((rank, key)).or_default();
+                if !st.live {
+                    errs.push(format!(
+                        "[{i}] rank{rank} mr {key}: pinned while not registered"
+                    ));
+                }
+                st.pins += 1;
+            }
+            TraceEvent::MrUnpin { rank, key } => {
+                let st = mrs.entry((rank, key)).or_default();
+                st.pins -= 1;
+                if st.pins < 0 {
+                    errs.push(format!(
+                        "[{i}] rank{rank} mr {key}: pin count went negative"
+                    ));
+                }
+            }
+            TraceEvent::CreditGrant { from, to, consumed } => {
+                report.credit_grants += 1;
+                let prev = granted.entry((from, to)).or_default();
+                if consumed < *prev {
+                    errs.push(format!(
+                        "[{i}] credit {from}->{to}: grant retreated from {prev} to {consumed}"
+                    ));
+                }
+                *prev = (*prev).max(consumed);
+                let sent_to_granter = sent.get(&(to, from)).copied().unwrap_or(0);
+                if consumed > sent_to_granter {
+                    errs.push(format!(
+                        "[{i}] credit {from}->{to}: granted {consumed} > {sent_to_granter} packets sent \
+                         (window would go negative)"
+                    ));
+                }
+            }
+            TraceEvent::CreditApply { .. } => {}
+            TraceEvent::OffloadSyncStart { rank, .. } => {
+                *syncs_open.entry(rank).or_default() += 1;
+            }
+            TraceEvent::OffloadSyncEnd { rank, .. } => {
+                report.offload_syncs += 1;
+                let open = syncs_open.entry(rank).or_default();
+                if *open == 0 {
+                    errs.push(format!("[{i}] rank{rank}: offload sync end without start"));
+                } else {
+                    *open -= 1;
+                }
+            }
+            TraceEvent::StaleRtrDrop { .. } => {
+                report.stale_rtrs += 1;
+            }
+        }
+    }
+
+    for ((a, b, seq), (rts, done)) in &rts_done {
+        if *rts != *done {
+            errs.push(format!(
+                "RTS {a}->{b} seq {seq}: {rts} RTS vs {done} DONE (must pair exactly)"
+            ));
+        } else {
+            report.rts_matched += *rts;
+        }
+    }
+    for ((a, b, seq), (rtr, dw)) in &rtr_dw {
+        if *dw > *rtr {
+            errs.push(format!(
+                "RTR {a}->{b} seq {seq}: {dw} DONE-WRITE for {rtr} RTR"
+            ));
+        }
+    }
+    for ((rank, key), st) in &mrs {
+        if st.live {
+            report.mr_leaked += 1;
+        }
+        if st.pins != 0 {
+            errs.push(format!(
+                "rank{rank} mr {key}: {} pin(s) never released",
+                st.pins
+            ));
+        }
+    }
+    for (rank, open) in &syncs_open {
+        if *open != 0 {
+            errs.push(format!(
+                "rank{rank}: {open} offload sync(s) never completed"
+            ));
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(report)
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let buf = TraceBuf::new(2);
+        for seq in 0..3 {
+            buf.record(TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Eager,
+                seq,
+                len: 8,
+            });
+        }
+        let evs = buf.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        assert!(matches!(evs[0], TraceEvent::PacketTx { seq: 1, .. }));
+    }
+
+    #[test]
+    fn audit_accepts_clean_handshake() {
+        let evs = vec![
+            TraceEvent::MrRegister {
+                rank: 0,
+                key: 7,
+                addr: 0x1000,
+                len: 4096,
+                cached: true,
+            },
+            TraceEvent::MrPin { rank: 0, key: 7 },
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Rts,
+                seq: 0,
+                len: 65536,
+            },
+            TraceEvent::PacketTx {
+                from: 1,
+                to: 0,
+                kind: PacketKind::Done,
+                seq: 0,
+                len: 65536,
+            },
+            TraceEvent::MrUnpin { rank: 0, key: 7 },
+            TraceEvent::MrDeregister { rank: 0, key: 7 },
+        ];
+        let r = audit(&evs).expect("clean stream");
+        assert_eq!(r.rts_matched, 1);
+        assert_eq!(r.mr_registered, 1);
+        assert_eq!(r.mr_leaked, 0);
+    }
+
+    #[test]
+    fn audit_flags_seq_gap() {
+        let evs = vec![
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Eager,
+                seq: 0,
+                len: 8,
+            },
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Eager,
+                seq: 2,
+                len: 8,
+            },
+        ];
+        let errs = audit(&evs).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("expected 1")), "{errs:?}");
+    }
+
+    #[test]
+    fn audit_flags_pinned_dereg_and_leak() {
+        let evs = vec![
+            TraceEvent::MrRegister {
+                rank: 2,
+                key: 9,
+                addr: 0,
+                len: 4096,
+                cached: true,
+            },
+            TraceEvent::MrPin { rank: 2, key: 9 },
+            TraceEvent::MrEvict { rank: 2, key: 9 },
+        ];
+        let errs = audit(&evs).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("outstanding pin")),
+            "{errs:?}"
+        );
+
+        let leak = vec![TraceEvent::MrRegister {
+            rank: 0,
+            key: 1,
+            addr: 0,
+            len: 4096,
+            cached: false,
+        }];
+        let r = audit(&leak).expect("a leak is legal mid-run");
+        assert_eq!(r.mr_leaked, 1);
+    }
+
+    #[test]
+    fn audit_flags_negative_credit_window() {
+        let evs = vec![
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Eager,
+                seq: 0,
+                len: 8,
+            },
+            TraceEvent::CreditGrant {
+                from: 1,
+                to: 0,
+                consumed: 2,
+            },
+        ];
+        let errs = audit(&evs).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("window would go negative")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_unmatched_rts() {
+        let evs = vec![TraceEvent::PacketTx {
+            from: 0,
+            to: 1,
+            kind: PacketKind::Rts,
+            seq: 0,
+            len: 1 << 20,
+        }];
+        let errs = audit(&evs).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("must pair exactly")),
+            "{errs:?}"
+        );
+    }
+}

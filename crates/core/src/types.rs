@@ -70,7 +70,10 @@ impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::Truncated { got, capacity } => {
-                write!(f, "message truncated: {got} bytes into a {capacity}-byte buffer")
+                write!(
+                    f,
+                    "message truncated: {got} bytes into a {capacity}-byte buffer"
+                )
             }
             MpiError::BadRank(r) => write!(f, "rank {r} out of range"),
             MpiError::BadRequest => write!(f, "unknown request handle"),
@@ -114,7 +117,11 @@ impl ReduceOp {
     pub fn apply(self, dtype: Datatype, a: &mut [u8], b: &[u8]) {
         assert_eq!(a.len(), b.len(), "reduce length mismatch");
         let es = dtype.size() as usize;
-        assert_eq!(a.len() % es, 0, "reduce buffer not a whole number of elements");
+        assert_eq!(
+            a.len() % es,
+            0,
+            "reduce buffer not a whole number of elements"
+        );
         match dtype {
             Datatype::U8 => {
                 for (x, y) in a.iter_mut().zip(b) {

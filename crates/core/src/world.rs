@@ -40,17 +40,31 @@ pub struct LaunchOpts {
     /// DCFA (with the offloading send buffer); ranks on the host use host
     /// verbs directly. `None` = homogeneous placement from the config.
     pub placements: Option<Vec<Placement>>,
+    /// Shared protocol-event ring every rank's engine records into
+    /// (see [`crate::trace`]). `None` = tracing off. Only effective with
+    /// the `trace` cargo feature (default); without it the field is
+    /// accepted but ignored.
+    pub tracer: Option<crate::trace::TraceBuf>,
 }
 
 impl Default for LaunchOpts {
     fn default() -> Self {
-        LaunchOpts { spawn_daemons: true, ranks_per_node: 1, placements: None }
+        LaunchOpts {
+            spawn_daemons: true,
+            ranks_per_node: 1,
+            placements: None,
+            tracer: None,
+        }
     }
 }
 
 /// Launch `n` MPI ranks running `f`. Rank `r` executes on node
 /// `r / ranks_per_node % cluster_nodes`, in the domain selected by
 /// `cfg.placement`.
+///
+/// Returns the [`dcfa::DcfaStats`] counter handle for the daemons this
+/// call spawned (`None` when it spawned none — host placement, or
+/// `opts.spawn_daemons == false`).
 pub fn launch<F>(
     sim: &Simulation,
     ib: &Arc<IbFabric>,
@@ -59,7 +73,8 @@ pub fn launch<F>(
     n: usize,
     opts: LaunchOpts,
     f: F,
-) where
+) -> Option<dcfa::DcfaStats>
+where
     F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
 {
     assert!(n >= 1, "need at least one rank");
@@ -72,9 +87,11 @@ pub fn launch<F>(
         .as_ref()
         .map(|ps| ps.contains(&Placement::Phi))
         .unwrap_or(cfg.placement == Placement::Phi);
-    if any_phi && opts.spawn_daemons {
-        dcfa::spawn_daemons(&sim.scheduler(), scif, ib);
-    }
+    let daemon_stats = if any_phi && opts.spawn_daemons {
+        Some(dcfa::spawn_daemons(&sim.scheduler(), scif, ib))
+    } else {
+        None
+    };
     let boot = Arc::new(Boot {
         n,
         published: Mutex::new(vec![None; n]),
@@ -97,11 +114,12 @@ pub fn launch<F>(
         }
         let boot = boot.clone();
         let f = f.clone();
+        let tracer = opts.tracer.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let res = match cfg.placement {
                 Placement::Phi => {
-                    let d = dcfa::DcfaContext::open(ctx, &ib, &scif, node)
-                        .expect("DCFA open failed");
+                    let d =
+                        dcfa::DcfaContext::open(ctx, &ib, &scif, node).expect("DCFA open failed");
                     Resources::Phi(d)
                 }
                 Placement::Host => {
@@ -109,6 +127,9 @@ pub fn launch<F>(
                 }
             };
             let (mut engine, endpoints) = Engine::create(ctx, r, n, cfg, res);
+            if let Some(t) = &tracer {
+                engine.set_tracer(t.clone());
+            }
 
             // Publish and wait for everyone (the PMI exchange).
             {
@@ -148,6 +169,7 @@ pub fn launch<F>(
             comm.finalize(ctx);
         });
     }
+    daemon_stats
 }
 
 /// Out-of-band barrier used by the launcher (not charged as MPI traffic).
@@ -166,4 +188,3 @@ fn barrier_boot(ctx: &mut Ctx, boot: &Boot) {
         ctx.wait_event(&boot.event, seen, "mpi finalize barrier");
     }
 }
-

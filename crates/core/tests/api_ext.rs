@@ -18,7 +18,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 
@@ -126,9 +134,12 @@ fn stats_count_protocols_and_bytes() {
             comm.send(ctx, &small, 1, 1).unwrap(); // eager
             *s2.lock() = Some(comm.stats());
         } else {
-            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1)).unwrap();
-            comm.recv(ctx, &large, Src::Rank(0), TagSel::Tag(1)).unwrap();
-            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1)).unwrap();
+            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1))
+                .unwrap();
+            comm.recv(ctx, &large, Src::Rank(0), TagSel::Tag(1))
+                .unwrap();
+            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1))
+                .unwrap();
         }
     });
     let st = stats.lock().unwrap();
@@ -151,7 +162,8 @@ fn receiver_stats_count_bytes_received() {
             comm.send(ctx, &buf.slice(0, 100), 1, 1).unwrap();
         } else {
             comm.recv(ctx, &buf, Src::Rank(0), TagSel::Tag(1)).unwrap();
-            comm.recv(ctx, &buf.slice(0, 100), Src::Rank(0), TagSel::Tag(1)).unwrap();
+            comm.recv(ctx, &buf.slice(0, 100), Src::Rank(0), TagSel::Tag(1))
+                .unwrap();
             *s2.lock() = Some(comm.stats());
         }
     });
@@ -177,7 +189,8 @@ fn stale_rtr_counter_increments_on_mispredict() {
             let big = comm.alloc(256 << 10).unwrap();
             comm.recv(ctx, &big, Src::Rank(0), TagSel::Tag(6)).unwrap();
             let small = comm.alloc(64).unwrap();
-            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(7)).unwrap();
+            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(7))
+                .unwrap();
         }
     });
     let st = stats.lock().unwrap();

@@ -18,7 +18,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 
@@ -139,7 +147,10 @@ fn gather_collects_blocks() {
     });
     let g = gathered.lock().clone();
     for p in 0..4usize {
-        assert!(g[p * 256..(p + 1) * 256].iter().all(|&b| b == p as u8), "block {p}");
+        assert!(
+            g[p * 256..(p + 1) * 256].iter().all(|&b| b == p as u8),
+            "block {p}"
+        );
     }
 }
 

@@ -19,7 +19,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 
@@ -68,13 +76,18 @@ fn column_halo_exchange_between_ranks() {
         let grid = comm.alloc(rows * cols * elem).unwrap();
         if comm.rank() == 0 {
             for r in 0..rows {
-                comm.write(&grid, (r * cols + (cols - 1)) * elem, &(7000 + r).to_le_bytes());
+                comm.write(
+                    &grid,
+                    (r * cols + (cols - 1)) * elem,
+                    &(7000 + r).to_le_bytes(),
+                );
             }
             let right_col = Layout::column(cols - 1, rows, cols, elem);
             send_typed(ctx, comm, &grid, &right_col, 1, 42).unwrap();
         } else {
             let left_col = Layout::column(0, rows, cols, elem);
-            let st = recv_typed(ctx, comm, &grid, &left_col, Src::Rank(0), TagSel::Tag(42)).unwrap();
+            let st =
+                recv_typed(ctx, comm, &grid, &left_col, Src::Rank(0), TagSel::Tag(42)).unwrap();
             assert_eq!(st.len, rows * elem);
             let all = comm.read_vec(&grid);
             for r in 0..rows as usize {
@@ -95,7 +108,9 @@ fn indexed_layout_roundtrip() {
         comm.write(&base, 0, &[1u8; 16]);
         comm.write(&base, 100, &[2u8; 8]);
         comm.write(&base, 500, &[3u8; 32]);
-        let layout = Layout::Indexed { blocks: vec![(0, 16), (100, 8), (500, 32)] };
+        let layout = Layout::Indexed {
+            blocks: vec![(0, 16), (100, 8), (500, 32)],
+        };
         assert_eq!(layout.packed_len(), 56);
         let stage = comm.alloc(56).unwrap();
         pack(ctx, comm, &base, &layout, &stage);

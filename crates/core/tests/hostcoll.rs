@@ -35,7 +35,12 @@ fn host_staged_bcast_delivers_content() {
                 comm.write(&buf, 0, &vec![0xCD; len as usize]);
             }
             hostcoll::bcast_host_staged(comm, ctx, &buf, root).unwrap();
-            assert_eq!(comm.read_vec(&buf), vec![0xCD; len as usize], "rank {}", comm.rank());
+            assert_eq!(
+                comm.read_vec(&buf),
+                vec![0xCD; len as usize],
+                "rank {}",
+                comm.rank()
+            );
             *ok2.lock() += 1;
         });
         assert_eq!(*ok.lock(), 8);
@@ -67,7 +72,10 @@ fn host_staged_reduce_matches_plain() {
     });
     let results = results.lock();
     let (plain, staged) = &results[0];
-    assert_eq!(plain, staged, "host-staged reduce must match plain reduce bit-for-bit");
+    assert_eq!(
+        plain, staged,
+        "host-staged reduce must match plain reduce bit-for-bit"
+    );
 }
 
 #[test]

@@ -31,12 +31,22 @@ where
     F: Fn(&mut Ctx, &mut Comm) + Send + Sync + 'static,
 {
     let mut r = rig(nprocs.max(2));
-    launch(&r.sim, &r.ib, &r.scif, cfg, nprocs, LaunchOpts::default(), f);
+    launch(
+        &r.sim,
+        &r.ib,
+        &r.scif,
+        cfg,
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     r.sim.run_expect();
 }
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
 }
 
 /// Send sizes crossing the eager, offload and rendezvous regimes.
@@ -143,7 +153,9 @@ fn simultaneous_rendezvous() {
         let me = comm.rank();
         let peer = 1 - me;
         comm.write(&sbuf, 0, &pattern(len as usize, me as u8));
-        let rr = comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(1)).unwrap();
+        let rr = comm
+            .irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(1))
+            .unwrap();
         let sr = comm.isend(ctx, &sbuf, peer, 1).unwrap();
         comm.wait(ctx, sr).unwrap();
         let st = comm.wait(ctx, rr).unwrap();
@@ -276,7 +288,9 @@ fn truncation_is_an_error() {
             comm.send(ctx, &buf, 1, 3).unwrap();
         } else {
             let small = comm.alloc(4 << 10).unwrap();
-            let err = comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(3)).unwrap_err();
+            let err = comm
+                .recv(ctx, &small, Src::Rank(0), TagSel::Tag(3))
+                .unwrap_err();
             assert!(matches!(err, MpiError::Truncated { got, capacity }
                 if got == 128 << 10 && capacity == 4 << 10));
             *s2.lock() = true;
@@ -350,7 +364,10 @@ fn bidirectional_flood_no_deadlock() {
         let rbuf = comm.alloc(1024).unwrap();
         let mut reqs = Vec::new();
         for _ in 0..n {
-            reqs.push(comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Any).unwrap());
+            reqs.push(
+                comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Any)
+                    .unwrap(),
+            );
             reqs.push(comm.isend(ctx, &sbuf, peer, 2).unwrap());
         }
         comm.waitall(ctx, &reqs).unwrap();
@@ -403,11 +420,13 @@ fn eight_rank_ring_pass() {
         if me == 0 {
             comm.write(&buf, 0, &1u64.to_le_bytes());
             comm.send(ctx, &buf, 1, 0).unwrap();
-            comm.recv(ctx, &buf, Src::Rank(n - 1), TagSel::Tag(0)).unwrap();
+            comm.recv(ctx, &buf, Src::Rank(n - 1), TagSel::Tag(0))
+                .unwrap();
             let v = u64::from_le_bytes(comm.read_vec(&buf).try_into().unwrap());
             *s2.lock() = v;
         } else {
-            comm.recv(ctx, &buf, Src::Rank(me - 1), TagSel::Tag(0)).unwrap();
+            comm.recv(ctx, &buf, Src::Rank(me - 1), TagSel::Tag(0))
+                .unwrap();
             let mut v = u64::from_le_bytes(comm.read_vec(&buf).try_into().unwrap());
             v += me as u64;
             comm.write(&buf, 0, &v.to_le_bytes());
@@ -435,7 +454,10 @@ fn mr_cache_hits_on_reuse() {
         }
     });
     let (hits, _misses) = *stats.lock();
-    assert!(hits >= 9, "reused buffer should hit the MR cache: {stats:?}");
+    assert!(
+        hits >= 9,
+        "reused buffer should hit the MR cache: {stats:?}"
+    );
 }
 
 #[test]
@@ -468,7 +490,10 @@ fn self_and_out_of_range_ranks_rejected() {
             comm.isend(ctx, &buf, comm.rank(), 0),
             Err(MpiError::BadRank(_))
         ));
-        assert!(matches!(comm.isend(ctx, &buf, 99, 0), Err(MpiError::BadRank(99))));
+        assert!(matches!(
+            comm.isend(ctx, &buf, 99, 0),
+            Err(MpiError::BadRank(99))
+        ));
         assert!(matches!(
             comm.irecv(ctx, &buf, Src::Rank(99), TagSel::Any),
             Err(MpiError::BadRank(99))

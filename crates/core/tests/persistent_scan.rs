@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use dcfa_mpi::collectives::scan;
-use dcfa_mpi::{launch, Comm, Communicator, Datatype, LaunchOpts, MpiConfig, ReduceOp, Src, TagSel};
+use dcfa_mpi::{
+    launch, Comm, Communicator, Datatype, LaunchOpts, MpiConfig, ReduceOp, Src, TagSel,
+};
 use fabric::{Cluster, ClusterConfig};
 use parking_lot::Mutex;
 use scif::ScifFabric;
@@ -18,7 +20,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 

@@ -20,7 +20,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 
@@ -33,12 +41,8 @@ struct Msg {
 fn msg_strategy() -> impl Strategy<Value = Msg> {
     // Sizes spanning eager (<=8K), offload-rendezvous and plain sizes,
     // biased small so cases stay fast.
-    prop_oneof![
-        4u32..256,
-        1024u32..4096,
-        (9u32 << 10)..(64 << 10),
-    ]
-    .prop_flat_map(|size| any::<u8>().prop_map(move |salt| Msg { size, salt }))
+    prop_oneof![4u32..256, 1024u32..4096, (9u32 << 10)..(64 << 10),]
+        .prop_flat_map(|size| any::<u8>().prop_map(move |salt| Msg { size, salt }))
 }
 
 proptest! {

@@ -64,7 +64,10 @@ fn tiny_ring_bidirectional_storm() {
         let rbuf = comm.alloc(512).unwrap();
         let mut reqs = Vec::new();
         for k in 0..120u32 {
-            reqs.push(comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(k)).unwrap());
+            reqs.push(
+                comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(k))
+                    .unwrap(),
+            );
             reqs.push(comm.isend(ctx, &sbuf, peer, k).unwrap());
         }
         comm.waitall(ctx, &reqs).unwrap();
@@ -91,10 +94,12 @@ fn tiny_ring_mixed_eager_and_rendezvous() {
         } else {
             for i in 0..20 {
                 if i % 2 == 0 {
-                    comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1)).unwrap();
+                    comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1))
+                        .unwrap();
                     assert_eq!(comm.read_vec(&small)[0], i as u8);
                 } else {
-                    comm.recv(ctx, &large, Src::Rank(0), TagSel::Tag(1)).unwrap();
+                    comm.recv(ctx, &large, Src::Rank(0), TagSel::Tag(1))
+                        .unwrap();
                     assert_eq!(comm.read_vec(&large)[0], i as u8);
                 }
             }
@@ -126,7 +131,11 @@ fn any_source_any_tag_drains_everything() {
     // Per-source FIFO: tags from each source arrive in ascending order and
     // payloads match the envelope.
     for src in 0..3usize {
-        let tags: Vec<u32> = seen.iter().filter(|(s, _, _)| *s == src).map(|(_, t, _)| *t).collect();
+        let tags: Vec<u32> = seen
+            .iter()
+            .filter(|(s, _, _)| *s == src)
+            .map(|(_, t, _)| *t)
+            .collect();
         assert_eq!(tags, vec![100, 101, 102, 103, 104], "source {src}");
     }
     for (s, t, payload) in seen {
@@ -175,7 +184,11 @@ fn interleaved_tags_with_wildcard_receiver() {
             let buf = comm.alloc(64).unwrap();
             let mut got = Vec::new();
             for i in 0..12 {
-                let tag = if i % 4 == 0 { TagSel::Any } else { TagSel::Tag(i as u32 % 3) };
+                let tag = if i % 4 == 0 {
+                    TagSel::Any
+                } else {
+                    TagSel::Tag(i as u32 % 3)
+                };
                 let st = comm.recv(ctx, &buf, Src::Rank(0), tag).unwrap();
                 got.push((st.tag, comm.read_vec(&buf)[0]));
             }

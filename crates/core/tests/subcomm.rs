@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use dcfa_mpi::subcomm::split;
-use dcfa_mpi::{collectives, launch, Comm, Communicator, Datatype, LaunchOpts, MpiConfig, ReduceOp, Src, TagSel};
+use dcfa_mpi::{
+    collectives, launch, Comm, Communicator, Datatype, LaunchOpts, MpiConfig, ReduceOp, Src, TagSel,
+};
 use fabric::{Cluster, ClusterConfig};
 use parking_lot::Mutex;
 use scif::ScifFabric;
@@ -19,7 +21,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 
@@ -31,7 +41,13 @@ fn even_odd_split_ranks_and_sizes() {
         let me = comm.rank();
         let color = (me % 2) as u32;
         let mut sub = split(comm, ctx, color, 0).unwrap().unwrap();
-        g2.lock().push((me, color, sub.rank(), sub.size(), sub.parent_rank(sub.rank())));
+        g2.lock().push((
+            me,
+            color,
+            sub.rank(),
+            sub.size(),
+            sub.parent_rank(sub.rank()),
+        ));
         // Within-group ring exchange proves isolation.
         let n = sub.size();
         let buf = sub.cluster().alloc_pages(sub.mem(), 64).unwrap();
@@ -39,7 +55,9 @@ fn even_odd_split_ranks_and_sizes() {
         let right = (sub.rank() + 1) % n;
         let left = (sub.rank() + n - 1) % n;
         let rbuf = sub.cluster().alloc_pages(sub.mem(), 64).unwrap();
-        let rr = sub.irecv(ctx, &rbuf, Src::Rank(left), TagSel::Tag(1)).unwrap();
+        let rr = sub
+            .irecv(ctx, &rbuf, Src::Rank(left), TagSel::Tag(1))
+            .unwrap();
         let sr = sub.isend(ctx, &buf, right, 1).unwrap();
         sub.wait(ctx, sr).unwrap();
         let st = sub.wait(ctx, rr).unwrap();
@@ -106,7 +124,8 @@ fn collectives_inside_subgroups_run_concurrently() {
         let color = (me / 4) as u32; // two groups of 4
         let mut sub = split(comm, ctx, color, 0).unwrap().unwrap();
         let buf = sub.cluster().alloc_pages(sub.mem(), 8).unwrap();
-        sub.cluster().write(&buf, 0, &((me + 1) as f64).to_le_bytes());
+        sub.cluster()
+            .write(&buf, 0, &((me + 1) as f64).to_le_bytes());
         collectives::allreduce(&mut sub, ctx, &buf, Datatype::F64, ReduceOp::Sum).unwrap();
         let v = f64::from_le_bytes(sub.cluster().read_vec(&buf).try_into().unwrap());
         s2.lock().push((color, v));
@@ -128,9 +147,12 @@ fn sub_traffic_does_not_cross_groups() {
         let mut sub = split(comm, ctx, color, 0).unwrap().unwrap();
         let peer = 1 - sub.rank();
         let sbuf = sub.cluster().alloc_pages(sub.mem(), 128).unwrap();
-        sub.cluster().write(&sbuf, 0, &[(color as u8 + 1) * 10 + sub.rank() as u8; 128]);
+        sub.cluster()
+            .write(&sbuf, 0, &[(color as u8 + 1) * 10 + sub.rank() as u8; 128]);
         let rbuf = sub.cluster().alloc_pages(sub.mem(), 128).unwrap();
-        let rr = sub.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(9)).unwrap();
+        let rr = sub
+            .irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(9))
+            .unwrap();
         let sr = sub.isend(ctx, &sbuf, peer, 9).unwrap();
         sub.wait(ctx, sr).unwrap();
         sub.wait(ctx, rr).unwrap();

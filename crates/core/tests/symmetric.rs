@@ -23,7 +23,10 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(n.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    let opts = LaunchOpts { placements: Some(placements), ..Default::default() };
+    let opts = LaunchOpts {
+        placements: Some(placements),
+        ..Default::default()
+    };
     launch(&sim, &ib, &scif, MpiConfig::dcfa(), n, opts, f);
     sim.run_expect();
 }
@@ -34,13 +37,19 @@ fn host_and_phi_ranks_exchange_messages() {
     let ok2 = ok.clone();
     run_symmetric(vec![Placement::Phi, Placement::Host], move |ctx, comm| {
         // Rank 0 on a card, rank 1 on a host.
-        let expect_domain = if comm.rank() == 0 { Domain::Phi } else { Domain::Host };
+        let expect_domain = if comm.rank() == 0 {
+            Domain::Phi
+        } else {
+            Domain::Host
+        };
         assert_eq!(comm.mem().domain, expect_domain);
         let peer = 1 - comm.rank();
         let sbuf = comm.alloc(32 << 10).unwrap();
         let rbuf = comm.alloc(32 << 10).unwrap();
         comm.write(&sbuf, 0, &[comm.rank() as u8 + 7; 32 << 10]);
-        let rr = comm.irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(1)).unwrap();
+        let rr = comm
+            .irecv(ctx, &rbuf, Src::Rank(peer), TagSel::Tag(1))
+            .unwrap();
         let sr = comm.isend(ctx, &sbuf, peer, 1).unwrap();
         comm.wait(ctx, sr).unwrap();
         comm.wait(ctx, rr).unwrap();
@@ -58,7 +67,9 @@ fn phi_rank_uses_offload_host_rank_does_not() {
         let peer = 1 - comm.rank();
         let buf = comm.alloc(256 << 10).unwrap();
         // Both directions: each rank sends one large message.
-        let rr = comm.irecv(ctx, &buf, Src::Rank(peer), TagSel::Tag(2)).unwrap();
+        let rr = comm
+            .irecv(ctx, &buf, Src::Rank(peer), TagSel::Tag(2))
+            .unwrap();
         let sbuf = comm.alloc(256 << 10).unwrap();
         let sr = comm.isend(ctx, &sbuf, peer, 2).unwrap();
         comm.wait(ctx, sr).unwrap();
@@ -81,7 +92,12 @@ fn mixed_four_rank_collectives() {
     let got = Arc::new(Mutex::new(Vec::new()));
     let g2 = got.clone();
     run_symmetric(
-        vec![Placement::Host, Placement::Phi, Placement::Host, Placement::Phi],
+        vec![
+            Placement::Host,
+            Placement::Phi,
+            Placement::Host,
+            Placement::Phi,
+        ],
         move |ctx, comm| {
             let buf = comm.alloc(8).unwrap();
             comm.write(&buf, 0, &((comm.rank() + 1) as f64).to_le_bytes());
@@ -99,7 +115,12 @@ fn symmetric_stencil_like_ring() {
     // A ring over alternating placements (the symmetric-mode shape a
     // host+card-per-node job would use).
     run_symmetric(
-        vec![Placement::Host, Placement::Phi, Placement::Host, Placement::Phi],
+        vec![
+            Placement::Host,
+            Placement::Phi,
+            Placement::Host,
+            Placement::Phi,
+        ],
         move |ctx, comm| {
             let n = comm.size();
             let me = comm.rank();
@@ -109,7 +130,9 @@ fn symmetric_stencil_like_ring() {
             let rbuf = comm.alloc(10 << 10).unwrap();
             comm.write(&sbuf, 0, &[me as u8 * 3 + 1; 10 << 10]);
             for _ in 0..5 {
-                let rr = comm.irecv(ctx, &rbuf, Src::Rank(left), TagSel::Tag(4)).unwrap();
+                let rr = comm
+                    .irecv(ctx, &rbuf, Src::Rank(left), TagSel::Tag(4))
+                    .unwrap();
                 let sr = comm.isend(ctx, &sbuf, right, 4).unwrap();
                 comm.wait(ctx, sr).unwrap();
                 comm.wait(ctx, rr).unwrap();

@@ -19,7 +19,15 @@ where
     let cluster = Cluster::new(sim.scheduler(), ClusterConfig::with_nodes(nprocs.max(2)));
     let ib = IbFabric::new(cluster.clone());
     let scif = ScifFabric::new(cluster);
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), nprocs, LaunchOpts::default(), f);
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        nprocs,
+        LaunchOpts::default(),
+        f,
+    );
     sim.run_expect();
 }
 
@@ -101,10 +109,23 @@ fn alltoallv_triangular_pattern() {
         let send = comm.alloc(send_counts.iter().sum::<u64>()).unwrap();
         let recv = comm.alloc(recv_counts.iter().sum::<u64>()).unwrap();
         for j in 0..n {
-            comm.write(&send, send_offs[j], &vec![(me * 10 + j) as u8; send_counts[j] as usize]);
+            comm.write(
+                &send,
+                send_offs[j],
+                &vec![(me * 10 + j) as u8; send_counts[j] as usize],
+            );
         }
-        alltoallv(comm, ctx, &send, &send_counts, &send_offs, &recv, &recv_counts, &recv_offs)
-            .unwrap();
+        alltoallv(
+            comm,
+            ctx,
+            &send,
+            &send_counts,
+            &send_offs,
+            &recv,
+            &recv_counts,
+            &recv_offs,
+        )
+        .unwrap();
         for j in 0..n {
             let got = comm.read_vec(&recv.slice(recv_offs[j], recv_counts[j]));
             assert!(
@@ -124,7 +145,13 @@ fn alltoallv_with_large_blocks_uses_rendezvous() {
     let n = 3usize;
     run_mpi(n, move |ctx, comm| {
         let me = comm.rank();
-        let count = |from: usize, to: usize| if from == 0 && to == 2 { 128 << 10 } else { 32u64 };
+        let count = |from: usize, to: usize| {
+            if from == 0 && to == 2 {
+                128 << 10
+            } else {
+                32u64
+            }
+        };
         let send_counts: Vec<u64> = (0..n).map(|j| count(me, j)).collect();
         let recv_counts: Vec<u64> = (0..n).map(|j| count(j, me)).collect();
         let mut send_offs = vec![0u64; n];
@@ -136,13 +163,29 @@ fn alltoallv_with_large_blocks_uses_rendezvous() {
         let send = comm.alloc(send_counts.iter().sum::<u64>()).unwrap();
         let recv = comm.alloc(recv_counts.iter().sum::<u64>()).unwrap();
         for j in 0..n {
-            comm.write(&send, send_offs[j], &vec![0xA0 + j as u8; send_counts[j] as usize]);
+            comm.write(
+                &send,
+                send_offs[j],
+                &vec![0xA0 + j as u8; send_counts[j] as usize],
+            );
         }
-        alltoallv(comm, ctx, &send, &send_counts, &send_offs, &recv, &recv_counts, &recv_offs)
-            .unwrap();
+        alltoallv(
+            comm,
+            ctx,
+            &send,
+            &send_counts,
+            &send_offs,
+            &recv,
+            &recv_counts,
+            &recv_offs,
+        )
+        .unwrap();
         for j in 0..n {
             let got = comm.read_vec(&recv.slice(recv_offs[j], recv_counts[j]));
-            assert!(got.iter().all(|&b| b == 0xA0 + me as u8), "rank {me} from {j}");
+            assert!(
+                got.iter().all(|&b| b == 0xA0 + me as u8),
+                "rank {me} from {j}"
+            );
         }
     });
 }

@@ -66,7 +66,9 @@ pub struct DcfaContext {
 
 impl std::fmt::Debug for DcfaContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DcfaContext").field("node", &self.node()).finish_non_exhaustive()
+        f.debug_struct("DcfaContext")
+            .field("node", &self.node())
+            .finish_non_exhaustive()
     }
 }
 
@@ -79,7 +81,10 @@ impl DcfaContext {
         scif_fabric: &Arc<ScifFabric>,
         node: NodeId,
     ) -> Result<DcfaContext, DcfaError> {
-        let local = MemRef { node, domain: Domain::Phi };
+        let local = MemRef {
+            node,
+            domain: Domain::Phi,
+        };
         let mut last_err = None;
         for _ in 0..4 {
             match scif_fabric.connect(ctx, local, Domain::Host, DCFA_PORT) {
@@ -139,7 +144,11 @@ impl DcfaContext {
         ctx.sleep(cost.cpu_op(Domain::Phi) + cost.cmd_translate_per_page * buffer.pages());
         match self.roundtrip(
             ctx,
-            Cmd::RegMr { mem: buffer.mem, addr: buffer.addr, len: buffer.len },
+            Cmd::RegMr {
+                mem: buffer.mem,
+                addr: buffer.addr,
+                len: buffer.len,
+            },
         )? {
             Reply::MrKey { key } => self
                 .vctx
@@ -188,16 +197,32 @@ impl DcfaContext {
     /// `reg_offload_mr`: allocate + register a host twin for `phi_buffer`
     /// (paper §IV-B4). Subsequent sends can source the host twin at full
     /// host DMA speed after a [`DcfaContext::sync_offload_mr`].
-    pub fn reg_offload_mr(&self, ctx: &mut Ctx, phi_buffer: &Buffer) -> Result<OffloadMr, DcfaError> {
-        assert_eq!(phi_buffer.mem.node, self.node(), "offload twin must be node-local");
-        match self.roundtrip(ctx, Cmd::RegOffloadMr { len: phi_buffer.len })? {
+    pub fn reg_offload_mr(
+        &self,
+        ctx: &mut Ctx,
+        phi_buffer: &Buffer,
+    ) -> Result<OffloadMr, DcfaError> {
+        assert_eq!(
+            phi_buffer.mem.node,
+            self.node(),
+            "offload twin must be node-local"
+        );
+        match self.roundtrip(
+            ctx,
+            Cmd::RegOffloadMr {
+                len: phi_buffer.len,
+            },
+        )? {
             Reply::Offload { key, .. } => {
                 let host_mr = self
                     .vctx
                     .fabric()
                     .mr_handle(MrKey(key))
                     .ok_or(DcfaError::Protocol)?;
-                Ok(OffloadMr { phi: phi_buffer.clone(), host_mr })
+                Ok(OffloadMr {
+                    phi: phi_buffer.clone(),
+                    host_mr,
+                })
             }
             Reply::Error { code } => Err(DcfaError::Command { code }),
             _ => Err(DcfaError::Protocol),
@@ -218,7 +243,12 @@ impl DcfaContext {
     /// `dereg_offload_mr`: destroy the Phi-side descriptor, deregister the
     /// host MR and free the host twin.
     pub fn dereg_offload_mr(&self, ctx: &mut Ctx, omr: OffloadMr) -> Result<(), DcfaError> {
-        match self.roundtrip(ctx, Cmd::DeregOffloadMr { key: omr.host_mr.key().0 })? {
+        match self.roundtrip(
+            ctx,
+            Cmd::DeregOffloadMr {
+                key: omr.host_mr.key().0,
+            },
+        )? {
             Reply::Ok => Ok(()),
             Reply::Error { code } => Err(DcfaError::Command { code }),
             _ => Err(DcfaError::Protocol),

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fabric::{Buffer, Domain, MemRef, NodeId};
+use parking_lot::Mutex;
 use scif::{ScifEndpoint, ScifFabric};
 use simcore::{Ctx, Scheduler};
 use verbs::{IbFabric, VerbsContext};
@@ -20,13 +21,56 @@ use crate::wire::{err_code, Cmd, Reply};
 /// The well-known SCIF port the DCFA daemon listens on.
 pub const DCFA_PORT: scif::Port = 4791;
 
+/// Counters the host daemons maintain while servicing offloaded resource
+/// operations. Snapshot of a [`DcfaStats`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DcfaCounters {
+    /// CMD clients accepted (one per MPI rank per node).
+    pub connections: u64,
+    /// Commands serviced, of any kind (including errors).
+    pub commands: u64,
+    /// `RegMr` registrations performed.
+    pub mr_registered: u64,
+    /// `DeregMr` deregistrations performed.
+    pub mr_deregistered: u64,
+    /// Offloading-buffer twins allocated + registered (`RegOffloadMr`).
+    pub offload_registered: u64,
+    /// Offloading-buffer twins released (`DeregOffloadMr`).
+    pub offload_deregistered: u64,
+    /// Error replies sent.
+    pub errors: u64,
+}
+
+/// Shared handle to the daemons' counters, returned by [`spawn_daemons`]
+/// / [`spawn_node_daemon`]. Clones observe the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct DcfaStats(Arc<Mutex<DcfaCounters>>);
+
+impl DcfaStats {
+    /// Current counter values.
+    pub fn snapshot(&self) -> DcfaCounters {
+        *self.0.lock()
+    }
+
+    fn update(&self, f: impl FnOnce(&mut DcfaCounters)) {
+        f(&mut self.0.lock());
+    }
+}
+
 /// Spawn one DCFA host daemon per cluster node. Must run before any
 /// [`crate::DcfaContext::open`] (clients retry briefly, so same-instant
-/// spawn ordering is forgiving).
-pub fn spawn_daemons(sched: &Scheduler, scif_fabric: &Arc<ScifFabric>, ib: &Arc<IbFabric>) {
+/// spawn ordering is forgiving). Returns a cluster-wide counter handle
+/// aggregated across all node daemons.
+pub fn spawn_daemons(
+    sched: &Scheduler,
+    scif_fabric: &Arc<ScifFabric>,
+    ib: &Arc<IbFabric>,
+) -> DcfaStats {
+    let stats = DcfaStats::default();
     for n in 0..scif_fabric.cluster().num_nodes() {
-        spawn_node_daemon(sched, scif_fabric, ib, NodeId(n));
+        spawn_node_daemon_with(sched, scif_fabric, ib, NodeId(n), stats.clone());
     }
+    stats
 }
 
 /// Spawn the DCFA host daemon for one node.
@@ -35,26 +79,46 @@ pub fn spawn_node_daemon(
     scif_fabric: &Arc<ScifFabric>,
     ib: &Arc<IbFabric>,
     node: NodeId,
+) -> DcfaStats {
+    let stats = DcfaStats::default();
+    spawn_node_daemon_with(sched, scif_fabric, ib, node, stats.clone());
+    stats
+}
+
+fn spawn_node_daemon_with(
+    sched: &Scheduler,
+    scif_fabric: &Arc<ScifFabric>,
+    ib: &Arc<IbFabric>,
+    node: NodeId,
+    stats: DcfaStats,
 ) {
     let scif_fabric = scif_fabric.clone();
     let ib = ib.clone();
     sched.spawn_daemon(format!("dcfa-daemon-{node}"), move |ctx| {
-        let listener = scif_fabric.listen(MemRef { node, domain: Domain::Host }, DCFA_PORT);
+        let listener = scif_fabric.listen(
+            MemRef {
+                node,
+                domain: Domain::Host,
+            },
+            DCFA_PORT,
+        );
         let mut conn_id = 0u32;
         loop {
             let ep = listener.accept(ctx);
             let ib = ib.clone();
-            ctx.scheduler().spawn_daemon(
-                format!("dcfa-handler-{node}.{conn_id}"),
-                move |hctx| handler(hctx, ep, ib, node),
-            );
+            let stats = stats.clone();
+            stats.update(|c| c.connections += 1);
+            ctx.scheduler()
+                .spawn_daemon(format!("dcfa-handler-{node}.{conn_id}"), move |hctx| {
+                    handler(hctx, ep, ib, node, stats)
+                });
             conn_id += 1;
         }
     });
 }
 
 /// Serve one CMD client until `Bye`.
-fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId) {
+fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId, stats: DcfaStats) {
     let vctx = VerbsContext::open(ib.clone(), node, Domain::Host);
     let cluster = ib.cluster().clone();
     let cost = cluster.config().cost.clone();
@@ -66,9 +130,20 @@ fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId) {
     loop {
         let raw = ep.recv(ctx);
         let Some(cmd) = Cmd::decode(&raw) else {
-            ep.send(ctx, &Reply::Error { code: err_code::BAD_REQUEST }.encode());
+            stats.update(|c| {
+                c.commands += 1;
+                c.errors += 1;
+            });
+            ep.send(
+                ctx,
+                &Reply::Error {
+                    code: err_code::BAD_REQUEST,
+                }
+                .encode(),
+            );
             continue;
         };
+        stats.update(|c| c.commands += 1);
         // Host CPU work to service any offloaded command.
         ctx.sleep(cost.cmd_host_work);
         let reply = match cmd {
@@ -79,6 +154,7 @@ fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId) {
                 ctx.sleep(cost.host_mr_reg_base + cost.host_mr_reg_per_page * buffer.pages());
                 let mr = vctx.reg_mr_uncharged(buffer.clone());
                 objects.insert(mr.key().0, (buffer, false));
+                stats.update(|c| c.mr_registered += 1);
                 Reply::MrKey { key: mr.key().0 }
             }
             Cmd::DeregMr { key } => match objects.remove(&key) {
@@ -89,26 +165,40 @@ fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId) {
                     if is_offload {
                         cluster.free(&buffer);
                     }
+                    stats.update(|c| c.mr_deregistered += 1);
                     Reply::Ok
                 }
-                None => Reply::Error { code: err_code::UNKNOWN_KEY },
+                None => Reply::Error {
+                    code: err_code::UNKNOWN_KEY,
+                },
             },
             Cmd::RegOffloadMr { len } => {
                 // "the corresponding host buffer is then allocated in the
                 // host delegation process and registered as an InfiniBand
                 // memory region" (§IV-B4).
-                match cluster.alloc_pages(MemRef { node, domain: Domain::Host }, len) {
+                match cluster.alloc_pages(
+                    MemRef {
+                        node,
+                        domain: Domain::Host,
+                    },
+                    len,
+                ) {
                     Ok(host_buf) => {
-                        ctx.sleep(cost.host_mr_reg_base + cost.host_mr_reg_per_page * host_buf.pages());
+                        ctx.sleep(
+                            cost.host_mr_reg_base + cost.host_mr_reg_per_page * host_buf.pages(),
+                        );
                         let mr = vctx.reg_mr_uncharged(host_buf.clone());
                         objects.insert(mr.key().0, (host_buf.clone(), true));
+                        stats.update(|c| c.offload_registered += 1);
                         Reply::Offload {
                             key: mr.key().0,
                             host_addr: host_buf.addr,
                             host_len: host_buf.len,
                         }
                     }
-                    Err(_) => Reply::Error { code: err_code::OOM },
+                    Err(_) => Reply::Error {
+                        code: err_code::OOM,
+                    },
                 }
             }
             Cmd::DeregOffloadMr { key } => match objects.remove(&key) {
@@ -117,15 +207,21 @@ fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId) {
                         vctx.dereg_mr(&mr);
                     }
                     cluster.free(&buffer);
+                    stats.update(|c| c.offload_deregistered += 1);
                     Reply::Ok
                 }
-                None => Reply::Error { code: err_code::UNKNOWN_KEY },
+                None => Reply::Error {
+                    code: err_code::UNKNOWN_KEY,
+                },
             },
             Cmd::Bye => {
                 ep.send(ctx, &Reply::Ok.encode());
                 return;
             }
         };
+        if matches!(reply, Reply::Error { .. }) {
+            stats.update(|c| c.errors += 1);
+        }
         ep.send(ctx, &reply.encode());
     }
 }

@@ -25,4 +25,4 @@ mod daemon;
 pub mod wire;
 
 pub use context::{DcfaContext, DcfaError, OffloadMr};
-pub use daemon::{spawn_daemons, spawn_node_daemon, DCFA_PORT};
+pub use daemon::{spawn_daemons, spawn_node_daemon, DcfaCounters, DcfaStats, DCFA_PORT};

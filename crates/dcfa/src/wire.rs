@@ -34,11 +34,19 @@ pub enum Cmd {
 pub enum Reply {
     Ok,
     /// MR registered under `key`.
-    MrKey { key: u32 },
+    MrKey {
+        key: u32,
+    },
     /// Offload twin registered: host-side key and buffer address.
-    Offload { key: u32, host_addr: u64, host_len: u64 },
+    Offload {
+        key: u32,
+        host_addr: u64,
+        host_len: u64,
+    },
     /// Command failed (e.g. host out of memory).
-    Error { code: u8 },
+    Error {
+        code: u8,
+    },
 }
 
 /// Error codes carried by [`Reply::Error`].
@@ -142,7 +150,11 @@ impl Cmd {
             1 => {
                 let node = NodeId(r.u32()? as usize);
                 let domain = domain_from(r.u8()?)?;
-                Cmd::RegMr { mem: MemRef { node, domain }, addr: r.u64()?, len: r.u64()? }
+                Cmd::RegMr {
+                    mem: MemRef { node, domain },
+                    addr: r.u64()?,
+                    len: r.u64()?,
+                }
             }
             2 => Cmd::DeregMr { key: r.u32()? },
             3 => Cmd::CreateQp,
@@ -165,7 +177,11 @@ impl Reply {
                 b.push(1);
                 put_u32(&mut b, *key);
             }
-            Reply::Offload { key, host_addr, host_len } => {
+            Reply::Offload {
+                key,
+                host_addr,
+                host_len,
+            } => {
                 b.push(2);
                 put_u32(&mut b, *key);
                 put_u64(&mut b, *host_addr);
@@ -184,7 +200,11 @@ impl Reply {
         let reply = match r.u8()? {
             0 => Reply::Ok,
             1 => Reply::MrKey { key: r.u32()? },
-            2 => Reply::Offload { key: r.u32()?, host_addr: r.u64()?, host_len: r.u64()? },
+            2 => Reply::Offload {
+                key: r.u32()?,
+                host_addr: r.u64()?,
+                host_len: r.u64()?,
+            },
             3 => Reply::Error { code: r.u8()? },
             _ => return None,
         };
@@ -210,7 +230,10 @@ mod tests {
     fn cmd_roundtrips() {
         roundtrip_cmd(Cmd::Hello);
         roundtrip_cmd(Cmd::RegMr {
-            mem: MemRef { node: NodeId(3), domain: Domain::Phi },
+            mem: MemRef {
+                node: NodeId(3),
+                domain: Domain::Phi,
+            },
             addr: 0xDEAD_BEEF,
             len: 1 << 22,
         });
@@ -226,8 +249,14 @@ mod tests {
     fn reply_roundtrips() {
         roundtrip_reply(Reply::Ok);
         roundtrip_reply(Reply::MrKey { key: 7 });
-        roundtrip_reply(Reply::Offload { key: 9, host_addr: 0x1000, host_len: 65536 });
-        roundtrip_reply(Reply::Error { code: err_code::OOM });
+        roundtrip_reply(Reply::Offload {
+            key: 9,
+            host_addr: 0x1000,
+            host_len: 65536,
+        });
+        roundtrip_reply(Reply::Error {
+            code: err_code::OOM,
+        });
     }
 
     #[test]
@@ -235,7 +264,10 @@ mod tests {
         assert_eq!(Cmd::decode(&[]), None);
         assert_eq!(Cmd::decode(&[255]), None);
         let mut enc = Cmd::RegMr {
-            mem: MemRef { node: NodeId(0), domain: Domain::Host },
+            mem: MemRef {
+                node: NodeId(0),
+                domain: Domain::Host,
+            },
             addr: 1,
             len: 2,
         }

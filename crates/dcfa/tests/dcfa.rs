@@ -26,7 +26,10 @@ fn rig(nodes: usize) -> Rig {
 }
 
 fn phi(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Phi }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Phi,
+    }
 }
 
 #[test]
@@ -57,7 +60,13 @@ fn phi_registration_much_more_expensive_than_host() {
 
         let hostctx = VerbsContext::open(ib.clone(), NodeId(0), Domain::Host);
         let hbuf = cl
-            .alloc_pages(MemRef { node: NodeId(0), domain: Domain::Host }, 64 << 10)
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Host,
+                },
+                64 << 10,
+            )
             .unwrap();
         let t1 = ctx.now();
         let _hmr = hostctx.reg_mr(ctx, hbuf);
@@ -126,7 +135,8 @@ fn dcfa_rdma_write_between_phi_cards() {
         qpns2.lock().push((qp.node(), qp.qpn()));
         qp.connect(peer.0, peer.1);
         let (raddr, rkey) = mrinfo2.lock().unwrap();
-        qp.post_send(ctx, SendWr::rdma_write(1, vec![mr.sge(0, 5)], raddr, rkey)).unwrap();
+        qp.post_send(ctx, SendWr::rdma_write(1, vec![mr.sge(0, 5)], raddr, rkey))
+            .unwrap();
         let wc = cq.wait(ctx);
         assert_eq!(wc.status, WcStatus::Success);
     });
@@ -141,7 +151,10 @@ fn offload_mr_lifecycle_and_sync() {
     let (ib, scif) = (r.ib.clone(), r.scif.clone());
     r.sim.spawn("rank0", move |ctx| {
         let cl = ib.cluster().clone();
-        let host_mem = MemRef { node: NodeId(0), domain: Domain::Host };
+        let host_mem = MemRef {
+            node: NodeId(0),
+            domain: Domain::Host,
+        };
         let used_before = cl.mem_used(host_mem);
         let dcfa = DcfaContext::open(ctx, &ib, &scif, NodeId(0)).unwrap();
         let buf = cl.alloc_pages(phi(0), 64 << 10).unwrap();
@@ -190,7 +203,13 @@ fn offload_send_outperforms_direct_phi_send_for_large_messages() {
         // Remote target on node 1 (host memory region for simplicity).
         let rctx = VerbsContext::open(ib.clone(), NodeId(1), Domain::Host);
         let rbuf = cl
-            .alloc_pages(MemRef { node: NodeId(1), domain: Domain::Host }, len)
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(1),
+                    domain: Domain::Host,
+                },
+                len,
+            )
             .unwrap();
         let rmr = rctx.reg_mr_uncharged(rbuf);
 
@@ -202,8 +221,11 @@ fn offload_send_outperforms_direct_phi_send_for_large_messages() {
 
         // Direct: source the Phi buffer.
         let t0 = ctx.now();
-        qp.post_send(ctx, SendWr::rdma_write(1, vec![mr_direct.sge(0, len)], rmr.addr(), rmr.rkey()))
-            .unwrap();
+        qp.post_send(
+            ctx,
+            SendWr::rdma_write(1, vec![mr_direct.sge(0, len)], rmr.addr(), rmr.rkey()),
+        )
+        .unwrap();
         let _ = cq.wait(ctx);
         let direct = (ctx.now() - t0).as_nanos();
 

@@ -46,7 +46,15 @@ fn bye_then_new_connection_gets_fresh_handler() {
     r.sim.spawn("rank0", move |ctx| {
         let d1 = DcfaContext::open(ctx, &ib, &scif, NodeId(0)).unwrap();
         let cl = ib.cluster().clone();
-        let buf = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Phi }, 4096).unwrap();
+        let buf = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Phi,
+                },
+                4096,
+            )
+            .unwrap();
         let mr = d1.reg_mr(ctx, buf.clone()).unwrap();
         d1.dereg_mr(ctx, &mr).unwrap();
         d1.close(ctx);
@@ -70,7 +78,15 @@ fn offload_twin_allocation_failure_reports_oom() {
     r.sim.spawn("rank0", move |ctx| {
         let cl = ib.cluster().clone();
         let d = DcfaContext::open(ctx, &ib, &scif, NodeId(0)).unwrap();
-        let big = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Phi }, 1 << 20).unwrap();
+        let big = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Phi,
+                },
+                1 << 20,
+            )
+            .unwrap();
         let err = d.reg_offload_mr(ctx, &big).unwrap_err();
         assert!(
             matches!(err, DcfaError::Command { code } if code == dcfa::wire::err_code::OOM),
@@ -89,8 +105,24 @@ fn registration_cost_scales_with_pages() {
     r.sim.spawn("rank0", move |ctx| {
         let cl = ib.cluster().clone();
         let d = DcfaContext::open(ctx, &ib, &scif, NodeId(0)).unwrap();
-        let small = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Phi }, 4096).unwrap();
-        let large = cl.alloc_pages(MemRef { node: NodeId(0), domain: Domain::Phi }, 4 << 20).unwrap();
+        let small = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Phi,
+                },
+                4096,
+            )
+            .unwrap();
+        let large = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(0),
+                    domain: Domain::Phi,
+                },
+                4 << 20,
+            )
+            .unwrap();
         let t0 = ctx.now();
         let m1 = d.reg_mr(ctx, small).unwrap();
         let small_cost = (ctx.now() - t0).as_nanos();
@@ -106,8 +138,13 @@ fn registration_cost_scales_with_pages() {
     // 1024x the pages: per-page translation + pinning must show.
     assert!(large > small, "per-page cost invisible: {small} vs {large}");
     let cfg = ClusterConfig::paper();
-    let per_page = cfg.cost.cmd_translate_per_page.as_nanos() + cfg.cost.host_mr_reg_per_page.as_nanos();
-    assert!(large - small >= 1000 * per_page, "expected >= {} more", 1000 * per_page);
+    let per_page =
+        cfg.cost.cmd_translate_per_page.as_nanos() + cfg.cost.host_mr_reg_per_page.as_nanos();
+    assert!(
+        large - small >= 1000 * per_page,
+        "expected >= {} more",
+        1000 * per_page
+    );
 }
 
 #[test]
@@ -121,7 +158,15 @@ fn daemons_on_every_node_serve_their_own_cards() {
             let cl = ib.cluster().clone();
             let d = DcfaContext::open(ctx, &ib, &scif, NodeId(n)).unwrap();
             assert_eq!(d.node(), NodeId(n));
-            let buf = cl.alloc_pages(MemRef { node: NodeId(n), domain: Domain::Phi }, 8192).unwrap();
+            let buf = cl
+                .alloc_pages(
+                    MemRef {
+                        node: NodeId(n),
+                        domain: Domain::Phi,
+                    },
+                    8192,
+                )
+                .unwrap();
             let mr = d.reg_mr(ctx, buf).unwrap();
             // The registered region lives on this node's card.
             assert_eq!(mr.buffer().mem.node, NodeId(n));

@@ -14,6 +14,20 @@ pub struct BwChannel {
     total_bytes: u64,
     /// Total busy time ever reserved.
     total_busy: SimDuration,
+    /// Total reservations ever made.
+    total_ops: u64,
+}
+
+/// Counter snapshot of one [`BwChannel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    pub name: &'static str,
+    /// Reservations made (individual transfers serialized on the channel).
+    pub ops: u64,
+    /// Lifetime bytes moved.
+    pub bytes: u64,
+    /// Lifetime busy duration.
+    pub busy: SimDuration,
 }
 
 impl BwChannel {
@@ -23,6 +37,7 @@ impl BwChannel {
             busy_until: SimTime::ZERO,
             total_bytes: 0,
             total_busy: SimDuration::ZERO,
+            total_ops: 0,
         }
     }
 
@@ -42,6 +57,7 @@ impl BwChannel {
         let end = start + duration;
         self.busy_until = end;
         self.total_busy += duration;
+        self.total_ops += 1;
         (start, end)
     }
 
@@ -53,7 +69,12 @@ impl BwChannel {
 
     /// Reserve a precomputed stream duration while accounting `bytes`
     /// (used when the stream rate is set by another segment of the path).
-    pub fn reserve_stream(&mut self, after: SimTime, duration: SimDuration, bytes: u64) -> (SimTime, SimTime) {
+    pub fn reserve_stream(
+        &mut self,
+        after: SimTime,
+        duration: SimDuration,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
         self.total_bytes += bytes;
         self.reserve(after, duration)
     }
@@ -66,6 +87,21 @@ impl BwChannel {
     /// Lifetime busy duration.
     pub fn total_busy(&self) -> SimDuration {
         self.total_busy
+    }
+
+    /// Lifetime reservation count.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        ChannelStats {
+            name: self.name,
+            ops: self.total_ops,
+            bytes: self.total_bytes,
+            busy: self.total_busy,
+        }
     }
 }
 

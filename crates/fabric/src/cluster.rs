@@ -52,11 +52,17 @@ impl Cluster {
                 let node = NodeId(i);
                 NodeState {
                     host_mem: Arc::new(Mutex::new(Memory::new(
-                        MemRef { node, domain: Domain::Host },
+                        MemRef {
+                            node,
+                            domain: Domain::Host,
+                        },
                         cfg.host_mem_capacity,
                     ))),
                     phi_mem: Arc::new(Mutex::new(Memory::new(
-                        MemRef { node, domain: Domain::Phi },
+                        MemRef {
+                            node,
+                            domain: Domain::Phi,
+                        },
                         cfg.phi_mem_capacity,
                     ))),
                     pci_h2p: Mutex::new(BwChannel::new("pci-h2p")),
@@ -168,7 +174,10 @@ impl Cluster {
     /// (SCIF RMA, offload copy-in/out, offload-send-buffer sync).
     pub fn pci_dma(&self, src: &Buffer, dst: &Buffer, after: SimTime) -> Transfer {
         assert_eq!(src.mem.node, dst.mem.node, "pci_dma is intra-node");
-        assert_ne!(src.mem.domain, dst.mem.domain, "pci_dma crosses the PCIe bus");
+        assert_ne!(
+            src.mem.domain, dst.mem.domain,
+            "pci_dma crosses the PCIe bus"
+        );
         assert_eq!(src.len, dst.len, "pci_dma length mismatch");
         let (start, end) = self.reserve_pci_path(src.mem.node, src.mem.domain, src.len, after);
         self.finish_transfer(src, dst, start, end)
@@ -178,9 +187,18 @@ impl Cluster {
     /// software path — e.g. the Intel offload runtime — that cannot drive
     /// the DMA engine at full speed). The stream still occupies the real
     /// PCIe channel for its whole duration.
-    pub fn pci_dma_at_rate(&self, src: &Buffer, dst: &Buffer, after: SimTime, rate: f64) -> Transfer {
+    pub fn pci_dma_at_rate(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        after: SimTime,
+        rate: f64,
+    ) -> Transfer {
         assert_eq!(src.mem.node, dst.mem.node, "pci_dma is intra-node");
-        assert_ne!(src.mem.domain, dst.mem.domain, "pci_dma crosses the PCIe bus");
+        assert_ne!(
+            src.mem.domain, dst.mem.domain,
+            "pci_dma crosses the PCIe bus"
+        );
         assert_eq!(src.len, dst.len, "pci_dma length mismatch");
         let cost = &self.cfg.cost;
         let (chan, hw_rate) = match src.mem.domain {
@@ -275,7 +293,13 @@ impl Cluster {
     /// Move the bytes and fire the completion at `end`. Bytes are sampled at
     /// post time (the DMA engine reads the source as the transfer starts; a
     /// well-behaved protocol never mutates an in-flight buffer).
-    fn finish_transfer(&self, src: &Buffer, dst: &Buffer, start: SimTime, end: SimTime) -> Transfer {
+    fn finish_transfer(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        start: SimTime,
+        end: SimTime,
+    ) -> Transfer {
         let data = self.read_vec(src);
         let dst = dst.clone();
         let completion = Completion::new();
@@ -285,19 +309,54 @@ impl Cluster {
             mem.lock().write(&dst, 0, &data);
             c2.complete_now(s);
         });
-        Transfer { start, end, completion }
+        Transfer {
+            start,
+            end,
+            completion,
+        }
     }
 
     /// Channel utilization for diagnostics and ablation benches:
     /// `(name, total_bytes, total_busy)` per channel of `node`.
     pub fn channel_stats(&self, node: NodeId) -> Vec<(&'static str, u64, SimDuration)> {
-        let n = self.node(node);
-        [&n.pci_h2p, &n.pci_p2h, &n.ib_egress, &n.ib_ingress]
-            .iter()
-            .map(|c| {
-                let c = c.lock();
-                (c.name(), c.total_bytes(), c.total_busy())
-            })
+        self.fabric_stats(node)
+            .channels
+            .into_iter()
+            .map(|c| (c.name, c.bytes, c.busy))
             .collect()
+    }
+
+    /// Full per-channel counter snapshot for one node.
+    pub fn fabric_stats(&self, node: NodeId) -> FabricStats {
+        let n = self.node(node);
+        FabricStats {
+            node,
+            channels: [&n.pci_h2p, &n.pci_p2h, &n.ib_egress, &n.ib_ingress]
+                .iter()
+                .map(|c| c.lock().stats())
+                .collect(),
+        }
+    }
+}
+
+/// Per-node fabric utilization snapshot (see [`Cluster::fabric_stats`]).
+#[derive(Debug, Clone)]
+pub struct FabricStats {
+    pub node: NodeId,
+    /// One entry per channel: PCIe h2p / p2h, IB egress / ingress.
+    pub channels: Vec<crate::channel::ChannelStats>,
+}
+
+impl std::fmt::Display for FabricStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {}:", self.node)?;
+        for c in &self.channels {
+            write!(
+                f,
+                "\n  {:<10} ops {:>8}  bytes {:>12}  busy {:?}",
+                c.name, c.ops, c.bytes, c.busy
+            )?;
+        }
+        Ok(())
     }
 }

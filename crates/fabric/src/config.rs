@@ -227,7 +227,10 @@ impl ClusterConfig {
 
     /// A paper-calibrated cluster with a custom node count.
     pub fn with_nodes(nodes: usize) -> Self {
-        ClusterConfig { nodes, ..Self::paper() }
+        ClusterConfig {
+            nodes,
+            ..Self::paper()
+        }
     }
 }
 
@@ -241,21 +244,49 @@ impl fmt::Display for ClusterConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Simulated server architecture (cf. paper Table I)")?;
         writeln!(f, "  Nodes                  : {}", self.nodes)?;
-        writeln!(f, "  CPU                    : Intel Xeon E5-2670-class, {} cores (simulated)", self.host_cores)?;
+        writeln!(
+            f,
+            "  CPU                    : Intel Xeon E5-2670-class, {} cores (simulated)",
+            self.host_cores
+        )?;
         writeln!(
             f,
             "  Co-processor           : pre-production Xeon Phi-class, {} cores x {} threads (simulated)",
             self.phi_cores, self.phi_threads_per_core
         )?;
-        writeln!(f, "  InfiniBand HCA         : ConnectX-3-class, {:.1} GB/s wire, {} latency",
-            self.cost.ib_bw / 1e9, self.cost.ib_latency)?;
-        writeln!(f, "  Host memory            : {} GiB", self.host_mem_capacity >> 30)?;
-        writeln!(f, "  Phi memory             : {} GiB (no demand paging)", self.phi_mem_capacity >> 30)?;
-        writeln!(f, "  HCA DMA read from Phi  : {:.2} GB/s (measured bottleneck)",
-            self.cost.phi_hca_read_bw / 1e9)?;
-        writeln!(f, "  HCA DMA write to Phi   : {:.2} GB/s", self.cost.phi_hca_write_bw / 1e9)?;
-        writeln!(f, "  PCIe DMA engine        : {:.2} / {:.2} GB/s (h2p / p2h), {} latency",
-            self.cost.pci_h2p_bw / 1e9, self.cost.pci_p2h_bw / 1e9, self.cost.pci_dma_latency)
+        writeln!(
+            f,
+            "  InfiniBand HCA         : ConnectX-3-class, {:.1} GB/s wire, {} latency",
+            self.cost.ib_bw / 1e9,
+            self.cost.ib_latency
+        )?;
+        writeln!(
+            f,
+            "  Host memory            : {} GiB",
+            self.host_mem_capacity >> 30
+        )?;
+        writeln!(
+            f,
+            "  Phi memory             : {} GiB (no demand paging)",
+            self.phi_mem_capacity >> 30
+        )?;
+        writeln!(
+            f,
+            "  HCA DMA read from Phi  : {:.2} GB/s (measured bottleneck)",
+            self.cost.phi_hca_read_bw / 1e9
+        )?;
+        writeln!(
+            f,
+            "  HCA DMA write to Phi   : {:.2} GB/s",
+            self.cost.phi_hca_write_bw / 1e9
+        )?;
+        writeln!(
+            f,
+            "  PCIe DMA engine        : {:.2} / {:.2} GB/s (h2p / p2h), {} latency",
+            self.cost.pci_h2p_bw / 1e9,
+            self.cost.pci_p2h_bw / 1e9,
+            self.cost.pci_dma_latency
+        )
     }
 }
 

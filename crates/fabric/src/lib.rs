@@ -21,7 +21,7 @@ mod cluster;
 mod config;
 mod mem;
 
-pub use channel::BwChannel;
-pub use cluster::{Cluster, Transfer};
+pub use channel::{BwChannel, ChannelStats};
+pub use cluster::{Cluster, FabricStats, Transfer};
 pub use config::{ClusterConfig, CostModel, Domain, PAGE_SIZE};
 pub use mem::{Buffer, MemRef, Memory, NodeId, OutOfMemory};

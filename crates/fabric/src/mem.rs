@@ -52,7 +52,11 @@ impl Buffer {
             "slice {offset}+{len} out of buffer of len {}",
             self.len
         );
-        Buffer { mem: self.mem, addr: self.addr + offset, len }
+        Buffer {
+            mem: self.mem,
+            addr: self.addr + offset,
+            len,
+        }
     }
 
     /// Number of 4-KiB pages this buffer spans.
@@ -107,7 +111,14 @@ impl Memory {
     pub fn new(mem: MemRef, capacity: u64) -> Self {
         let mut free = BTreeMap::new();
         free.insert(0, capacity);
-        Memory { mem, capacity, used: 0, bytes: Vec::new(), free, live: BTreeMap::new() }
+        Memory {
+            mem,
+            capacity,
+            used: 0,
+            bytes: Vec::new(),
+            free,
+            live: BTreeMap::new(),
+        }
     }
 
     pub fn mem_ref(&self) -> MemRef {
@@ -164,7 +175,11 @@ impl Memory {
             self.bytes.resize(need, 0);
         }
         self.bytes[aligned as usize..end as usize].fill(0);
-        Ok(Buffer { mem: self.mem, addr: aligned, len })
+        Ok(Buffer {
+            mem: self.mem,
+            addr: aligned,
+            len,
+        })
     }
 
     /// Allocate page-aligned.
@@ -249,7 +264,13 @@ mod tests {
     use super::*;
 
     fn mem() -> Memory {
-        Memory::new(MemRef { node: NodeId(0), domain: Domain::Phi }, 1 << 20)
+        Memory::new(
+            MemRef {
+                node: NodeId(0),
+                domain: Domain::Phi,
+            },
+            1 << 20,
+        )
     }
 
     #[test]
@@ -338,11 +359,26 @@ mod tests {
 
     #[test]
     fn pages_count() {
-        let b = Buffer { mem: MemRef { node: NodeId(0), domain: Domain::Host }, addr: 0, len: 4096 };
+        let b = Buffer {
+            mem: MemRef {
+                node: NodeId(0),
+                domain: Domain::Host,
+            },
+            addr: 0,
+            len: 4096,
+        };
         assert_eq!(b.pages(), 1);
-        let b2 = Buffer { addr: 4095, len: 2, ..b.clone() };
+        let b2 = Buffer {
+            addr: 4095,
+            len: 2,
+            ..b.clone()
+        };
         assert_eq!(b2.pages(), 2);
-        let b3 = Buffer { addr: 0, len: 4097, ..b };
+        let b3 = Buffer {
+            addr: 0,
+            len: 4097,
+            ..b
+        };
         assert_eq!(b3.pages(), 2);
     }
 }

@@ -8,11 +8,17 @@ use parking_lot::Mutex;
 use simcore::{SimTime, Simulation};
 
 fn host(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Host }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Host,
+    }
 }
 
 fn phi(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Phi }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Phi,
+    }
 }
 
 #[test]

@@ -9,11 +9,17 @@ use parking_lot::Mutex;
 use simcore::{SimTime, Simulation};
 
 fn host(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Host }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Host,
+    }
 }
 
 fn phi(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Phi }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Phi,
+    }
 }
 
 /// Run one transfer inside a simulation and return (start_ns, end_ns).
@@ -54,7 +60,11 @@ fn ib_host_to_host_hits_wire_bandwidth() {
     assert_eq!(start, 0);
     let bw = simcore::bandwidth(len, SimTime(end) - SimTime(start));
     // Wire is 6 GB/s; latency shaves a little off.
-    assert!(bw > 5.5e9 && bw <= 6.0e9, "host-host bw = {:.2} GB/s", bw / 1e9);
+    assert!(
+        bw > 5.5e9 && bw <= 6.0e9,
+        "host-host bw = {:.2} GB/s",
+        bw / 1e9
+    );
     assert_eq!(data[..16], (0..16u8).collect::<Vec<_>>()[..]);
 }
 

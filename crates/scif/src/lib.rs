@@ -30,7 +30,11 @@ pub type Port = u16;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScifError {
     /// No listener on the requested (node, domain, port).
-    ConnectionRefused { node: NodeId, domain: Domain, port: Port },
+    ConnectionRefused {
+        node: NodeId,
+        domain: Domain,
+        port: Port,
+    },
     /// SCIF endpoints connect the two domains of one node.
     CrossNode,
 }
@@ -64,7 +68,12 @@ pub struct ScifFabric {
 
 impl ScifFabric {
     pub fn new(cluster: Arc<Cluster>) -> Arc<ScifFabric> {
-        Arc::new(ScifFabric { cluster, state: Mutex::new(FabState { listeners: HashMap::new() }) })
+        Arc::new(ScifFabric {
+            cluster,
+            state: Mutex::new(FabState {
+                listeners: HashMap::new(),
+            }),
+        })
     }
 
     pub fn cluster(&self) -> &Arc<Cluster> {
@@ -73,9 +82,17 @@ impl ScifFabric {
 
     /// Open a listening port at `local`.
     pub fn listen(self: &Arc<Self>, local: MemRef, port: Port) -> ScifListener {
-        let inner = Arc::new(ListenerInner { pending: Mailbox::new() });
-        self.state.lock().listeners.insert((local.node, local.domain, port), inner.clone());
-        ScifListener { fabric: self.clone(), inner }
+        let inner = Arc::new(ListenerInner {
+            pending: Mailbox::new(),
+        });
+        self.state
+            .lock()
+            .listeners
+            .insert((local.node, local.domain, port), inner.clone());
+        ScifListener {
+            fabric: self.clone(),
+            inner,
+        }
     }
 
     /// Connect from `local` to a listener at the *other* domain of the same
@@ -90,14 +107,21 @@ impl ScifFabric {
         if peer_domain == local.domain {
             return Err(ScifError::CrossNode);
         }
-        let peer = MemRef { node: local.node, domain: peer_domain };
+        let peer = MemRef {
+            node: local.node,
+            domain: peer_domain,
+        };
         let listener = self
             .state
             .lock()
             .listeners
             .get(&(peer.node, peer.domain, port))
             .cloned()
-            .ok_or(ScifError::ConnectionRefused { node: peer.node, domain: peer.domain, port })?;
+            .ok_or(ScifError::ConnectionRefused {
+                node: peer.node,
+                domain: peer.domain,
+                port,
+            })?;
 
         // Two unidirectional message lanes.
         let a_to_b: Mailbox<Vec<u8>> = Mailbox::new();
@@ -202,7 +226,10 @@ impl ScifEndpoint {
     /// RMA read: DMA `remote_buf` (peer domain) into `local_buf`.
     pub fn readfrom(&self, ctx: &mut Ctx, local_buf: &Buffer, remote_buf: &Buffer) -> Transfer {
         assert_eq!(local_buf.mem, self.local, "readfrom target must be local");
-        assert_eq!(remote_buf.mem, self.peer, "readfrom source must be the peer");
+        assert_eq!(
+            remote_buf.mem, self.peer,
+            "readfrom source must be the peer"
+        );
         self.cluster.pci_dma(remote_buf, local_buf, ctx.now())
     }
 
@@ -242,11 +269,17 @@ mod tests {
     }
 
     fn host(n: usize) -> MemRef {
-        MemRef { node: NodeId(n), domain: Domain::Host }
+        MemRef {
+            node: NodeId(n),
+            domain: Domain::Host,
+        }
     }
 
     fn phi(n: usize) -> MemRef {
-        MemRef { node: NodeId(n), domain: Domain::Phi }
+        MemRef {
+            node: NodeId(n),
+            domain: Domain::Phi,
+        }
     }
 
     #[test]

@@ -9,11 +9,17 @@ use scif::ScifFabric;
 use simcore::{SimDuration, Simulation};
 
 fn host(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Host }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Host,
+    }
 }
 
 fn phi(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Phi }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Phi,
+    }
 }
 
 #[test]
@@ -139,7 +145,10 @@ fn rma_contention_serializes_same_direction() {
     let single = simcore::transfer_time(len, ClusterConfig::paper().cost.pci_p2h_bw).as_nanos();
     // One of the two waited for the other: its elapsed ~2x a lone transfer.
     let max = *times.iter().max().unwrap();
-    assert!(max as f64 > 1.8 * single as f64, "no serialization visible: {times:?}");
+    assert!(
+        max as f64 > 1.8 * single as f64,
+        "no serialization visible: {times:?}"
+    );
 }
 
 #[test]

@@ -263,7 +263,10 @@ impl Ctx {
             let t = st.now + d;
             st.schedule(
                 t,
-                EventKind::Wake(WakeTarget { pid: self.pid, epoch }),
+                EventKind::Wake(WakeTarget {
+                    pid: self.pid,
+                    epoch,
+                }),
             );
             epoch
         };
@@ -281,7 +284,13 @@ impl Ctx {
             slot.block_reason = "yield";
             let epoch = slot.epoch;
             let now = st.now;
-            st.schedule(now, EventKind::Wake(WakeTarget { pid: self.pid, epoch }));
+            st.schedule(
+                now,
+                EventKind::Wake(WakeTarget {
+                    pid: self.pid,
+                    epoch,
+                }),
+            );
         };
         self.park();
     }
@@ -304,7 +313,10 @@ impl Ctx {
                 let slot = &mut st.procs[self.pid.0];
                 slot.epoch += 1;
                 slot.block_reason = reason;
-                inner.waiters.push(WakeTarget { pid: self.pid, epoch: slot.epoch });
+                inner.waiters.push(WakeTarget {
+                    pid: self.pid,
+                    epoch: slot.epoch,
+                });
                 true
             };
             debug_assert!(registered);
@@ -322,7 +334,12 @@ impl Ctx {
     ///     ctx.wait_event(&ev, seen, "why");
     /// }
     /// ```
-    pub fn wait_event(&mut self, ev: &crate::sync::SimEvent, seen: u64, reason: &'static str) -> u64 {
+    pub fn wait_event(
+        &mut self,
+        ev: &crate::sync::SimEvent,
+        seen: u64,
+        reason: &'static str,
+    ) -> u64 {
         loop {
             {
                 let mut st = self.scheduler.shared.state.lock();
@@ -333,7 +350,10 @@ impl Ctx {
                 let slot = &mut st.procs[self.pid.0];
                 slot.epoch += 1;
                 slot.block_reason = reason;
-                inner.waiters.push(WakeTarget { pid: self.pid, epoch: slot.epoch });
+                inner.waiters.push(WakeTarget {
+                    pid: self.pid,
+                    epoch: slot.epoch,
+                });
             }
             self.park();
         }
@@ -400,7 +420,9 @@ where
     }
     let mut ctx = Ctx {
         pid,
-        scheduler: Scheduler { shared: shared.clone() },
+        scheduler: Scheduler {
+            shared: shared.clone(),
+        },
         resume_rx,
     };
     let park_tx = shared.park_tx.clone();
@@ -473,7 +495,9 @@ impl Simulation {
 
     /// Scheduler handle for constructing device models before `run`.
     pub fn scheduler(&self) -> Scheduler {
-        Scheduler { shared: self.shared.clone() }
+        Scheduler {
+            shared: self.shared.clone(),
+        }
     }
 
     /// Spawn a root process; it becomes runnable at t=0 (or the current time
@@ -531,7 +555,10 @@ impl Simulation {
                         reason: p.block_reason.to_string(),
                     })
                     .collect();
-                return Err(SimError::Deadlock { at: st.now, blocked });
+                return Err(SimError::Deadlock {
+                    at: st.now,
+                    blocked,
+                });
             };
             match ev.kind {
                 EventKind::Call(f) => {

@@ -44,7 +44,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { at, blocked } => {
-                writeln!(f, "simulation deadlocked at t={at} with {} blocked process(es):", blocked.len())?;
+                writeln!(
+                    f,
+                    "simulation deadlocked at t={at} with {} blocked process(es):",
+                    blocked.len()
+                )?;
                 for b in blocked {
                     writeln!(f, "  - {} (waiting: {})", b.name, b.reason)?;
                 }

@@ -30,7 +30,10 @@ impl Default for Completion {
 impl Completion {
     pub fn new() -> Self {
         Completion {
-            inner: Arc::new(Mutex::new(CompletionInner { done: false, waiters: Vec::new() })),
+            inner: Arc::new(Mutex::new(CompletionInner {
+                done: false,
+                waiters: Vec::new(),
+            })),
         }
     }
 
@@ -77,7 +80,10 @@ impl Default for SimEvent {
 impl SimEvent {
     pub fn new() -> Self {
         SimEvent {
-            inner: Arc::new(Mutex::new(EventInner { epoch: 0, waiters: Vec::new() })),
+            inner: Arc::new(Mutex::new(EventInner {
+                epoch: 0,
+                waiters: Vec::new(),
+            })),
         }
     }
 
@@ -116,7 +122,10 @@ pub struct Mailbox<T> {
 
 impl<T> Clone for Mailbox<T> {
     fn clone(&self) -> Self {
-        Mailbox { inner: self.inner.clone(), event: self.event.clone() }
+        Mailbox {
+            inner: self.inner.clone(),
+            event: self.event.clone(),
+        }
     }
 }
 
@@ -129,7 +138,9 @@ impl<T> Default for Mailbox<T> {
 impl<T> Mailbox<T> {
     pub fn new() -> Self {
         Mailbox {
-            inner: Arc::new(Mutex::new(MailboxInner { queue: VecDeque::new() })),
+            inner: Arc::new(Mutex::new(MailboxInner {
+                queue: VecDeque::new(),
+            })),
             event: SimEvent::new(),
         }
     }

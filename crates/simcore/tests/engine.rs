@@ -47,14 +47,7 @@ fn processes_interleave_in_time_order() {
     let got = log.lock().clone();
     assert_eq!(
         got,
-        vec![
-            (3, "a"),
-            (5, "b"),
-            (6, "a"),
-            (9, "a"),
-            (10, "b"),
-            (15, "b"),
-        ]
+        vec![(3, "a"), (5, "b"), (6, "a"), (9, "a"), (10, "b"), (15, "b"),]
     );
 }
 

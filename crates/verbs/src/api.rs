@@ -97,7 +97,10 @@ impl IbFabric {
     /// send-queue posts from now complete with `status` instead of
     /// executing (models HCA/link failures for error-path testing).
     pub fn inject_fault(&self, after_ops: u64, status: WcStatus) {
-        self.state.lock().faults.push_back(FaultSpec { remaining: after_ops, status });
+        self.state.lock().faults.push_back(FaultSpec {
+            remaining: after_ops,
+            status,
+        });
     }
 
     /// One fault-plan tick per posted data operation.
@@ -115,14 +118,20 @@ impl IbFabric {
 
     fn resolve_mr(&self, key: MrKey) -> Option<(Buffer, SimEvent)> {
         let st = self.state.lock();
-        st.mrs.get(&key.0).map(|e| (e.buffer.clone(), e.write_event.clone()))
+        st.mrs
+            .get(&key.0)
+            .map(|e| (e.buffer.clone(), e.write_event.clone()))
     }
 
     /// Rebuild a [`MemoryRegion`] handle from its key (used by the DCFA
     /// command client after the host daemon performed the registration).
     pub fn mr_handle(&self, key: MrKey) -> Option<MemoryRegion> {
         self.resolve_mr(key)
-            .map(|(buffer, write_event)| MemoryRegion { key, buffer, write_event })
+            .map(|(buffer, write_event)| MemoryRegion {
+                key,
+                buffer,
+                write_event,
+            })
     }
 
     /// Replace the write-notification event of a registered region and
@@ -132,18 +141,30 @@ impl IbFabric {
         let mut st = self.state.lock();
         let entry = st.mrs.get_mut(&key.0)?;
         entry.write_event = event.clone();
-        Some(MemoryRegion { key, buffer: entry.buffer.clone(), write_event: event })
+        Some(MemoryRegion {
+            key,
+            buffer: entry.buffer.clone(),
+            write_event: event,
+        })
     }
 
     /// Resolve an SGE to a concrete buffer slice, validating key and range.
     fn resolve_sge(&self, sge: &Sge) -> Result<Buffer, VerbsError> {
-        let (buf, _ev) = self.resolve_mr(sge.lkey).ok_or(VerbsError::InvalidLKey(sge.lkey))?;
-        let end = sge.addr.checked_add(sge.len).ok_or(VerbsError::SgeOutOfRange {
-            addr: sge.addr,
-            len: sge.len,
-        })?;
+        let (buf, _ev) = self
+            .resolve_mr(sge.lkey)
+            .ok_or(VerbsError::InvalidLKey(sge.lkey))?;
+        let end = sge
+            .addr
+            .checked_add(sge.len)
+            .ok_or(VerbsError::SgeOutOfRange {
+                addr: sge.addr,
+                len: sge.len,
+            })?;
         if sge.addr < buf.addr || end > buf.addr + buf.len {
-            return Err(VerbsError::SgeOutOfRange { addr: sge.addr, len: sge.len });
+            return Err(VerbsError::SgeOutOfRange {
+                addr: sge.addr,
+                len: sge.len,
+            });
         }
         Ok(buf.slice(sge.addr - buf.addr, sge.len))
     }
@@ -168,7 +189,11 @@ pub struct VerbsContext {
 
 impl VerbsContext {
     pub fn open(fabric: Arc<IbFabric>, node: NodeId, domain: Domain) -> Self {
-        VerbsContext { fabric, node, domain }
+        VerbsContext {
+            fabric,
+            node,
+            domain,
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -180,7 +205,10 @@ impl VerbsContext {
     }
 
     pub fn mem_ref(&self) -> MemRef {
-        MemRef { node: self.node, domain: self.domain }
+        MemRef {
+            node: self.node,
+            domain: self.domain,
+        }
     }
 
     pub fn fabric(&self) -> &Arc<IbFabric> {
@@ -213,8 +241,18 @@ impl VerbsContext {
         let mut st = self.fabric.state.lock();
         let key = MrKey(st.next_key);
         st.next_key += 1;
-        st.mrs.insert(key.0, MrEntry { buffer: buffer.clone(), write_event: write_event.clone() });
-        MemoryRegion { key, buffer, write_event }
+        st.mrs.insert(
+            key.0,
+            MrEntry {
+                buffer: buffer.clone(),
+                write_event: write_event.clone(),
+            },
+        );
+        MemoryRegion {
+            key,
+            buffer,
+            write_event,
+        }
     }
 
     /// Deregister a memory region.
@@ -291,7 +329,11 @@ impl MemoryRegion {
     /// An SGE covering `[offset, offset+len)` of the region.
     pub fn sge(&self, offset: u64, len: u64) -> Sge {
         assert!(offset + len <= self.buffer.len, "sge outside region");
-        Sge { addr: self.buffer.addr + offset, len, lkey: self.key }
+        Sge {
+            addr: self.buffer.addr + offset,
+            len,
+            lkey: self.key,
+        }
     }
 
     /// Fires whenever an inbound RDMA WRITE lands anywhere in this region —
@@ -376,10 +418,10 @@ impl QueuePair {
         // memory actually lives — this is exactly what the offloading send
         // buffer exploits: a Phi-resident process posting from a host twin
         // sources the transfer at host DMA speed (§IV-B4).
-        let local_mem = local_slices
-            .first()
-            .map(|b| b.mem)
-            .unwrap_or(MemRef { node: self.shared.node, domain: self.domain });
+        let local_mem = local_slices.first().map(|b| b.mem).unwrap_or(MemRef {
+            node: self.shared.node,
+            domain: self.domain,
+        });
         // The remote side of RDMA ops is wherever the remote region lives;
         // for Send it is wherever the matched receive's SGEs live. We take
         // the remote memory domain from the registered region / remote QP's
@@ -395,7 +437,10 @@ impl QueuePair {
                 // against the slower Phi write only if the remote node's QP
                 // was created from Phi. We look that up via the registry.
                 let rdomain = self.remote_qp_domain(remote).unwrap_or(Domain::Host);
-                MemRef { node: remote.0, domain: rdomain }
+                MemRef {
+                    node: remote.0,
+                    domain: rdomain,
+                }
             }
             SendOpcode::RdmaWrite | SendOpcode::RdmaRead => {
                 let (rbuf, _) = self
@@ -438,7 +483,16 @@ impl QueuePair {
             let (wr_id, opcode) = (wr.wr_id, wc_opcode_for(wr.opcode));
             cluster.call_at(end, move |s| {
                 let send_cq = shared.state.lock().send_cq.clone();
-                send_cq.push(s, Wc { wr_id, status, opcode, byte_len: bytes, src: None });
+                send_cq.push(
+                    s,
+                    Wc {
+                        wr_id,
+                        status,
+                        opcode,
+                        byte_len: bytes,
+                        src: None,
+                    },
+                );
             });
             return Ok(());
         }
@@ -449,7 +503,16 @@ impl QueuePair {
         let wr2 = wr.clone();
         let domain = self.domain;
         cluster.call_at(end, move |s| {
-            deliver(&fabric, &shared, domain, wr2, local_slices, remote, bytes, s);
+            deliver(
+                &fabric,
+                &shared,
+                domain,
+                wr2,
+                local_slices,
+                remote,
+                bytes,
+                s,
+            );
         });
         Ok(())
     }
@@ -519,7 +582,11 @@ fn scatter_into(
             break;
         }
         let take = (sge.len as usize).min(data.len() - off);
-        if let Ok(slice) = fabric.resolve_sge(&Sge { addr: sge.addr, len: take as u64, lkey: sge.lkey }) {
+        if let Ok(slice) = fabric.resolve_sge(&Sge {
+            addr: sge.addr,
+            len: take as u64,
+            lkey: sge.lkey,
+        }) {
             cluster.write(&slice, 0, &data[off..off + take]);
         }
         off += take;
@@ -564,7 +631,13 @@ fn deliver(
             let send_cq = shared.state.lock().send_cq.clone();
             send_cq.push(
                 sched,
-                Wc { wr_id: wr.wr_id, status, opcode, byte_len: bytes, src: None },
+                Wc {
+                    wr_id: wr.wr_id,
+                    status,
+                    opcode,
+                    byte_len: bytes,
+                    src: None,
+                },
             );
         }
     };
@@ -598,7 +671,10 @@ fn deliver(
                     sched,
                 );
             } else {
-                rst.backlog.push_back(InboundSend { data, src: (shared.node, shared.qpn) });
+                rst.backlog.push_back(InboundSend {
+                    data,
+                    src: (shared.node, shared.qpn),
+                });
             }
             push_local(WcStatus::Success, WcOpcode::Send);
         }

@@ -40,7 +40,9 @@ impl CompletionQueue {
     /// inbound-RDMA region events) — the `ibv_comp_channel` analogue.
     pub fn with_event(event: SimEvent) -> Self {
         CompletionQueue {
-            inner: Arc::new(Mutex::new(CqInner { queue: VecDeque::new() })),
+            inner: Arc::new(Mutex::new(CqInner {
+                queue: VecDeque::new(),
+            })),
             event,
         }
     }

@@ -68,7 +68,16 @@ pub struct SendWr {
 
 impl SendWr {
     fn base(wr_id: u64, opcode: SendOpcode, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
-        SendWr { wr_id, opcode, sges, remote_addr, rkey, compare_add: 0, swap: 0, signaled: true }
+        SendWr {
+            wr_id,
+            opcode,
+            sges,
+            remote_addr,
+            rkey,
+            compare_add: 0,
+            swap: 0,
+            signaled: true,
+        }
     }
 
     pub fn send(wr_id: u64, sges: Vec<Sge>) -> Self {
@@ -87,7 +96,13 @@ impl SendWr {
     /// `(remote_addr, rkey)`; `result_sge` (8 bytes) receives the
     /// original value.
     pub fn fetch_add(wr_id: u64, result_sge: Sge, remote_addr: u64, rkey: MrKey, add: u64) -> Self {
-        let mut wr = Self::base(wr_id, SendOpcode::FetchAdd, vec![result_sge], remote_addr, rkey);
+        let mut wr = Self::base(
+            wr_id,
+            SendOpcode::FetchAdd,
+            vec![result_sge],
+            remote_addr,
+            rkey,
+        );
         wr.compare_add = add;
         wr
     }
@@ -102,7 +117,13 @@ impl SendWr {
         compare: u64,
         swap: u64,
     ) -> Self {
-        let mut wr = Self::base(wr_id, SendOpcode::CompareSwap, vec![result_sge], remote_addr, rkey);
+        let mut wr = Self::base(
+            wr_id,
+            SendOpcode::CompareSwap,
+            vec![result_sge],
+            remote_addr,
+            rkey,
+        );
         wr.compare_add = compare;
         wr.swap = swap;
         wr
@@ -175,7 +196,10 @@ pub enum VerbsError {
     /// Unknown or deregistered local key.
     InvalidLKey(MrKey),
     /// SGE range outside its memory region.
-    SgeOutOfRange { addr: u64, len: u64 },
+    SgeOutOfRange {
+        addr: u64,
+        len: u64,
+    },
     /// RDMA op without a remote key on an op that needs one.
     MissingRemote,
 }
@@ -201,7 +225,11 @@ mod tests {
 
     #[test]
     fn send_wr_builders() {
-        let sge = Sge { addr: 0x1000, len: 64, lkey: MrKey(7) };
+        let sge = Sge {
+            addr: 0x1000,
+            len: 64,
+            lkey: MrKey(7),
+        };
         let wr = SendWr::send(1, vec![sge]);
         assert_eq!(wr.opcode, SendOpcode::Send);
         assert!(wr.signaled);
@@ -218,8 +246,16 @@ mod tests {
         let wr = RecvWr::new(
             3,
             vec![
-                Sge { addr: 0, len: 10, lkey: MrKey(1) },
-                Sge { addr: 16, len: 22, lkey: MrKey(1) },
+                Sge {
+                    addr: 0,
+                    len: 10,
+                    lkey: MrKey(1),
+                },
+                Sge {
+                    addr: 16,
+                    len: 22,
+                    lkey: MrKey(1),
+                },
             ],
         );
         assert_eq!(wr.byte_len(), 32);

@@ -15,7 +15,10 @@ fn setup() -> (Simulation, Arc<IbFabric>) {
 }
 
 fn host(n: usize) -> MemRef {
-    MemRef { node: NodeId(n), domain: Domain::Host }
+    MemRef {
+        node: NodeId(n),
+        domain: Domain::Host,
+    }
 }
 
 #[test]
@@ -40,7 +43,13 @@ fn fetch_add_returns_original_and_updates_remote() {
         for i in 0..3u64 {
             qp.post_send(
                 ctx,
-                SendWr::fetch_add(i, mr_result.sge(0, 8), mr_counter.addr(), mr_counter.rkey(), 5),
+                SendWr::fetch_add(
+                    i,
+                    mr_result.sge(0, 8),
+                    mr_counter.addr(),
+                    mr_counter.rkey(),
+                    5,
+                ),
             )
             .unwrap();
             let wc = cq.wait(ctx);
@@ -77,22 +86,48 @@ fn compare_swap_succeeds_and_fails_by_value() {
         // CAS(7 -> 42): succeeds, returns 7.
         qp.post_send(
             ctx,
-            SendWr::compare_swap(1, mr_result.sge(0, 8), mr_word.addr(), mr_word.rkey(), 7, 42),
+            SendWr::compare_swap(
+                1,
+                mr_result.sge(0, 8),
+                mr_word.addr(),
+                mr_word.rkey(),
+                7,
+                42,
+            ),
         )
         .unwrap();
         cq.wait(ctx);
-        assert_eq!(u64::from_le_bytes(cl.read_vec(&result).try_into().unwrap()), 7);
-        assert_eq!(u64::from_le_bytes(cl.read_vec(&word).try_into().unwrap()), 42);
+        assert_eq!(
+            u64::from_le_bytes(cl.read_vec(&result).try_into().unwrap()),
+            7
+        );
+        assert_eq!(
+            u64::from_le_bytes(cl.read_vec(&word).try_into().unwrap()),
+            42
+        );
 
         // CAS(7 -> 99): fails (word is 42), returns 42, word unchanged.
         qp.post_send(
             ctx,
-            SendWr::compare_swap(2, mr_result.sge(0, 8), mr_word.addr(), mr_word.rkey(), 7, 99),
+            SendWr::compare_swap(
+                2,
+                mr_result.sge(0, 8),
+                mr_word.addr(),
+                mr_word.rkey(),
+                7,
+                99,
+            ),
         )
         .unwrap();
         cq.wait(ctx);
-        assert_eq!(u64::from_le_bytes(cl.read_vec(&result).try_into().unwrap()), 42);
-        assert_eq!(u64::from_le_bytes(cl.read_vec(&word).try_into().unwrap()), 42);
+        assert_eq!(
+            u64::from_le_bytes(cl.read_vec(&result).try_into().unwrap()),
+            42
+        );
+        assert_eq!(
+            u64::from_le_bytes(cl.read_vec(&word).try_into().unwrap()),
+            42
+        );
     });
     sim.run_expect();
 }
@@ -206,8 +241,11 @@ fn faulted_op_moves_no_data() {
         verbs::QueuePair::connect_pair(&qp, &qpb);
 
         f.inject_fault(0, WcStatus::RemoteAccessError);
-        qp.post_send(ctx, SendWr::rdma_write(1, vec![mr_s.sge(0, 64)], mr_d.addr(), mr_d.rkey()))
-            .unwrap();
+        qp.post_send(
+            ctx,
+            SendWr::rdma_write(1, vec![mr_s.sge(0, 64)], mr_d.addr(), mr_d.rkey()),
+        )
+        .unwrap();
         let wc = cq.wait(ctx);
         assert_eq!(wc.status, WcStatus::RemoteAccessError);
         assert_eq!(cl.read_vec(&dst), vec![0u8; 64], "no bytes may land");

@@ -7,9 +7,7 @@ use std::sync::Arc;
 use fabric::{Cluster, ClusterConfig, Domain, MemRef, NodeId};
 use parking_lot::Mutex;
 use simcore::{SimTime, Simulation};
-use verbs::{
-    IbFabric, RecvWr, SendWr, VerbsContext, VerbsError, WcOpcode, WcStatus,
-};
+use verbs::{IbFabric, RecvWr, SendWr, VerbsContext, VerbsError, WcOpcode, WcStatus};
 
 struct Rig {
     sim: Simulation,
@@ -24,7 +22,10 @@ fn rig(nodes: usize) -> Rig {
 }
 
 fn mem(node: usize, domain: Domain) -> MemRef {
-    MemRef { node: NodeId(node), domain }
+    MemRef {
+        node: NodeId(node),
+        domain,
+    }
 }
 
 #[test]
@@ -87,8 +88,10 @@ fn send_recv_matches_fifo_and_scatters() {
         let qp = vctx.create_qp(&cq, &cq);
         qp.connect(NodeId(0), verbs::QpNum(2)); // sender's QP created second
 
-        qp.post_recv(ctx, RecvWr::new(100, vec![mr.sge(0, 4096)])).unwrap();
-        qp.post_recv(ctx, RecvWr::new(101, vec![mr.sge(4096, 4096)])).unwrap();
+        qp.post_recv(ctx, RecvWr::new(100, vec![mr.sge(0, 4096)]))
+            .unwrap();
+        qp.post_recv(ctx, RecvWr::new(101, vec![mr.sge(4096, 4096)]))
+            .unwrap();
         for _ in 0..2 {
             let wc = cq.wait(ctx);
             assert_eq!(wc.status, WcStatus::Success);
@@ -114,8 +117,10 @@ fn send_recv_matches_fifo_and_scatters() {
 
         // Give the receiver a moment to post; FIFO order must hold anyway.
         ctx.sleep(simcore::SimDuration::from_micros(10));
-        qp.post_send(ctx, SendWr::send(0, vec![mr.sge(0, 4096)])).unwrap();
-        qp.post_send(ctx, SendWr::send(1, vec![mr.sge(4096, 4096)])).unwrap();
+        qp.post_send(ctx, SendWr::send(0, vec![mr.sge(0, 4096)]))
+            .unwrap();
+        qp.post_send(ctx, SendWr::send(1, vec![mr.sge(4096, 4096)]))
+            .unwrap();
         for _ in 0..2 {
             let wc = cq.wait(ctx);
             assert_eq!(wc.status, WcStatus::Success);
@@ -155,7 +160,12 @@ fn rdma_read_pulls_remote_content() {
 
         qp_a.post_send(
             ctx,
-            SendWr::rdma_read(9, vec![mr_local.sge(0, 18)], mr_remote.addr(), mr_remote.rkey()),
+            SendWr::rdma_read(
+                9,
+                vec![mr_local.sge(0, 18)],
+                mr_remote.addr(),
+                mr_remote.rkey(),
+            ),
         )
         .unwrap();
         let wc = cq.wait(ctx);
@@ -233,8 +243,10 @@ fn send_larger_than_recv_errors() {
         let qp_b = ctx_b.create_qp(&cq_b, &cq_b);
         verbs::QueuePair::connect_pair(&qp_a, &qp_b);
 
-        qp_b.post_recv(ctx, RecvWr::new(5, vec![mr_r.sge(0, 16)])).unwrap();
-        qp_a.post_send(ctx, SendWr::send(6, vec![mr_s.sge(0, 64)])).unwrap();
+        qp_b.post_recv(ctx, RecvWr::new(5, vec![mr_r.sge(0, 16)]))
+            .unwrap();
+        qp_a.post_send(ctx, SendWr::send(6, vec![mr_s.sge(0, 64)]))
+            .unwrap();
         let wc = cq_b.wait(ctx);
         assert_eq!(wc.status, WcStatus::LocalLengthError);
         assert_eq!(wc.byte_len, 64);
@@ -261,10 +273,12 @@ fn send_before_recv_is_held_and_delivered() {
         let qp_b = ctx_b.create_qp(&cq_b, &cq_b);
         verbs::QueuePair::connect_pair(&qp_a, &qp_b);
 
-        qp_a.post_send(ctx, SendWr::send(1, vec![mr_s.sge(0, 9)])).unwrap();
+        qp_a.post_send(ctx, SendWr::send(1, vec![mr_s.sge(0, 9)]))
+            .unwrap();
         // Wait long enough that the send has landed with no receive posted.
         ctx.sleep(simcore::SimDuration::from_millis(1));
-        qp_b.post_recv(ctx, RecvWr::new(2, vec![mr_r.sge(0, 64)])).unwrap();
+        qp_b.post_recv(ctx, RecvWr::new(2, vec![mr_r.sge(0, 64)]))
+            .unwrap();
         let wc = cq_b.wait(ctx);
         assert_eq!(wc.status, WcStatus::Success);
         let mut out = vec![0u8; 9];
@@ -285,7 +299,9 @@ fn post_send_on_unconnected_qp_fails() {
         let mr = vctx.reg_mr(ctx, buf);
         let cq = vctx.create_cq();
         let qp = vctx.create_qp(&cq, &cq);
-        let err = qp.post_send(ctx, SendWr::send(1, vec![mr.sge(0, 8)])).unwrap_err();
+        let err = qp
+            .post_send(ctx, SendWr::send(1, vec![mr.sge(0, 8)]))
+            .unwrap_err();
         assert_eq!(err, VerbsError::QpNotConnected);
     });
     r.sim.run_expect();
@@ -304,11 +320,31 @@ fn invalid_lkey_and_out_of_range_sge_fail() {
         let qp = vctx.create_qp(&cq, &cq);
         qp.connect(NodeId(1), verbs::QpNum(999));
 
-        let bad_key = SendWr::send(1, vec![verbs::Sge { addr: mr.addr(), len: 8, lkey: verbs::MrKey(4242) }]);
-        assert!(matches!(qp.post_send(ctx, bad_key), Err(VerbsError::InvalidLKey(_))));
+        let bad_key = SendWr::send(
+            1,
+            vec![verbs::Sge {
+                addr: mr.addr(),
+                len: 8,
+                lkey: verbs::MrKey(4242),
+            }],
+        );
+        assert!(matches!(
+            qp.post_send(ctx, bad_key),
+            Err(VerbsError::InvalidLKey(_))
+        ));
 
-        let oob = SendWr::send(2, vec![verbs::Sge { addr: mr.addr() + 4090, len: 100, lkey: mr.key() }]);
-        assert!(matches!(qp.post_send(ctx, oob), Err(VerbsError::SgeOutOfRange { .. })));
+        let oob = SendWr::send(
+            2,
+            vec![verbs::Sge {
+                addr: mr.addr() + 4090,
+                len: 100,
+                lkey: mr.key(),
+            }],
+        );
+        assert!(matches!(
+            qp.post_send(ctx, oob),
+            Err(VerbsError::SgeOutOfRange { .. })
+        ));
     });
     r.sim.run_expect();
 }
@@ -419,7 +455,10 @@ fn phi_sourced_verbs_transfer_is_slow() {
     });
     r.sim.run_expect();
     let (phi_t, host_t) = *out.lock();
-    assert!(phi_t as f64 / host_t as f64 > 4.0, "phi={phi_t} host={host_t}");
+    assert!(
+        phi_t as f64 / host_t as f64 > 4.0,
+        "phi={phi_t} host={host_t}"
+    );
 }
 
 #[test]

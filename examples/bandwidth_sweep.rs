@@ -43,8 +43,12 @@ fn main() {
     );
     for &s in sizes.iter().step_by(3) {
         let a = mpi_pingpong_nonblocking(&ccfg, &MpiRuntime::Dcfa(MpiConfig::dcfa()), s, 6);
-        let b = mpi_pingpong_nonblocking(&ccfg, &MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload()), s, 6);
+        let b =
+            mpi_pingpong_nonblocking(&ccfg, &MpiRuntime::Dcfa(MpiConfig::dcfa_no_offload()), s, 6);
         let c = mpi_pingpong_blocking(&ccfg, &MpiRuntime::IntelPhi, s, 6);
-        println!("{s:>10} {:>14.2} {:>14.2} {:>14.2}", a.bw_gbs, b.bw_gbs, c.bw_gbs);
+        println!(
+            "{s:>10} {:>14.2} {:>14.2} {:>14.2}",
+            a.bw_gbs, b.bw_gbs, c.bw_gbs
+        );
     }
 }

@@ -29,22 +29,32 @@ fn main() {
         }
     });
 
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), 2, LaunchOpts::default(), move |ctx, comm| {
-        let small = comm.alloc(256).unwrap();
-        let large = comm.alloc(256 << 10).unwrap();
-        if comm.rank() == 0 {
-            // Eager: one copy + RDMA write into the peer's ring.
-            comm.send(ctx, &small, 1, 1).unwrap();
-            // Sender-first rendezvous: RTS -> peer RDMA READ -> DONE.
-            comm.send(ctx, &large, 1, 2).unwrap();
-        } else {
-            comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1)).unwrap();
-            // Delay so rank 0's RTS arrives before our receive (pure
-            // sender-first path).
-            ctx.sleep(dcfa_mpi_repro::simcore::SimDuration::from_micros(200));
-            comm.recv(ctx, &large, Src::Rank(0), TagSel::Tag(2)).unwrap();
-        }
-    });
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        2,
+        LaunchOpts::default(),
+        move |ctx, comm| {
+            let small = comm.alloc(256).unwrap();
+            let large = comm.alloc(256 << 10).unwrap();
+            if comm.rank() == 0 {
+                // Eager: one copy + RDMA write into the peer's ring.
+                comm.send(ctx, &small, 1, 1).unwrap();
+                // Sender-first rendezvous: RTS -> peer RDMA READ -> DONE.
+                comm.send(ctx, &large, 1, 2).unwrap();
+            } else {
+                comm.recv(ctx, &small, Src::Rank(0), TagSel::Tag(1))
+                    .unwrap();
+                // Delay so rank 0's RTS arrives before our receive (pure
+                // sender-first path).
+                ctx.sleep(dcfa_mpi_repro::simcore::SimDuration::from_micros(200));
+                comm.recv(ctx, &large, Src::Rank(0), TagSel::Tag(2))
+                    .unwrap();
+            }
+        },
+    );
     sim.run_expect();
 
     println!("packet trace (virtual time | event):");

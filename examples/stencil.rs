@@ -7,9 +7,7 @@
 //! cargo run --release --example stencil -- small # quick 258^2 variant
 //! ```
 
-use dcfa_mpi_repro::apps::{
-    stencil_dcfa, stencil_intel_phi, stencil_offload, StencilParams,
-};
+use dcfa_mpi_repro::apps::{stencil_dcfa, stencil_intel_phi, stencil_offload, StencilParams};
 use dcfa_mpi_repro::dcfa_mpi::MpiConfig;
 use dcfa_mpi_repro::fabric::ClusterConfig;
 
@@ -17,12 +15,31 @@ fn main() {
     let small = std::env::args().any(|a| a == "small");
     let (n, iters) = if small { (258, 10) } else { (1282, 100) };
     let ccfg = ClusterConfig::paper();
-    let p = StencilParams { n, iters, procs: 8, threads: 56 };
+    let p = StencilParams {
+        n,
+        iters,
+        procs: 8,
+        threads: 56,
+    };
 
-    println!("five-point stencil: {n}x{n} grid, {iters} iterations, {} procs x {} threads", p.procs, p.threads);
+    println!(
+        "five-point stencil: {n}x{n} grid, {iters} iterations, {} procs x {} threads",
+        p.procs, p.threads
+    );
 
-    let serial = stencil_dcfa(&ccfg, MpiConfig::dcfa(), StencilParams { procs: 1, threads: 1, ..p });
-    println!("  serial reference           : {:>10.1} us/iter", serial.iter_us);
+    let serial = stencil_dcfa(
+        &ccfg,
+        MpiConfig::dcfa(),
+        StencilParams {
+            procs: 1,
+            threads: 1,
+            ..p
+        },
+    );
+    println!(
+        "  serial reference           : {:>10.1} us/iter",
+        serial.iter_us
+    );
 
     let dcfa = stencil_dcfa(&ccfg, MpiConfig::dcfa(), p);
     let intel = stencil_intel_phi(&ccfg, p);

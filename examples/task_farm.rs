@@ -33,77 +33,90 @@ fn main() {
     let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let l2 = log.clone();
 
-    launch(&sim, &ib, &scif, MpiConfig::dcfa(), n, LaunchOpts::default(), move |ctx, comm| {
-        if comm.rank() == 0 {
-            // ---- master ----
-            let tiny = comm.alloc(8).unwrap();
-            let mut next = 0u64;
-            let mut done = 0u64;
-            let mut stopped = 0usize;
-            let mut results_bytes = 0u64;
-            while done < tasks {
-                // Whoever speaks first gets served.
-                let st = comm.recv(ctx, &tiny, Src::Any, TagSel::Any).unwrap();
-                match st.tag {
-                    TAG_READY => {
-                        if next < tasks {
-                            comm.write(&tiny, 0, &next.to_le_bytes());
-                            comm.send(ctx, &tiny, st.source, TAG_WORK).unwrap();
-                            next += 1;
-                        } else {
-                            comm.send(ctx, &tiny, st.source, TAG_STOP).unwrap();
-                            stopped += 1;
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        n,
+        LaunchOpts::default(),
+        move |ctx, comm| {
+            if comm.rank() == 0 {
+                // ---- master ----
+                let tiny = comm.alloc(8).unwrap();
+                let mut next = 0u64;
+                let mut done = 0u64;
+                let mut stopped = 0usize;
+                let mut results_bytes = 0u64;
+                while done < tasks {
+                    // Whoever speaks first gets served.
+                    let st = comm.recv(ctx, &tiny, Src::Any, TagSel::Any).unwrap();
+                    match st.tag {
+                        TAG_READY => {
+                            if next < tasks {
+                                comm.write(&tiny, 0, &next.to_le_bytes());
+                                comm.send(ctx, &tiny, st.source, TAG_WORK).unwrap();
+                                next += 1;
+                            } else {
+                                comm.send(ctx, &tiny, st.source, TAG_STOP).unwrap();
+                                stopped += 1;
+                            }
                         }
+                        TAG_RESULT => {
+                            // Probe for the variable-size payload that follows.
+                            let env =
+                                comm.probe(ctx, Src::Rank(st.source), TagSel::Tag(TAG_RESULT));
+                            let buf = comm.alloc(env.len).unwrap();
+                            comm.recv(ctx, &buf, Src::Rank(st.source), TagSel::Tag(TAG_RESULT))
+                                .unwrap();
+                            results_bytes += env.len;
+                            done += 1;
+                            comm.free(&buf);
+                        }
+                        other => panic!("unexpected tag {other}"),
                     }
-                    TAG_RESULT => {
-                        // Probe for the variable-size payload that follows.
-                        let env = comm.probe(ctx, Src::Rank(st.source), TagSel::Tag(TAG_RESULT));
-                        let buf = comm.alloc(env.len).unwrap();
-                        comm.recv(ctx, &buf, Src::Rank(st.source), TagSel::Tag(TAG_RESULT)).unwrap();
-                        results_bytes += env.len;
-                        done += 1;
-                        comm.free(&buf);
-                    }
-                    other => panic!("unexpected tag {other}"),
                 }
-            }
-            // Stop the workers that are still asking for work.
-            while stopped < n - 1 {
-                let st = comm.recv(ctx, &tiny, Src::Any, TagSel::Tag(TAG_READY)).unwrap();
-                comm.send(ctx, &tiny, st.source, TAG_STOP).unwrap();
-                stopped += 1;
-            }
-            l2.lock().push(format!(
+                // Stop the workers that are still asking for work.
+                while stopped < n - 1 {
+                    let st = comm
+                        .recv(ctx, &tiny, Src::Any, TagSel::Tag(TAG_READY))
+                        .unwrap();
+                    comm.send(ctx, &tiny, st.source, TAG_STOP).unwrap();
+                    stopped += 1;
+                }
+                l2.lock().push(format!(
                 "master: {tasks} tasks farmed out, {results_bytes} result bytes collected, finished at {}",
                 ctx.now()
             ));
-        } else {
-            // ---- worker ----
-            let tiny = comm.alloc(8).unwrap();
-            let mut served = 0;
-            loop {
-                comm.send(ctx, &tiny, 0, TAG_READY).unwrap();
-                let st = comm.recv(ctx, &tiny, Src::Rank(0), TagSel::Any).unwrap();
-                if st.tag == TAG_STOP {
-                    break;
+            } else {
+                // ---- worker ----
+                let tiny = comm.alloc(8).unwrap();
+                let mut served = 0;
+                loop {
+                    comm.send(ctx, &tiny, 0, TAG_READY).unwrap();
+                    let st = comm.recv(ctx, &tiny, Src::Rank(0), TagSel::Any).unwrap();
+                    if st.tag == TAG_STOP {
+                        break;
+                    }
+                    let task = u64::from_le_bytes(comm.read_vec(&tiny).try_into().unwrap());
+                    // "Compute": variable effort and a variable-size result
+                    // (some results are large enough to go rendezvous).
+                    ctx.sleep(SimDuration::from_micros(50 + 37 * (task % 7)));
+                    let result_len = 1024u64 << (task % 6); // 1 KiB .. 32 KiB
+                    let result = comm.alloc(result_len).unwrap();
+                    comm.write(&result, 0, &[task as u8; 64]);
+                    // Envelope first (so the master can probe the size), then
+                    // the payload.
+                    comm.send(ctx, &tiny, 0, TAG_RESULT).unwrap();
+                    comm.send(ctx, &result, 0, TAG_RESULT).unwrap();
+                    comm.free(&result);
+                    served += 1;
                 }
-                let task = u64::from_le_bytes(comm.read_vec(&tiny).try_into().unwrap());
-                // "Compute": variable effort and a variable-size result
-                // (some results are large enough to go rendezvous).
-                ctx.sleep(SimDuration::from_micros(50 + 37 * (task % 7)));
-                let result_len = 1024u64 << (task % 6); // 1 KiB .. 32 KiB
-                let result = comm.alloc(result_len).unwrap();
-                comm.write(&result, 0, &[task as u8; 64]);
-                // Envelope first (so the master can probe the size), then
-                // the payload.
-                comm.send(ctx, &tiny, 0, TAG_RESULT).unwrap();
-                comm.send(ctx, &result, 0, TAG_RESULT).unwrap();
-                comm.free(&result);
-                served += 1;
+                l2.lock()
+                    .push(format!("worker {} served {served} tasks", comm.rank()));
             }
-            l2.lock().push(format!("worker {} served {served} tasks", comm.rank()));
-        }
-    });
+        },
+    );
     sim.run_expect();
     let mut lines = log.lock().clone();
     lines.sort();

@@ -1,0 +1,196 @@
+//! Offline shim for the subset of `criterion` this workspace uses (see
+//! `shims/README.md`): `criterion_group!`/`criterion_main!`, benchmark
+//! groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`, `bench_with_input`, and `BenchmarkId`.
+//!
+//! Instead of criterion's statistical pipeline it runs a short warm-up
+//! plus a bounded number of timed iterations and prints the mean. When
+//! `cargo test` drives a `harness = false` bench target it passes
+//! `--test`; the shim detects that and skips all benchmarks so test
+//! runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver; construct via [`Criterion::from_args`] (done by
+/// `criterion_main!`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    pub fn from_args() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _c: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        // Cap samples: the shim reports a rough mean, not a
+        // distribution, so large criterion sample sizes would only
+        // slow the run down.
+        let samples = self.sample_size.clamp(1, 10);
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b); // warm-up
+        b.iters = 0;
+        b.total = Duration::ZERO;
+        for _ in 0..samples {
+            f(&mut b);
+        }
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "  {}/{}: mean {:?} over {} iters",
+            self.name, id.0, mean, b.iters
+        );
+    }
+}
+
+/// Passed to benchmark closures; times the closure given to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Benchmark label, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            if c.is_test_mode() {
+                println!("criterion shim: --test mode, benchmarks skipped");
+                return;
+            }
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion { test_mode: false };
+        let mut hits = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| hits += 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(hits, 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses
+//! (`crossbeam::channel::unbounded` in the simulation engine; see
+//! `shims/README.md`). The engine hands each `Receiver` to exactly one
+//! thread, so `std::sync::mpsc` covers the required semantics.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Unbounded MPSC channel, `crossbeam::channel::unbounded` signature.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline shim for the subset of `proptest` this workspace uses (see
+//! `shims/README.md`): the `proptest!` test macro, range / tuple /
+//! `any` / `Just` / `prop_oneof!` strategies with `prop_map` /
+//! `prop_flat_map`, `collection::vec`, and the `prop_assert*` macros.
+//!
+//! Generation is deterministic — each test's RNG is seeded from the
+//! test name, so failures replay exactly. There is no shrinking: a
+//! failing case panics with its case number instead of a minimized
+//! input, which is enough for a fully deterministic simulation.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> TestRng {
+            // FNV-1a over the test name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Per-`proptest!` configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Object-safe strategy view, used by [`Union`] (`prop_oneof!`).
+    pub trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// `prop_oneof!`: uniform choice between arms of equal value type.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn DynStrategy<T>>>,
+    }
+
+    /// Builds a [`Union`] one arm at a time. `arm`'s `Value = T` bound
+    /// pins the union's value type from the first arm, which plain
+    /// `Box<dyn DynStrategy<_>>` casts cannot (unsize coercion does
+    /// not drive inference).
+    pub struct UnionBuilder<T> {
+        arms: Vec<Box<dyn DynStrategy<T>>>,
+    }
+
+    impl<T> UnionBuilder<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            UnionBuilder { arms: Vec::new() }
+        }
+
+        pub fn arm<S>(mut self, s: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            self.arms.push(Box::new(s));
+            self
+        }
+
+        pub fn build(self) -> Union<T> {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms: self.arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].sample_dyn(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `Strategy::prop_flat_map` adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Full-domain strategy for `any::<T>()`.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Types with a canonical full-domain distribution.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    (lo as u128 + (rng.next_u64() as u128 % span)) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `proptest::collection::vec`: a vector with length drawn from
+    /// `len` whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategy arms (all yielding the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::UnionBuilder::new()$(.arm($arm))+.build()
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The `proptest!` block: each contained `#[test] fn name(arg in strat,
+/// ...) { body }` becomes a normal test running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..cfg.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn oneof_maps_and_vecs(
+            v in crate::collection::vec(
+                prop_oneof![Just(0u64), 1u64..10, (10u64..20).prop_map(|x| x * 2)],
+                1..8,
+            ),
+            pair in (0usize..4, any::<bool>()),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for x in v {
+                prop_assert!(x == 0u64 || (1..10).contains(&x) || (20..40).contains(&x));
+            }
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn flat_map_threads_values(m in (1u32..5).prop_flat_map(|n| (0u32..n).prop_map(move |k| (n, k)))) {
+            prop_assert!(m.1 < m.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..64 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

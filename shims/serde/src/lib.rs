@@ -1,0 +1,15 @@
+//! Offline shim for `serde` (see `shims/README.md`). The workspace only
+//! derives `Serialize` as forward-looking metadata — nothing serializes
+//! yet (result output is hand-rolled CSV) — so the traits are markers
+//! with blanket impls and the derives are no-ops.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op derives backing the vendored `serde` shim (`shims/serde`).
+//! The shim's `Serialize`/`Deserialize` traits carry blanket impls, so
+//! the derive only has to make `#[derive(Serialize)]` parse — it emits
+//! no code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

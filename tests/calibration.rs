@@ -24,7 +24,10 @@ fn abstract_claim_3x_bandwidth_over_intel_phi() {
     let d = mpi_pingpong_blocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), size, 5);
     let i = mpi_pingpong_blocking(&c, &MpiRuntime::IntelPhi, size, 5);
     let ratio = d.bw_gbs / i.bw_gbs;
-    assert!((2.3..3.8).contains(&ratio), "bandwidth ratio {ratio:.2}, paper ~3x");
+    assert!(
+        (2.3..3.8).contains(&ratio),
+        "bandwidth ratio {ratio:.2}, paper ~3x"
+    );
 }
 
 #[test]
@@ -32,12 +35,22 @@ fn abstract_claim_2_to_12x_commonly() {
     // "a from 2 to 12 times speed-up ... in communication with 2 MPI
     // processes" (the communication-only application).
     let c = ccfg();
-    let small = commonly_offload(&c, 64, 12).iter_us / commonly_dcfa(&c, MpiConfig::dcfa(), 64, 12).iter_us;
-    let large =
-        commonly_offload(&c, 2 << 20, 5).iter_us / commonly_dcfa(&c, MpiConfig::dcfa(), 2 << 20, 5).iter_us;
-    assert!(small > 8.0 && small < 16.0, "small-message speed-up {small:.1}, paper ~12x");
-    assert!(large > 1.6 && large < 3.0, "large-message speed-up {large:.1}, paper ~2x");
-    assert!(small > large, "speed-up must shrink as offload overhead amortizes");
+    let small =
+        commonly_offload(&c, 64, 12).iter_us / commonly_dcfa(&c, MpiConfig::dcfa(), 64, 12).iter_us;
+    let large = commonly_offload(&c, 2 << 20, 5).iter_us
+        / commonly_dcfa(&c, MpiConfig::dcfa(), 2 << 20, 5).iter_us;
+    assert!(
+        small > 8.0 && small < 16.0,
+        "small-message speed-up {small:.1}, paper ~12x"
+    );
+    assert!(
+        large > 1.6 && large < 3.0,
+        "large-message speed-up {large:.1}, paper ~2x"
+    );
+    assert!(
+        small > large,
+        "speed-up must shrink as offload overhead amortizes"
+    );
 }
 
 #[test]
@@ -59,7 +72,10 @@ fn fig8_conclusion_only_2x_slower_than_host() {
     let host = mpi_pingpong_nonblocking(&c, &MpiRuntime::Dcfa(MpiConfig::host()), 1 << 20, 5);
     let dcfa = mpi_pingpong_nonblocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 1 << 20, 5);
     let ratio = dcfa.rtt_us / host.rtt_us;
-    assert!((1.5..2.6).contains(&ratio), "DCFA/host = {ratio:.2}, paper ~2");
+    assert!(
+        (1.5..2.6).contains(&ratio),
+        "DCFA/host = {ratio:.2}, paper ~2"
+    );
 }
 
 #[test]
@@ -71,14 +87,32 @@ fn fig12_headline_speedups() {
     let c = ccfg();
     let n = 642; // half-size grid keeps this test quick
     let iters = 12;
-    let serial = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n, iters, procs: 1, threads: 1 });
-    let p = StencilParams { n, iters, procs: 8, threads: 56 };
+    let serial = stencil_dcfa(
+        &c,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n,
+            iters,
+            procs: 1,
+            threads: 1,
+        },
+    );
+    let p = StencilParams {
+        n,
+        iters,
+        procs: 8,
+        threads: 56,
+    };
     let d = serial.iter_us / stencil_dcfa(&c, MpiConfig::dcfa(), p).iter_us;
     let i = serial.iter_us / stencil_intel_phi(&c, p).iter_us;
     let o = serial.iter_us / stencil_offload(&c, p).iter_us;
     // Shape: DCFA ≈ IntelPhi, both well above offload mode.
     assert!(d > 60.0, "DCFA speed-up {d:.0}x");
-    assert!((0.85..1.1).contains(&(i / d)), "IntelPhi/DCFA = {:.2}", i / d);
+    assert!(
+        (0.85..1.1).contains(&(i / d)),
+        "IntelPhi/DCFA = {:.2}",
+        i / d
+    );
     assert!(o < d * 0.75, "offload {o:.0}x must trail DCFA {d:.0}x");
     assert!(o > d * 0.2, "offload {o:.0}x unreasonably slow vs {d:.0}x");
 }
@@ -90,8 +124,26 @@ fn determinism_of_full_experiments() {
     let a = mpi_pingpong_blocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 32 << 10, 6);
     let b = mpi_pingpong_blocking(&c, &MpiRuntime::Dcfa(MpiConfig::dcfa()), 32 << 10, 6);
     assert_eq!(a.rtt_us.to_bits(), b.rtt_us.to_bits());
-    let s1 = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 130, iters: 3, procs: 4, threads: 8 });
-    let s2 = stencil_dcfa(&c, MpiConfig::dcfa(), StencilParams { n: 130, iters: 3, procs: 4, threads: 8 });
+    let s1 = stencil_dcfa(
+        &c,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n: 130,
+            iters: 3,
+            procs: 4,
+            threads: 8,
+        },
+    );
+    let s2 = stencil_dcfa(
+        &c,
+        MpiConfig::dcfa(),
+        StencilParams {
+            n: 130,
+            iters: 3,
+            procs: 4,
+            threads: 8,
+        },
+    );
     assert_eq!(s1.iter_us.to_bits(), s2.iter_us.to_bits());
     assert_eq!(s1.checksum.to_bits(), s2.checksum.to_bits());
 }
