@@ -11,6 +11,9 @@
 //! repro --quick all    # reduced sweeps (for smoke testing)
 //! repro --stats        # per-protocol counters of a traced 4-rank run
 //! repro --trace        # tail of the protocol event ring + audit verdict
+//! repro --faults SPEC  # fault-soak the 4-rank run; SPEC is a comma list
+//!                      # of <after>:<kind>[@<src>-><dst>] fault plans,
+//!                      # e.g. "2:transient,9:fatal@0->1"
 //! ```
 
 use bench::{
@@ -32,6 +35,11 @@ fn main() {
     if let Some(d) = &csv_dir {
         std::fs::create_dir_all(d).expect("cannot create csv dir");
     }
+    // `--faults SPEC` runs the fault-injection soak instead of a sweep.
+    let fault_spec: Option<&String> = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1));
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -40,7 +48,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" {
+            if *a == "--csv" || *a == "--faults" {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -49,11 +57,15 @@ fn main() {
         .collect();
     let show_stats = args.iter().any(|a| a == "--stats");
     let show_trace = args.iter().any(|a| a == "--trace");
-    // A bare `repro --stats` / `--trace` runs only the observability
+    // A bare `repro --stats` / `--trace` / `--faults` runs only that
     // report, not the full figure sweep.
-    let all = wanted.contains(&"all") || (wanted.is_empty() && !show_stats && !show_trace);
+    let all = wanted.contains(&"all")
+        || (wanted.is_empty() && !show_stats && !show_trace && fault_spec.is_none());
     let want = |k: &str| all || wanted.contains(&k);
 
+    if let Some(spec) = fault_spec {
+        fault_soak(spec);
+    }
     if show_stats || show_trace {
         observability(show_stats, show_trace);
     }
@@ -228,6 +240,58 @@ fn main() {
         println!("host-staged bcast @2 MiB x 8 ranks (future work §VI): plain {plain:.1} us, staged {staged:.1} us ({:.2}x)",
             plain / staged);
     }
+}
+
+/// `--faults SPEC`: arm the parsed fault plans on the fabric, run the
+/// fault-tolerant 4-rank mixed workload, and report how the faults
+/// surfaced: per-rank recovery counters, operation outcomes and the
+/// protocol-auditor verdict. Exits nonzero if the auditor finds an
+/// invariant violation (the trace tail is dumped for diagnosis).
+fn fault_soak(spec: &str) {
+    let faults = match fabric::parse_fault_spec(spec) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "== fault soak: {} fault plan(s) armed over the 4-rank mixed run ==",
+        faults.len()
+    );
+    let soak = bench::fault_soak_run(&ClusterConfig::paper(), &faults);
+    println!(
+        "operations: {} completed, {} failed with a transport error",
+        soak.ops_ok, soak.ops_failed
+    );
+    for r in &soak.obs.reports {
+        let c = &r.comm;
+        println!(
+            "rank {}: wc faults {}  retries {}  failed {}  reissues {}",
+            r.rank, c.wr_faults, c.wr_retries, c.transport_failures, c.handshake_reissues
+        );
+    }
+    match &soak.obs.audit {
+        Ok(report) => println!("auditor: OK — {report:?}"),
+        Err(errors) => {
+            println!("auditor: {} invariant violations", errors.len());
+            for e in errors {
+                println!("  {e}");
+            }
+            const TAIL: usize = 60;
+            let skip = soak.obs.events.len().saturating_sub(TAIL);
+            println!(
+                "trace tail ({} of {} events):",
+                soak.obs.events.len() - skip,
+                soak.obs.events.len()
+            );
+            for ev in &soak.obs.events[skip..] {
+                println!("  {ev:?}");
+            }
+            std::process::exit(1);
+        }
+    }
+    println!();
 }
 
 /// `--stats` / `--trace`: run the traced 4-rank mixed-protocol workload

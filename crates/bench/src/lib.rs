@@ -509,6 +509,139 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
     }
 }
 
+/// Result of the fault-soak run behind `repro --faults`: the usual
+/// observability snapshot plus how the injected faults surfaced at the
+/// MPI layer.
+pub struct FaultSoakRun {
+    /// Point-to-point waits that completed successfully.
+    pub ops_ok: u64,
+    /// Waits that surfaced a transport error to the caller.
+    pub ops_failed: u64,
+    /// Counters, fabric stats, trace and audit of the faulted run.
+    pub obs: ObservabilityRun,
+}
+
+/// Run a 4-rank mixed workload with the given link-fault plans armed on
+/// the fabric. The workload is written fault-tolerantly — every transport
+/// error is caught and tallied; any other error (or a rank panic) aborts
+/// the run — so a `repro --faults <spec>` soak proves the recovery path
+/// end to end: transient faults heal invisibly, fatal faults fail only
+/// the owning request, and the auditor must stay clean throughout.
+pub fn fault_soak_run(ccfg: &ClusterConfig, faults: &[fabric::LinkFault]) -> FaultSoakRun {
+    use dcfa_mpi::{Communicator, MpiError, Src, TagSel};
+    use std::sync::Arc;
+
+    const N: usize = 4;
+    let mut sim = simcore::Simulation::new();
+    let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
+    for f in faults {
+        cluster.inject_link_fault(*f);
+    }
+    let ib = verbs::IbFabric::new(cluster.clone());
+    let scif = scif::ScifFabric::new(cluster.clone());
+    let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
+    let reports2 = reports.clone();
+    let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64)));
+    let tallies2 = tallies.clone();
+    let opts = dcfa_mpi::LaunchOpts {
+        tracer: Some(tracer.clone()),
+        ..Default::default()
+    };
+    let daemon = dcfa_mpi::launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        N,
+        opts,
+        move |ctx, comm| {
+            let (r, n) = (comm.rank(), comm.size());
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            let skew = simcore::SimDuration::from_micros(150);
+            let stx = comm.alloc(512).unwrap();
+            let srx = comm.alloc(512).unwrap();
+            let big = comm.alloc(64 << 10).unwrap();
+            let (mut ok, mut failed) = (0u64, 0u64);
+            let mut tally = |res: Result<dcfa_mpi::Status, MpiError>| match res {
+                Ok(_) => ok += 1,
+                Err(MpiError::Transport { .. }) | Err(MpiError::RemoteTransport { .. }) => {
+                    failed += 1
+                }
+                Err(e) => panic!("unexpected MPI error under fault injection: {e}"),
+            };
+            // Eager ring traffic, waited individually so each operation's
+            // outcome can be tallied.
+            for _ in 0..8 {
+                let rr = comm
+                    .irecv(ctx, &srx, Src::Rank(prev), TagSel::Tag(10))
+                    .unwrap();
+                let sr = comm.isend(ctx, &stx, next, 10).unwrap();
+                tally(comm.wait(ctx, sr));
+                tally(comm.wait(ctx, rr));
+            }
+            // Rendezvous between pairs (0<->1, 2<->3), both flavours: the
+            // skew forces the sender-first (RTS) path one round and the
+            // receiver-first (RTR) path the next.
+            let peer = r ^ 1;
+            for recv_late in [true, false] {
+                if r % 2 == 0 {
+                    if !recv_late {
+                        ctx.sleep(skew);
+                    }
+                    let sr = comm.isend(ctx, &big, peer, 20).unwrap();
+                    tally(comm.wait(ctx, sr));
+                } else {
+                    if recv_late {
+                        ctx.sleep(skew);
+                    }
+                    let rr = comm
+                        .irecv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
+                        .unwrap();
+                    tally(comm.wait(ctx, rr));
+                }
+            }
+            // ANY_SOURCE fan-in to rank 0 (sequence-locking under faults).
+            if r == 0 {
+                for _ in 1..n {
+                    let rr = comm.irecv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
+                    tally(comm.wait(ctx, rr));
+                }
+            } else {
+                let sr = comm.isend(ctx, &stx, 0, 30).unwrap();
+                tally(comm.wait(ctx, sr));
+            }
+            let mut t = tallies2.lock();
+            t.0 += ok;
+            t.1 += failed;
+            reports2.lock()[r] = Some(comm.dump());
+        },
+    );
+    sim.run_expect();
+    let events = tracer.snapshot();
+    let per_rank: Vec<_> = reports
+        .lock()
+        .iter()
+        .map(|r| r.expect("rank finished"))
+        .collect();
+    let (ops_ok, ops_failed) = *tallies.lock();
+    FaultSoakRun {
+        ops_ok,
+        ops_failed,
+        obs: ObservabilityRun {
+            reports: per_rank,
+            daemon: daemon.map(|d| d.snapshot()),
+            fabric: (0..cluster.num_nodes())
+                .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
+                .collect(),
+            dropped: tracer.dropped(),
+            audit: dcfa_mpi::audit(&events),
+            events,
+        },
+    }
+}
+
 /// Write a set of series as CSV: `size,<label1>,<label2>,...`.
 pub fn write_series_csv(path: &std::path::Path, series: &[Series]) -> std::io::Result<()> {
     use std::io::Write;

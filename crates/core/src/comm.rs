@@ -70,13 +70,32 @@ pub trait Communicator {
         self.wait(ctx, rr)
     }
 
-    /// Wait for all requests in order.
+    /// Wait for all requests in order, returning the first error. Every
+    /// request is driven to completion even when an earlier one fails —
+    /// abandoning the rest would leak their protocol state and strand
+    /// the peers mid-handshake.
     fn waitall(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> Result<Vec<Status>, MpiError> {
         let mut out = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
         for &r in reqs {
-            out.push(self.wait(ctx, r)?);
+            match self.wait(ctx, r) {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    out.push(Status {
+                        source: 0,
+                        tag: 0,
+                        len: 0,
+                    });
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
-        Ok(out)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 }
 

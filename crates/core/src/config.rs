@@ -1,6 +1,8 @@
 //! DCFA-MPI library configuration: protocol thresholds and feature toggles
 //! (the knobs the paper's evaluation and our ablation benches turn).
 
+use simcore::SimDuration;
+
 /// Where MPI ranks execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -33,6 +35,20 @@ pub struct MpiConfig {
     /// Payload capacity of one eager ring slot. Must be at least
     /// `eager_threshold`.
     pub ring_slot_payload: u64,
+    /// How many times a transiently failed transport operation (RNR /
+    /// retry-exceeded completion) is re-posted before the owning request
+    /// fails. 0 means a single attempt with no retries. Ownerless control
+    /// packets (completions, credits) retry without bound: dropping them
+    /// would wedge the peer's ring.
+    pub retry_limit: u32,
+    /// Base backoff before the first retry; doubles per attempt
+    /// (exponential backoff through the simulation scheduler).
+    pub retry_backoff: SimDuration,
+    /// Rendezvous handshake watchdog: if a send/receive is still waiting
+    /// for its completion packet this long after issuing RTS/RTR, the
+    /// handshake packet is re-issued (duplicates are deduplicated by pair
+    /// sequence id). `None` disables the watchdog.
+    pub rndv_timeout: Option<SimDuration>,
 }
 
 impl MpiConfig {
@@ -49,6 +65,11 @@ impl MpiConfig {
             mr_cache_capacity: 64,
             ring_slots: 64,
             ring_slot_payload: 8 << 10,
+            retry_limit: 4,
+            retry_backoff: SimDuration::from_micros(10),
+            // Far above any healthy handshake latency (µs scale), so the
+            // watchdog never fires spuriously in fault-free runs.
+            rndv_timeout: Some(SimDuration::from_millis(10)),
         }
     }
 
@@ -82,6 +103,13 @@ impl MpiConfig {
                 self.offload_threshold.is_none(),
                 "offload send buffer is a Phi-only mode"
             );
+        }
+        assert!(
+            self.retry_backoff > SimDuration::ZERO,
+            "retry backoff must be positive"
+        );
+        if let Some(t) = self.rndv_timeout {
+            assert!(t > SimDuration::ZERO, "rendezvous timeout must be positive");
         }
     }
 }

@@ -23,10 +23,10 @@
 //!   a host twin over the PCIe DMA engine and source the InfiniBand
 //!   transfer from host memory, dodging the slow HCA-read-from-Phi path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fabric::{Buffer, CostModel, MemRef};
-use simcore::{Ctx, SimDuration, SimEvent};
+use simcore::{Ctx, SimDuration, SimEvent, SimTime};
 use verbs::{CompletionQueue, MemoryRegion, MrKey, QueuePair, SendWr, Wc, WcStatus};
 
 use crate::config::{MpiConfig, Placement};
@@ -37,10 +37,14 @@ use crate::packet::{
 use crate::resources::Resources;
 use crate::stats::StatsReport;
 use crate::trace::{Trace, TraceBuf, TraceEvent};
-use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel};
+use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel, TransportOp};
 
-/// wr_id used for control-packet writes whose completion nobody waits on.
-const CTRL_WR: u64 = u64::MAX;
+/// wr_id namespace for eager-ring writes. Ring writes draw ids from a
+/// counter starting here; rendezvous RDMA reads/writes use their request
+/// id (which starts at 1), so the two spaces never collide and *every*
+/// send-side work request can be found in the inflight table when its
+/// completion — success or error — arrives.
+const WR_RING_BASE: u64 = 1 << 63;
 
 /// Per-peer connection state.
 pub(crate) struct Peer {
@@ -78,6 +82,52 @@ pub(crate) struct Peer {
     /// (they are issued from inside the progress engine); they queue here
     /// and drain as credits arrive, ahead of any later data packet.
     pending_ctrl: std::collections::VecDeque<PacketHeader>,
+    /// Highest data-stream sequence id (EAGER/RTS/NACK-SEND) seen from
+    /// this peer. Data packets arrive in sequence order, so anything at or
+    /// below this is a duplicate (a re-issued handshake) and is answered
+    /// from `served_done`/`served_dw` or dropped.
+    rx_data_high: Option<u64>,
+    /// DONE/NACK answers we already sent for sender-first rendezvous,
+    /// keyed by pair sequence id — replayed when a re-issued RTS arrives.
+    served_done: HashMap<u64, PacketHeader>,
+    /// DONE-WRITE/NACK-WRITE answers we already sent for receiver-first
+    /// rendezvous — replayed when a re-issued RTR arrives.
+    served_dw: HashMap<u64, PacketHeader>,
+}
+
+/// What a tracked send-side work request was doing, so its completion —
+/// or its failure — can be routed to the owning protocol state.
+enum WrKind {
+    /// An eager-ring slot write (data or control packet).
+    Ring {
+        hdr: PacketHeader,
+        slot_seq: u64,
+        /// Owning request for EAGER data packets; control packets find
+        /// their owner (if any) through `hdr` at failure time.
+        req: Option<u64>,
+    },
+    /// Sender-first rendezvous: our RDMA READ of the peer's buffer.
+    RndvRead { req: u64 },
+    /// Receiver-first rendezvous: our RDMA WRITE into the peer's buffer.
+    RndvWrite { req: u64 },
+}
+
+/// A posted send-side work request awaiting its completion.
+struct InflightWr {
+    wr: SendWr,
+    dst: Rank,
+    /// Posts issued so far (1 = the original post).
+    attempts: u32,
+    kind: WrKind,
+}
+
+/// A pending rendezvous-handshake watchdog.
+#[derive(Clone, Copy)]
+enum TimeoutKind {
+    /// Sender-first: re-issue the RTS if the DONE hasn't arrived.
+    Rts { req: u64 },
+    /// Receiver-first: re-issue the RTR if the DONE-WRITE hasn't arrived.
+    Rtr { req: u64 },
 }
 
 /// Info a rank publishes during bootstrap, consumed by its peers.
@@ -103,12 +153,14 @@ enum ReqState {
         status: Status,
     },
     /// RTS sent; waiting for the receiver's DONE. The lease pins the
-    /// advertised source until then (the peer RDMA-READs from it).
+    /// advertised source until then (the peer RDMA-READs from it). `hdr`
+    /// keeps the full RTS so the handshake watchdog can re-issue it.
     RndvSendAwaitDone {
         dst: Rank,
         seq: u64,
         status: Status,
         lease: SendLease,
+        hdr: PacketHeader,
     },
     /// Receiver-first: our RDMA write is in flight.
     RndvSendWriting {
@@ -147,6 +199,8 @@ struct PostedRecv {
     /// when the receive resolves (DONE-WRITE, or the eager/simultaneous
     /// mis-prediction paths).
     rtr_lease: Option<MrLease>,
+    /// The RTR we advertised, kept for watchdog re-issue.
+    rtr_hdr: Option<PacketHeader>,
 }
 
 enum Unexpected {
@@ -158,6 +212,13 @@ enum Unexpected {
     },
     Rts {
         hdr: PacketHeader,
+    },
+    /// A sender-side transport abort that arrived before its matching
+    /// receive was posted; the receive fails with `RemoteTransport`.
+    Nack {
+        src: Rank,
+        tag: Tag,
+        seq: u64,
     },
 }
 
@@ -184,6 +245,16 @@ pub struct CommStats {
     pub stale_rtrs_dropped: u64,
     /// CREDIT packets transmitted (flow-control slot recycling).
     pub credit_grants: u64,
+    /// Error work completions observed (before retry classification).
+    pub wr_faults: u64,
+    /// Transiently failed work requests re-posted after backoff.
+    pub wr_retries: u64,
+    /// Transfers abandoned permanently (the owning request failed).
+    pub transport_failures: u64,
+    /// Rendezvous handshakes re-issued by the watchdog.
+    pub handshake_reissues: u64,
+    /// Control packets dropped because the QP refused the post outright.
+    pub ctrl_abandoned: u64,
 }
 
 /// The per-rank protocol engine.
@@ -208,6 +279,19 @@ pub struct Engine {
     /// Re-entrancy guard: progress() invoked from within progress() (via
     /// a packet handler) is a no-op; the outer sweep picks up the work.
     in_progress: bool,
+    /// Every posted send-side work request, keyed by wr_id, until its
+    /// completion is classified (success / retry / permanent failure).
+    inflight: HashMap<u64, InflightWr>,
+    /// Next offset above [`WR_RING_BASE`] for ring-write wr_ids.
+    next_ring_wr: u64,
+    /// Transiently failed WRs waiting out their backoff: (due, wr_id).
+    retry_due: Vec<(SimTime, u64)>,
+    /// Armed rendezvous-handshake watchdogs: (due, kind).
+    rndv_timeouts: Vec<(SimTime, TimeoutKind)>,
+    /// Receives that failed permanently, keyed by (peer, pair seq): the
+    /// peer's late data packet for that seq is answered with a NACK (RTS)
+    /// or dropped (EAGER) instead of matching a later receive.
+    dead_rx: HashSet<(Rank, u64)>,
 }
 
 impl Engine {
@@ -289,6 +373,9 @@ impl Engine {
                 rx_seq: 0,
                 stashed_rtrs: Vec::new(),
                 pending_ctrl: std::collections::VecDeque::new(),
+                rx_data_high: None,
+                served_done: HashMap::new(),
+                served_dw: HashMap::new(),
             }));
         }
         let mpi_call = match cfg.placement {
@@ -317,6 +404,11 @@ impl Engine {
                 stats: CommStats::default(),
                 trace: Trace::default(),
                 in_progress: false,
+                inflight: HashMap::new(),
+                next_ring_wr: 0,
+                retry_due: Vec::new(),
+                rndv_timeouts: Vec::new(),
+                dead_rx: HashSet::new(),
             },
             endpoints,
         )
@@ -401,7 +493,7 @@ impl Engine {
                 addr: 0,
                 rkey: 0,
             };
-            self.send_packet(ctx, dst, hdr, Some(buf), req);
+            self.send_packet(ctx, dst, hdr, Some(buf), Some(req));
             return Ok(Request(req));
         }
 
@@ -433,12 +525,6 @@ impl Engine {
         }
 
         // Sender-first: RTS with our buffer info, then await DONE.
-        let req = self.new_req(ReqState::RndvSendAwaitDone {
-            dst,
-            seq,
-            status,
-            lease,
-        });
         let hdr = PacketHeader {
             kind: PacketKind::Rts,
             src_rank: self.rank,
@@ -448,7 +534,15 @@ impl Engine {
             addr: src_addr,
             rkey: src_rkey.0,
         };
+        let req = self.new_req(ReqState::RndvSendAwaitDone {
+            dst,
+            seq,
+            status,
+            lease,
+            hdr: hdr.clone(),
+        });
         self.send_ctrl(ctx, dst, hdr);
+        self.arm_rndv_timeout(ctx, TimeoutKind::Rts { req });
         Ok(Request(req))
     }
 
@@ -499,6 +593,7 @@ impl Engine {
             seq,
             rtr_sent: false,
             rtr_lease: None,
+            rtr_hdr: None,
         };
 
         // Receiver-first rendezvous initiation: a large receive with a known
@@ -541,13 +636,29 @@ impl Engine {
     }
 
     /// Wait for all requests, returning the first error (like
-    /// `MPI_Waitall`).
+    /// `MPI_Waitall`). Every request is driven to completion even when an
+    /// earlier one fails — abandoning the rest would leak their protocol
+    /// state and strand the peers mid-handshake.
     pub fn waitall(&mut self, ctx: &mut Ctx, reqs: &[Request]) -> Result<Vec<Status>, MpiError> {
         let mut out = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
         for &r in reqs {
-            out.push(self.wait(ctx, r)?);
+            match self.wait(ctx, r) {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    out.push(Status {
+                        source: 0,
+                        tag: 0,
+                        len: 0,
+                    });
+                    first_err.get_or_insert(e);
+                }
+            }
         }
-        Ok(out)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Non-blocking probe: is a matching message available to receive
@@ -566,6 +677,11 @@ impl Engine {
                     source: hdr.src_rank,
                     tag: hdr.tag,
                     len: hdr.len,
+                },
+                Unexpected::Nack { src, tag, .. } => Status {
+                    source: *src,
+                    tag: *tag,
+                    len: 0,
                 },
             })
     }
@@ -592,13 +708,22 @@ impl Engine {
         loop {
             let seen = self.progress_event.epoch();
             self.progress(ctx);
+            // Unknown handles (already consumed or never issued) are
+            // *inactive*: they must not mask a still-pending request's
+            // real completion, so they are skipped unless the whole set
+            // is inactive.
+            let mut all_inactive = true;
             for (i, &r) in reqs.iter().enumerate() {
                 match self.reqs.get(&r.0) {
-                    Some(ReqState::Done(_)) | Some(ReqState::Failed(_)) | None => {
+                    Some(ReqState::Done(_)) | Some(ReqState::Failed(_)) => {
                         return (i, self.test(ctx, r).expect("just checked"));
                     }
-                    _ => {}
+                    Some(_) => all_inactive = false,
+                    None => {}
                 }
+            }
+            if all_inactive {
+                return (0, Err(MpiError::BadRequest));
             }
             ctx.wait_event(&self.progress_event, seen, "mpi waitany");
         }
@@ -668,7 +793,9 @@ impl Engine {
                 .peers
                 .iter()
                 .flatten()
-                .any(|p| !p.pending_ctrl.is_empty());
+                .any(|p| !p.pending_ctrl.is_empty())
+                || !self.inflight.is_empty()
+                || !self.retry_due.is_empty();
             if !pending {
                 return;
             }
@@ -747,9 +874,11 @@ impl Engine {
             rkey: lease.mr().key().0,
         };
         posted.rtr_lease = Some(lease);
+        posted.rtr_hdr = Some(hdr.clone());
         self.send_ctrl(ctx, src, hdr);
         posted.rtr_sent = true;
         self.reqs.insert(posted.req, ReqState::RecvAwaitDone);
+        self.arm_rndv_timeout(ctx, TimeoutKind::Rtr { req: posted.req });
     }
 
     /// Receiver-first data movement on the sender: RDMA WRITE into the
@@ -771,13 +900,8 @@ impl Engine {
             len: write_len,
             lkey: src_rkey,
         };
-        let peer = self.peers[dst].as_mut().expect("no peer");
-        peer.qp
-            .post_send(
-                ctx,
-                SendWr::rdma_write(req, vec![sge], rtr.addr, MrKey(rtr.rkey)),
-            )
-            .expect("rndv write failed");
+        let wr = SendWr::rdma_write(req, vec![sge], rtr.addr, MrKey(rtr.rkey));
+        self.post_tracked(ctx, dst, wr, WrKind::RndvWrite { req });
     }
 
     /// Ring window for a packet kind: CREDITs may use the 2 reserve slots
@@ -822,7 +946,7 @@ impl Engine {
                 .expect("no peer")
                 .pending_ctrl
                 .pop_front();
-            self.transmit_packet(ctx, dst, hdr, None, CTRL_WR);
+            self.transmit_packet(ctx, dst, hdr, None, None);
         }
     }
 
@@ -835,7 +959,7 @@ impl Engine {
         dst: Rank,
         hdr: PacketHeader,
         payload: Option<&Buffer>,
-        wr_id: u64,
+        owner: Option<u64>,
     ) {
         loop {
             self.flush_ctrl(ctx, dst);
@@ -859,7 +983,7 @@ impl Engine {
             }
             ctx.wait_event(&self.progress_event, seen, "eager ring credit");
         }
-        self.transmit_packet(ctx, dst, hdr, payload, wr_id);
+        self.transmit_packet(ctx, dst, hdr, payload, owner);
     }
 
     /// Unconditionally place one packet into the peer's ring (caller has
@@ -870,7 +994,7 @@ impl Engine {
         dst: Rank,
         hdr: PacketHeader,
         payload: Option<&Buffer>,
-        wr_id: u64,
+        owner: Option<u64>,
     ) {
         let slots = self.cfg.ring_slots as u64;
 
@@ -946,13 +1070,113 @@ impl Engine {
             len: total,
             lkey: stage_mr.key(),
         };
-        let wr = if wr_id == CTRL_WR {
-            SendWr::rdma_write(CTRL_WR, vec![sge], out_ring_addr + base, out_ring_rkey).unsignaled()
-        } else {
-            SendWr::rdma_write(wr_id, vec![sge], out_ring_addr + base, out_ring_rkey)
+        // Every ring write is signaled and tracked: a failed control
+        // packet must be retried (dropping it would wedge the peer's
+        // ring), and that needs the WR and its slot to still be known
+        // when the error completion arrives.
+        let wr_id = WR_RING_BASE + self.next_ring_wr;
+        self.next_ring_wr += 1;
+        let wr = SendWr::rdma_write(wr_id, vec![sge], out_ring_addr + base, out_ring_rkey);
+        self.post_tracked(
+            ctx,
+            dst,
+            wr,
+            WrKind::Ring {
+                hdr,
+                slot_seq,
+                req: owner,
+            },
+        );
+    }
+
+    /// Rewrite an already-claimed outbound ring slot with a replacement
+    /// packet (transport-abort path). The slot's original write failed
+    /// and delivered nothing, so the receiver is still polling this very
+    /// slot sequence; the stream stays consumable only if *something*
+    /// valid lands there. The slot index cannot have been reused: the
+    /// flow-control window never advances past an unconsumed slot.
+    fn transmit_into_slot(&mut self, ctx: &mut Ctx, dst: Rank, hdr: PacketHeader, slot_seq: u64) {
+        let slots = self.cfg.ring_slots as u64;
+        let slot_size = Self::slot_size(&self.cfg);
+        let base = (slot_seq % slots) * slot_size;
+        let cluster = self.res.cluster().clone();
+        let (stage, stage_mr, out_ring_addr, out_ring_rkey) = {
+            let peer = self.peers[dst].as_ref().expect("no peer");
+            (
+                peer.stage.clone(),
+                peer.stage_mr.clone(),
+                peer.out_ring_addr,
+                peer.out_ring_rkey,
+            )
         };
-        let peer = self.peers[dst].as_mut().expect("no peer");
-        peer.qp.post_send(ctx, wr).expect("ring write failed");
+        cluster.write(&stage, base, &hdr.encode());
+        cluster.write(
+            &stage,
+            base + HEADER_LEN,
+            &tail_word(slot_seq).to_le_bytes(),
+        );
+        let rank = self.rank;
+        self.trace.record(|| TraceEvent::PacketTx {
+            from: rank,
+            to: dst,
+            kind: hdr.kind,
+            seq: hdr.seq,
+            len: hdr.len,
+        });
+        if hdr.kind == PacketKind::Credit {
+            self.stats.credit_grants += 1;
+            self.trace.record(|| TraceEvent::CreditGrant {
+                from: rank,
+                to: dst,
+                consumed: hdr.len,
+            });
+        }
+        let sge = verbs::Sge {
+            addr: stage.addr + base,
+            len: HEADER_LEN + TAIL_LEN,
+            lkey: stage_mr.key(),
+        };
+        let wr_id = WR_RING_BASE + self.next_ring_wr;
+        self.next_ring_wr += 1;
+        let wr = SendWr::rdma_write(wr_id, vec![sge], out_ring_addr + base, out_ring_rkey);
+        self.post_tracked(
+            ctx,
+            dst,
+            wr,
+            WrKind::Ring {
+                hdr,
+                slot_seq,
+                req: None,
+            },
+        );
+    }
+
+    /// Post a send-side work request with its completion routing recorded
+    /// in the inflight table. A synchronous post failure (the QP refused
+    /// the WR — no completion will ever arrive) is treated as a fatal
+    /// completion, but without the recovery traffic: the QP itself is the
+    /// thing that is broken.
+    fn post_tracked(&mut self, ctx: &mut Ctx, dst: Rank, wr: SendWr, kind: WrKind) {
+        let wr_id = wr.wr_id;
+        self.inflight.insert(
+            wr_id,
+            InflightWr {
+                wr: wr.clone(),
+                dst,
+                attempts: 1,
+                kind,
+            },
+        );
+        let res = self.peers[dst]
+            .as_mut()
+            .expect("no peer")
+            .qp
+            .post_send(ctx, wr);
+        if res.is_err() {
+            if let Some(entry) = self.inflight.remove(&wr_id) {
+                self.fail_wr(ctx, entry, WcStatus::RemoteAccessError, false);
+            }
+        }
     }
 
     /// One progress sweep: drain CQ completions, then inbound rings.
@@ -966,6 +1190,8 @@ impl Engine {
     }
 
     fn progress_inner(&mut self, ctx: &mut Ctx) {
+        self.pump_retries(ctx);
+        self.pump_rndv_timeouts(ctx);
         while let Some(wc) = self.cq.poll() {
             self.handle_wc(ctx, wc);
         }
@@ -1041,66 +1267,474 @@ impl Engine {
         }
     }
 
+    /// Route one work completion: success completes the tracked WR;
+    /// errors are classified into bounded retry (transient statuses),
+    /// unbounded retry (ownerless control packets, which must eventually
+    /// land or the peer's ring wedges), or permanent failure of the
+    /// owning request — never a panic, never a dead rank.
     fn handle_wc(&mut self, ctx: &mut Ctx, wc: Wc) {
-        if wc.wr_id == CTRL_WR {
-            return;
-        }
-        assert_eq!(
-            wc.status,
-            WcStatus::Success,
-            "internal transfer failed: {wc:?}"
-        );
-        let Some(state) = self.reqs.remove(&wc.wr_id) else {
+        let Some(entry) = self.inflight.remove(&wc.wr_id) else {
             return;
         };
-        match state {
-            ReqState::EagerSend { status } => {
-                self.reqs.insert(wc.wr_id, ReqState::Done(status));
+        if wc.status == WcStatus::Success {
+            self.complete_wr(ctx, entry);
+            return;
+        }
+        self.stats.wr_faults += 1;
+        let rank = self.rank;
+        let (peer, wr_id, transient) = (entry.dst, wc.wr_id, wc.status.is_transient());
+        self.trace.record(|| TraceEvent::WrFault {
+            rank,
+            peer,
+            wr_id,
+            transient,
+        });
+        let ownerless_ctrl = matches!(
+            &entry.kind,
+            WrKind::Ring { hdr, req: None, .. } if matches!(
+                hdr.kind,
+                PacketKind::Done
+                    | PacketKind::DoneWrite
+                    | PacketKind::Credit
+                    | PacketKind::NackSend
+                    | PacketKind::Nack
+                    | PacketKind::NackWrite
+            )
+        );
+        if ownerless_ctrl || (transient && entry.attempts <= self.cfg.retry_limit) {
+            self.schedule_retry(ctx, wc.wr_id, entry);
+        } else {
+            self.fail_wr(ctx, entry, wc.status, true);
+        }
+    }
+
+    /// A tracked work request completed successfully.
+    fn complete_wr(&mut self, ctx: &mut Ctx, entry: InflightWr) {
+        match entry.kind {
+            WrKind::Ring { hdr, req, .. } => {
+                let Some(id) = req else { return };
+                match self.reqs.remove(&id) {
+                    Some(ReqState::EagerSend { status }) => {
+                        self.reqs.insert(id, ReqState::Done(status));
+                    }
+                    Some(other) => {
+                        self.reqs.insert(id, other);
+                        panic!("unexpected ring WC for request {id} ({:?})", hdr.kind);
+                    }
+                    None => {}
+                }
             }
-            ReqState::RndvSendWriting {
-                dst,
-                seq,
-                full_len,
-                status,
-                lease,
-            } => {
-                // Data placed; the source is free again. Tell the receiver.
-                self.release_send_lease(ctx, lease);
-                let hdr = PacketHeader::control(
-                    PacketKind::DoneWrite,
-                    self.rank,
-                    status.tag,
+            WrKind::RndvRead { req } => match self.reqs.remove(&req) {
+                Some(ReqState::RndvRecvReading {
+                    src,
+                    seq,
+                    status,
+                    truncated,
+                    lease,
+                }) => {
+                    self.mr_cache.release(ctx, &self.res, lease);
+                    self.stats.bytes_received += status.len;
+                    let hdr = PacketHeader::control(
+                        PacketKind::Done,
+                        self.rank,
+                        status.tag,
+                        seq,
+                        status.len,
+                    );
+                    if let Some(peer) = self.peers[src].as_mut() {
+                        peer.served_done.insert(seq, hdr.clone());
+                    }
+                    self.send_ctrl(ctx, src, hdr);
+                    let final_state = match truncated {
+                        Some(e) => ReqState::Failed(e),
+                        None => ReqState::Done(status),
+                    };
+                    self.reqs.insert(req, final_state);
+                }
+                Some(other) => {
+                    self.reqs.insert(req, other);
+                    panic!("unexpected RDMA-read WC for request {req}");
+                }
+                None => {}
+            },
+            WrKind::RndvWrite { req } => match self.reqs.remove(&req) {
+                Some(ReqState::RndvSendWriting {
+                    dst,
                     seq,
                     full_len,
-                );
-                self.send_ctrl(ctx, dst, hdr);
-                self.reqs.insert(wc.wr_id, ReqState::Done(status));
+                    status,
+                    lease,
+                }) => {
+                    // Data placed; the source is free again. Tell the
+                    // receiver.
+                    self.release_send_lease(ctx, lease);
+                    let hdr = PacketHeader::control(
+                        PacketKind::DoneWrite,
+                        self.rank,
+                        status.tag,
+                        seq,
+                        full_len,
+                    );
+                    if let Some(peer) = self.peers[dst].as_mut() {
+                        peer.served_dw.insert(seq, hdr.clone());
+                    }
+                    self.send_ctrl(ctx, dst, hdr);
+                    self.reqs.insert(req, ReqState::Done(status));
+                }
+                Some(other) => {
+                    self.reqs.insert(req, other);
+                    panic!("unexpected RDMA-write WC for request {req}");
+                }
+                None => {}
+            },
+        }
+    }
+
+    /// Put a transiently failed WR back on the wire after an exponential
+    /// backoff (scheduled through the simulation clock; the progress
+    /// event is poked at the due time so a waiting rank wakes up).
+    fn schedule_retry(&mut self, ctx: &mut Ctx, wr_id: u64, mut entry: InflightWr) {
+        let shift = (entry.attempts - 1).min(20);
+        let backoff = self.cfg.retry_backoff * (1u64 << shift);
+        entry.attempts += 1;
+        self.inflight.insert(wr_id, entry);
+        let due = ctx.now() + backoff;
+        self.retry_due.push((due, wr_id));
+        self.progress_event
+            .notify_at(self.res.cluster().scheduler(), due);
+    }
+
+    /// Re-post WRs whose backoff has elapsed.
+    fn pump_retries(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let mut due = Vec::new();
+        self.retry_due.retain(|&(t, id)| {
+            if t <= now {
+                due.push(id);
+                false
+            } else {
+                true
             }
-            ReqState::RndvRecvReading {
-                src,
-                seq,
-                status,
-                truncated,
-                lease,
-            } => {
-                self.mr_cache.release(ctx, &self.res, lease);
-                self.stats.bytes_received += status.len;
-                let hdr =
-                    PacketHeader::control(PacketKind::Done, self.rank, status.tag, seq, status.len);
-                self.send_ctrl(ctx, src, hdr);
-                let final_state = match truncated {
-                    Some(e) => ReqState::Failed(e),
-                    None => ReqState::Done(status),
-                };
-                self.reqs.insert(wc.wr_id, final_state);
-            }
-            other => {
-                // Completion for a request not in a transfer state is an
-                // engine bug.
-                self.reqs.insert(wc.wr_id, other);
-                panic!("unexpected WC for request {}", wc.wr_id);
+        });
+        for wr_id in due {
+            let Some(entry) = self.inflight.get(&wr_id) else {
+                continue;
+            };
+            let (dst, wr, attempt) = (entry.dst, entry.wr.clone(), entry.attempts);
+            let rank = self.rank;
+            self.trace.record(|| TraceEvent::WrRetry {
+                rank,
+                peer: dst,
+                wr_id,
+                attempt,
+            });
+            self.stats.wr_retries += 1;
+            let res = self.peers[dst]
+                .as_mut()
+                .expect("no peer")
+                .qp
+                .post_send(ctx, wr);
+            if res.is_err() {
+                if let Some(entry) = self.inflight.remove(&wr_id) {
+                    self.fail_wr(ctx, entry, WcStatus::RemoteAccessError, false);
+                }
             }
         }
+    }
+
+    /// A send-side work request failed permanently: fail the owning
+    /// request (only that request — the rank and all other traffic stay
+    /// alive), notify the peer so its side resolves too, and keep the
+    /// ring consumable. `recover` is false only for synchronous post
+    /// failures, where the QP itself refused the WR and recovery traffic
+    /// through it would be futile.
+    fn fail_wr(&mut self, ctx: &mut Ctx, entry: InflightWr, status: WcStatus, recover: bool) {
+        self.stats.transport_failures += 1;
+        let rank = self.rank;
+        let dst = entry.dst;
+        let attempts = entry.attempts;
+        match entry.kind {
+            WrKind::Ring { hdr, slot_seq, req } => match hdr.kind {
+                PacketKind::Eager => {
+                    let seq = hdr.seq;
+                    self.trace.record(|| TraceEvent::TransportFail {
+                        rank,
+                        peer: dst,
+                        seq,
+                    });
+                    if let Some(id) = req {
+                        self.reqs.insert(
+                            id,
+                            ReqState::Failed(MpiError::Transport {
+                                status,
+                                op: TransportOp::EagerWrite,
+                                attempts,
+                            }),
+                        );
+                    }
+                    if recover {
+                        let nack = PacketHeader::control(
+                            PacketKind::NackSend,
+                            self.rank,
+                            hdr.tag,
+                            hdr.seq,
+                            0,
+                        );
+                        self.transmit_into_slot(ctx, dst, nack, slot_seq);
+                    }
+                }
+                PacketKind::Rts => {
+                    let seq = hdr.seq;
+                    self.trace.record(|| TraceEvent::TransportFail {
+                        rank,
+                        peer: dst,
+                        seq,
+                    });
+                    // The owning send is discovered through (dst, seq):
+                    // control packets carry no request id.
+                    let owner = self.reqs.iter().find_map(|(id, st)| match st {
+                        ReqState::RndvSendAwaitDone { dst: d, seq: s, .. }
+                            if *d == dst && *s == hdr.seq =>
+                        {
+                            Some(*id)
+                        }
+                        _ => None,
+                    });
+                    if let Some(id) = owner {
+                        if let Some(ReqState::RndvSendAwaitDone { lease, .. }) =
+                            self.reqs.remove(&id)
+                        {
+                            self.release_send_lease(ctx, lease);
+                        }
+                        self.reqs.insert(
+                            id,
+                            ReqState::Failed(MpiError::Transport {
+                                status,
+                                op: TransportOp::CtrlWrite,
+                                attempts,
+                            }),
+                        );
+                    }
+                    if recover {
+                        let nack = PacketHeader::control(
+                            PacketKind::NackSend,
+                            self.rank,
+                            hdr.tag,
+                            hdr.seq,
+                            0,
+                        );
+                        self.transmit_into_slot(ctx, dst, nack, slot_seq);
+                    }
+                }
+                PacketKind::Rtr => {
+                    let seq = hdr.seq;
+                    self.trace.record(|| TraceEvent::TransportFail {
+                        rank,
+                        peer: dst,
+                        seq,
+                    });
+                    let idx = self.recv_q.iter().position(|r| {
+                        r.rtr_sent
+                            && r.seq == Some(hdr.seq)
+                            && matches!(r.src, Src::Rank(s) if s == dst)
+                    });
+                    if let Some(i) = idx {
+                        let mut posted = self.recv_q.remove(i);
+                        if let Some(l) = posted.rtr_lease.take() {
+                            self.mr_cache.release(ctx, &self.res, l);
+                        }
+                        self.reqs.insert(
+                            posted.req,
+                            ReqState::Failed(MpiError::Transport {
+                                status,
+                                op: TransportOp::CtrlWrite,
+                                attempts,
+                            }),
+                        );
+                        // The sender never saw our RTR; its RTS (or eager
+                        // packet) for this seq will arrive later and must
+                        // not match another receive.
+                        self.dead_rx.insert((dst, hdr.seq));
+                    }
+                    if recover {
+                        let consumed = self.peers[dst].as_ref().expect("no peer").in_next_seq;
+                        let filler =
+                            PacketHeader::control(PacketKind::Credit, self.rank, 0, 0, consumed);
+                        self.transmit_into_slot(ctx, dst, filler, slot_seq);
+                    }
+                }
+                // Ownerless control packets retry without bound, so they
+                // only land here on a synchronous post failure.
+                _ => self.stats.ctrl_abandoned += 1,
+            },
+            WrKind::RndvRead { req } => {
+                if let Some(ReqState::RndvRecvReading {
+                    src,
+                    seq,
+                    status: st,
+                    lease,
+                    ..
+                }) = self.reqs.remove(&req)
+                {
+                    self.mr_cache.release(ctx, &self.res, lease);
+                    self.trace.record(|| TraceEvent::TransportFail {
+                        rank,
+                        peer: src,
+                        seq,
+                    });
+                    self.reqs.insert(
+                        req,
+                        ReqState::Failed(MpiError::Transport {
+                            status,
+                            op: TransportOp::RndvRead,
+                            attempts,
+                        }),
+                    );
+                    if recover {
+                        let nack =
+                            PacketHeader::control(PacketKind::Nack, self.rank, st.tag, seq, 0);
+                        if let Some(peer) = self.peers[src].as_mut() {
+                            peer.served_done.insert(seq, nack.clone());
+                        }
+                        self.send_ctrl(ctx, src, nack);
+                    }
+                }
+            }
+            WrKind::RndvWrite { req } => {
+                if let Some(ReqState::RndvSendWriting {
+                    dst: d,
+                    seq,
+                    status: st,
+                    lease,
+                    ..
+                }) = self.reqs.remove(&req)
+                {
+                    self.release_send_lease(ctx, lease);
+                    self.trace
+                        .record(|| TraceEvent::TransportFail { rank, peer: d, seq });
+                    self.reqs.insert(
+                        req,
+                        ReqState::Failed(MpiError::Transport {
+                            status,
+                            op: TransportOp::RndvWrite,
+                            attempts,
+                        }),
+                    );
+                    if recover {
+                        let nack =
+                            PacketHeader::control(PacketKind::NackWrite, self.rank, st.tag, seq, 0);
+                        if let Some(peer) = self.peers[d].as_mut() {
+                            peer.served_dw.insert(seq, nack.clone());
+                        }
+                        self.send_ctrl(ctx, d, nack);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arm the rendezvous-handshake watchdog for `kind` (no-op when the
+    /// watchdog is disabled).
+    fn arm_rndv_timeout(&mut self, ctx: &mut Ctx, kind: TimeoutKind) {
+        let Some(t) = self.cfg.rndv_timeout else {
+            return;
+        };
+        let due = ctx.now() + t;
+        self.rndv_timeouts.push((due, kind));
+        self.progress_event
+            .notify_at(self.res.cluster().scheduler(), due);
+    }
+
+    /// Fire elapsed handshake watchdogs. A watchdog whose request has
+    /// resolved (completed or failed) is simply dropped.
+    fn pump_rndv_timeouts(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let mut fired = Vec::new();
+        self.rndv_timeouts.retain(|&(t, k)| {
+            if t <= now {
+                fired.push(k);
+                false
+            } else {
+                true
+            }
+        });
+        for kind in fired {
+            self.handle_rndv_timeout(ctx, kind);
+        }
+    }
+
+    /// Whether the handshake packet `hdr` is still on its way out of this
+    /// rank (queued for credit, in flight, or awaiting a retry) — in
+    /// which case re-issuing it would be premature.
+    fn ctrl_outstanding(&self, dst: Rank, hdr: &PacketHeader) -> bool {
+        let queued = self.peers[dst].as_ref().is_some_and(|p| {
+            p.pending_ctrl
+                .iter()
+                .any(|h| h.kind == hdr.kind && h.seq == hdr.seq)
+        });
+        queued
+            || self.inflight.values().any(|e| {
+                e.dst == dst
+                    && matches!(&e.kind, WrKind::Ring { hdr: h, .. }
+                        if h.kind == hdr.kind && h.seq == hdr.seq)
+            })
+    }
+
+    fn handle_rndv_timeout(&mut self, ctx: &mut Ctx, kind: TimeoutKind) {
+        let (dst, hdr) = match kind {
+            TimeoutKind::Rts { req } => {
+                let Some(ReqState::RndvSendAwaitDone { dst, hdr, .. }) = self.reqs.get(&req) else {
+                    return;
+                };
+                (*dst, hdr.clone())
+            }
+            TimeoutKind::Rtr { req } => {
+                if !matches!(self.reqs.get(&req), Some(ReqState::RecvAwaitDone)) {
+                    return;
+                }
+                let Some(posted) = self.recv_q.iter().find(|r| r.req == req) else {
+                    return;
+                };
+                let (Some(hdr), Src::Rank(dst)) = (posted.rtr_hdr.clone(), posted.src) else {
+                    return;
+                };
+                (dst, hdr)
+            }
+        };
+        if self.ctrl_outstanding(dst, &hdr) {
+            // Still in our own pipeline (e.g. waiting out a retry
+            // backoff); give it another period.
+            self.arm_rndv_timeout(ctx, kind);
+            return;
+        }
+        let rank = self.rank;
+        let (pkind, seq) = (hdr.kind, hdr.seq);
+        self.trace.record(|| TraceEvent::Retrans {
+            from: rank,
+            to: dst,
+            kind: pkind,
+            seq,
+        });
+        self.stats.handshake_reissues += 1;
+        self.send_ctrl(ctx, dst, hdr);
+        self.arm_rndv_timeout(ctx, kind);
+    }
+
+    /// Whether data-stream sequence `seq` from peer `p` has been seen
+    /// before (data packets arrive in sequence order, so a dup means a
+    /// re-issued handshake).
+    fn is_dup_data(&self, p: usize, seq: u64) -> bool {
+        self.peers[p]
+            .as_ref()
+            .expect("no peer")
+            .rx_data_high
+            .is_some_and(|h| seq <= h)
+    }
+
+    /// Record the arrival of data-stream sequence `seq` from peer `p`.
+    fn note_data_seq(&mut self, p: usize, seq: u64) {
+        let peer = self.peers[p].as_mut().expect("no peer");
+        peer.rx_data_high = Some(peer.rx_data_high.map_or(seq, |h| h.max(seq)));
     }
 
     fn handle_packet(&mut self, ctx: &mut Ctx, p: usize, hdr: PacketHeader, slot_base: u64) {
@@ -1129,6 +1763,15 @@ impl Engine {
                 peer.out_consumed = peer.out_consumed.max(hdr.len);
             }
             PacketKind::Eager => {
+                if self.is_dup_data(p, hdr.seq) {
+                    return;
+                }
+                self.note_data_seq(p, hdr.seq);
+                if self.dead_rx.remove(&(p, hdr.seq)) {
+                    // The matching receive already failed (its RTR write
+                    // died); the payload has nowhere to go.
+                    return;
+                }
                 match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
                     Some(idx) => {
                         let mut posted = self.recv_q.remove(idx);
@@ -1157,15 +1800,52 @@ impl Engine {
                     }
                 }
             }
-            PacketKind::Rts => match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
-                Some(idx) => {
-                    let posted = self.recv_q.remove(idx);
-                    let was_any = posted.seq.is_none();
-                    self.start_rndv_read(ctx, posted, &hdr);
-                    self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
+            PacketKind::Rts => {
+                if self.is_dup_data(p, hdr.seq) {
+                    // Re-issued handshake. If we already answered it
+                    // (DONE or NACK), replay the answer — the original
+                    // may have been what got lost; otherwise the first
+                    // copy is still being served and the dup is dropped.
+                    let answer = self.peers[p]
+                        .as_ref()
+                        .expect("no peer")
+                        .served_done
+                        .get(&hdr.seq)
+                        .cloned();
+                    if let Some(ans) = answer {
+                        let (akind, aseq) = (ans.kind, ans.seq);
+                        self.trace.record(|| TraceEvent::Retrans {
+                            from: rank,
+                            to: p,
+                            kind: akind,
+                            seq: aseq,
+                        });
+                        self.send_ctrl(ctx, p, ans);
+                    }
+                    return;
                 }
-                None => self.unexpected.push(Unexpected::Rts { hdr }),
-            },
+                self.note_data_seq(p, hdr.seq);
+                if self.dead_rx.remove(&(p, hdr.seq)) {
+                    // The matching receive failed (its RTR write died):
+                    // answer negatively so the sender resolves too.
+                    let nack =
+                        PacketHeader::control(PacketKind::Nack, self.rank, hdr.tag, hdr.seq, 0);
+                    if let Some(peer) = self.peers[p].as_mut() {
+                        peer.served_done.insert(hdr.seq, nack.clone());
+                    }
+                    self.send_ctrl(ctx, p, nack);
+                    return;
+                }
+                match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
+                    Some(idx) => {
+                        let posted = self.recv_q.remove(idx);
+                        let was_any = posted.seq.is_none();
+                        self.start_rndv_read(ctx, posted, &hdr);
+                        self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
+                    }
+                    None => self.unexpected.push(Unexpected::Rts { hdr }),
+                }
+            }
             PacketKind::Rtr => {
                 // Find the send awaiting this sequence id.
                 let awaiting = self.reqs.iter().find_map(|(id, st)| match st {
@@ -1181,12 +1861,43 @@ impl Engine {
                     // the RTR and still wait for the receiver's RDMA read."
                     return;
                 }
+                // A re-issued RTR for a write we already answered
+                // (DONE-WRITE or NACK-WRITE): replay the answer.
+                let answer = self.peers[p]
+                    .as_ref()
+                    .expect("no peer")
+                    .served_dw
+                    .get(&hdr.seq)
+                    .cloned();
+                if let Some(ans) = answer {
+                    let (akind, aseq) = (ans.kind, ans.seq);
+                    self.trace.record(|| TraceEvent::Retrans {
+                        from: rank,
+                        to: p,
+                        kind: akind,
+                        seq: aseq,
+                    });
+                    self.send_ctrl(ctx, p, ans);
+                    return;
+                }
+                // A re-issued RTR whose first copy already started our
+                // RDMA write: the answer is coming, drop the dup.
+                let writing = self.reqs.values().any(|st| {
+                    matches!(st, ReqState::RndvSendWriting { dst, seq, .. }
+                        if *dst == p && *seq == hdr.seq)
+                });
+                if writing {
+                    return;
+                }
                 // Completed or eager-satisfied sends: drop ("the sender
                 // drops the RTR packet ... thanks to the sequence id").
                 let peer = self.peers[p].as_mut().expect("no peer");
                 if hdr.seq >= peer.tx_seq {
-                    // Send not posted yet: receiver-first, stash for later.
-                    peer.stashed_rtrs.push(hdr);
+                    // Send not posted yet: receiver-first, stash for later
+                    // (a re-issued RTR must not stash twice).
+                    if !peer.stashed_rtrs.iter().any(|r| r.seq == hdr.seq) {
+                        peer.stashed_rtrs.push(hdr);
+                    }
                 } else {
                     self.stats.stale_rtrs_dropped += 1;
                     self.trace.record(|| TraceEvent::StaleRtrDrop {
@@ -1246,6 +1957,87 @@ impl Engine {
                     self.reqs.insert(posted.req, state);
                 }
             }
+            PacketKind::NackSend => {
+                // The sender's EAGER or RTS for this seq died; whatever
+                // receive was (or will be) paired with it must fail
+                // instead of waiting forever. Occupies the dead packet's
+                // slot in the data stream, keeping later seqs matchable.
+                if self.is_dup_data(p, hdr.seq) {
+                    return;
+                }
+                self.note_data_seq(p, hdr.seq);
+                if self.dead_rx.remove(&(p, hdr.seq)) {
+                    return; // both ends already failed this transfer
+                }
+                match self.match_posted(hdr.src_rank, hdr.tag, hdr.seq) {
+                    Some(idx) => {
+                        let mut posted = self.recv_q.remove(idx);
+                        if let Some(l) = posted.rtr_lease.take() {
+                            self.mr_cache.release(ctx, &self.res, l);
+                        }
+                        let was_any = posted.seq.is_none();
+                        self.reqs.insert(
+                            posted.req,
+                            ReqState::Failed(MpiError::RemoteTransport {
+                                peer: hdr.src_rank,
+                                seq: hdr.seq,
+                            }),
+                        );
+                        self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
+                    }
+                    None => self.unexpected.push(Unexpected::Nack {
+                        src: hdr.src_rank,
+                        tag: hdr.tag,
+                        seq: hdr.seq,
+                    }),
+                }
+            }
+            PacketKind::Nack => {
+                // Negative DONE: the receiver could not complete its RDMA
+                // READ (or its receive was already dead). Fails our send.
+                let sender_req = self.reqs.iter().find_map(|(id, st)| match st {
+                    ReqState::RndvSendAwaitDone { dst, seq, .. }
+                        if *dst == hdr.src_rank && *seq == hdr.seq =>
+                    {
+                        Some(*id)
+                    }
+                    _ => None,
+                });
+                if let Some(id) = sender_req {
+                    if let Some(ReqState::RndvSendAwaitDone { lease, .. }) = self.reqs.remove(&id) {
+                        self.release_send_lease(ctx, lease);
+                    }
+                    self.reqs.insert(
+                        id,
+                        ReqState::Failed(MpiError::RemoteTransport {
+                            peer: hdr.src_rank,
+                            seq: hdr.seq,
+                        }),
+                    );
+                }
+            }
+            PacketKind::NackWrite => {
+                // Negative DONE-WRITE: the sender's RDMA WRITE into our
+                // advertised buffer failed. Fails our receive.
+                let recv_idx = self.recv_q.iter().position(|r| {
+                    r.rtr_sent
+                        && r.seq == Some(hdr.seq)
+                        && matches!(r.src, Src::Rank(s) if s == hdr.src_rank)
+                });
+                if let Some(idx) = recv_idx {
+                    let mut posted = self.recv_q.remove(idx);
+                    if let Some(l) = posted.rtr_lease.take() {
+                        self.mr_cache.release(ctx, &self.res, l);
+                    }
+                    self.reqs.insert(
+                        posted.req,
+                        ReqState::Failed(MpiError::RemoteTransport {
+                            peer: hdr.src_rank,
+                            seq: hdr.seq,
+                        }),
+                    );
+                }
+            }
         }
     }
 
@@ -1299,6 +2091,7 @@ impl Engine {
             let (usrc, utag) = match u {
                 Unexpected::Eager { src, tag, .. } => (*src, *tag),
                 Unexpected::Rts { hdr } => (hdr.src_rank, hdr.tag),
+                Unexpected::Nack { src, tag, .. } => (*src, *tag),
             };
             let src_ok = match src {
                 Src::Rank(s) => s == usrc,
@@ -1350,8 +2143,16 @@ impl Engine {
                     seq: Some(hdr.seq),
                     rtr_sent: false,
                     rtr_lease: None,
+                    rtr_hdr: None,
                 };
                 self.start_rndv_read(ctx, posted, &hdr);
+            }
+            Unexpected::Nack { src, seq, .. } => {
+                self.note_rx_seq(src, seq);
+                self.reqs.insert(
+                    req,
+                    ReqState::Failed(MpiError::RemoteTransport { peer: src, seq }),
+                );
             }
         }
     }
@@ -1426,13 +2227,9 @@ impl Engine {
                 lease,
             },
         );
-        let peer = self.peers[hdr.src_rank].as_mut().expect("no peer");
-        peer.qp
-            .post_send(
-                ctx,
-                SendWr::rdma_read(posted.req, vec![sge], hdr.addr, MrKey(hdr.rkey)),
-            )
-            .expect("rndv read failed");
+        let req = posted.req;
+        let wr = SendWr::rdma_read(req, vec![sge], hdr.addr, MrKey(hdr.rkey));
+        self.post_tracked(ctx, hdr.src_rank, wr, WrKind::RndvRead { req });
     }
 
     /// After matching an any-source receive, assign sequence ids to the

@@ -63,5 +63,7 @@ pub use packet::PacketKind;
 pub use resources::Resources;
 pub use stats::StatsReport;
 pub use trace::{audit, AuditReport, TraceBuf, TraceEvent};
-pub use types::{Datatype, MpiError, Rank, ReduceOp, Request, Src, Status, Tag, TagSel};
+pub use types::{
+    Datatype, MpiError, Rank, ReduceOp, Request, Src, Status, Tag, TagSel, TransportOp,
+};
 pub use world::{launch, LaunchOpts};

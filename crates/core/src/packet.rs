@@ -10,7 +10,7 @@
 use crate::types::{Rank, Tag};
 
 /// Packet kinds flowing through the eager rings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// Small-message data (one-copy eager protocol).
     Eager = 1,
@@ -30,6 +30,19 @@ pub enum PacketKind {
     /// Distinct from [`PacketKind::Done`] because both flow between the
     /// same pair with independent sequence counters.
     DoneWrite = 6,
+    /// Transport abort, sender → receiver: the EAGER or RTS packet that
+    /// was to carry data sequence `seq` failed permanently. Rewritten into
+    /// the dead packet's ring slot so the stream stays consumable; the
+    /// receiver fails the matching receive instead of waiting forever.
+    NackSend = 7,
+    /// Transport abort, receiver → sender: answers an RTS negatively (the
+    /// receiver's RDMA READ failed, or its matching receive is dead) —
+    /// the error-path twin of [`PacketKind::Done`].
+    Nack = 8,
+    /// Transport abort, sender → receiver: answers an RTR negatively (the
+    /// sender's RDMA WRITE failed) — the error-path twin of
+    /// [`PacketKind::DoneWrite`].
+    NackWrite = 9,
 }
 
 impl PacketKind {
@@ -41,6 +54,9 @@ impl PacketKind {
             4 => PacketKind::Done,
             5 => PacketKind::Credit,
             6 => PacketKind::DoneWrite,
+            7 => PacketKind::NackSend,
+            8 => PacketKind::Nack,
+            9 => PacketKind::NackWrite,
             _ => return None,
         })
     }
@@ -164,6 +180,18 @@ mod tests {
         let enc = h.encode();
         assert_eq!(enc.len() as u64, HEADER_LEN);
         assert_eq!(PacketHeader::decode(&enc), Some(h));
+    }
+
+    #[test]
+    fn nack_kinds_roundtrip() {
+        for kind in [
+            PacketKind::NackSend,
+            PacketKind::Nack,
+            PacketKind::NackWrite,
+        ] {
+            let h = PacketHeader::control(kind, 1, 4, 9, 0);
+            assert_eq!(PacketHeader::decode(&h.encode()), Some(h));
+        }
     }
 
     #[test]

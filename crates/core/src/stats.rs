@@ -48,6 +48,11 @@ impl fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
+            "  recovery   wc faults {:>5}  retries {:>4}  failed {:>4}  reissues {:>4}",
+            c.wr_faults, c.wr_retries, c.transport_failures, c.handshake_reissues
+        )?;
+        writeln!(
+            f,
             "  mr cache   hits {:>6}  misses {:>4}  evictions {:>4}  reg {:>4}  dereg {:>4}  \
              (resident {}, pinned {})",
             self.mr_cache.hits,

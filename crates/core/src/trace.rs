@@ -85,6 +85,36 @@ pub enum TraceEvent {
     /// A stale RTR was dropped thanks to sequence ids (mis-prediction
     /// recovery).
     StaleRtrDrop { rank: Rank, from: Rank, seq: u64 },
+    /// A posted work request targeting `peer` completed with an error
+    /// status (`transient` per the WC classification).
+    WrFault {
+        rank: Rank,
+        peer: Rank,
+        wr_id: u64,
+        transient: bool,
+    },
+    /// A transiently failed work request was re-posted (attempt number,
+    /// counting the original post as attempt 1).
+    WrRetry {
+        rank: Rank,
+        peer: Rank,
+        wr_id: u64,
+        attempt: u32,
+    },
+    /// A request failed permanently with `MpiError::Transport`; `seq` is
+    /// the pair sequence id of the dead transfer (if any).
+    TransportFail { rank: Rank, peer: Rank, seq: u64 },
+    /// `from` is about to deliberately re-transmit a packet it already
+    /// sent (handshake watchdog re-issue, duplicate-answer replay, or a
+    /// NACK rewrite of a dead ring slot). Grants the auditor an allowance
+    /// for one duplicate `PacketTx` with these coordinates, which is
+    /// exempt from sequence/pairing accounting.
+    Retrans {
+        from: Rank,
+        to: Rank,
+        kind: PacketKind,
+        seq: u64,
+    },
 }
 
 struct TraceInner {
@@ -207,6 +237,17 @@ pub struct AuditReport {
     pub offload_syncs: u64,
     /// Stale RTRs dropped by sequence id.
     pub stale_rtrs: u64,
+    /// Error work completions observed.
+    pub wr_faults: u64,
+    /// Work-request retries observed.
+    pub wr_retries: u64,
+    /// Requests that failed permanently with a transport error.
+    pub transport_failures: u64,
+    /// Deliberate re-transmissions (watchdog re-issues, replayed answers,
+    /// NACK slot rewrites).
+    pub retransmissions: u64,
+    /// NACK packets (NackSend/Nack/NackWrite) transmitted.
+    pub nacks: u64,
 }
 
 /// Check the protocol invariants over a recorded event stream.
@@ -232,6 +273,8 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
     let mut rts_done: HashMap<(Rank, Rank, u64), (u64, u64)> = HashMap::new();
     let mut rtr_dw: HashMap<(Rank, Rank, u64), (u64, u64)> = HashMap::new();
     let mut syncs_open: HashMap<Rank, u64> = HashMap::new();
+    // Outstanding duplicate allowances from `Retrans` events.
+    let mut allowed_dups: HashMap<(Rank, Rank, PacketKind, u64), u64> = HashMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         match *ev {
@@ -243,6 +286,16 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
                 ..
             } => {
                 *sent.entry((from, to)).or_default() += 1;
+                // A deliberate re-transmission consumes its allowance and
+                // is exempt from sequence/pairing accounting (it still
+                // counts as a sent packet — the safe direction for the
+                // credit-window invariant).
+                if let Some(a) = allowed_dups.get_mut(&(from, to, kind, seq)) {
+                    if *a > 0 {
+                        *a -= 1;
+                        continue;
+                    }
+                }
                 match kind {
                     PacketKind::Eager | PacketKind::Rts => {
                         report.data_packets += 1;
@@ -271,6 +324,34 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
                     PacketKind::DoneWrite => {
                         // DONE-WRITE from sender `from` answers `to`'s RTR.
                         rtr_dw.entry((to, from, seq)).or_default().1 += 1;
+                        // A receiver-first transfer consumes a sender-stream
+                        // seq without an EAGER/RTS packet; keep the pair's
+                        // data sequence accounting in step.
+                        let next = next_data_seq.entry((from, to)).or_default();
+                        *next = (*next).max(seq + 1);
+                    }
+                    PacketKind::NackSend => {
+                        // Rewrite of a dead EAGER/RTS slot. The original
+                        // data packet already consumed its seq; if it was
+                        // an RTS, the NACK stands in for its DONE.
+                        report.nacks += 1;
+                        if let Some(e) = rts_done.get_mut(&(from, to, seq)) {
+                            e.1 += 1;
+                        }
+                    }
+                    PacketKind::Nack => {
+                        // Negative DONE from receiver `from` for `to`'s RTS.
+                        report.nacks += 1;
+                        rts_done.entry((to, from, seq)).or_default().1 += 1;
+                    }
+                    PacketKind::NackWrite => {
+                        // Negative DONE-WRITE from sender `from`. Like its
+                        // healthy twin, it stands in for the sender-stream
+                        // seq the dead receiver-first transfer consumed.
+                        report.nacks += 1;
+                        rtr_dw.entry((to, from, seq)).or_default().1 += 1;
+                        let next = next_data_seq.entry((from, to)).or_default();
+                        *next = (*next).max(seq + 1);
                     }
                     PacketKind::Credit => {}
                 }
@@ -350,6 +431,24 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
             }
             TraceEvent::StaleRtrDrop { .. } => {
                 report.stale_rtrs += 1;
+            }
+            TraceEvent::WrFault { .. } => {
+                report.wr_faults += 1;
+            }
+            TraceEvent::WrRetry { .. } => {
+                report.wr_retries += 1;
+            }
+            TraceEvent::TransportFail { .. } => {
+                report.transport_failures += 1;
+            }
+            TraceEvent::Retrans {
+                from,
+                to,
+                kind,
+                seq,
+            } => {
+                report.retransmissions += 1;
+                *allowed_dups.entry((from, to, kind, seq)).or_default() += 1;
             }
         }
     }
@@ -542,5 +641,179 @@ mod tests {
             errs.iter().any(|e| e.contains("must pair exactly")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn retrans_allowance_exempts_duplicate() {
+        let rts = TraceEvent::PacketTx {
+            from: 0,
+            to: 1,
+            kind: PacketKind::Rts,
+            seq: 0,
+            len: 1 << 16,
+        };
+        let done = TraceEvent::PacketTx {
+            from: 1,
+            to: 0,
+            kind: PacketKind::Done,
+            seq: 0,
+            len: 1 << 16,
+        };
+        // Duplicate RTS without an allowance: seq repeat.
+        let errs = audit(&[rts, rts, done]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("gap or repeat")), "{errs:?}");
+
+        // With the allowance the duplicate is exempt.
+        let allow = TraceEvent::Retrans {
+            from: 0,
+            to: 1,
+            kind: PacketKind::Rts,
+            seq: 0,
+        };
+        let r = audit(&[rts, allow, rts, done]).expect("allowance covers the dup");
+        assert_eq!(r.rts_matched, 1);
+        assert_eq!(r.retransmissions, 1);
+    }
+
+    #[test]
+    fn nacks_pair_dead_handshakes() {
+        // A dead RTS answered by the receiver's Nack pairs exactly.
+        let evs = vec![
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Rts,
+                seq: 0,
+                len: 1 << 16,
+            },
+            TraceEvent::PacketTx {
+                from: 1,
+                to: 0,
+                kind: PacketKind::Nack,
+                seq: 0,
+                len: 0,
+            },
+        ];
+        let r = audit(&evs).expect("nack answers the rts");
+        assert_eq!(r.nacks, 1);
+
+        // A dead RTS whose slot was rewritten as NackSend also pairs.
+        let evs = vec![
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Rts,
+                seq: 0,
+                len: 1 << 16,
+            },
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::NackSend,
+                seq: 0,
+                len: 0,
+            },
+        ];
+        audit(&evs).expect("slot rewrite stands in for the DONE");
+
+        // A dead EAGER slot rewrite creates no bogus handshake entry.
+        let evs = vec![
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Eager,
+                seq: 0,
+                len: 64,
+            },
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::NackSend,
+                seq: 0,
+                len: 0,
+            },
+        ];
+        audit(&evs).expect("eager nack is pairing-neutral");
+
+        // An RTR answered negatively by NackWrite stays within its budget.
+        let evs = vec![
+            TraceEvent::PacketTx {
+                from: 1,
+                to: 0,
+                kind: PacketKind::Rtr,
+                seq: 0,
+                len: 1 << 16,
+            },
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::NackWrite,
+                seq: 0,
+                len: 0,
+            },
+        ];
+        audit(&evs).expect("nack-write answers the rtr");
+    }
+
+    #[test]
+    fn receiver_first_transfer_consumes_a_sender_seq() {
+        // A receiver-first rendezvous (RTR answered by DONE-WRITE, no
+        // EAGER/RTS on the wire) still consumes the sender's stream seq;
+        // a follow-up send on the pair must not look like a gap. The
+        // same holds when the transfer dies and NACK-WRITE stands in.
+        for answer in [PacketKind::DoneWrite, PacketKind::NackWrite] {
+            let evs = vec![
+                TraceEvent::PacketTx {
+                    from: 1,
+                    to: 0,
+                    kind: PacketKind::Rtr,
+                    seq: 0,
+                    len: 1 << 16,
+                },
+                TraceEvent::PacketTx {
+                    from: 0,
+                    to: 1,
+                    kind: answer,
+                    seq: 0,
+                    len: 0,
+                },
+                TraceEvent::PacketTx {
+                    from: 0,
+                    to: 1,
+                    kind: PacketKind::Eager,
+                    seq: 1,
+                    len: 64,
+                },
+            ];
+            audit(&evs)
+                .unwrap_or_else(|e| panic!("follow-up after {answer:?} flagged as seq gap: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn fault_events_counted() {
+        let evs = vec![
+            TraceEvent::WrFault {
+                rank: 0,
+                peer: 1,
+                wr_id: 42,
+                transient: true,
+            },
+            TraceEvent::WrRetry {
+                rank: 0,
+                peer: 1,
+                wr_id: 42,
+                attempt: 2,
+            },
+            TraceEvent::TransportFail {
+                rank: 0,
+                peer: 1,
+                seq: 3,
+            },
+        ];
+        let r = audit(&evs).expect("fault events alone are clean");
+        assert_eq!(r.wr_faults, 1);
+        assert_eq!(r.wr_retries, 1);
+        assert_eq!(r.transport_failures, 1);
     }
 }

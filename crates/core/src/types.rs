@@ -51,6 +51,30 @@ pub struct Status {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request(pub u64);
 
+/// Which transport operation a [`MpiError::Transport`] failure happened on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportOp {
+    /// Eager packet ring write.
+    EagerWrite,
+    /// Control packet ring write (RTS/RTR/completion traffic).
+    CtrlWrite,
+    /// Rendezvous sender-first RDMA READ (receiver side).
+    RndvRead,
+    /// Rendezvous receiver-first RDMA WRITE (sender side).
+    RndvWrite,
+}
+
+impl fmt::Display for TransportOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportOp::EagerWrite => write!(f, "eager ring write"),
+            TransportOp::CtrlWrite => write!(f, "control ring write"),
+            TransportOp::RndvRead => write!(f, "rendezvous RDMA read"),
+            TransportOp::RndvWrite => write!(f, "rendezvous RDMA write"),
+        }
+    }
+}
+
 /// MPI-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MpiError {
@@ -64,6 +88,20 @@ pub enum MpiError {
     BadRequest,
     /// Resource exhaustion (e.g. Phi memory for staging).
     OutOfMemory,
+    /// A transport operation owned by this request failed permanently
+    /// (fatal completion status, or transient errors past `retry_limit`).
+    /// Only the owning request fails; the rank and all other traffic
+    /// stay alive.
+    Transport {
+        status: verbs::WcStatus,
+        op: TransportOp,
+        /// Completed post attempts, including the first.
+        attempts: u32,
+    },
+    /// The remote end of this transfer hit a permanent transport fault
+    /// (we received its NACK); `peer` is the remote rank and `seq` the
+    /// pair sequence id of the dead message.
+    RemoteTransport { peer: Rank, seq: u64 },
 }
 
 impl fmt::Display for MpiError {
@@ -78,6 +116,19 @@ impl fmt::Display for MpiError {
             MpiError::BadRank(r) => write!(f, "rank {r} out of range"),
             MpiError::BadRequest => write!(f, "unknown request handle"),
             MpiError::OutOfMemory => write!(f, "out of simulated memory"),
+            MpiError::Transport {
+                status,
+                op,
+                attempts,
+            } => {
+                write!(f, "{op} failed with {status:?} after {attempts} attempt(s)")
+            }
+            MpiError::RemoteTransport { peer, seq } => {
+                write!(
+                    f,
+                    "remote transport failure at rank {peer} (pair seq {seq})"
+                )
+            }
         }
     }
 }

@@ -255,6 +255,18 @@ impl DcfaContext {
         }
     }
 
+    /// Arm a link-fault plan on the cluster fabric through the host
+    /// daemon. Lets a Phi-resident test harness schedule transport faults
+    /// (consumed by the HCA model on matching posted operations) without
+    /// any host-side assist code.
+    pub fn inject_fault(&self, ctx: &mut Ctx, fault: fabric::LinkFault) -> Result<(), DcfaError> {
+        match self.roundtrip(ctx, Cmd::InjectFault(fault))? {
+            Reply::Ok => Ok(()),
+            Reply::Error { code } => Err(DcfaError::Command { code }),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
     /// Tell the daemon this client is going away (handler exits).
     pub fn close(&self, ctx: &mut Ctx) {
         let _ = self.roundtrip(ctx, Cmd::Bye);

@@ -37,6 +37,8 @@ pub struct DcfaCounters {
     pub offload_registered: u64,
     /// Offloading-buffer twins released (`DeregOffloadMr`).
     pub offload_deregistered: u64,
+    /// Link-fault plans armed on the fabric (`InjectFault`).
+    pub faults_armed: u64,
     /// Error replies sent.
     pub errors: u64,
 }
@@ -214,6 +216,11 @@ fn handler(ctx: &mut Ctx, ep: ScifEndpoint, ib: Arc<IbFabric>, node: NodeId, sta
                     code: err_code::UNKNOWN_KEY,
                 },
             },
+            Cmd::InjectFault(fault) => {
+                cluster.inject_link_fault(fault);
+                stats.update(|c| c.faults_armed += 1);
+                Reply::Ok
+            }
             Cmd::Bye => {
                 ep.send(ctx, &Reply::Ok.encode());
                 return;

@@ -3,7 +3,7 @@
 //! by little-endian fields, mirroring the paper's "command mechanism ...
 //! for offloading these requests to a host delegation process" (§IV-B1).
 
-use fabric::{Domain, MemRef, NodeId};
+use fabric::{Domain, LinkFault, LinkFaultKind, MemRef, NodeId};
 
 /// Commands sent from the Phi-side CMD client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +27,10 @@ pub enum Cmd {
     DeregOffloadMr { key: u32 },
     /// Client is going away.
     Bye,
+    /// Arm a link-fault plan on the cluster fabric (test harnesses drive
+    /// this through the same command channel as resource offloading, so a
+    /// Phi-resident process can schedule faults without host-side code).
+    InjectFault(fabric::LinkFault),
 }
 
 /// Replies from the host CMD server.
@@ -112,6 +116,32 @@ fn domain_from(tag: u8) -> Option<Domain> {
     }
 }
 
+fn fault_kind_tag(k: LinkFaultKind) -> u8 {
+    match k {
+        LinkFaultKind::Rnr => 0,
+        LinkFaultKind::Retry => 1,
+        LinkFaultKind::Fatal => 2,
+    }
+}
+
+fn fault_kind_from(tag: u8) -> Option<LinkFaultKind> {
+    match tag {
+        0 => Some(LinkFaultKind::Rnr),
+        1 => Some(LinkFaultKind::Retry),
+        2 => Some(LinkFaultKind::Fatal),
+        _ => None,
+    }
+}
+
+/// A fault scope of `None` ("any node") rides the wire as `u32::MAX`.
+fn node_scope_tag(n: Option<NodeId>) -> u32 {
+    n.map_or(u32::MAX, |n| n.0 as u32)
+}
+
+fn node_scope_from(v: u32) -> Option<NodeId> {
+    (v != u32::MAX).then_some(NodeId(v as usize))
+}
+
 impl Cmd {
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(32);
@@ -139,6 +169,13 @@ impl Cmd {
                 put_u32(&mut b, *key);
             }
             Cmd::Bye => b.push(7),
+            Cmd::InjectFault(f) => {
+                b.push(8);
+                put_u64(&mut b, f.after_ops);
+                b.push(fault_kind_tag(f.kind));
+                put_u32(&mut b, node_scope_tag(f.from));
+                put_u32(&mut b, node_scope_tag(f.to));
+            }
         }
         b
     }
@@ -162,6 +199,12 @@ impl Cmd {
             5 => Cmd::RegOffloadMr { len: r.u64()? },
             6 => Cmd::DeregOffloadMr { key: r.u32()? },
             7 => Cmd::Bye,
+            8 => Cmd::InjectFault(LinkFault {
+                after_ops: r.u64()?,
+                kind: fault_kind_from(r.u8()?)?,
+                from: node_scope_from(r.u32()?),
+                to: node_scope_from(r.u32()?),
+            }),
             _ => return None,
         };
         r.done().then_some(cmd)
@@ -243,6 +286,37 @@ mod tests {
         roundtrip_cmd(Cmd::RegOffloadMr { len: 8192 });
         roundtrip_cmd(Cmd::DeregOffloadMr { key: 17 });
         roundtrip_cmd(Cmd::Bye);
+        roundtrip_cmd(Cmd::InjectFault(LinkFault {
+            after_ops: 12,
+            kind: LinkFaultKind::Fatal,
+            from: Some(NodeId(2)),
+            to: None,
+        }));
+        roundtrip_cmd(Cmd::InjectFault(LinkFault {
+            after_ops: 0,
+            kind: LinkFaultKind::Rnr,
+            from: None,
+            to: Some(NodeId(1)),
+        }));
+        roundtrip_cmd(Cmd::InjectFault(LinkFault {
+            after_ops: u64::MAX,
+            kind: LinkFaultKind::Retry,
+            from: None,
+            to: None,
+        }));
+    }
+
+    #[test]
+    fn bad_fault_kind_rejected() {
+        let mut enc = Cmd::InjectFault(LinkFault {
+            after_ops: 1,
+            kind: LinkFaultKind::Rnr,
+            from: None,
+            to: None,
+        })
+        .encode();
+        enc[9] = 5; // corrupt the fault-kind byte (after tag + after_ops)
+        assert_eq!(Cmd::decode(&enc), None);
     }
 
     #[test]

@@ -267,6 +267,69 @@ fn dereg_unknown_key_is_an_error() {
 }
 
 #[test]
+fn inject_fault_through_daemon_faults_a_posted_write() {
+    // A Phi-resident client arms a link fault over the command channel;
+    // the HCA model consumes it and errors the matching posted operation.
+    let mut r = rig(2);
+    let (ib, scif) = (r.ib.clone(), r.scif.clone());
+    r.sim.spawn("rank0", move |ctx| {
+        let cl = ib.cluster().clone();
+        let dcfa = DcfaContext::open(ctx, &ib, &scif, NodeId(0)).unwrap();
+        dcfa.inject_fault(
+            ctx,
+            fabric::LinkFault {
+                after_ops: 0,
+                kind: fabric::LinkFaultKind::Fatal,
+                from: Some(NodeId(0)),
+                to: Some(NodeId(1)),
+            },
+        )
+        .unwrap();
+        assert_eq!(cl.pending_link_faults(), 1);
+
+        let buf = cl.alloc_pages(phi(0), 4096).unwrap();
+        let mr = dcfa.reg_mr(ctx, buf).unwrap();
+        let rctx = VerbsContext::open(ib.clone(), NodeId(1), Domain::Host);
+        let rbuf = cl
+            .alloc_pages(
+                MemRef {
+                    node: NodeId(1),
+                    domain: Domain::Host,
+                },
+                4096,
+            )
+            .unwrap();
+        let rmr = rctx.reg_mr_uncharged(rbuf);
+
+        let cq = dcfa.create_cq(ctx).unwrap();
+        let qp = dcfa.create_qp(ctx, &cq, &cq).unwrap();
+        let rcq = rctx.create_cq();
+        let rqp = rctx.create_qp(&rcq, &rcq);
+        verbs::QueuePair::connect_pair(&qp, &rqp);
+
+        qp.post_send(
+            ctx,
+            SendWr::rdma_write(1, vec![mr.sge(0, 64)], rmr.addr(), rmr.rkey()),
+        )
+        .unwrap();
+        let wc = cq.wait(ctx);
+        assert_ne!(wc.status, WcStatus::Success);
+        assert!(!wc.status.is_transient());
+        // The plan was one-shot: a second write goes through clean.
+        assert_eq!(cl.pending_link_faults(), 0);
+        qp.post_send(
+            ctx,
+            SendWr::rdma_write(2, vec![mr.sge(0, 64)], rmr.addr(), rmr.rkey()),
+        )
+        .unwrap();
+        let wc = cq.wait(ctx);
+        assert_eq!(wc.status, WcStatus::Success);
+        dcfa.close(ctx);
+    });
+    r.sim.run_expect();
+}
+
+#[test]
 fn multiple_clients_share_one_daemon() {
     let mut r = rig(1);
     for i in 0..4 {

@@ -9,6 +9,7 @@ use simcore::{Completion, Scheduler, SimDuration, SimTime};
 
 use crate::channel::BwChannel;
 use crate::config::{ClusterConfig, Domain};
+use crate::faults::{LinkFault, LinkFaultKind};
 use crate::mem::{Buffer, MemRef, Memory, NodeId, OutOfMemory};
 
 /// A scheduled data movement: channel reservations are made at post time
@@ -43,6 +44,9 @@ pub struct Cluster {
     cfg: ClusterConfig,
     sched: Scheduler,
     nodes: Vec<NodeState>,
+    /// Armed per-link fault plans (see [`crate::faults`]). Device models
+    /// consult these on every posted data operation.
+    link_faults: Mutex<Vec<LinkFault>>,
 }
 
 impl Cluster {
@@ -72,7 +76,12 @@ impl Cluster {
                 }
             })
             .collect();
-        Arc::new(Cluster { cfg, sched, nodes })
+        Arc::new(Cluster {
+            cfg,
+            sched,
+            nodes,
+            link_faults: Mutex::new(Vec::new()),
+        })
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -89,6 +98,43 @@ impl Cluster {
 
     fn node(&self, id: NodeId) -> &NodeState {
         &self.nodes[id.0]
+    }
+
+    // ---- fault plans -------------------------------------------------------
+
+    /// Arm a per-link fault plan. The plan fires once, on the data
+    /// operation posted `after_ops` matching operations from now.
+    pub fn inject_link_fault(&self, fault: LinkFault) {
+        self.link_faults.lock().push(fault);
+    }
+
+    /// Consult the fault plans for one posted data operation initiated by
+    /// `from` targeting `to`. Every matching plan's skip counter ticks;
+    /// the first exhausted plan fires (and is removed). Called by the
+    /// device layers at post time.
+    pub fn take_link_fault(&self, from: NodeId, to: NodeId) -> Option<LinkFaultKind> {
+        let mut plans = self.link_faults.lock();
+        let mut fired = None;
+        plans.retain_mut(|p| {
+            if !p.matches(from, to) {
+                return true;
+            }
+            if p.after_ops > 0 {
+                p.after_ops -= 1;
+                return true;
+            }
+            if fired.is_none() {
+                fired = Some(p.kind);
+                return false;
+            }
+            true
+        });
+        fired
+    }
+
+    /// Number of armed fault plans still waiting to fire.
+    pub fn pending_link_faults(&self) -> usize {
+        self.link_faults.lock().len()
     }
 
     fn memory(&self, mem: MemRef) -> &Arc<Mutex<Memory>> {

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use fabric::{Buffer, Cluster, Domain, MemRef, NodeId};
+use fabric::{Buffer, Cluster, Domain, LinkFaultKind, MemRef, NodeId};
 use parking_lot::Mutex;
 use simcore::{Ctx, Scheduler, SimEvent, SimTime};
 
@@ -60,12 +60,54 @@ struct FaultSpec {
     status: WcStatus,
 }
 
+/// A filtered fault plan: fires (once) on the `after_matches`-th posted
+/// data operation that satisfies every filter. Unset filters match
+/// everything; only matching operations tick the skip counter — unlike the
+/// global [`IbFabric::inject_fault`] FIFO, which counts every posted op.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    pub status: WcStatus,
+    pub after_matches: u64,
+    /// Restrict to one operation kind (e.g. only RDMA READs).
+    pub op: Option<SendOpcode>,
+    /// Restrict to operations posted by this node's HCA.
+    pub initiator: Option<NodeId>,
+    /// Restrict to operations targeting this node.
+    pub target: Option<NodeId>,
+    /// Restrict to operations moving at least this many bytes (isolates
+    /// large rendezvous transfers from small ring writes).
+    pub min_bytes: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            status: WcStatus::RemoteAccessError,
+            after_matches: 0,
+            op: None,
+            initiator: None,
+            target: None,
+            min_bytes: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    fn matches(&self, op: SendOpcode, initiator: NodeId, target: NodeId, bytes: u64) -> bool {
+        self.op.is_none_or(|o| o == op)
+            && self.initiator.is_none_or(|n| n == initiator)
+            && self.target.is_none_or(|n| n == target)
+            && bytes >= self.min_bytes
+    }
+}
+
 struct FabState {
     next_qpn: u32,
     next_key: u32,
     mrs: HashMap<u32, MrEntry>,
     qps: HashMap<(NodeId, u32), Arc<QpShared>>,
     faults: std::collections::VecDeque<FaultSpec>,
+    fault_plans: Vec<FaultPlan>,
 }
 
 /// The fabric-wide InfiniBand software state: key and QP registries layered
@@ -85,6 +127,7 @@ impl IbFabric {
                 mrs: HashMap::new(),
                 qps: HashMap::new(),
                 faults: std::collections::VecDeque::new(),
+                fault_plans: Vec::new(),
             }),
         })
     }
@@ -103,17 +146,58 @@ impl IbFabric {
         });
     }
 
-    /// One fault-plan tick per posted data operation.
-    fn take_fault(&self) -> Option<WcStatus> {
-        let mut st = self.state.lock();
-        let front = st.faults.front_mut()?;
-        if front.remaining == 0 {
-            let f = st.faults.pop_front().expect("front exists");
-            Some(f.status)
-        } else {
-            front.remaining -= 1;
-            None
+    /// Arm a filtered fault plan (see [`FaultPlan`]). Filtered plans tick
+    /// only on matching operations, so a test can target, say, the third
+    /// RDMA READ posted by node 2 without counting unrelated traffic.
+    pub fn inject_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().fault_plans.push(plan);
+    }
+
+    /// One fault-plan tick per posted data operation. Consults, in order:
+    /// the global FIFO (every op ticks it), the filtered plans (matching
+    /// ops tick each of them), then the cluster's per-link plans.
+    fn take_fault(
+        &self,
+        op: SendOpcode,
+        initiator: NodeId,
+        target: NodeId,
+        bytes: u64,
+    ) -> Option<WcStatus> {
+        {
+            let mut st = self.state.lock();
+            if let Some(front) = st.faults.front_mut() {
+                if front.remaining == 0 {
+                    let f = st.faults.pop_front().expect("front exists");
+                    return Some(f.status);
+                }
+                front.remaining -= 1;
+            }
+            let mut fired = None;
+            st.fault_plans.retain_mut(|p| {
+                if !p.matches(op, initiator, target, bytes) {
+                    return true;
+                }
+                if p.after_matches > 0 {
+                    p.after_matches -= 1;
+                    return true;
+                }
+                if fired.is_none() {
+                    fired = Some(p.status);
+                    return false;
+                }
+                true
+            });
+            if fired.is_some() {
+                return fired;
+            }
         }
+        self.cluster
+            .take_link_fault(initiator, target)
+            .map(|k| match k {
+                LinkFaultKind::Rnr => WcStatus::RnrRetryExceeded,
+                LinkFaultKind::Retry => WcStatus::TransportRetryExceeded,
+                LinkFaultKind::Fatal => WcStatus::RemoteAccessError,
+            })
     }
 
     fn resolve_mr(&self, key: MrKey) -> Option<(Buffer, SimEvent)> {
@@ -478,7 +562,10 @@ impl QueuePair {
 
         // Fault plan: a planned failure completes with an error WC at the
         // would-be completion time and moves no data.
-        if let Some(status) = self.fabric.take_fault() {
+        if let Some(status) = self
+            .fabric
+            .take_fault(wr.opcode, self.shared.node, remote.0, bytes)
+        {
             let shared = self.shared.clone();
             let (wr_id, opcode) = (wr.wr_id, wc_opcode_for(wr.opcode));
             cluster.call_at(end, move |s| {

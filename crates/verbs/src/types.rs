@@ -165,6 +165,24 @@ pub enum WcStatus {
     LocalLengthError,
     /// RDMA access outside the registered remote region / bad key.
     RemoteAccessError,
+    /// Receiver-not-ready retry budget exhausted (IBV_WC_RNR_RETRY_EXC_ERR):
+    /// the remote QP kept NAKing. Transient — the peer may drain.
+    RnrRetryExceeded,
+    /// Link-level retransmission budget exhausted
+    /// (IBV_WC_RETRY_EXC_ERR): packets lost on the wire. Transient.
+    TransportRetryExceeded,
+}
+
+impl WcStatus {
+    /// Whether a failed completion with this status is worth retrying
+    /// (RNR / wire-retry exhaustion) as opposed to a permanent protection
+    /// or length violation.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            WcStatus::RnrRetryExceeded | WcStatus::TransportRetryExceeded
+        )
+    }
 }
 
 /// Work-completion opcode (which operation finished).
@@ -265,5 +283,14 @@ mod tests {
     fn error_display() {
         let e = VerbsError::SgeOutOfRange { addr: 0x10, len: 4 };
         assert!(e.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn transient_statuses_classified() {
+        assert!(WcStatus::RnrRetryExceeded.is_transient());
+        assert!(WcStatus::TransportRetryExceeded.is_transient());
+        assert!(!WcStatus::Success.is_transient());
+        assert!(!WcStatus::LocalLengthError.is_transient());
+        assert!(!WcStatus::RemoteAccessError.is_transient());
     }
 }
