@@ -14,6 +14,11 @@
 //! repro --faults SPEC  # fault-soak the 4-rank run; SPEC is a comma list
 //!                      # of <after>:<kind>[@<src>-><dst>] fault plans,
 //!                      # e.g. "2:transient,9:fatal@0->1"
+//! repro --daemon-faults SPEC
+//!                      # control-plane chaos soak: crash/drop/delay the
+//!                      # delegation daemons; SPEC is a comma list of
+//!                      # <after>:<kind>[@<node>] plans, e.g.
+//!                      # "6:crash,20:drop@1,35:delay"
 //! ```
 
 use bench::{
@@ -40,6 +45,11 @@ fn main() {
         .iter()
         .position(|a| a == "--faults")
         .and_then(|i| args.get(i + 1));
+    // `--daemon-faults SPEC` runs the control-plane chaos soak.
+    let daemon_fault_spec: Option<&String> = args
+        .iter()
+        .position(|a| a == "--daemon-faults")
+        .and_then(|i| args.get(i + 1));
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -48,7 +58,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--faults" {
+            if *a == "--csv" || *a == "--faults" || *a == "--daemon-faults" {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -57,14 +67,21 @@ fn main() {
         .collect();
     let show_stats = args.iter().any(|a| a == "--stats");
     let show_trace = args.iter().any(|a| a == "--trace");
-    // A bare `repro --stats` / `--trace` / `--faults` runs only that
-    // report, not the full figure sweep.
+    // A bare `repro --stats` / `--trace` / `--faults` / `--daemon-faults`
+    // runs only that report, not the full figure sweep.
     let all = wanted.contains(&"all")
-        || (wanted.is_empty() && !show_stats && !show_trace && fault_spec.is_none());
+        || (wanted.is_empty()
+            && !show_stats
+            && !show_trace
+            && fault_spec.is_none()
+            && daemon_fault_spec.is_none());
     let want = |k: &str| all || wanted.contains(&k);
 
     if let Some(spec) = fault_spec {
         fault_soak(spec);
+    }
+    if let Some(spec) = daemon_fault_spec {
+        daemon_fault_soak(spec);
     }
     if show_stats || show_trace {
         observability(show_stats, show_trace);
@@ -294,6 +311,79 @@ fn fault_soak(spec: &str) {
     println!();
 }
 
+/// `--daemon-faults SPEC`: arm the parsed control-plane fault plans on
+/// the delegation daemons, run the fault-tolerant 4-rank mixed workload
+/// (heartbeats and lease reaper live), and report how the chaos
+/// surfaced: recovery counters, payload integrity, host-memory balance
+/// and the auditor verdict. Exits nonzero if any payload was corrupted,
+/// a host twin page leaked, or the auditor found a violation.
+fn daemon_fault_soak(spec: &str) {
+    let faults = match dcfa::parse_daemon_fault_spec(spec) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bad --daemon-faults spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "== daemon chaos soak: {} control-plane fault plan(s) armed over the 4-rank mixed run ==",
+        faults.len()
+    );
+    let soak = bench::daemon_fault_soak_run(&ClusterConfig::paper(), &faults);
+    println!(
+        "operations: {} completed, {} failed with a transport error, {} corrupted payloads",
+        soak.ops_ok, soak.ops_failed, soak.payload_errors
+    );
+    if let Some(d) = &soak.obs.daemon {
+        println!(
+            "control plane: {} crashes / {} respawns, {} cmd timeouts, {} retries, \
+             {} reply replays, {} reattaches ({} MRs adopted), {} leases reclaimed, {} heartbeats",
+            d.daemon_crashes,
+            d.daemon_respawns,
+            d.cmd_timeouts,
+            d.cmd_retries,
+            d.reply_replays,
+            d.reattaches,
+            d.mrs_adopted,
+            d.leases_reclaimed,
+            d.heartbeats,
+        );
+    }
+    let mut bad = soak.payload_errors > 0;
+    for (node, before, after) in &soak.mem_balance {
+        if before != after {
+            println!("node {node}: host pages LEAKED ({before} B -> {after} B)");
+            bad = true;
+        } else {
+            println!("node {node}: host pages balanced ({before} B)");
+        }
+    }
+    match &soak.obs.audit {
+        Ok(report) => println!("auditor: OK — {report:?}"),
+        Err(errors) => {
+            println!("auditor: {} invariant violations", errors.len());
+            for e in errors {
+                println!("  {e}");
+            }
+            const TAIL: usize = 60;
+            let skip = soak.obs.events.len().saturating_sub(TAIL);
+            println!(
+                "trace tail ({} of {} events):",
+                soak.obs.events.len() - skip,
+                soak.obs.events.len()
+            );
+            for ev in &soak.obs.events[skip..] {
+                println!("  {ev:?}");
+            }
+            bad = true;
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!();
+}
+
 /// `--stats` / `--trace`: run the traced 4-rank mixed-protocol workload
 /// and report counters, fabric utilization, the event-ring tail and the
 /// protocol-auditor verdict.
@@ -314,6 +404,18 @@ fn observability(show_stats: bool, show_trace: bool) {
                 d.offload_registered,
                 d.offload_deregistered,
                 d.errors,
+            );
+            println!(
+                "dcfa control: {} cmd timeouts, {} retries, {} reply replays, \
+                 {} crashes / {} respawns, {} reattaches, {} leases reclaimed, {} heartbeats",
+                d.cmd_timeouts,
+                d.cmd_retries,
+                d.reply_replays,
+                d.daemon_crashes,
+                d.daemon_respawns,
+                d.reattaches,
+                d.leases_reclaimed,
+                d.heartbeats,
             );
         }
         println!("fabric channels:");

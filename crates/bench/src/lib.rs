@@ -642,6 +642,179 @@ pub fn fault_soak_run(ccfg: &ClusterConfig, faults: &[fabric::LinkFault]) -> Fau
     }
 }
 
+/// Result of the control-plane chaos soak behind `repro --daemon-faults`:
+/// operation outcomes, payload integrity, host-memory balance and the
+/// audited trace of a 4-rank run whose delegation daemons crash, drop
+/// replies and delay replies mid-flight.
+pub struct DaemonFaultSoakRun {
+    /// Point-to-point waits that completed successfully.
+    pub ops_ok: u64,
+    /// Waits that surfaced a transport error to the caller.
+    pub ops_failed: u64,
+    /// Received messages whose payload did not match the expected pattern.
+    pub payload_errors: u64,
+    /// Per rank-hosting node: (node, host pages used before, after). The
+    /// two must match — a daemon crash or lease reclamation must never
+    /// leak a host twin page.
+    pub mem_balance: Vec<(usize, u64, u64)>,
+    /// Counters, fabric stats, trace and audit of the chaotic run.
+    pub obs: ObservabilityRun,
+}
+
+/// Run the 4-rank mixed workload with control-plane fault plans armed on
+/// the delegation daemons (`repro --daemon-faults <spec>`): daemons crash
+/// and get respawned by the supervisor, replies are dropped (answered
+/// from the dedup cache on retransmit) or delayed past the command
+/// timeout. Heartbeats and a lease TTL are on, so the reaper is live too.
+/// Every payload is pattern-verified at the receiver, host twin pages
+/// must balance, and the auditor must confirm each crash paired with a
+/// respawn and each re-attach replayed its full journal.
+pub fn daemon_fault_soak_run(
+    ccfg: &ClusterConfig,
+    faults: &[dcfa::DaemonFault],
+) -> DaemonFaultSoakRun {
+    use dcfa_mpi::{Communicator, MpiError, Src, TagSel};
+    use std::sync::Arc;
+
+    const N: usize = 4;
+    let mut sim = simcore::Simulation::new();
+    let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
+    let ib = verbs::IbFabric::new(cluster.clone());
+    let scif = scif::ScifFabric::new(cluster.clone());
+    let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
+    let reports2 = reports.clone();
+    let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64, 0u64)));
+    let tallies2 = tallies.clone();
+    let opts = dcfa_mpi::LaunchOpts {
+        tracer: Some(tracer.clone()),
+        daemon: dcfa::DaemonConfig {
+            faults: faults.to_vec(),
+            // Exercise the reaper alongside the chaos: silent ranks are
+            // kept alive by the heartbeat sidecar below.
+            lease_ttl: Some(simcore::SimDuration::from_millis(2)),
+            reaper_period: simcore::SimDuration::from_micros(500),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let host = |n: usize| fabric::MemRef {
+        node: fabric::NodeId(n),
+        domain: fabric::Domain::Host,
+    };
+    let mem_before: Vec<u64> = (0..N).map(|n| cluster.mem_used(host(n))).collect();
+    let cfg = MpiConfig {
+        heartbeat_interval: Some(simcore::SimDuration::from_micros(200)),
+        ..MpiConfig::dcfa()
+    };
+    let daemon = dcfa_mpi::launch(&sim, &ib, &scif, cfg, N, opts, move |ctx, comm| {
+        let (r, n) = (comm.rank(), comm.size());
+        let next = (r + 1) % n;
+        let prev = (r + n - 1) % n;
+        let skew = simcore::SimDuration::from_micros(150);
+        let stx = comm.alloc(512).unwrap();
+        let srx = comm.alloc(512).unwrap();
+        let big = comm.alloc(64 << 10).unwrap();
+        let pattern = |len: usize, salt: u8| -> Vec<u8> {
+            (0..len)
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+                .collect()
+        };
+        let (mut ok, mut failed, mut corrupt) = (0u64, 0u64, 0u64);
+        let mut tally = |res: Result<dcfa_mpi::Status, MpiError>| match res {
+            Ok(_) => ok += 1,
+            Err(MpiError::Transport { .. }) | Err(MpiError::RemoteTransport { .. }) => failed += 1,
+            Err(e) => panic!("unexpected MPI error under daemon faults: {e}"),
+        };
+        // Eager ring traffic: each message pattern-stamped and verified.
+        for i in 0..8u8 {
+            let rr = comm
+                .irecv(ctx, &srx, Src::Rank(prev), TagSel::Tag(10))
+                .unwrap();
+            comm.write(&stx, 0, &pattern(512, i));
+            let sr = comm.isend(ctx, &stx, next, 10).unwrap();
+            tally(comm.wait(ctx, sr));
+            let got = comm.wait(ctx, rr);
+            let delivered = got.is_ok();
+            tally(got);
+            if delivered && comm.read_vec(&srx) != pattern(512, i) {
+                corrupt += 1;
+            }
+        }
+        // Rendezvous between pairs (0<->1, 2<->3), both skews. 64 KiB
+        // is past the offload threshold, so every send needs a host
+        // twin from the daemon — the resource ops the armed faults
+        // crash, drop and delay.
+        let peer = r ^ 1;
+        for (round, recv_late) in [true, false].into_iter().enumerate() {
+            let salt = 100 + round as u8;
+            if r % 2 == 0 {
+                if !recv_late {
+                    ctx.sleep(skew);
+                }
+                comm.write(&big, 0, &pattern(64 << 10, salt));
+                let sr = comm.isend(ctx, &big, peer, 20).unwrap();
+                tally(comm.wait(ctx, sr));
+            } else {
+                if recv_late {
+                    ctx.sleep(skew);
+                }
+                let rr = comm
+                    .irecv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
+                    .unwrap();
+                let got = comm.wait(ctx, rr);
+                let delivered = got.is_ok();
+                tally(got);
+                if delivered && comm.read_vec(&big) != pattern(64 << 10, salt) {
+                    corrupt += 1;
+                }
+            }
+        }
+        // ANY_SOURCE fan-in to rank 0.
+        if r == 0 {
+            for _ in 1..n {
+                let rr = comm.irecv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
+                tally(comm.wait(ctx, rr));
+            }
+        } else {
+            let sr = comm.isend(ctx, &stx, 0, 30).unwrap();
+            tally(comm.wait(ctx, sr));
+        }
+        let mut t = tallies2.lock();
+        t.0 += ok;
+        t.1 += failed;
+        t.2 += corrupt;
+        reports2.lock()[r] = Some(comm.dump());
+    });
+    sim.run_expect();
+    let mem_balance = (0..N)
+        .map(|n| (n, mem_before[n], cluster.mem_used(host(n))))
+        .collect();
+    let events = tracer.snapshot();
+    let per_rank: Vec<_> = reports
+        .lock()
+        .iter()
+        .map(|r| r.expect("rank finished"))
+        .collect();
+    let (ops_ok, ops_failed, payload_errors) = *tallies.lock();
+    DaemonFaultSoakRun {
+        ops_ok,
+        ops_failed,
+        payload_errors,
+        mem_balance,
+        obs: ObservabilityRun {
+            reports: per_rank,
+            daemon: daemon.map(|d| d.snapshot()),
+            fabric: (0..cluster.num_nodes())
+                .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
+                .collect(),
+            dropped: tracer.dropped(),
+            audit: dcfa_mpi::audit(&events),
+            events,
+        },
+    }
+}
+
 /// Write a set of series as CSV: `size,<label1>,<label2>,...`.
 pub fn write_series_csv(path: &std::path::Path, series: &[Series]) -> std::io::Result<()> {
     use std::io::Write;

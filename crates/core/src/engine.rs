@@ -255,6 +255,10 @@ pub struct CommStats {
     pub handshake_reissues: u64,
     /// Control packets dropped because the QP refused the post outright.
     pub ctrl_abandoned: u64,
+    /// Rendezvous sends that wanted the offloading send buffer but fell
+    /// back to sourcing the Phi buffer directly (twin unavailable, or the
+    /// rank degraded after repeated failures).
+    pub offload_fallbacks: u64,
 }
 
 /// The per-rank protocol engine.
@@ -292,6 +296,15 @@ pub struct Engine {
     /// peer's late data packet for that seq is answered with a NACK (RTS)
     /// or dropped (EAGER) instead of matching a later receive.
     dead_rx: HashSet<(Rank, u64)>,
+    /// DCFA control epoch the caches were last validated against. A bump
+    /// (daemon respawn / lease loss) flushes dead entries from both cache
+    /// pools before their stale keys can reach the wire.
+    seen_ctrl_epoch: u64,
+    /// Offloading send buffer degraded off: repeated twin-registration
+    /// failure switches this rank to direct-from-Phi rendezvous sends.
+    offload_down: bool,
+    /// Consecutive twin-registration failures (reset on success).
+    offload_fail_streak: u32,
 }
 
 impl Engine {
@@ -409,6 +422,9 @@ impl Engine {
                 retry_due: Vec::new(),
                 rndv_timeouts: Vec::new(),
                 dead_rx: HashSet::new(),
+                seen_ctrl_epoch: 0,
+                offload_down: false,
+                offload_fail_streak: 0,
             },
             endpoints,
         )
@@ -762,10 +778,12 @@ impl Engine {
         if self.cfg.placement != Placement::Phi
             || self.cfg.offload_threshold.is_none()
             || buf.mem.domain != fabric::Domain::Phi
+            || self.offload_down
         {
             return None;
         }
-        let omr = self.offload_cache.get_or_create(ctx, &self.res, buf);
+        self.refresh_ctrl();
+        let omr = self.offload_cache.get_or_create(ctx, &self.res, buf)?;
         let off = buf.addr - omr.phi.addr;
         Some(omr.host_mr.buffer().slice(off, buf.len))
     }
@@ -812,11 +830,32 @@ impl Engine {
 
     // ---- protocol internals ------------------------------------------------
 
+    /// Consecutive twin-registration failures after which the rank stops
+    /// trying the offloading send buffer altogether.
+    const OFFLOAD_FAIL_LIMIT: u32 = 3;
+
+    /// Re-validate the cache pools against the DCFA control epoch. A bump
+    /// means the rank re-attached (daemon respawn or lease loss): flush
+    /// every cached entry whose registration died with the old daemon
+    /// incarnation before its stale key can reach the wire.
+    fn refresh_ctrl(&mut self) {
+        let epoch = self.res.ctrl_epoch();
+        if epoch != self.seen_ctrl_epoch {
+            self.seen_ctrl_epoch = epoch;
+            self.mr_cache.invalidate_dead(&self.res);
+            self.offload_cache.invalidate_dead(&self.res);
+        }
+    }
+
     /// Choose the rendezvous data source: the offloaded host twin (synced
     /// first) above the offload threshold, otherwise the user buffer via
-    /// the MR cache. The returned lease pins the source until the remote
-    /// side confirms the transfer; release with [`Self::release_send_lease`].
+    /// the MR cache. If the daemon cannot provide a twin the send falls
+    /// back to sourcing the Phi buffer directly; [`Self::OFFLOAD_FAIL_LIMIT`]
+    /// consecutive failures degrade the rank off the offload path for
+    /// good. The returned lease pins the source until the remote side
+    /// confirms the transfer; release with [`Self::release_send_lease`].
     fn rndv_source(&mut self, ctx: &mut Ctx, buf: &Buffer) -> (u64, MrKey, SendLease) {
+        self.refresh_ctrl();
         if let Some(thr) = self.cfg.offload_threshold {
             // Only Phi-resident buffers need the host twin; a buffer that
             // already lives in host memory (e.g. a host-staged collective)
@@ -824,23 +863,39 @@ impl Engine {
             if buf.len >= thr
                 && self.cfg.placement == Placement::Phi
                 && buf.mem.domain == fabric::Domain::Phi
+                && !self.offload_down
             {
-                let lease = self.offload_cache.acquire(ctx, &self.res, buf);
-                let off = buf.addr - lease.phi.addr;
-                let (host_addr, host_key) = (lease.host_mr.addr() + off, lease.host_mr.key());
-                // Sync the latest bytes into the twin (blocking DMA).
-                let src = lease.phi.slice(off, buf.len);
-                let dst = lease.host_mr.buffer().slice(off, buf.len);
-                let rank = self.rank;
-                let len = buf.len;
-                self.trace
-                    .record(|| TraceEvent::OffloadSyncStart { rank, len });
-                let t = self.res.cluster().pci_dma(&src, &dst, ctx.now());
-                ctx.wait_reason(&t.completion, "offload sync");
-                self.stats.offload_syncs += 1;
-                self.trace
-                    .record(|| TraceEvent::OffloadSyncEnd { rank, len });
-                return (host_addr, host_key, SendLease::Offload(lease));
+                match self.offload_cache.try_acquire(ctx, &self.res, buf) {
+                    Some(lease) => {
+                        self.offload_fail_streak = 0;
+                        let off = buf.addr - lease.phi.addr;
+                        let (host_addr, host_key) =
+                            (lease.host_mr.addr() + off, lease.host_mr.key());
+                        // Sync the latest bytes into the twin (blocking DMA).
+                        let src = lease.phi.slice(off, buf.len);
+                        let dst = lease.host_mr.buffer().slice(off, buf.len);
+                        let rank = self.rank;
+                        let len = buf.len;
+                        self.trace
+                            .record(|| TraceEvent::OffloadSyncStart { rank, len });
+                        let t = self.res.cluster().pci_dma(&src, &dst, ctx.now());
+                        ctx.wait_reason(&t.completion, "offload sync");
+                        self.stats.offload_syncs += 1;
+                        self.trace
+                            .record(|| TraceEvent::OffloadSyncEnd { rank, len });
+                        return (host_addr, host_key, SendLease::Offload(lease));
+                    }
+                    None => {
+                        self.stats.offload_fallbacks += 1;
+                        self.offload_fail_streak += 1;
+                        if self.offload_fail_streak >= Self::OFFLOAD_FAIL_LIMIT {
+                            self.offload_down = true;
+                            let rank = self.rank;
+                            self.trace.record(|| TraceEvent::OffloadDegraded { rank });
+                        }
+                        // Fall through: source the Phi buffer directly.
+                    }
+                }
             }
         }
         let lease = self.mr_cache.acquire(ctx, &self.res, buf);

@@ -36,6 +36,10 @@ pub struct CacheStats {
     pub registered: u64,
     /// Regions deregistered through the cache layer.
     pub deregistered: u64,
+    /// Cached entries dropped because the daemon had already reclaimed
+    /// the underlying registration (lease expiry or crash drain). Counted
+    /// in `deregistered` too — the region left the cache layer.
+    pub invalidated: u64,
 }
 
 struct Entry {
@@ -91,25 +95,39 @@ impl MrCache {
         self.rank = rank;
     }
 
-    /// Acquire a pinned region covering `buf`, registering on miss.
+    /// Acquire a pinned region covering `buf`, registering on miss. A hit
+    /// on an entry whose registration the daemon has since reclaimed
+    /// (lease expiry; detected by HCA liveness) is invalidated and
+    /// re-registered instead of handing out a stale key.
     pub fn acquire(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> MrLease {
         self.clock += 1;
         let clock = self.clock;
         let rank = self.rank;
-        if let Some(e) = self
+        if let Some(i) = self
             .entries
-            .iter_mut()
-            .find(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
+            .iter()
+            .position(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
         {
-            e.last_use = clock;
-            e.pins += 1;
-            self.stats.hits += 1;
-            let key = e.mr.key().0;
-            self.trace.record(|| TraceEvent::MrPin { rank, key });
-            return MrLease {
-                mr: e.mr.clone(),
-                cached: true,
-            };
+            let live = self.entries[i].pins > 0 || res.mr_live(self.entries[i].mr.key());
+            if live {
+                let e = &mut self.entries[i];
+                e.last_use = clock;
+                e.pins += 1;
+                self.stats.hits += 1;
+                let key = e.mr.key().0;
+                self.trace.record(|| TraceEvent::MrPin { rank, key });
+                return MrLease {
+                    mr: e.mr.clone(),
+                    cached: true,
+                };
+            }
+            let dead = self.entries.swap_remove(i);
+            self.stats.invalidated += 1;
+            self.stats.deregistered += 1;
+            let key = dead.mr.key().0;
+            self.trace
+                .record(|| TraceEvent::MrInvalidated { rank, key });
+            // Fall through to the miss path: register afresh.
         }
         self.stats.misses += 1;
         let mr = res.reg_mr(ctx, buf.clone());
@@ -201,6 +219,28 @@ impl MrCache {
         e.pins = e.pins.saturating_sub(1);
     }
 
+    /// Drop every unpinned entry whose registration is no longer live on
+    /// the HCA — bulk flush after a control-epoch bump (daemon respawn or
+    /// lease loss). Returns how many entries were invalidated.
+    pub(crate) fn invalidate_dead(&mut self, res: &Resources) -> usize {
+        let rank = self.rank;
+        let trace = self.trace.clone();
+        let mut dropped = 0usize;
+        self.entries.retain(|e| {
+            if e.pins == 0 && !res.mr_live(e.mr.key()) {
+                let key = e.mr.key().0;
+                trace.record(|| TraceEvent::MrInvalidated { rank, key });
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.invalidated += dropped as u64;
+        self.stats.deregistered += dropped as u64;
+        dropped
+    }
+
     /// Drop everything (finalize). All leases must be released first.
     pub fn clear(&mut self, ctx: &mut Ctx, res: &Resources) {
         let rank = self.rank;
@@ -279,8 +319,11 @@ impl OffloadCache {
 
     /// Find or create the twin covering `buf`, bump LRU, and return its
     /// index. Containment test like the MR cache: a twin spanning a
-    /// larger Phi range serves any sub-range.
-    fn lookup(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> usize {
+    /// larger Phi range serves any sub-range. A hit on a twin the daemon
+    /// already reclaimed (twins die with a crashed delegation process) is
+    /// invalidated and recreated. `None` when the daemon cannot provide a
+    /// twin — the caller degrades to the direct path.
+    fn lookup(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> Option<usize> {
         self.clock += 1;
         let clock = self.clock;
         let rank = self.rank;
@@ -289,14 +332,21 @@ impl OffloadCache {
             .iter()
             .position(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
         {
-            self.entries[i].last_use = clock;
-            self.stats.hits += 1;
-            return i;
+            let live = self.entries[i].pins > 0 || res.mr_live(self.entries[i].omr.host_mr.key());
+            if live {
+                self.entries[i].last_use = clock;
+                self.stats.hits += 1;
+                return Some(i);
+            }
+            let dead = self.entries.swap_remove(i);
+            self.stats.invalidated += 1;
+            self.stats.deregistered += 1;
+            let key = dead.omr.host_mr.key().0;
+            self.trace
+                .record(|| TraceEvent::MrInvalidated { rank, key });
         }
         self.stats.misses += 1;
-        let omr = res
-            .reg_offload(ctx, buf)
-            .expect("offload requires Phi placement");
+        let omr = res.reg_offload(ctx, buf)?;
         self.stats.registered += 1;
         let key = omr.host_mr.key().0;
         self.trace.record(|| TraceEvent::MrRegister {
@@ -333,29 +383,43 @@ impl OffloadCache {
             last_use: clock,
             pins: 0,
         });
-        self.entries.len() - 1
+        Some(self.entries.len() - 1)
     }
 
     /// Get (or create) the offload twin for a Phi buffer without pinning
-    /// it. The returned reference stays valid until the next call.
-    pub fn get_or_create(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> &OffloadMr {
-        let i = self.lookup(ctx, res, buf);
-        &self.entries[i].omr
+    /// it. The returned reference stays valid until the next call. `None`
+    /// when the daemon cannot provide a twin — callers fall back to the
+    /// direct path.
+    pub fn get_or_create(
+        &mut self,
+        ctx: &mut Ctx,
+        res: &Resources,
+        buf: &Buffer,
+    ) -> Option<&OffloadMr> {
+        let i = self.lookup(ctx, res, buf)?;
+        Some(&self.entries[i].omr)
     }
 
     /// Acquire a pinned twin covering `buf` for one rendezvous transfer.
-    pub fn acquire(&mut self, ctx: &mut Ctx, res: &Resources, buf: &Buffer) -> OffloadLease {
-        let i = self.lookup(ctx, res, buf);
+    /// `None` when the twin cannot be (re)created — the send degrades to
+    /// sourcing the Phi buffer directly.
+    pub fn try_acquire(
+        &mut self,
+        ctx: &mut Ctx,
+        res: &Resources,
+        buf: &Buffer,
+    ) -> Option<OffloadLease> {
+        let i = self.lookup(ctx, res, buf)?;
         let e = &mut self.entries[i];
         e.pins += 1;
         let rank = self.rank;
         let key = e.omr.host_mr.key().0;
         self.trace.record(|| TraceEvent::MrPin { rank, key });
-        OffloadLease {
+        Some(OffloadLease {
             phi: e.omr.phi.clone(),
             host_mr: e.omr.host_mr.clone(),
             cached: true,
-        }
+        })
     }
 
     /// Release a lease obtained from [`OffloadCache::acquire`].
@@ -371,6 +435,28 @@ impl OffloadCache {
             .expect("released offload lease not in cache");
         debug_assert!(e.pins > 0, "unpinning an unpinned twin");
         e.pins = e.pins.saturating_sub(1);
+    }
+
+    /// Drop every unpinned twin whose host-side registration is no longer
+    /// live — twins die with a crashed daemon, so this flushes the whole
+    /// cache after a control-epoch bump. Returns how many were dropped.
+    pub(crate) fn invalidate_dead(&mut self, res: &Resources) -> usize {
+        let rank = self.rank;
+        let trace = self.trace.clone();
+        let mut dropped = 0usize;
+        self.entries.retain(|e| {
+            if e.pins == 0 && !res.mr_live(e.omr.host_mr.key()) {
+                let key = e.omr.host_mr.key().0;
+                trace.record(|| TraceEvent::MrInvalidated { rank, key });
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.invalidated += dropped as u64;
+        self.stats.deregistered += dropped as u64;
+        dropped
     }
 
     pub fn clear(&mut self, ctx: &mut Ctx, res: &Resources) {

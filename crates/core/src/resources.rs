@@ -82,11 +82,31 @@ impl Resources {
         }
     }
 
-    /// Offloading send buffer (Phi only).
+    /// Offloading send buffer (Phi only). `None` on host placement **or**
+    /// when the daemon cannot provide a twin right now (out of host
+    /// memory, or unreachable through every retry) — callers degrade to
+    /// sourcing the Phi buffer directly.
     pub fn reg_offload(&self, ctx: &mut Ctx, buf: &Buffer) -> Option<OffloadMr> {
         match self {
-            Resources::Phi(d) => Some(d.reg_offload_mr(ctx, buf).expect("reg_offload_mr failed")),
+            Resources::Phi(d) => d.reg_offload_mr(ctx, buf).ok(),
             Resources::Host(_) => None,
+        }
+    }
+
+    /// Is the registration behind `key` still live on the HCA? False once
+    /// the daemon reclaimed it (expired lease, crash drain of a twin):
+    /// the caches use this to drop entries before a stale key reaches
+    /// the wire.
+    pub fn mr_live(&self, key: verbs::MrKey) -> bool {
+        self.ib().mr_handle(key).is_some()
+    }
+
+    /// Control epoch of the DCFA session: bumped on every re-attach
+    /// (daemon respawn or lease loss). Constant 0 for host placement.
+    pub fn ctrl_epoch(&self) -> u64 {
+        match self {
+            Resources::Phi(d) => d.ctrl_epoch(),
+            Resources::Host(_) => 0,
         }
     }
 

@@ -54,19 +54,26 @@ impl fmt::Display for StatsReport {
         writeln!(
             f,
             "  mr cache   hits {:>6}  misses {:>4}  evictions {:>4}  reg {:>4}  dereg {:>4}  \
-             (resident {}, pinned {})",
+             invalidated {:>4}  (resident {}, pinned {})",
             self.mr_cache.hits,
             self.mr_cache.misses,
             self.mr_cache.evictions,
             self.mr_cache.registered,
             self.mr_cache.deregistered,
+            self.mr_cache.invalidated,
             self.mr_cached,
             self.mr_pinned,
         )?;
         write!(
             f,
-            "  offload    syncs {:>5}  twin hits {:>4}  misses {:>4}  evictions {:>4}",
-            c.offload_syncs, self.offload.hits, self.offload.misses, self.offload.evictions
+            "  offload    syncs {:>5}  twin hits {:>4}  misses {:>4}  evictions {:>4}  \
+             invalidated {:>4}  fallbacks {:>4}",
+            c.offload_syncs,
+            self.offload.hits,
+            self.offload.misses,
+            self.offload.evictions,
+            self.offload.invalidated,
+            c.offload_fallbacks,
         )
     }
 }

@@ -26,7 +26,11 @@
 //!    the packets actually sent to the granter (the sender's window
 //!    `sent - consumed` can never go negative);
 //! 4. every RTS is answered by exactly one DONE, and every RTR by at
-//!    most one DONE-WRITE (stale RTRs are dropped by sequence id).
+//!    most one DONE-WRITE (stale RTRs are dropped by sequence id);
+//! 5. control-plane fault recovery is complete: every daemon crash is
+//!    paired with a respawn of the same incarnation, and every client
+//!    re-attach replays its *entire* resource journal (`replayed ==
+//!    journaled` — no resource silently lost across a respawn).
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -115,6 +119,44 @@ pub enum TraceEvent {
         kind: PacketKind,
         seq: u64,
     },
+    /// A cached region was dropped because the daemon had already
+    /// reclaimed the underlying registration (lease expiry or crash
+    /// drain). Lifecycle-wise this is a deregister: the key must never
+    /// be handed out again afterwards.
+    MrInvalidated { rank: Rank, key: u32 },
+    /// A DCFA command timed out waiting for the daemon's reply.
+    /// `client` is the daemon-assigned session id.
+    CtrlTimeout { client: u32, seq: u32 },
+    /// A timed-out DCFA command was retransmitted (`attempt` starts at 1).
+    CtrlRetry { client: u32, seq: u32, attempt: u32 },
+    /// A client re-attached to its node daemon and replayed its resource
+    /// journal under control `epoch`. The auditor requires
+    /// `replayed == journaled`: every journaled resource must be
+    /// re-established (adopted or re-registered) after a respawn.
+    CtrlReattach {
+        client: u32,
+        epoch: u32,
+        journaled: u64,
+        replayed: u64,
+    },
+    /// The node's delegation daemon crashed; `epoch` is the incarnation
+    /// that will replace it.
+    DaemonCrash { node: usize, epoch: u32 },
+    /// The supervisor respawned the node daemon as incarnation `epoch`.
+    DaemonRespawn { node: usize, epoch: u32 },
+    /// The lease reaper reclaimed an expired client session holding
+    /// `objects` IB objects.
+    LeaseReclaim {
+        node: usize,
+        client: u32,
+        objects: u64,
+    },
+    /// A retransmitted command was answered from the daemon's reply-dedup
+    /// cache instead of being re-executed.
+    CtrlReplay { node: usize, client: u32, seq: u32 },
+    /// The rank gave up on offload twins (repeated registration failure)
+    /// and degraded to direct-from-Phi rendezvous sends.
+    OffloadDegraded { rank: Rank },
 }
 
 struct TraceInner {
@@ -248,6 +290,22 @@ pub struct AuditReport {
     pub retransmissions: u64,
     /// NACK packets (NackSend/Nack/NackWrite) transmitted.
     pub nacks: u64,
+    /// Cached regions invalidated after daemon-side reclamation.
+    pub mr_invalidated: u64,
+    /// DCFA command timeouts observed.
+    pub ctrl_timeouts: u64,
+    /// DCFA command retransmissions observed.
+    pub ctrl_retries: u64,
+    /// Client re-attaches, each with its full journal replayed.
+    pub reattaches: u64,
+    /// Daemon crashes observed, each paired with a respawn.
+    pub daemon_crashes: u64,
+    /// Expired client sessions reclaimed by the lease reaper.
+    pub lease_reclaims: u64,
+    /// Retransmitted commands answered from the reply-dedup cache.
+    pub ctrl_replays: u64,
+    /// Ranks that degraded to direct-from-Phi rendezvous sends.
+    pub offload_degraded: u64,
 }
 
 /// Check the protocol invariants over a recorded event stream.
@@ -275,6 +333,8 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
     let mut syncs_open: HashMap<Rank, u64> = HashMap::new();
     // Outstanding duplicate allowances from `Retrans` events.
     let mut allowed_dups: HashMap<(Rank, Rank, PacketKind, u64), u64> = HashMap::new();
+    // Invariant 5: per-(node, epoch) daemon crash/respawn pairing.
+    let mut crash_respawn: HashMap<(usize, u32), (u64, u64)> = HashMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         match *ev {
@@ -366,7 +426,12 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
                 st.live = true;
                 st.ever = true;
             }
-            TraceEvent::MrDeregister { rank, key } | TraceEvent::MrEvict { rank, key } => {
+            TraceEvent::MrDeregister { rank, key }
+            | TraceEvent::MrEvict { rank, key }
+            | TraceEvent::MrInvalidated { rank, key } => {
+                if matches!(ev, TraceEvent::MrInvalidated { .. }) {
+                    report.mr_invalidated += 1;
+                }
                 let st = mrs.entry((rank, key)).or_default();
                 if !st.live {
                     errs.push(format!(
@@ -450,6 +515,42 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
                 report.retransmissions += 1;
                 *allowed_dups.entry((from, to, kind, seq)).or_default() += 1;
             }
+            TraceEvent::CtrlTimeout { .. } => {
+                report.ctrl_timeouts += 1;
+            }
+            TraceEvent::CtrlRetry { .. } => {
+                report.ctrl_retries += 1;
+            }
+            TraceEvent::CtrlReattach {
+                client,
+                epoch,
+                journaled,
+                replayed,
+            } => {
+                report.reattaches += 1;
+                if replayed != journaled {
+                    errs.push(format!(
+                        "[{i}] client {client} reattach (epoch {epoch}): replayed {replayed} of \
+                         {journaled} journaled resources (resource lost across respawn)"
+                    ));
+                }
+            }
+            TraceEvent::DaemonCrash { node, epoch } => {
+                report.daemon_crashes += 1;
+                crash_respawn.entry((node, epoch)).or_default().0 += 1;
+            }
+            TraceEvent::DaemonRespawn { node, epoch } => {
+                crash_respawn.entry((node, epoch)).or_default().1 += 1;
+            }
+            TraceEvent::LeaseReclaim { .. } => {
+                report.lease_reclaims += 1;
+            }
+            TraceEvent::CtrlReplay { .. } => {
+                report.ctrl_replays += 1;
+            }
+            TraceEvent::OffloadDegraded { .. } => {
+                report.offload_degraded += 1;
+            }
         }
     }
 
@@ -484,6 +585,14 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
         if *open != 0 {
             errs.push(format!(
                 "rank{rank}: {open} offload sync(s) never completed"
+            ));
+        }
+    }
+    for ((node, epoch), (crashes, respawns)) in &crash_respawn {
+        if crashes != respawns {
+            errs.push(format!(
+                "node{node} epoch {epoch}: {crashes} crash(es) vs {respawns} respawn(s) \
+                 (daemon incarnation not recovered)"
             ));
         }
     }
@@ -788,6 +897,108 @@ mod tests {
             audit(&evs)
                 .unwrap_or_else(|e| panic!("follow-up after {answer:?} flagged as seq gap: {e:?}"));
         }
+    }
+
+    #[test]
+    fn invalidation_is_a_deregister() {
+        // An invalidated region leaves the lifecycle cleanly…
+        let evs = vec![
+            TraceEvent::MrRegister {
+                rank: 0,
+                key: 3,
+                addr: 0,
+                len: 4096,
+                cached: true,
+            },
+            TraceEvent::MrInvalidated { rank: 0, key: 3 },
+        ];
+        let r = audit(&evs).expect("invalidation closes the lifecycle");
+        assert_eq!(r.mr_invalidated, 1);
+        assert_eq!(r.mr_leaked, 0);
+
+        // …but invalidating a pinned region is use-after-free.
+        let evs = vec![
+            TraceEvent::MrRegister {
+                rank: 0,
+                key: 3,
+                addr: 0,
+                len: 4096,
+                cached: true,
+            },
+            TraceEvent::MrPin { rank: 0, key: 3 },
+            TraceEvent::MrInvalidated { rank: 0, key: 3 },
+        ];
+        let errs = audit(&evs).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("outstanding pin")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn reattach_must_replay_full_journal() {
+        let ok = TraceEvent::CtrlReattach {
+            client: 1,
+            epoch: 1,
+            journaled: 3,
+            replayed: 3,
+        };
+        let r = audit(&[ok]).expect("full replay is clean");
+        assert_eq!(r.reattaches, 1);
+
+        let short = TraceEvent::CtrlReattach {
+            client: 1,
+            epoch: 1,
+            journaled: 3,
+            replayed: 2,
+        };
+        let errs = audit(&[short]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("resource lost")), "{errs:?}");
+    }
+
+    #[test]
+    fn crash_must_pair_with_respawn() {
+        let crash = TraceEvent::DaemonCrash { node: 0, epoch: 1 };
+        let respawn = TraceEvent::DaemonRespawn { node: 0, epoch: 1 };
+        let r = audit(&[crash, respawn]).expect("paired incarnation");
+        assert_eq!(r.daemon_crashes, 1);
+
+        let errs = audit(&[crash]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not recovered")), "{errs:?}");
+
+        // Same epoch number on a *different* node is a separate pairing.
+        let other = TraceEvent::DaemonCrash { node: 1, epoch: 1 };
+        let errs = audit(&[crash, respawn, other]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("node1")), "{errs:?}");
+    }
+
+    #[test]
+    fn ctrl_events_counted() {
+        let evs = vec![
+            TraceEvent::CtrlTimeout { client: 1, seq: 4 },
+            TraceEvent::CtrlRetry {
+                client: 1,
+                seq: 4,
+                attempt: 1,
+            },
+            TraceEvent::CtrlReplay {
+                node: 0,
+                client: 1,
+                seq: 4,
+            },
+            TraceEvent::LeaseReclaim {
+                node: 0,
+                client: 2,
+                objects: 3,
+            },
+            TraceEvent::OffloadDegraded { rank: 1 },
+        ];
+        let r = audit(&evs).expect("ctrl events alone are clean");
+        assert_eq!(r.ctrl_timeouts, 1);
+        assert_eq!(r.ctrl_retries, 1);
+        assert_eq!(r.ctrl_replays, 1);
+        assert_eq!(r.lease_reclaims, 1);
+        assert_eq!(r.offload_degraded, 1);
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct LaunchOpts {
     /// the `trace` cargo feature (default); without it the field is
     /// accepted but ignored.
     pub tracer: Option<crate::trace::TraceBuf>,
+    /// Tunables (and fault plans) for the node daemons this launch
+    /// spawns. Ignored when `spawn_daemons` is false. When a tracer is
+    /// attached and no explicit hook is set, control-plane events are
+    /// bridged into the trace ring so the auditor sees crash/respawn/
+    /// re-attach alongside the data path.
+    pub daemon: dcfa::DaemonConfig,
 }
 
 impl Default for LaunchOpts {
@@ -54,8 +60,69 @@ impl Default for LaunchOpts {
             ranks_per_node: 1,
             placements: None,
             tracer: None,
+            daemon: dcfa::DaemonConfig::default(),
         }
     }
+}
+
+/// Bridge [`dcfa::CtrlEvent`]s into the structured trace ring, so the
+/// auditor can check control-plane invariants (crash/respawn pairing,
+/// full journal replay) against the same stream as the data path.
+#[cfg(feature = "trace")]
+fn ctrl_trace_hook(buf: crate::trace::TraceBuf) -> dcfa::CtrlHook {
+    use crate::trace::TraceEvent;
+    use dcfa::CtrlEvent;
+    Arc::new(move |ev: &CtrlEvent| {
+        let tev = match *ev {
+            CtrlEvent::CmdTimeout { client, seq } => TraceEvent::CtrlTimeout { client, seq },
+            CtrlEvent::CmdRetry {
+                client,
+                seq,
+                attempt,
+            } => TraceEvent::CtrlRetry {
+                client,
+                seq,
+                attempt,
+            },
+            CtrlEvent::Reattach {
+                client,
+                epoch,
+                journaled,
+                replayed,
+            } => TraceEvent::CtrlReattach {
+                client,
+                epoch,
+                journaled,
+                replayed,
+            },
+            CtrlEvent::DaemonCrash { node, epoch } => TraceEvent::DaemonCrash {
+                node: node.0,
+                epoch,
+            },
+            CtrlEvent::DaemonRespawn { node, epoch } => TraceEvent::DaemonRespawn {
+                node: node.0,
+                epoch,
+            },
+            CtrlEvent::LeaseReclaim {
+                node,
+                client,
+                objects,
+            } => TraceEvent::LeaseReclaim {
+                node: node.0,
+                client,
+                objects,
+            },
+            CtrlEvent::ReplyReplayed { node, client, seq } => TraceEvent::CtrlReplay {
+                node: node.0,
+                client,
+                seq,
+            },
+            // The engine records rank-level degradation itself (it knows
+            // the rank; the daemon only knows the session id).
+            CtrlEvent::OffloadDegraded { .. } => return,
+        };
+        buf.record(tev);
+    })
 }
 
 /// Launch `n` MPI ranks running `f`. Rank `r` executes on node
@@ -87,8 +154,18 @@ where
         .as_ref()
         .map(|ps| ps.contains(&Placement::Phi))
         .unwrap_or(cfg.placement == Placement::Phi);
+    // Bridge control-plane events into the trace ring (unless the caller
+    // installed their own observer).
+    #[cfg(feature = "trace")]
+    let ctrl_hook: Option<dcfa::CtrlHook> = opts.tracer.clone().map(ctrl_trace_hook);
+    #[cfg(not(feature = "trace"))]
+    let ctrl_hook: Option<dcfa::CtrlHook> = None;
     let daemon_stats = if any_phi && opts.spawn_daemons {
-        Some(dcfa::spawn_daemons(&sim.scheduler(), scif, ib))
+        let mut dcfg = opts.daemon.clone();
+        if dcfg.hook.is_none() {
+            dcfg.hook = ctrl_hook.clone();
+        }
+        Some(dcfa::spawn_daemons_with(&sim.scheduler(), scif, ib, dcfg))
     } else {
         None
     };
@@ -115,11 +192,21 @@ where
         let boot = boot.clone();
         let f = f.clone();
         let tracer = opts.tracer.clone();
+        let daemon_stats = daemon_stats.clone();
+        let ctrl_hook = ctrl_hook.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let res = match cfg.placement {
                 Placement::Phi => {
-                    let d =
-                        dcfa::DcfaContext::open(ctx, &ib, &scif, node).expect("DCFA open failed");
+                    let dcfg = dcfa::DcfaConfig {
+                        cmd_timeout: cfg.cmd_timeout,
+                        cmd_retry_limit: cfg.cmd_retry_limit,
+                        heartbeat_interval: cfg.heartbeat_interval,
+                        stats: daemon_stats.clone().unwrap_or_default(),
+                        hook: ctrl_hook,
+                        ..dcfa::DcfaConfig::default()
+                    };
+                    let d = dcfa::DcfaContext::open_with(ctx, &ib, &scif, node, dcfg)
+                        .expect("DCFA open failed");
                     Resources::Phi(d)
                 }
                 Placement::Host => {

@@ -154,11 +154,13 @@ mod packet_codec {
                 domain: if domain == 0 { Domain::Host } else { Domain::Phi },
             };
             for cmd in [
-                Cmd::Hello,
+                Cmd::Hello { client: key },
                 Cmd::RegMr { mem, addr, len },
                 Cmd::DeregMr { key },
                 Cmd::RegOffloadMr { len },
                 Cmd::DeregOffloadMr { key },
+                Cmd::AdoptMr { key },
+                Cmd::Heartbeat,
                 Cmd::Bye,
             ] {
                 prop_assert_eq!(Cmd::decode(&cmd.encode()), Some(cmd));
@@ -173,6 +175,7 @@ mod packet_codec {
                 Reply::MrKey { key },
                 Reply::Offload { key, host_addr: addr, host_len: len },
                 Reply::Error { code },
+                Reply::Hello { client: key },
             ] {
                 prop_assert_eq!(Reply::decode(&r.encode()), Some(r));
             }

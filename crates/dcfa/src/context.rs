@@ -1,31 +1,72 @@
 //! The Phi-side DCFA library: the "DCFA IB IF" exposing the host's Verbs
 //! interface in co-processor user space, plus the offloading send buffer.
+//!
+//! The command channel is fault-tolerant: every command carries a sequence
+//! id and is retransmitted with exponential backoff when its reply times
+//! out (the daemon deduplicates, so retransmits are answered from cache,
+//! never re-executed). If retries exhaust — the delegation daemon crashed
+//! or this client's lease was reclaimed — the context reconnects, re-greets
+//! the daemon with its assigned client id and replays its *resource
+//! journal*: surviving MRs are re-adopted ([`Cmd::AdoptMr`]), reclaimed
+//! ones re-registered, QPs/CQs re-created. Each re-attach bumps a control
+//! epoch the MPI core uses to invalidate MR/offload caches, so stale keys
+//! never reach the wire.
 
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fabric::{Buffer, Cluster, Domain, MemRef, NodeId};
-use scif::{ScifError, ScifFabric};
+use parking_lot::Mutex;
+use scif::{ScifEndpoint, ScifError, ScifFabric};
 use simcore::{Ctx, SimDuration};
 use verbs::{CompletionQueue, IbFabric, MemoryRegion, MrKey, QueuePair, VerbsContext};
 
-use crate::daemon::DCFA_PORT;
-use crate::wire::{Cmd, Reply};
+use crate::daemon::{CtrlEvent, CtrlHook, DcfaStats, DCFA_PORT};
+use crate::wire::{
+    decode_reply_frame, encode_cmd_frame, err_code, Cmd, Reply, CLIENT_NONE, SEQ_NONE,
+};
 
 /// Errors surfaced by the DCFA user-space library.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DcfaError {
     /// Couldn't reach the host delegation daemon.
     Connect(ScifError),
-    /// The daemon refused or failed a command.
+    /// The daemon has no MR under the given key (already deregistered, or
+    /// reclaimed with an expired lease).
+    UnknownKey,
+    /// The host delegation process is out of memory (offload twin
+    /// allocation failed).
+    Oom,
+    /// The daemon could not decode or accept the command.
+    BadRequest,
+    /// The command went unanswered through every retry and re-attach.
+    Timeout,
+    /// The daemon refused or failed a command with an unmapped code.
     Command { code: u8 },
     /// The daemon replied with something unexpected (protocol bug).
     Protocol,
+}
+
+impl DcfaError {
+    fn from_code(code: u8) -> DcfaError {
+        match code {
+            err_code::OOM => DcfaError::Oom,
+            err_code::UNKNOWN_KEY => DcfaError::UnknownKey,
+            err_code::BAD_REQUEST => DcfaError::BadRequest,
+            _ => DcfaError::Command { code },
+        }
+    }
 }
 
 impl std::fmt::Display for DcfaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DcfaError::Connect(e) => write!(f, "cannot reach DCFA daemon: {e}"),
+            DcfaError::UnknownKey => write!(f, "DCFA daemon does not know this MR key"),
+            DcfaError::Oom => write!(f, "DCFA daemon out of host memory"),
+            DcfaError::BadRequest => write!(f, "DCFA daemon rejected the command"),
+            DcfaError::Timeout => write!(f, "DCFA command timed out after retries"),
             DcfaError::Command { code } => write!(f, "DCFA command failed (code {code})"),
             DcfaError::Protocol => write!(f, "DCFA protocol violation"),
         }
@@ -33,6 +74,60 @@ impl std::fmt::Display for DcfaError {
 }
 
 impl std::error::Error for DcfaError {}
+
+/// Client-side knobs for the fault-tolerant command channel.
+#[derive(Clone)]
+pub struct DcfaConfig {
+    /// How long to wait for a command reply before retransmitting.
+    pub cmd_timeout: SimDuration,
+    /// Retransmissions of one command before falling back to a full
+    /// reconnect + journal replay.
+    pub cmd_retry_limit: u32,
+    /// Base retransmit backoff; doubles per attempt.
+    pub cmd_backoff: SimDuration,
+    /// Reconnect attempts during a re-attach (covers daemon respawn
+    /// downtime); backoff between attempts grows linearly.
+    pub reconnect_limit: u32,
+    /// Base delay between reconnect attempts.
+    pub reconnect_backoff: SimDuration,
+    /// Period of the lease-renewal heartbeat sidecar; `None` disables it
+    /// (a silent client relies on commands to renew its lease).
+    pub heartbeat_interval: Option<SimDuration>,
+    /// Counter sink shared with the node daemons (pass the handle returned
+    /// by `spawn_daemons` to aggregate client retries/timeouts there).
+    pub stats: DcfaStats,
+    /// Control-plane event observer.
+    pub hook: Option<CtrlHook>,
+}
+
+impl fmt::Debug for DcfaConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DcfaConfig")
+            .field("cmd_timeout", &self.cmd_timeout)
+            .field("cmd_retry_limit", &self.cmd_retry_limit)
+            .field("cmd_backoff", &self.cmd_backoff)
+            .field("reconnect_limit", &self.reconnect_limit)
+            .field("reconnect_backoff", &self.reconnect_backoff)
+            .field("heartbeat_interval", &self.heartbeat_interval)
+            .field("hook", &self.hook.as_ref().map(|_| ".."))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for DcfaConfig {
+    fn default() -> Self {
+        DcfaConfig {
+            cmd_timeout: SimDuration::from_micros(500),
+            cmd_retry_limit: 3,
+            cmd_backoff: SimDuration::from_micros(50),
+            reconnect_limit: 8,
+            reconnect_backoff: SimDuration::from_micros(50),
+            heartbeat_interval: None,
+            stats: DcfaStats::default(),
+            hook: None,
+        }
+    }
+}
 
 /// An offloading memory region (paper §IV-B4, Fig. 6): the Phi-resident
 /// user buffer plus its host twin. Sends source the *host* buffer after a
@@ -54,14 +149,43 @@ impl std::fmt::Debug for OffloadMr {
     }
 }
 
+/// One re-establishable resource in the client journal.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    /// A registered MR: `key` for re-adoption, `buffer` for re-registration
+    /// when the daemon-side object did not survive (lease reclaimed).
+    Mr {
+        key: u32,
+        buffer: Buffer,
+    },
+    Cq,
+    Qp,
+}
+
+struct ClientState {
+    ep: ScifEndpoint,
+    next_seq: u32,
+    /// Daemon-assigned client id (stable across reconnects).
+    client: u32,
+    /// Last daemon incarnation observed in a reply.
+    daemon_epoch: u32,
+    /// Client control epoch: bumped on every re-attach; upper layers flush
+    /// their MR/offload caches when it changes.
+    ctrl_epoch: u64,
+    journal: Vec<JournalEntry>,
+}
+
 /// The DCFA user-space context on a Xeon Phi co-processor: same interface
 /// shape as the host Verbs library, with resource operations transparently
 /// offloaded to the host delegation daemon over the command channel.
 pub struct DcfaContext {
     // (Debug impl below.)
     vctx: VerbsContext,
-    ep: scif::ScifEndpoint,
     cluster: Arc<Cluster>,
+    scif: Arc<ScifFabric>,
+    cfg: DcfaConfig,
+    state: Arc<Mutex<ClientState>>,
+    hb_stop: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for DcfaContext {
@@ -81,32 +205,45 @@ impl DcfaContext {
         scif_fabric: &Arc<ScifFabric>,
         node: NodeId,
     ) -> Result<DcfaContext, DcfaError> {
-        let local = MemRef {
-            node,
-            domain: Domain::Phi,
+        Self::open_with(ctx, ib, scif_fabric, node, DcfaConfig::default())
+    }
+
+    /// [`DcfaContext::open`] with explicit command-channel tunables.
+    pub fn open_with(
+        ctx: &mut Ctx,
+        ib: &Arc<IbFabric>,
+        scif_fabric: &Arc<ScifFabric>,
+        node: NodeId,
+        cfg: DcfaConfig,
+    ) -> Result<DcfaContext, DcfaError> {
+        let ep = connect_retry(ctx, scif_fabric, node, &cfg)?;
+        let dcfa = DcfaContext {
+            vctx: VerbsContext::open(ib.clone(), node, Domain::Phi),
+            cluster: ib.cluster().clone(),
+            scif: scif_fabric.clone(),
+            cfg,
+            state: Arc::new(Mutex::new(ClientState {
+                ep,
+                next_seq: 1,
+                client: CLIENT_NONE,
+                daemon_epoch: 0,
+                ctrl_epoch: 0,
+                journal: Vec::new(),
+            })),
+            hb_stop: Arc::new(AtomicBool::new(false)),
         };
-        let mut last_err = None;
-        for _ in 0..4 {
-            match scif_fabric.connect(ctx, local, Domain::Host, DCFA_PORT) {
-                Ok(ep) => {
-                    let dcfa = DcfaContext {
-                        vctx: VerbsContext::open(ib.clone(), node, Domain::Phi),
-                        ep,
-                        cluster: ib.cluster().clone(),
-                    };
-                    match dcfa.roundtrip(ctx, Cmd::Hello)? {
-                        Reply::Ok => return Ok(dcfa),
-                        Reply::Error { code } => return Err(DcfaError::Command { code }),
-                        _ => return Err(DcfaError::Protocol),
-                    }
-                }
-                Err(e) => {
-                    last_err = Some(e);
-                    ctx.sleep(SimDuration::from_micros(1));
-                }
-            }
+        match dcfa.command(
+            ctx,
+            Cmd::Hello {
+                client: CLIENT_NONE,
+            },
+        )? {
+            Reply::Hello { client } => dcfa.state.lock().client = client,
+            Reply::Error { code } => return Err(DcfaError::from_code(code)),
+            _ => return Err(DcfaError::Protocol),
         }
-        Err(DcfaError::Connect(last_err.unwrap()))
+        dcfa.start_heartbeat(ctx);
+        Ok(dcfa)
     }
 
     pub fn node(&self) -> NodeId {
@@ -127,11 +264,278 @@ impl DcfaContext {
         &self.vctx
     }
 
-    fn roundtrip(&self, ctx: &mut Ctx, cmd: Cmd) -> Result<Reply, DcfaError> {
-        self.ep.send(ctx, &cmd.encode());
-        let raw = self.ep.recv(ctx);
-        Reply::decode(&raw).ok_or(DcfaError::Protocol)
+    /// Daemon-assigned client id.
+    pub fn client_id(&self) -> u32 {
+        self.state.lock().client
     }
+
+    /// Client control epoch: bumped on every re-attach (daemon restart or
+    /// lease loss). Upper layers flush key-holding caches when it moves.
+    pub fn ctrl_epoch(&self) -> u64 {
+        self.state.lock().ctrl_epoch
+    }
+
+    /// Counter handle this context tallies retries/timeouts into.
+    pub fn stats(&self) -> &DcfaStats {
+        &self.cfg.stats
+    }
+
+    fn emit(&self, ev: CtrlEvent) {
+        if let Some(hook) = &self.cfg.hook {
+            hook(&ev);
+        }
+    }
+
+    /// Spawn the lease-renewal sidecar, if configured. It shares the
+    /// command endpoint (heartbeats are fire-and-forget, so it never
+    /// consumes command replies) and follows reconnects.
+    fn start_heartbeat(&self, ctx: &mut Ctx) {
+        let Some(interval) = self.cfg.heartbeat_interval else {
+            return;
+        };
+        let state = self.state.clone();
+        let stop = self.hb_stop.clone();
+        let name = format!("dcfa-hb-{}c{}", self.node(), self.client_id());
+        ctx.scheduler().spawn_daemon(name, move |hctx| loop {
+            hctx.sleep(interval);
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let ep = state.lock().ep.clone();
+            ep.send(hctx, &encode_cmd_frame(SEQ_NONE, &Cmd::Heartbeat));
+        });
+    }
+
+    // -- fault-tolerant command transport ---------------------------------
+
+    fn alloc_seq(&self) -> u32 {
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq = st.next_seq.wrapping_add(1);
+        seq
+    }
+
+    /// Issue one command reliably: retransmit on reply timeout, re-attach
+    /// (reconnect + journal replay) when retries exhaust or the daemon
+    /// reports our session gone.
+    fn command(&self, ctx: &mut Ctx, cmd: Cmd) -> Result<Reply, DcfaError> {
+        let seq = self.alloc_seq();
+        let mut reattach_budget = 2u32;
+        loop {
+            match self.command_attempts(ctx, seq, &cmd)? {
+                Some(Reply::Error {
+                    code: err_code::NO_SESSION,
+                }) if !matches!(cmd, Cmd::Hello { .. }) => {
+                    // Lease reclaimed (or daemon restarted) under us.
+                }
+                Some(reply) => return Ok(reply),
+                None => {} // every retransmit timed out
+            }
+            if reattach_budget == 0 {
+                return Err(DcfaError::Timeout);
+            }
+            reattach_budget -= 1;
+            self.reattach(ctx)?;
+        }
+    }
+
+    /// Send `cmd` under `seq` up to `1 + cmd_retry_limit` times on the
+    /// current endpoint. `Ok(None)` means every attempt timed out.
+    fn command_attempts(
+        &self,
+        ctx: &mut Ctx,
+        seq: u32,
+        cmd: &Cmd,
+    ) -> Result<Option<Reply>, DcfaError> {
+        let client = self.client_id();
+        for attempt in 0..=self.cfg.cmd_retry_limit {
+            if attempt > 0 {
+                self.cfg.stats.update(|c| c.cmd_retries += 1);
+                self.emit(CtrlEvent::CmdRetry {
+                    client,
+                    seq,
+                    attempt,
+                });
+                // Exponential backoff before the retransmit.
+                ctx.sleep(self.cfg.cmd_backoff * (1u64 << (attempt - 1).min(10)));
+            }
+            let ep = self.state.lock().ep.clone();
+            ep.send(ctx, &encode_cmd_frame(seq, cmd));
+            match self.await_reply(ctx, &ep, seq)? {
+                Some((epoch, reply)) => {
+                    self.state.lock().daemon_epoch = epoch;
+                    return Ok(Some(reply));
+                }
+                None => {
+                    self.cfg.stats.update(|c| c.cmd_timeouts += 1);
+                    self.emit(CtrlEvent::CmdTimeout { client, seq });
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Wait up to `cmd_timeout` for the reply to `seq`, skipping stale
+    /// duplicates left over from earlier retransmits.
+    fn await_reply(
+        &self,
+        ctx: &mut Ctx,
+        ep: &ScifEndpoint,
+        seq: u32,
+    ) -> Result<Option<(u32, Reply)>, DcfaError> {
+        let deadline = ctx.now() + self.cfg.cmd_timeout;
+        loop {
+            if ctx.now() >= deadline {
+                return Ok(None);
+            }
+            let Some(raw) = ep.recv_timeout(ctx, deadline - ctx.now()) else {
+                return Ok(None);
+            };
+            match decode_reply_frame(&raw) {
+                None => return Err(DcfaError::Protocol),
+                Some((rseq, epoch, reply)) if rseq == seq => return Ok(Some((epoch, reply))),
+                Some(_) => {} // duplicate reply to an abandoned attempt
+            }
+        }
+    }
+
+    /// Reconnect to the (possibly respawned) daemon and replay the journal:
+    /// re-greet with our client id, re-adopt every journaled MR that
+    /// survived on the HCA (re-register those that did not), re-create
+    /// QPs/CQs, then bump the control epoch so caches flush stale keys.
+    fn reattach(&self, ctx: &mut Ctx) -> Result<(), DcfaError> {
+        let node = self.node();
+        let mut last_err = DcfaError::Timeout;
+        for attempt in 0..self.cfg.reconnect_limit {
+            if attempt > 0 {
+                ctx.sleep(self.cfg.reconnect_backoff * attempt as u64);
+            }
+            let local = MemRef {
+                node,
+                domain: Domain::Phi,
+            };
+            let ep = match self.scif.connect(ctx, local, Domain::Host, DCFA_PORT) {
+                Ok(ep) => ep,
+                Err(e) => {
+                    last_err = DcfaError::Connect(e);
+                    continue;
+                }
+            };
+            self.state.lock().ep = ep;
+            match self.replay_journal(ctx) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn replay_journal(&self, ctx: &mut Ctx) -> Result<(), DcfaError> {
+        let (client, journal) = {
+            let st = self.state.lock();
+            (st.client, st.journal.clone())
+        };
+        let hello_seq = self.alloc_seq();
+        let id = match self.command_attempts(ctx, hello_seq, &Cmd::Hello { client })? {
+            Some(Reply::Hello { client }) => client,
+            Some(Reply::Error { code }) => return Err(DcfaError::from_code(code)),
+            Some(_) => return Err(DcfaError::Protocol),
+            None => return Err(DcfaError::Timeout),
+        };
+        self.state.lock().client = id;
+
+        let journaled = journal.len() as u64;
+        let mut replayed = 0u64;
+        let mut new_journal = Vec::with_capacity(journal.len());
+        for entry in journal {
+            match entry {
+                JournalEntry::Mr { key, buffer } => {
+                    let seq = self.alloc_seq();
+                    let adopted = self.command_attempts(ctx, seq, &Cmd::AdoptMr { key })?;
+                    match adopted {
+                        Some(Reply::MrKey { key }) => {
+                            replayed += 1;
+                            new_journal.push(JournalEntry::Mr { key, buffer });
+                        }
+                        Some(Reply::Error {
+                            code: err_code::UNKNOWN_KEY,
+                        }) => {
+                            // The MR did not survive (lease reclaimed before
+                            // we noticed): register it afresh. Holders of
+                            // the old key rediscover it via cache
+                            // invalidation.
+                            let seq = self.alloc_seq();
+                            let reg = self.command_attempts(
+                                ctx,
+                                seq,
+                                &Cmd::RegMr {
+                                    mem: buffer.mem,
+                                    addr: buffer.addr,
+                                    len: buffer.len,
+                                },
+                            )?;
+                            match reg {
+                                Some(Reply::MrKey { key }) => {
+                                    replayed += 1;
+                                    new_journal.push(JournalEntry::Mr { key, buffer });
+                                }
+                                Some(Reply::Error { code }) => {
+                                    return Err(DcfaError::from_code(code))
+                                }
+                                Some(_) => return Err(DcfaError::Protocol),
+                                None => return Err(DcfaError::Timeout),
+                            }
+                        }
+                        Some(Reply::Error { code }) => return Err(DcfaError::from_code(code)),
+                        Some(_) => return Err(DcfaError::Protocol),
+                        None => return Err(DcfaError::Timeout),
+                    }
+                }
+                JournalEntry::Cq => {
+                    let seq = self.alloc_seq();
+                    match self.command_attempts(ctx, seq, &Cmd::CreateCq)? {
+                        Some(Reply::Ok) => {
+                            replayed += 1;
+                            new_journal.push(JournalEntry::Cq);
+                        }
+                        Some(Reply::Error { code }) => return Err(DcfaError::from_code(code)),
+                        Some(_) => return Err(DcfaError::Protocol),
+                        None => return Err(DcfaError::Timeout),
+                    }
+                }
+                JournalEntry::Qp => {
+                    let seq = self.alloc_seq();
+                    match self.command_attempts(ctx, seq, &Cmd::CreateQp)? {
+                        Some(Reply::Ok) => {
+                            replayed += 1;
+                            new_journal.push(JournalEntry::Qp);
+                        }
+                        Some(Reply::Error { code }) => return Err(DcfaError::from_code(code)),
+                        Some(_) => return Err(DcfaError::Protocol),
+                        None => return Err(DcfaError::Timeout),
+                    }
+                }
+            }
+        }
+        let (epoch, ctrl_epoch) = {
+            let mut st = self.state.lock();
+            st.journal = new_journal;
+            st.ctrl_epoch += 1;
+            (st.daemon_epoch, st.ctrl_epoch)
+        };
+        let _ = ctrl_epoch;
+        // (The daemon counts `reattaches` when it sees the re-Hello; we
+        // only emit the richer client-side event.)
+        self.emit(CtrlEvent::Reattach {
+            client: id,
+            epoch,
+            journaled,
+            replayed,
+        });
+        Ok(())
+    }
+
+    // -- resource operations ----------------------------------------------
 
     /// Register a Phi-resident buffer as an InfiniBand memory region. The
     /// CMD client translates the buffer's pages to physical addresses and
@@ -142,7 +546,7 @@ impl DcfaContext {
         let cost = &self.cluster.config().cost;
         // Virtual→physical translation of every page, on a slow Phi core.
         ctx.sleep(cost.cpu_op(Domain::Phi) + cost.cmd_translate_per_page * buffer.pages());
-        match self.roundtrip(
+        match self.command(
             ctx,
             Cmd::RegMr {
                 mem: buffer.mem,
@@ -150,31 +554,48 @@ impl DcfaContext {
                 len: buffer.len,
             },
         )? {
-            Reply::MrKey { key } => self
-                .vctx
-                .fabric()
-                .mr_handle(MrKey(key))
-                .ok_or(DcfaError::Protocol),
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+            Reply::MrKey { key } => {
+                let mr = self
+                    .vctx
+                    .fabric()
+                    .mr_handle(MrKey(key))
+                    .ok_or(DcfaError::Protocol)?;
+                self.state.lock().journal.push(JournalEntry::Mr {
+                    key,
+                    buffer: buffer.clone(),
+                });
+                Ok(mr)
+            }
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
         }
     }
 
     /// Deregister a memory region through the daemon.
     pub fn dereg_mr(&self, ctx: &mut Ctx, mr: &MemoryRegion) -> Result<(), DcfaError> {
-        match self.roundtrip(ctx, Cmd::DeregMr { key: mr.key().0 })? {
+        let key = mr.key().0;
+        let result = match self.command(ctx, Cmd::DeregMr { key })? {
             Reply::Ok => Ok(()),
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
-        }
+        };
+        // Either way the resource is gone; stop journaling it.
+        self.state
+            .lock()
+            .journal
+            .retain(|e| !matches!(e, JournalEntry::Mr { key: k, .. } if *k == key));
+        result
     }
 
     /// Create a completion queue (resource setup offloaded; the CQ itself
     /// lives in Phi memory and is polled directly).
     pub fn create_cq(&self, ctx: &mut Ctx) -> Result<CompletionQueue, DcfaError> {
-        match self.roundtrip(ctx, Cmd::CreateCq)? {
-            Reply::Ok => Ok(self.vctx.create_cq()),
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+        match self.command(ctx, Cmd::CreateCq)? {
+            Reply::Ok => {
+                self.state.lock().journal.push(JournalEntry::Cq);
+                Ok(self.vctx.create_cq())
+            }
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
         }
     }
@@ -187,16 +608,22 @@ impl DcfaContext {
         send_cq: &CompletionQueue,
         recv_cq: &CompletionQueue,
     ) -> Result<QueuePair, DcfaError> {
-        match self.roundtrip(ctx, Cmd::CreateQp)? {
-            Reply::Ok => Ok(self.vctx.create_qp(send_cq, recv_cq)),
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+        match self.command(ctx, Cmd::CreateQp)? {
+            Reply::Ok => {
+                self.state.lock().journal.push(JournalEntry::Qp);
+                Ok(self.vctx.create_qp(send_cq, recv_cq))
+            }
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
         }
     }
 
     /// `reg_offload_mr`: allocate + register a host twin for `phi_buffer`
     /// (paper §IV-B4). Subsequent sends can source the host twin at full
-    /// host DMA speed after a [`DcfaContext::sync_offload_mr`].
+    /// host DMA speed after a [`DcfaContext::sync_offload_mr`]. Twins are
+    /// deliberately *not* journaled: they live in the delegation process's
+    /// address space and die with it, so after a re-attach callers simply
+    /// create fresh ones (or degrade to direct sends).
     pub fn reg_offload_mr(
         &self,
         ctx: &mut Ctx,
@@ -207,7 +634,7 @@ impl DcfaContext {
             self.node(),
             "offload twin must be node-local"
         );
-        match self.roundtrip(
+        match self.command(
             ctx,
             Cmd::RegOffloadMr {
                 len: phi_buffer.len,
@@ -224,7 +651,7 @@ impl DcfaContext {
                     host_mr,
                 })
             }
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
         }
     }
@@ -241,16 +668,17 @@ impl DcfaContext {
     }
 
     /// `dereg_offload_mr`: destroy the Phi-side descriptor, deregister the
-    /// host MR and free the host twin.
+    /// host MR and free the host twin. Idempotent: a twin the daemon
+    /// already reclaimed (crash or expired lease) tears down as `Ok`.
     pub fn dereg_offload_mr(&self, ctx: &mut Ctx, omr: OffloadMr) -> Result<(), DcfaError> {
-        match self.roundtrip(
+        match self.command(
             ctx,
             Cmd::DeregOffloadMr {
                 key: omr.host_mr.key().0,
             },
         )? {
             Reply::Ok => Ok(()),
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
         }
     }
@@ -260,15 +688,46 @@ impl DcfaContext {
     /// (consumed by the HCA model on matching posted operations) without
     /// any host-side assist code.
     pub fn inject_fault(&self, ctx: &mut Ctx, fault: fabric::LinkFault) -> Result<(), DcfaError> {
-        match self.roundtrip(ctx, Cmd::InjectFault(fault))? {
+        match self.command(ctx, Cmd::InjectFault(fault))? {
             Reply::Ok => Ok(()),
-            Reply::Error { code } => Err(DcfaError::Command { code }),
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),
         }
     }
 
-    /// Tell the daemon this client is going away (handler exits).
+    /// Tell the daemon this client is going away (handler exits) and stop
+    /// the heartbeat sidecar.
     pub fn close(&self, ctx: &mut Ctx) {
-        let _ = self.roundtrip(ctx, Cmd::Bye);
+        self.hb_stop.store(true, Ordering::Relaxed);
+        let _ = self.command(ctx, Cmd::Bye);
+        self.state.lock().journal.clear();
     }
+}
+
+/// Initial connect with retry: tolerates same-instant daemon startup and
+/// short daemon downtime.
+fn connect_retry(
+    ctx: &mut Ctx,
+    scif_fabric: &Arc<ScifFabric>,
+    node: NodeId,
+    cfg: &DcfaConfig,
+) -> Result<ScifEndpoint, DcfaError> {
+    let local = MemRef {
+        node,
+        domain: Domain::Phi,
+    };
+    let mut last_err = None;
+    for attempt in 0..cfg.reconnect_limit.max(1) {
+        if attempt > 0 {
+            ctx.sleep(cfg.reconnect_backoff * attempt as u64);
+        } else {
+            // Give a same-instant daemon spawn a chance to listen first.
+            ctx.sleep(SimDuration::from_micros(1));
+        }
+        match scif_fabric.connect(ctx, local, Domain::Host, DCFA_PORT) {
+            Ok(ep) => return Ok(ep),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(DcfaError::Connect(last_err.unwrap()))
 }

@@ -24,5 +24,8 @@ mod context;
 mod daemon;
 pub mod wire;
 
-pub use context::{DcfaContext, DcfaError, OffloadMr};
-pub use daemon::{spawn_daemons, spawn_node_daemon, DcfaCounters, DcfaStats, DCFA_PORT};
+pub use context::{DcfaConfig, DcfaContext, DcfaError, OffloadMr};
+pub use daemon::{
+    parse_daemon_fault_spec, spawn_daemons, spawn_daemons_with, spawn_node_daemon, CtrlEvent,
+    CtrlHook, DaemonConfig, DaemonFault, DaemonFaultKind, DcfaCounters, DcfaStats, DCFA_PORT,
+};

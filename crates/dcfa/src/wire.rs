@@ -2,14 +2,31 @@
 //! server). Commands are small fixed-layout messages: one tag byte followed
 //! by little-endian fields, mirroring the paper's "command mechanism ...
 //! for offloading these requests to a host delegation process" (§IV-B1).
+//!
+//! On the wire every command is framed with a client-assigned sequence id
+//! and every reply echoes that id plus the daemon's incarnation epoch
+//! ([`encode_cmd_frame`]/[`encode_reply_frame`]): sequence ids let the
+//! daemon deduplicate retransmissions (a timed-out command is answered from
+//! a reply cache, never re-executed), and the epoch lets a client detect
+//! that the daemon restarted underneath it and replay its resource journal.
 
 use fabric::{Domain, LinkFault, LinkFaultKind, MemRef, NodeId};
+
+/// Sequence id used by unsequenced frames (heartbeats, error replies to
+/// undecodable commands). Never dedup-cached.
+pub const SEQ_NONE: u32 = u32::MAX;
+
+/// `Cmd::Hello { client }` value asking the daemon to assign a fresh
+/// client id (first attach); re-attaching clients send their assigned id.
+pub const CLIENT_NONE: u32 = u32::MAX;
 
 /// Commands sent from the Phi-side CMD client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Cmd {
     /// Initial handshake after connecting (HCA init / resource setup).
-    Hello,
+    /// `client` is [`CLIENT_NONE`] on first attach (daemon assigns an id in
+    /// [`Reply::Hello`]) or the previously assigned id on re-attach.
+    Hello { client: u32 },
     /// Register `len` bytes at `addr` in `mem` as an InfiniBand MR. The
     /// client has already translated virtual→physical (charged separately).
     RegMr { mem: MemRef, addr: u64, len: u64 },
@@ -31,6 +48,14 @@ pub enum Cmd {
     /// this through the same command channel as resource offloading, so a
     /// Phi-resident process can schedule faults without host-side code).
     InjectFault(fabric::LinkFault),
+    /// Liveness beacon renewing the client's lease. Fire-and-forget: the
+    /// daemon does not reply, so a sidecar heartbeat process can share the
+    /// endpoint without stealing command replies.
+    Heartbeat,
+    /// Journal replay after a daemon respawn: re-adopt the control-plane
+    /// metadata for MR `key`, which survived the crash on the HCA (IB
+    /// objects live in the kernel driver, not the delegation process).
+    AdoptMr { key: u32 },
 }
 
 /// Replies from the host CMD server.
@@ -51,6 +76,11 @@ pub enum Reply {
     Error {
         code: u8,
     },
+    /// Handshake accepted: the client id to use from now on (assigned fresh
+    /// when the client sent [`CLIENT_NONE`]).
+    Hello {
+        client: u32,
+    },
 }
 
 /// Error codes carried by [`Reply::Error`].
@@ -58,6 +88,9 @@ pub mod err_code {
     pub const OOM: u8 = 1;
     pub const UNKNOWN_KEY: u8 = 2;
     pub const BAD_REQUEST: u8 = 3;
+    /// The client's lease expired and its session was reclaimed (or it
+    /// never said Hello); it must re-attach and replay its journal.
+    pub const NO_SESSION: u8 = 4;
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -146,7 +179,10 @@ impl Cmd {
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(32);
         match self {
-            Cmd::Hello => b.push(0),
+            Cmd::Hello { client } => {
+                b.push(0);
+                put_u32(&mut b, *client);
+            }
             Cmd::RegMr { mem, addr, len } => {
                 b.push(1);
                 put_u32(&mut b, mem.node.0 as u32);
@@ -176,6 +212,11 @@ impl Cmd {
                 put_u32(&mut b, node_scope_tag(f.from));
                 put_u32(&mut b, node_scope_tag(f.to));
             }
+            Cmd::Heartbeat => b.push(9),
+            Cmd::AdoptMr { key } => {
+                b.push(10);
+                put_u32(&mut b, *key);
+            }
         }
         b
     }
@@ -183,7 +224,7 @@ impl Cmd {
     pub fn decode(data: &[u8]) -> Option<Cmd> {
         let mut r = Reader::new(data);
         let cmd = match r.u8()? {
-            0 => Cmd::Hello,
+            0 => Cmd::Hello { client: r.u32()? },
             1 => {
                 let node = NodeId(r.u32()? as usize);
                 let domain = domain_from(r.u8()?)?;
@@ -205,10 +246,49 @@ impl Cmd {
                 from: node_scope_from(r.u32()?),
                 to: node_scope_from(r.u32()?),
             }),
+            9 => Cmd::Heartbeat,
+            10 => Cmd::AdoptMr { key: r.u32()? },
             _ => return None,
         };
         r.done().then_some(cmd)
     }
+}
+
+/// Frame a command with its client-assigned sequence id.
+pub fn encode_cmd_frame(seq: u32, cmd: &Cmd) -> Vec<u8> {
+    let mut b = Vec::with_capacity(36);
+    put_u32(&mut b, seq);
+    b.extend_from_slice(&cmd.encode());
+    b
+}
+
+/// Decode a framed command into `(seq, cmd)`.
+pub fn decode_cmd_frame(data: &[u8]) -> Option<(u32, Cmd)> {
+    if data.len() < 4 {
+        return None;
+    }
+    let seq = u32::from_le_bytes(data[..4].try_into().unwrap());
+    Some((seq, Cmd::decode(&data[4..])?))
+}
+
+/// Frame a reply with the sequence id it answers and the daemon's
+/// incarnation epoch.
+pub fn encode_reply_frame(seq: u32, epoch: u32, reply: &Reply) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    put_u32(&mut b, seq);
+    put_u32(&mut b, epoch);
+    b.extend_from_slice(&reply.encode());
+    b
+}
+
+/// Decode a framed reply into `(seq, epoch, reply)`.
+pub fn decode_reply_frame(data: &[u8]) -> Option<(u32, u32, Reply)> {
+    if data.len() < 8 {
+        return None;
+    }
+    let seq = u32::from_le_bytes(data[..4].try_into().unwrap());
+    let epoch = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    Some((seq, epoch, Reply::decode(&data[8..])?))
 }
 
 impl Reply {
@@ -234,6 +314,10 @@ impl Reply {
                 b.push(3);
                 b.push(*code);
             }
+            Reply::Hello { client } => {
+                b.push(4);
+                put_u32(&mut b, *client);
+            }
         }
         b
     }
@@ -249,6 +333,7 @@ impl Reply {
                 host_len: r.u64()?,
             },
             3 => Reply::Error { code: r.u8()? },
+            4 => Reply::Hello { client: r.u32()? },
             _ => return None,
         };
         r.done().then_some(reply)
@@ -271,7 +356,12 @@ mod tests {
 
     #[test]
     fn cmd_roundtrips() {
-        roundtrip_cmd(Cmd::Hello);
+        roundtrip_cmd(Cmd::Hello {
+            client: CLIENT_NONE,
+        });
+        roundtrip_cmd(Cmd::Hello { client: 12 });
+        roundtrip_cmd(Cmd::Heartbeat);
+        roundtrip_cmd(Cmd::AdoptMr { key: 99 });
         roundtrip_cmd(Cmd::RegMr {
             mem: MemRef {
                 node: NodeId(3),
@@ -331,6 +421,29 @@ mod tests {
         roundtrip_reply(Reply::Error {
             code: err_code::OOM,
         });
+        roundtrip_reply(Reply::Error {
+            code: err_code::NO_SESSION,
+        });
+        roundtrip_reply(Reply::Hello { client: 3 });
+    }
+
+    #[test]
+    fn frames_carry_seq_and_epoch() {
+        let cmd = Cmd::RegOffloadMr { len: 4096 };
+        let enc = encode_cmd_frame(77, &cmd);
+        assert_eq!(decode_cmd_frame(&enc), Some((77, cmd)));
+
+        let reply = Reply::MrKey { key: 5 };
+        let enc = encode_reply_frame(77, 3, &reply);
+        assert_eq!(decode_reply_frame(&enc), Some((77, 3, reply)));
+
+        // Truncated frames and frames wrapping garbage are rejected.
+        assert_eq!(decode_cmd_frame(&[1, 2, 3]), None);
+        assert_eq!(decode_cmd_frame(&77u32.to_le_bytes()), None);
+        assert_eq!(decode_reply_frame(&[0; 7]), None);
+        let mut bad = encode_reply_frame(1, 1, &Reply::Ok);
+        bad.push(0);
+        assert_eq!(decode_reply_frame(&bad), None);
     }
 
     #[test]
@@ -349,7 +462,7 @@ mod tests {
         enc.pop();
         assert_eq!(Cmd::decode(&enc), None);
         // Trailing junk rejected too.
-        let mut enc = Cmd::Hello.encode();
+        let mut enc = Cmd::Heartbeat.encode();
         enc.push(0);
         assert_eq!(Cmd::decode(&enc), None);
         assert_eq!(Reply::decode(&[9, 9]), None);

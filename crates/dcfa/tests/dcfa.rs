@@ -261,7 +261,7 @@ fn dereg_unknown_key_is_an_error() {
         dcfa.dereg_mr(ctx, &mr).unwrap();
         // Second dereg: daemon no longer knows the key.
         let err = dcfa.dereg_mr(ctx, &mr).unwrap_err();
-        assert!(matches!(err, dcfa::DcfaError::Command { .. }));
+        assert_eq!(err, dcfa::DcfaError::UnknownKey);
     });
     r.sim.run_expect();
 }

@@ -88,10 +88,7 @@ fn offload_twin_allocation_failure_reports_oom() {
             )
             .unwrap();
         let err = d.reg_offload_mr(ctx, &big).unwrap_err();
-        assert!(
-            matches!(err, DcfaError::Command { code } if code == dcfa::wire::err_code::OOM),
-            "{err:?}"
-        );
+        assert_eq!(err, DcfaError::Oom, "{err:?}");
     });
     r.sim.run_expect();
 }

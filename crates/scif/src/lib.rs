@@ -95,6 +95,16 @@ impl ScifFabric {
         }
     }
 
+    /// Close a listening port at `local`: later connects are refused. The
+    /// pending queue of an already-accepted listener is unaffected; this
+    /// models a daemon process dying while the kernel tears its port down.
+    pub fn unlisten(&self, local: MemRef, port: Port) {
+        self.state
+            .lock()
+            .listeners
+            .remove(&(local.node, local.domain, port));
+    }
+
     /// Connect from `local` to a listener at the *other* domain of the same
     /// node. Charges one control-message round trip.
     pub fn connect(
@@ -163,7 +173,11 @@ impl ScifListener {
     }
 }
 
-/// One side of an established SCIF connection.
+/// One side of an established SCIF connection. Cloning yields a second
+/// handle onto the *same* connection (shared message lanes) so auxiliary
+/// processes — e.g. a heartbeat daemon — can send on an endpoint owned by
+/// another process.
+#[derive(Clone)]
 pub struct ScifEndpoint {
     cluster: Arc<Cluster>,
     local: MemRef,
@@ -208,6 +222,17 @@ impl ScifEndpoint {
         let msg = self.rx.recv(ctx);
         ctx.sleep(cost.cpu_op(self.local.domain));
         msg
+    }
+
+    /// Blocking receive that gives up after `timeout`: returns `None` if no
+    /// message arrived by then. The timeout wake and the message wake share
+    /// one block epoch, so an abandoned wait can never fire later.
+    pub fn recv_timeout(&self, ctx: &mut Ctx, timeout: SimDuration) -> Option<Vec<u8>> {
+        let cost = self.cluster.config().cost.clone();
+        let deadline = ctx.now() + timeout;
+        let msg = self.rx.recv_deadline(ctx, deadline)?;
+        ctx.sleep(cost.cpu_op(self.local.domain));
+        Some(msg)
     }
 
     /// Non-blocking receive.
@@ -325,6 +350,48 @@ mod tests {
         sim.spawn("p", move |ctx| {
             let err = fabric.connect(ctx, host(0), Domain::Host, 1).unwrap_err();
             assert_eq!(err, ScifError::CrossNode);
+        });
+        sim.run_expect();
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_delivers() {
+        let (mut sim, fabric) = setup();
+        let f1 = fabric.clone();
+        sim.spawn("host-daemon", move |ctx| {
+            let listener = f1.listen(host(0), 5);
+            let ep = listener.accept(ctx);
+            // Stay silent past the client's first deadline, then answer.
+            ctx.sleep(SimDuration::from_micros(50));
+            ep.send(ctx, b"late reply");
+            let _ = ep.recv(ctx); // keep endpoint alive until client is done
+        });
+        let f2 = fabric.clone();
+        sim.spawn("phi-client", move |ctx| {
+            ctx.yield_now();
+            let ep = f2.connect(ctx, phi(0), Domain::Host, 5).unwrap();
+            let t0 = ctx.now();
+            assert_eq!(ep.recv_timeout(ctx, SimDuration::from_micros(10)), None);
+            assert_eq!(ctx.now() - t0, SimDuration::from_micros(10));
+            let msg = ep.recv_timeout(ctx, SimDuration::from_micros(100));
+            assert_eq!(msg.as_deref(), Some(&b"late reply"[..]));
+            ep.send(ctx, b"bye");
+        });
+        sim.run_expect();
+    }
+
+    #[test]
+    fn unlisten_refuses_new_connects() {
+        let (mut sim, fabric) = setup();
+        sim.spawn("p", move |ctx| {
+            let listener = fabric.listen(host(0), 9);
+            fabric.unlisten(host(0), 9);
+            let err = fabric.connect(ctx, phi(0), Domain::Host, 9).unwrap_err();
+            assert!(matches!(err, ScifError::ConnectionRefused { .. }));
+            // Re-listen restores service on the same port.
+            let listener2 = fabric.listen(host(0), 9);
+            assert!(fabric.connect(ctx, phi(0), Domain::Host, 9).is_ok());
+            let _ = (listener, listener2);
         });
         sim.run_expect();
     }

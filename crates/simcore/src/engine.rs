@@ -359,6 +359,42 @@ impl Ctx {
         }
     }
 
+    /// Like [`Ctx::wait_event`] but gives up at virtual time `deadline`:
+    /// returns the new epoch if the event fired, or `seen` unchanged on
+    /// timeout. Both the event waiter and a deadline wake are registered
+    /// with the same block epoch, so whichever fires second is dropped as
+    /// stale by the engine — a timed-out waiter can never be woken twice.
+    pub fn wait_event_until(
+        &mut self,
+        ev: &crate::sync::SimEvent,
+        seen: u64,
+        deadline: SimTime,
+        reason: &'static str,
+    ) -> u64 {
+        loop {
+            {
+                let mut st = self.scheduler.shared.state.lock();
+                let mut inner = ev.inner().lock();
+                if inner.epoch != seen {
+                    return inner.epoch;
+                }
+                if st.now >= deadline {
+                    return seen;
+                }
+                let slot = &mut st.procs[self.pid.0];
+                slot.epoch += 1;
+                slot.block_reason = reason;
+                let target = WakeTarget {
+                    pid: self.pid,
+                    epoch: slot.epoch,
+                };
+                inner.waiters.push(target);
+                st.schedule(deadline, EventKind::Wake(target));
+            }
+            self.park();
+        }
+    }
+
     fn park(&mut self) {
         self.scheduler
             .shared

@@ -180,6 +180,20 @@ impl<T> Mailbox<T> {
         }
     }
 
+    /// Blocking receive that gives up at virtual time `deadline`.
+    pub fn recv_deadline(&self, ctx: &mut Ctx, deadline: SimTime) -> Option<T> {
+        loop {
+            let seen = self.event.epoch();
+            if let Some(item) = self.try_recv() {
+                return Some(item);
+            }
+            if ctx.now() >= deadline {
+                return None;
+            }
+            ctx.wait_event_until(&self.event, seen, deadline, "mailbox recv (deadline)");
+        }
+    }
+
     /// Number of queued items.
     pub fn len(&self) -> usize {
         self.inner.lock().queue.len()
@@ -231,6 +245,41 @@ mod tests {
         let e0 = ev.epoch();
         ev.notify_all(&sched);
         assert_eq!(ev.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_recovers() {
+        let mut sim = Simulation::new();
+        let sched = sim.scheduler();
+        let mb: Mailbox<&'static str> = Mailbox::new();
+        let mb2 = mb.clone();
+        // Item lands at t=900; a 500ns deadline must miss it, a second
+        // deadline wait must pick it up at exactly t=900.
+        mb.send_at(&sched, crate::time::SimTime(900), "late");
+        sim.spawn("rx", move |ctx| {
+            let miss = mb2.recv_deadline(ctx, crate::time::SimTime(500));
+            assert_eq!(miss, None);
+            assert_eq!(ctx.now().as_nanos(), 500);
+            let hit = mb2.recv_deadline(ctx, crate::time::SimTime(2000));
+            assert_eq!(hit, Some("late"));
+            assert_eq!(ctx.now().as_nanos(), 900);
+        });
+        sim.run_expect();
+    }
+
+    #[test]
+    fn recv_deadline_returns_immediately_when_ready() {
+        let mut sim = Simulation::new();
+        let sched = sim.scheduler();
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.send(&sched, 7);
+        let mb2 = mb.clone();
+        sim.spawn("rx", move |ctx| {
+            // Deadline already in the past still drains queued items.
+            assert_eq!(mb2.recv_deadline(ctx, crate::time::SimTime(0)), Some(7));
+            assert_eq!(mb2.recv_deadline(ctx, crate::time::SimTime(0)), None);
+        });
+        sim.run_expect();
     }
 
     #[test]
