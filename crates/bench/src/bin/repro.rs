@@ -19,6 +19,13 @@
 //!                      # delegation daemons; SPEC is a comma list of
 //!                      # <after>:<kind>[@<node>] plans, e.g.
 //!                      # "6:crash,20:drop@1,35:delay"
+//! repro --metrics-json PATH
+//!                      # run the profiled 4-rank mixed workload and write
+//!                      # the versioned JSON performance report to PATH
+//! repro --compare-metrics BASELINE [--tolerance PCT]
+//!                      # diff the current run against a saved report;
+//!                      # exits 1 if p99/bandwidth drift beyond PCT
+//!                      # (default 25), 2 if a report cannot be parsed
 //! ```
 
 use bench::{
@@ -50,6 +57,29 @@ fn main() {
         .iter()
         .position(|a| a == "--daemon-faults")
         .and_then(|i| args.get(i + 1));
+    // `--metrics-json PATH` writes the versioned JSON performance report.
+    let metrics_json: Option<&String> = args
+        .iter()
+        .position(|a| a == "--metrics-json")
+        .and_then(|i| args.get(i + 1));
+    // `--compare-metrics BASELINE` gates the current run against a saved
+    // report, at `--tolerance PCT` (default 25%).
+    let compare_metrics: Option<&String> = args
+        .iter()
+        .position(|a| a == "--compare-metrics")
+        .and_then(|i| args.get(i + 1));
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| match s.parse::<f64>() {
+            Ok(v) if v >= 0.0 => v,
+            _ => {
+                eprintln!("bad --tolerance {s:?}: expected a non-negative percentage");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(25.0);
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -58,7 +88,13 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" || *a == "--faults" || *a == "--daemon-faults" {
+            if *a == "--csv"
+                || *a == "--faults"
+                || *a == "--daemon-faults"
+                || *a == "--metrics-json"
+                || *a == "--compare-metrics"
+                || *a == "--tolerance"
+            {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -68,13 +104,16 @@ fn main() {
     let show_stats = args.iter().any(|a| a == "--stats");
     let show_trace = args.iter().any(|a| a == "--trace");
     // A bare `repro --stats` / `--trace` / `--faults` / `--daemon-faults`
-    // runs only that report, not the full figure sweep.
+    // / `--metrics-json` / `--compare-metrics` runs only that report, not
+    // the full figure sweep.
     let all = wanted.contains(&"all")
         || (wanted.is_empty()
             && !show_stats
             && !show_trace
             && fault_spec.is_none()
-            && daemon_fault_spec.is_none());
+            && daemon_fault_spec.is_none()
+            && metrics_json.is_none()
+            && compare_metrics.is_none());
     let want = |k: &str| all || wanted.contains(&k);
 
     if let Some(spec) = fault_spec {
@@ -85,6 +124,9 @@ fn main() {
     }
     if show_stats || show_trace {
         observability(show_stats, show_trace);
+    }
+    if metrics_json.is_some() || compare_metrics.is_some() {
+        metrics_report(metrics_json, compare_metrics, tolerance);
     }
 
     let ccfg = ClusterConfig::paper();
@@ -422,6 +464,25 @@ fn observability(show_stats: bool, show_trace: bool) {
         for f in &run.fabric {
             println!("{f}");
         }
+        let phases = run.metrics.merged_by_phase();
+        if !phases.is_empty() {
+            println!("latency percentiles (virtual ns, all ranks merged):");
+            println!(
+                "{:>14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "phase", "samples", "p50", "p90", "p99", "max"
+            );
+            for (phase, s) in &phases {
+                println!(
+                    "{:>14} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>12}",
+                    phase.name(),
+                    s.count,
+                    s.p50(),
+                    s.p90(),
+                    s.p99(),
+                    s.max
+                );
+            }
+        }
     }
     if show_trace {
         const TAIL: usize = 40;
@@ -442,6 +503,66 @@ fn observability(show_stats: bool, show_trace: bool) {
             println!("auditor: {} invariant violations", errors.len());
             for e in errors {
                 println!("  {e}");
+            }
+        }
+    }
+    println!();
+}
+
+/// `--metrics-json PATH` / `--compare-metrics BASELINE`: run the profiled
+/// 4-rank mixed workload, serialize its latency histograms as the
+/// versioned JSON report, optionally write it to PATH, and optionally
+/// gate it against a saved baseline. Exits 1 on a drift violation, 2 when
+/// a report cannot be read or parsed.
+fn metrics_report(json_path: Option<&String>, baseline_path: Option<&String>, tolerance: f64) {
+    let run = bench::observability_run(&ClusterConfig::paper());
+    if let Err(errors) = &run.audit {
+        println!(
+            "auditor: {} invariant violations in the profiled run",
+            errors.len()
+        );
+        for e in errors {
+            println!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    let report = bench::metrics_report_json(&run);
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "metrics report written to {path} ({} phases, {} histograms)",
+            run.metrics.merged_by_phase().len(),
+            run.metrics.snapshot().len()
+        );
+    }
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match bench::compare_reports(&baseline, &report, tolerance) {
+            Err(e) => {
+                eprintln!("compare failed: {e}");
+                std::process::exit(2);
+            }
+            Ok(violations) if violations.is_empty() => {
+                println!("metrics within {tolerance}% of baseline {path}");
+            }
+            Ok(violations) => {
+                println!(
+                    "{} metric(s) drifted beyond {tolerance}% of baseline {path}:",
+                    violations.len()
+                );
+                for v in &violations {
+                    println!("  {v}");
+                }
+                std::process::exit(1);
             }
         }
     }

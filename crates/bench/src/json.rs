@@ -1,0 +1,345 @@
+//! Minimal JSON reader/writer for the metrics report (`repro
+//! --metrics-json` / `--compare-metrics`). Hand-rolled on purpose: the
+//! workspace vendors no JSON crate, and the report schema is small enough
+//! that a ~150-line recursive-descent parser is cheaper than a dependency.
+//!
+//! Supported: objects, arrays, strings (with `\uXXXX` escapes), numbers
+//! (as `f64` — every value the report emits fits losslessly or is already
+//! a float), booleans and `null`. Not supported (and not emitted):
+//! duplicate-key semantics beyond last-wins.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects use a `BTreeMap` so re-serialization is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Escape and quote a string for JSON output.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float the way the report writes numbers: integers without a
+/// fraction, everything else via Rust's shortest round-trip formatting.
+pub fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no Inf/NaN; the report never produces them, but guard
+        // anyway so a bug degrades to null instead of invalid output.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Parse a complete JSON document. Returns a message describing the first
+/// syntax error (with byte offset) on malformed input.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are not emitted by the report;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_report_shaped_document() {
+        let doc = r#"{
+            "schema": "dcfa-mpi-metrics/1",
+            "elapsed_ns": 1234567,
+            "bandwidth_gbs": 1.25e0,
+            "offload_threshold": null,
+            "ok": true,
+            "phases": [
+                {"phase": "Eager", "p99_ns": 4096.5, "buckets": [[3, 17], [4, 2]]}
+            ]
+        }"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(JsonValue::as_str),
+            Some("dcfa-mpi-metrics/1")
+        );
+        assert_eq!(
+            v.get("elapsed_ns").and_then(JsonValue::as_f64),
+            Some(1_234_567.0)
+        );
+        assert_eq!(v.get("offload_threshold"), Some(&JsonValue::Null));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        let phases = v.get("phases").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(
+            phases[0].get("p99_ns").and_then(JsonValue::as_f64),
+            Some(4096.5)
+        );
+        let buckets = phases[0]
+            .get("buckets")
+            .and_then(JsonValue::as_arr)
+            .unwrap();
+        assert_eq!(buckets[0].as_arr().unwrap()[1].as_f64(), Some(17.0));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        let back = parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        for v in [0.0, 1.0, -3.0, 0.5, 1.25e9, 123456789.0, 0.001] {
+            let mut out = String::new();
+            write_num(&mut out, v);
+            assert_eq!(parse(&out).unwrap().as_f64(), Some(v), "value {v}");
+        }
+        // Non-finite degrades to null rather than invalid JSON.
+        let mut out = String::new();
+        write_num(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

@@ -14,6 +14,11 @@ use dcfa_mpi::MpiConfig;
 use fabric::ClusterConfig;
 use serde::Serialize;
 
+pub mod json;
+pub mod report;
+
+pub use report::{compare_reports, metrics_report_json, METRICS_SCHEMA};
+
 /// Message-size sweep used by the bandwidth/RTT figures (4 B – 2^max_pow,
 /// powers of two).
 pub fn size_sweep(max_pow: u32) -> Vec<u64> {
@@ -417,6 +422,15 @@ pub struct ObservabilityRun {
     pub dropped: u64,
     /// Protocol-auditor verdict over `events`.
     pub audit: Result<dcfa_mpi::AuditReport, Vec<String>>,
+    /// Latency histograms recorded by every rank (see
+    /// [`dcfa_mpi::MetricsHub`]); drained by [`metrics_report_json`].
+    pub metrics: dcfa_mpi::MetricsHub,
+    /// Virtual time the whole simulation took, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// The MPI configuration the ranks ran under (report fingerprint).
+    pub cfg: MpiConfig,
+    /// Number of ranks launched.
+    pub ranks: usize,
 }
 
 /// Run the 4-rank mixed workload behind `repro --stats`: eager ring
@@ -434,63 +448,61 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
     let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let metrics = dcfa_mpi::MetricsHub::new();
+    let cfg = MpiConfig::dcfa();
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
     let reports2 = reports.clone();
     let opts = dcfa_mpi::LaunchOpts {
         tracer: Some(tracer.clone()),
+        metrics: Some(metrics.clone()),
         ..Default::default()
     };
-    let daemon = dcfa_mpi::launch(
-        &sim,
-        &ib,
-        &scif,
-        MpiConfig::dcfa(),
-        N,
-        opts,
-        move |ctx, comm| {
-            let (r, n) = (comm.rank(), comm.size());
-            let next = (r + 1) % n;
-            let prev = (r + n - 1) % n;
-            let skew = simcore::SimDuration::from_micros(150);
-            let stx = comm.alloc(512).unwrap();
-            let srx = comm.alloc(512).unwrap();
-            let big = comm.alloc(64 << 10).unwrap();
-            // Eager ring traffic (and credit-return pressure).
-            for _ in 0..8 {
-                comm.sendrecv(ctx, &stx, next, &srx, prev, 10).unwrap();
-            }
-            // Rendezvous between pairs (0<->1, 2<->3), both flavours: first
-            // the receiver arrives late (sender-first RTS path), then the
-            // sender arrives late (receiver-first RTR path). 64 KiB is past
-            // the eager and offload thresholds, so the sends also exercise
-            // the offloading send buffer.
-            let peer = r ^ 1;
-            for recv_late in [true, false] {
-                if r % 2 == 0 {
-                    if !recv_late {
-                        ctx.sleep(skew);
-                    }
-                    comm.send(ctx, &big, peer, 20).unwrap();
-                } else {
-                    if recv_late {
-                        ctx.sleep(skew);
-                    }
-                    comm.recv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
-                        .unwrap();
+    let daemon = dcfa_mpi::launch(&sim, &ib, &scif, cfg.clone(), N, opts, move |ctx, comm| {
+        let (r, n) = (comm.rank(), comm.size());
+        let next = (r + 1) % n;
+        let prev = (r + n - 1) % n;
+        let skew = simcore::SimDuration::from_micros(150);
+        let stx = comm.alloc(512).unwrap();
+        let srx = comm.alloc(512).unwrap();
+        let big = comm.alloc(64 << 10).unwrap();
+        // Eager ring traffic (and credit-return pressure).
+        for _ in 0..8 {
+            comm.sendrecv(ctx, &stx, next, &srx, prev, 10).unwrap();
+        }
+        // Rendezvous between pairs (0<->1, 2<->3), both flavours: first
+        // the receiver arrives late (sender-first RTS path), then the
+        // sender arrives late (receiver-first RTR path — the iprobe
+        // pumps progress so the arrived RTR is stashed before isend
+        // decides, exactly like the faults suite does). 64 KiB is past
+        // the eager and offload thresholds, so the sends also exercise
+        // the offloading send buffer.
+        let peer = r ^ 1;
+        for recv_late in [true, false] {
+            if r % 2 == 0 {
+                if !recv_late {
+                    ctx.sleep(skew);
+                    let _ = comm.iprobe(ctx, Src::Rank(peer), TagSel::Tag(999));
                 }
-            }
-            // ANY_SOURCE fan-in to rank 0 (sequence-locking path).
-            if r == 0 {
-                for _ in 1..n {
-                    comm.recv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
-                }
+                comm.send(ctx, &big, peer, 20).unwrap();
             } else {
-                comm.send(ctx, &stx, 0, 30).unwrap();
+                if recv_late {
+                    ctx.sleep(skew);
+                }
+                comm.recv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
+                    .unwrap();
             }
-            reports2.lock()[r] = Some(comm.dump());
-        },
-    );
-    sim.run_expect();
+        }
+        // ANY_SOURCE fan-in to rank 0 (sequence-locking path).
+        if r == 0 {
+            for _ in 1..n {
+                comm.recv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
+            }
+        } else {
+            comm.send(ctx, &stx, 0, 30).unwrap();
+        }
+        reports2.lock()[r] = Some(comm.dump());
+    });
+    let run_report = sim.run_expect();
     let events = tracer.snapshot();
     let per_rank: Vec<_> = reports
         .lock()
@@ -506,6 +518,10 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
         dropped: tracer.dropped(),
         audit: dcfa_mpi::audit(&events),
         events,
+        metrics,
+        elapsed_ns: run_report.final_time.0,
+        cfg,
+        ranks: N,
     }
 }
 
@@ -540,85 +556,78 @@ pub fn fault_soak_run(ccfg: &ClusterConfig, faults: &[fabric::LinkFault]) -> Fau
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
     let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let metrics = dcfa_mpi::MetricsHub::new();
+    let cfg = MpiConfig::dcfa();
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
     let reports2 = reports.clone();
     let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64)));
     let tallies2 = tallies.clone();
     let opts = dcfa_mpi::LaunchOpts {
         tracer: Some(tracer.clone()),
+        metrics: Some(metrics.clone()),
         ..Default::default()
     };
-    let daemon = dcfa_mpi::launch(
-        &sim,
-        &ib,
-        &scif,
-        MpiConfig::dcfa(),
-        N,
-        opts,
-        move |ctx, comm| {
-            let (r, n) = (comm.rank(), comm.size());
-            let next = (r + 1) % n;
-            let prev = (r + n - 1) % n;
-            let skew = simcore::SimDuration::from_micros(150);
-            let stx = comm.alloc(512).unwrap();
-            let srx = comm.alloc(512).unwrap();
-            let big = comm.alloc(64 << 10).unwrap();
-            let (mut ok, mut failed) = (0u64, 0u64);
-            let mut tally = |res: Result<dcfa_mpi::Status, MpiError>| match res {
-                Ok(_) => ok += 1,
-                Err(MpiError::Transport { .. }) | Err(MpiError::RemoteTransport { .. }) => {
-                    failed += 1
+    let daemon = dcfa_mpi::launch(&sim, &ib, &scif, cfg.clone(), N, opts, move |ctx, comm| {
+        let (r, n) = (comm.rank(), comm.size());
+        let next = (r + 1) % n;
+        let prev = (r + n - 1) % n;
+        let skew = simcore::SimDuration::from_micros(150);
+        let stx = comm.alloc(512).unwrap();
+        let srx = comm.alloc(512).unwrap();
+        let big = comm.alloc(64 << 10).unwrap();
+        let (mut ok, mut failed) = (0u64, 0u64);
+        let mut tally = |res: Result<dcfa_mpi::Status, MpiError>| match res {
+            Ok(_) => ok += 1,
+            Err(MpiError::Transport { .. }) | Err(MpiError::RemoteTransport { .. }) => failed += 1,
+            Err(e) => panic!("unexpected MPI error under fault injection: {e}"),
+        };
+        // Eager ring traffic, waited individually so each operation's
+        // outcome can be tallied.
+        for _ in 0..8 {
+            let rr = comm
+                .irecv(ctx, &srx, Src::Rank(prev), TagSel::Tag(10))
+                .unwrap();
+            let sr = comm.isend(ctx, &stx, next, 10).unwrap();
+            tally(comm.wait(ctx, sr));
+            tally(comm.wait(ctx, rr));
+        }
+        // Rendezvous between pairs (0<->1, 2<->3), both flavours: the
+        // skew forces the sender-first (RTS) path one round and the
+        // receiver-first (RTR) path the next.
+        let peer = r ^ 1;
+        for recv_late in [true, false] {
+            if r % 2 == 0 {
+                if !recv_late {
+                    ctx.sleep(skew);
                 }
-                Err(e) => panic!("unexpected MPI error under fault injection: {e}"),
-            };
-            // Eager ring traffic, waited individually so each operation's
-            // outcome can be tallied.
-            for _ in 0..8 {
-                let rr = comm
-                    .irecv(ctx, &srx, Src::Rank(prev), TagSel::Tag(10))
-                    .unwrap();
-                let sr = comm.isend(ctx, &stx, next, 10).unwrap();
+                let sr = comm.isend(ctx, &big, peer, 20).unwrap();
                 tally(comm.wait(ctx, sr));
+            } else {
+                if recv_late {
+                    ctx.sleep(skew);
+                }
+                let rr = comm
+                    .irecv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
+                    .unwrap();
                 tally(comm.wait(ctx, rr));
             }
-            // Rendezvous between pairs (0<->1, 2<->3), both flavours: the
-            // skew forces the sender-first (RTS) path one round and the
-            // receiver-first (RTR) path the next.
-            let peer = r ^ 1;
-            for recv_late in [true, false] {
-                if r % 2 == 0 {
-                    if !recv_late {
-                        ctx.sleep(skew);
-                    }
-                    let sr = comm.isend(ctx, &big, peer, 20).unwrap();
-                    tally(comm.wait(ctx, sr));
-                } else {
-                    if recv_late {
-                        ctx.sleep(skew);
-                    }
-                    let rr = comm
-                        .irecv(ctx, &big, Src::Rank(peer), TagSel::Tag(20))
-                        .unwrap();
-                    tally(comm.wait(ctx, rr));
-                }
+        }
+        // ANY_SOURCE fan-in to rank 0 (sequence-locking under faults).
+        if r == 0 {
+            for _ in 1..n {
+                let rr = comm.irecv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
+                tally(comm.wait(ctx, rr));
             }
-            // ANY_SOURCE fan-in to rank 0 (sequence-locking under faults).
-            if r == 0 {
-                for _ in 1..n {
-                    let rr = comm.irecv(ctx, &srx, Src::Any, TagSel::Any).unwrap();
-                    tally(comm.wait(ctx, rr));
-                }
-            } else {
-                let sr = comm.isend(ctx, &stx, 0, 30).unwrap();
-                tally(comm.wait(ctx, sr));
-            }
-            let mut t = tallies2.lock();
-            t.0 += ok;
-            t.1 += failed;
-            reports2.lock()[r] = Some(comm.dump());
-        },
-    );
-    sim.run_expect();
+        } else {
+            let sr = comm.isend(ctx, &stx, 0, 30).unwrap();
+            tally(comm.wait(ctx, sr));
+        }
+        let mut t = tallies2.lock();
+        t.0 += ok;
+        t.1 += failed;
+        reports2.lock()[r] = Some(comm.dump());
+    });
+    let run_report = sim.run_expect();
     let events = tracer.snapshot();
     let per_rank: Vec<_> = reports
         .lock()
@@ -638,6 +647,10 @@ pub fn fault_soak_run(ccfg: &ClusterConfig, faults: &[fabric::LinkFault]) -> Fau
             dropped: tracer.dropped(),
             audit: dcfa_mpi::audit(&events),
             events,
+            metrics,
+            elapsed_ns: run_report.final_time.0,
+            cfg,
+            ranks: N,
         },
     }
 }
@@ -682,12 +695,14 @@ pub fn daemon_fault_soak_run(
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
     let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let metrics = dcfa_mpi::MetricsHub::new();
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
     let reports2 = reports.clone();
     let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64, 0u64)));
     let tallies2 = tallies.clone();
     let opts = dcfa_mpi::LaunchOpts {
         tracer: Some(tracer.clone()),
+        metrics: Some(metrics.clone()),
         daemon: dcfa::DaemonConfig {
             faults: faults.to_vec(),
             // Exercise the reaper alongside the chaos: silent ranks are
@@ -707,7 +722,7 @@ pub fn daemon_fault_soak_run(
         heartbeat_interval: Some(simcore::SimDuration::from_micros(200)),
         ..MpiConfig::dcfa()
     };
-    let daemon = dcfa_mpi::launch(&sim, &ib, &scif, cfg, N, opts, move |ctx, comm| {
+    let daemon = dcfa_mpi::launch(&sim, &ib, &scif, cfg.clone(), N, opts, move |ctx, comm| {
         let (r, n) = (comm.rank(), comm.size());
         let next = (r + 1) % n;
         let prev = (r + n - 1) % n;
@@ -786,7 +801,7 @@ pub fn daemon_fault_soak_run(
         t.2 += corrupt;
         reports2.lock()[r] = Some(comm.dump());
     });
-    sim.run_expect();
+    let run_report = sim.run_expect();
     let mem_balance = (0..N)
         .map(|n| (n, mem_before[n], cluster.mem_used(host(n))))
         .collect();
@@ -811,6 +826,10 @@ pub fn daemon_fault_soak_run(
             dropped: tracer.dropped(),
             audit: dcfa_mpi::audit(&events),
             events,
+            metrics,
+            elapsed_ns: run_report.final_time.0,
+            cfg,
+            ranks: N,
         },
     }
 }

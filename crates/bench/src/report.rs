@@ -1,0 +1,347 @@
+//! The machine-readable performance report behind `repro --metrics-json`
+//! and the regression gate behind `repro --compare-metrics`.
+//!
+//! # Schema versioning
+//!
+//! Every report carries `"schema": "dcfa-mpi-metrics/1"`. The comparator
+//! refuses to diff reports with different schema ids. Additive changes
+//! (new counters, new phases) keep the version; renaming or re-meaning a
+//! field bumps it — see DESIGN.md §13.
+//!
+//! # Comparison semantics
+//!
+//! The gate is a *symmetric drift* check: for each per-phase p99 and for
+//! the aggregate bandwidth, `|current - baseline| / baseline` must stay
+//! within the tolerance. Regressions beyond tolerance fail for the obvious
+//! reason; improvements beyond tolerance also fail, because they mean the
+//! checked-in baseline no longer describes the code and must be refreshed
+//! (otherwise it would mask a later regression of the same magnitude).
+
+use std::fmt::Write as _;
+
+use dcfa_mpi::{HistogramSnapshot, MpiConfig, Phase};
+
+use crate::json::{self, JsonValue};
+use crate::ObservabilityRun;
+
+/// Schema identifier stamped into (and required of) every report.
+pub const METRICS_SCHEMA: &str = "dcfa-mpi-metrics/1";
+
+fn push_kv_num(out: &mut String, key: &str, v: f64) {
+    json::write_str(out, key);
+    out.push(':');
+    json::write_num(out, v);
+}
+
+fn push_hist_fields(out: &mut String, s: &HistogramSnapshot) {
+    push_kv_num(out, "count", s.count as f64);
+    out.push(',');
+    push_kv_num(out, "sum_ns", s.sum as f64);
+    out.push(',');
+    push_kv_num(out, "min_ns", if s.is_empty() { 0.0 } else { s.min as f64 });
+    out.push(',');
+    push_kv_num(out, "max_ns", s.max as f64);
+    out.push(',');
+    push_kv_num(out, "mean_ns", s.mean());
+    out.push(',');
+    push_kv_num(out, "p50_ns", s.p50());
+    out.push(',');
+    push_kv_num(out, "p90_ns", s.p90());
+    out.push(',');
+    push_kv_num(out, "p99_ns", s.p99());
+}
+
+/// Serialize the run's metrics as a versioned JSON report: config
+/// fingerprint, aggregated counters, derived bandwidth, per-phase
+/// roll-ups with percentiles, and the full per-(phase, size-class, peer)
+/// histograms with sparse bucket lists.
+pub fn metrics_report_json(run: &ObservabilityRun) -> String {
+    let cfg: &MpiConfig = &run.cfg;
+    let mut out = String::with_capacity(16 << 10);
+    out.push_str("{\n");
+    let _ = writeln!(out, "\"schema\":\"{METRICS_SCHEMA}\",");
+
+    // Config fingerprint: every knob that shapes the latency distributions.
+    out.push_str("\"config\":{");
+    let _ = write!(out, "\"ranks\":{},", run.ranks);
+    let _ = write!(out, "\"placement\":\"{:?}\",", cfg.placement);
+    let _ = write!(out, "\"eager_threshold\":{},", cfg.eager_threshold);
+    match cfg.offload_threshold {
+        Some(t) => {
+            let _ = write!(out, "\"offload_threshold\":{t},");
+        }
+        None => out.push_str("\"offload_threshold\":null,"),
+    }
+    let _ = write!(out, "\"mr_cache_capacity\":{},", cfg.mr_cache_capacity);
+    let _ = write!(out, "\"ring_slots\":{},", cfg.ring_slots);
+    let _ = write!(out, "\"ring_slot_payload\":{}", cfg.ring_slot_payload);
+    out.push_str("},\n");
+
+    let _ = writeln!(out, "\"elapsed_ns\":{},", run.elapsed_ns);
+
+    // Counters aggregated across ranks.
+    let mut bytes_sent = 0u64;
+    let mut bytes_received = 0u64;
+    let mut eager_sends = 0u64;
+    let mut rndv_sends = 0u64;
+    let mut offload_syncs = 0u64;
+    let mut packets = 0u64;
+    let mut mr_hits = 0u64;
+    let mut mr_misses = 0u64;
+    for r in &run.reports {
+        bytes_sent += r.comm.bytes_sent;
+        bytes_received += r.comm.bytes_received;
+        eager_sends += r.comm.eager_sends;
+        rndv_sends += r.comm.rndv_sends;
+        offload_syncs += r.comm.offload_syncs;
+        packets += r.comm.packets_processed;
+        mr_hits += r.mr_cache.hits;
+        mr_misses += r.mr_cache.misses;
+    }
+    out.push_str("\"counters\":{");
+    let _ = write!(
+        out,
+        "\"bytes_sent\":{bytes_sent},\"bytes_received\":{bytes_received},\
+         \"eager_sends\":{eager_sends},\"rndv_sends\":{rndv_sends},\
+         \"offload_syncs\":{offload_syncs},\"packets_processed\":{packets},\
+         \"mr_cache_hits\":{mr_hits},\"mr_cache_misses\":{mr_misses}"
+    );
+    out.push_str("},\n");
+
+    // Aggregate payload bandwidth over the run's virtual lifetime.
+    let bw_gbs = if run.elapsed_ns == 0 {
+        0.0
+    } else {
+        bytes_sent as f64 / run.elapsed_ns as f64 // B/ns == GB/s
+    };
+    out.push_str("\"bandwidth_gbs\":");
+    json::write_num(&mut out, bw_gbs);
+    out.push_str(",\n");
+
+    // Per-phase roll-ups (all size classes and peers merged).
+    out.push_str("\"phases\":[\n");
+    let phases = run.metrics.merged_by_phase();
+    for (i, (phase, snap)) in phases.iter().enumerate() {
+        out.push_str("  {");
+        let _ = write!(out, "\"phase\":\"{}\",", phase.name());
+        push_hist_fields(&mut out, snap);
+        out.push('}');
+        if i + 1 < phases.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\n");
+
+    // Full histograms, keyed and with sparse (bucket, count) pairs.
+    out.push_str("\"histograms\":[\n");
+    let hists = run.metrics.snapshot();
+    for (i, (key, snap)) in hists.iter().enumerate() {
+        out.push_str("  {");
+        let _ = write!(
+            out,
+            "\"phase\":\"{}\",\"size_class\":{},",
+            key.phase.name(),
+            key.size_class
+        );
+        match key.peer {
+            Some(p) => {
+                let _ = write!(out, "\"peer\":{p},");
+            }
+            None => out.push_str("\"peer\":null,"),
+        }
+        push_hist_fields(&mut out, snap);
+        out.push_str(",\"buckets\":[");
+        let mut first = true;
+        for (b, &c) in snap.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{b},{c}]");
+        }
+        out.push_str("]}");
+        if i + 1 < hists.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn phase_p99s(doc: &JsonValue) -> Result<Vec<(String, f64)>, String> {
+    let phases = doc
+        .get("phases")
+        .and_then(JsonValue::as_arr)
+        .ok_or("report has no \"phases\" array")?;
+    let mut out = Vec::new();
+    for p in phases {
+        let name = p
+            .get("phase")
+            .and_then(JsonValue::as_str)
+            .ok_or("phase entry without a \"phase\" name")?;
+        if Phase::parse(name).is_none() {
+            return Err(format!("unknown phase {name:?} in report"));
+        }
+        let p99 = p
+            .get("p99_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("phase {name} has no numeric p99_ns"))?;
+        out.push((name.to_string(), p99));
+    }
+    Ok(out)
+}
+
+fn drift_pct(base: f64, cur: f64) -> f64 {
+    if base == 0.0 {
+        if cur == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (cur - base).abs() / base * 100.0
+    }
+}
+
+/// Diff two serialized reports under a symmetric drift tolerance (in
+/// percent). `Ok(violations)` — empty means the gate passes; `Err` means
+/// one of the inputs could not be parsed or is not a metrics report.
+pub fn compare_reports(
+    baseline: &str,
+    current: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
+    let base = json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = json::parse(current).map_err(|e| format!("current: {e}"))?;
+    for (label, doc) in [("baseline", &base), ("current", &cur)] {
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(METRICS_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!(
+                    "{label}: schema {other:?} does not match {METRICS_SCHEMA:?}"
+                ))
+            }
+            None => return Err(format!("{label}: not a metrics report (no schema)")),
+        }
+    }
+
+    let mut violations = Vec::new();
+
+    let base_bw = base
+        .get("bandwidth_gbs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("baseline: no numeric bandwidth_gbs")?;
+    let cur_bw = cur
+        .get("bandwidth_gbs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("current: no numeric bandwidth_gbs")?;
+    let bw_drift = drift_pct(base_bw, cur_bw);
+    if bw_drift > tolerance_pct {
+        violations.push(format!(
+            "bandwidth_gbs drifted {bw_drift:.1}% ({base_bw:.4} -> {cur_bw:.4}), \
+             tolerance {tolerance_pct}%"
+        ));
+    }
+
+    let base_phases = phase_p99s(&base).map_err(|e| format!("baseline: {e}"))?;
+    let cur_phases = phase_p99s(&cur).map_err(|e| format!("current: {e}"))?;
+    for (name, base_p99) in &base_phases {
+        match cur_phases.iter().find(|(n, _)| n == name) {
+            None => violations.push(format!(
+                "phase {name}: present in baseline but missing from current run"
+            )),
+            Some((_, cur_p99)) => {
+                let d = drift_pct(*base_p99, *cur_p99);
+                if d > tolerance_pct {
+                    violations.push(format!(
+                        "phase {name}: p99 drifted {d:.1}% ({base_p99:.0} ns -> {cur_p99:.0} ns), \
+                         tolerance {tolerance_pct}%"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _) in &cur_phases {
+        if !base_phases.iter().any(|(n, _)| n == name) {
+            violations.push(format!(
+                "phase {name}: new in current run, absent from baseline (refresh the baseline)"
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(p99_scale: f64, bw: f64) -> String {
+        format!(
+            r#"{{
+              "schema": "{METRICS_SCHEMA}",
+              "bandwidth_gbs": {bw},
+              "phases": [
+                {{"phase": "Eager", "p99_ns": {}}},
+                {{"phase": "RndvRead", "p99_ns": {}}}
+              ]
+            }}"#,
+            4000.0 * p99_scale,
+            90000.0 * p99_scale
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = fake_report(1.0, 1.5);
+        assert_eq!(compare_reports(&r, &r, 0.0).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        let v = compare_reports(&fake_report(1.0, 1.5), &fake_report(1.1, 1.4), 25.0).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn doubled_p99_fails() {
+        let v = compare_reports(&fake_report(2.0, 1.5), &fake_report(1.0, 1.5), 25.0).unwrap();
+        assert_eq!(v.len(), 2, "{v:?}"); // both phases drifted 50%
+        assert!(v[0].contains("p99 drifted"), "{v:?}");
+    }
+
+    #[test]
+    fn bandwidth_regression_fails() {
+        let v = compare_reports(&fake_report(1.0, 2.0), &fake_report(1.0, 1.0), 25.0).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("bandwidth_gbs"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_and_new_phases_flagged() {
+        let base = format!(
+            r#"{{"schema":"{METRICS_SCHEMA}","bandwidth_gbs":1.0,
+                "phases":[{{"phase":"Eager","p99_ns":100}}]}}"#
+        );
+        let cur = format!(
+            r#"{{"schema":"{METRICS_SCHEMA}","bandwidth_gbs":1.0,
+                "phases":[{{"phase":"RndvWrite","p99_ns":100}}]}}"#
+        );
+        let v = compare_reports(&base, &cur, 25.0).unwrap();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("missing from current")));
+        assert!(v.iter().any(|m| m.contains("absent from baseline")));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let bad = r#"{"schema":"dcfa-mpi-metrics/0","bandwidth_gbs":1.0,"phases":[]}"#;
+        assert!(compare_reports(bad, bad, 25.0).is_err());
+        assert!(compare_reports("{", "{}", 25.0).is_err());
+        assert!(compare_reports("{}", "{}", 25.0).is_err());
+    }
+}

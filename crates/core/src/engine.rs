@@ -24,18 +24,20 @@
 //!   transfer from host memory, dodging the slow HCA-read-from-Phi path.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use fabric::{Buffer, CostModel, MemRef};
 use simcore::{Ctx, SimDuration, SimEvent, SimTime};
 use verbs::{CompletionQueue, MemoryRegion, MrKey, QueuePair, SendWr, Wc, WcStatus};
 
 use crate::config::{MpiConfig, Placement};
+use crate::metrics::{Metrics, MetricsHub, Phase, Span};
 use crate::mrcache::{MrCache, MrLease, OffloadCache, OffloadLease};
 use crate::packet::{
     tail_seq, tail_word, PacketHeader, PacketKind, HEADER_LEN, SLOT_OVERHEAD, TAIL_LEN,
 };
 use crate::resources::Resources;
-use crate::stats::StatsReport;
+use crate::stats::{StatsCell, StatsReport};
 use crate::trace::{Trace, TraceBuf, TraceEvent};
 use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel, TransportOp};
 
@@ -279,7 +281,14 @@ pub struct Engine {
     unexpected: Vec<Unexpected>,
     mpi_call: SimDuration,
     pub(crate) stats: CommStats,
+    /// Seqlock publication point for [`StatsReport`]s: observers on other
+    /// threads read the last published snapshot without tearing.
+    stats_cell: Arc<StatsCell>,
     trace: Trace,
+    metrics: Metrics,
+    /// Open latency spans keyed by request id: one asynchronous protocol
+    /// stage per request, closed when the request resolves.
+    open_spans: HashMap<u64, Span>,
     /// Re-entrancy guard: progress() invoked from within progress() (via
     /// a packet handler) is a no-op; the outer sweep picks up the work.
     in_progress: bool,
@@ -415,7 +424,10 @@ impl Engine {
                 unexpected: Vec::new(),
                 mpi_call,
                 stats: CommStats::default(),
+                stats_cell: Arc::new(StatsCell::new()),
                 trace: Trace::default(),
+                metrics: Metrics::default(),
+                open_spans: HashMap::new(),
                 in_progress: false,
                 inflight: HashMap::new(),
                 next_ring_wr: 0,
@@ -500,6 +512,7 @@ impl Engine {
         if len <= self.cfg.eager_threshold {
             self.stats.eager_sends += 1;
             let req = self.new_req(ReqState::EagerSend { status });
+            self.open_span(ctx, Phase::Eager, req, len, dst);
             let hdr = PacketHeader {
                 kind: PacketKind::Eager,
                 src_rank: self.rank,
@@ -536,6 +549,7 @@ impl Engine {
                 status,
                 lease,
             });
+            self.open_span(ctx, Phase::RndvWrite, req, len, dst);
             self.rndv_write(ctx, dst, req, src_addr, src_rkey, len, &rtr);
             return Ok(Request(req));
         }
@@ -557,6 +571,7 @@ impl Engine {
             lease,
             hdr: hdr.clone(),
         });
+        self.open_span(ctx, Phase::RtsWait, req, len, dst);
         self.send_ctrl(ctx, dst, hdr);
         self.arm_rndv_timeout(ctx, TimeoutKind::Rts { req });
         Ok(Request(req))
@@ -751,16 +766,26 @@ impl Engine {
     }
 
     /// Consolidated counter snapshot: protocol counters plus both cache
-    /// pools' hit/miss/lifetime statistics.
+    /// pools' hit/miss/lifetime statistics. Also publishes the snapshot
+    /// into the rank's [`StatsCell`] for concurrent observers.
     pub fn dump(&self) -> StatsReport {
-        StatsReport {
+        let report = StatsReport {
             rank: self.rank,
             comm: self.stats,
             mr_cache: self.mr_cache.stats(),
             offload: self.offload_cache.stats(),
             mr_cached: self.mr_cache.cached_regions(),
             mr_pinned: self.mr_cache.pinned_regions(),
-        }
+        };
+        self.stats_cell.publish(report);
+        report
+    }
+
+    /// The rank's seqlock stats cell: share the handle with any thread to
+    /// read the last published [`StatsReport`] without tearing. See the
+    /// staleness contract on [`StatsCell`].
+    pub fn stats_cell(&self) -> Arc<StatsCell> {
+        self.stats_cell.clone()
     }
 
     /// Attach this engine (and its caches) to a shared structured trace
@@ -769,6 +794,41 @@ impl Engine {
         self.trace.attach(buf);
         self.mr_cache.set_trace(self.trace.clone(), self.rank);
         self.offload_cache.set_trace(self.trace.clone(), self.rank);
+    }
+
+    /// Attach this engine (and its caches) to a shared metrics hub.
+    /// Latency recording — histograms and phase spans — is a no-op until
+    /// this is called.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.metrics.attach(hub);
+        self.mr_cache.set_metrics(self.metrics.clone());
+        self.offload_cache.set_metrics(self.metrics.clone());
+    }
+
+    /// Open a latency span for request `id` and mirror it into the trace
+    /// stream (auditor invariant 6 pairs opens and closes).
+    fn open_span(&mut self, ctx: &Ctx, phase: Phase, id: u64, bytes: u64, peer: Rank) {
+        if let Some(span) = self
+            .metrics
+            .span_begin(phase, id, bytes, Some(peer), || ctx.now())
+        {
+            self.open_spans.insert(id, span);
+            let rank = self.rank;
+            self.trace
+                .record(|| TraceEvent::SpanOpen { rank, id, phase });
+        }
+    }
+
+    /// Close request `id`'s span, attributing its lifetime to the phase
+    /// it opened under. No-op when no span is open (metrics detached).
+    fn close_span(&mut self, ctx: &Ctx, id: u64) {
+        if let Some(span) = self.open_spans.remove(&id) {
+            let phase = span.phase;
+            self.metrics.span_end(span, || ctx.now());
+            let rank = self.rank;
+            self.trace
+                .record(|| TraceEvent::SpanClose { rank, id, phase });
+        }
     }
 
     /// Host twin of a Phi buffer (creating/caching it on first use), for
@@ -815,6 +875,7 @@ impl Engine {
                 || !self.inflight.is_empty()
                 || !self.retry_due.is_empty();
             if !pending {
+                self.dump(); // publish final pre-teardown counters
                 return;
             }
             ctx.wait_event(&self.progress_event, seen, "finalize quiesce");
@@ -826,6 +887,7 @@ impl Engine {
         self.mr_cache.clear(ctx, &self.res);
         self.offload_cache.clear(ctx, &self.res);
         self.res.close(ctx);
+        self.dump();
     }
 
     // ---- protocol internals ------------------------------------------------
@@ -878,8 +940,11 @@ impl Engine {
                         let len = buf.len;
                         self.trace
                             .record(|| TraceEvent::OffloadSyncStart { rank, len });
+                        let t0 = self.metrics.start(|| ctx.now());
                         let t = self.res.cluster().pci_dma(&src, &dst, ctx.now());
                         ctx.wait_reason(&t.completion, "offload sync");
+                        self.metrics
+                            .record_since(t0, || ctx.now(), Phase::OffloadSync, len, None);
                         self.stats.offload_syncs += 1;
                         self.trace
                             .record(|| TraceEvent::OffloadSyncEnd { rank, len });
@@ -1085,7 +1150,10 @@ impl Engine {
         if let Some(p) = payload {
             let data = cluster.read_vec(p);
             cluster.write(&stage, base + HEADER_LEN, &data);
+            let t0 = self.metrics.start(|| ctx.now());
             ctx.sleep(cluster.copy_duration(mem_domain, payload_len));
+            self.metrics
+                .record_since(t0, || ctx.now(), Phase::EagerCopy, payload_len, Some(dst));
         }
         cluster.write(
             &stage,
@@ -1370,6 +1438,7 @@ impl Engine {
                 let Some(id) = req else { return };
                 match self.reqs.remove(&id) {
                     Some(ReqState::EagerSend { status }) => {
+                        self.close_span(ctx, id);
                         self.reqs.insert(id, ReqState::Done(status));
                     }
                     Some(other) => {
@@ -1387,6 +1456,7 @@ impl Engine {
                     truncated,
                     lease,
                 }) => {
+                    self.close_span(ctx, req);
                     self.mr_cache.release(ctx, &self.res, lease);
                     self.stats.bytes_received += status.len;
                     let hdr = PacketHeader::control(
@@ -1422,6 +1492,7 @@ impl Engine {
                 }) => {
                     // Data placed; the source is free again. Tell the
                     // receiver.
+                    self.close_span(ctx, req);
                     self.release_send_lease(ctx, lease);
                     let hdr = PacketHeader::control(
                         PacketKind::DoneWrite,
@@ -1451,6 +1522,8 @@ impl Engine {
     fn schedule_retry(&mut self, ctx: &mut Ctx, wr_id: u64, mut entry: InflightWr) {
         let shift = (entry.attempts - 1).min(20);
         let backoff = self.cfg.retry_backoff * (1u64 << shift);
+        self.metrics
+            .record_ns(Phase::Backoff, 0, Some(entry.dst), backoff.as_nanos());
         entry.attempts += 1;
         self.inflight.insert(wr_id, entry);
         let due = ctx.now() + backoff;
@@ -1518,6 +1591,7 @@ impl Engine {
                         seq,
                     });
                     if let Some(id) = req {
+                        self.close_span(ctx, id);
                         self.reqs.insert(
                             id,
                             ReqState::Failed(MpiError::Transport {
@@ -1556,6 +1630,7 @@ impl Engine {
                         _ => None,
                     });
                     if let Some(id) = owner {
+                        self.close_span(ctx, id);
                         if let Some(ReqState::RndvSendAwaitDone { lease, .. }) =
                             self.reqs.remove(&id)
                         {
@@ -1631,6 +1706,7 @@ impl Engine {
                     ..
                 }) = self.reqs.remove(&req)
                 {
+                    self.close_span(ctx, req);
                     self.mr_cache.release(ctx, &self.res, lease);
                     self.trace.record(|| TraceEvent::TransportFail {
                         rank,
@@ -1664,6 +1740,7 @@ impl Engine {
                     ..
                 }) = self.reqs.remove(&req)
                 {
+                    self.close_span(ctx, req);
                     self.release_send_lease(ctx, lease);
                     self.trace
                         .record(|| TraceEvent::TransportFail { rank, peer: d, seq });
@@ -1977,6 +2054,7 @@ impl Engine {
                     if let Some(ReqState::RndvSendAwaitDone { status, lease, .. }) =
                         self.reqs.remove(&id)
                     {
+                        self.close_span(ctx, id);
                         self.release_send_lease(ctx, lease);
                         self.reqs.insert(id, ReqState::Done(status));
                     }
@@ -2059,6 +2137,7 @@ impl Engine {
                     _ => None,
                 });
                 if let Some(id) = sender_req {
+                    self.close_span(ctx, id);
                     if let Some(ReqState::RndvSendAwaitDone { lease, .. }) = self.reqs.remove(&id) {
                         self.release_send_lease(ctx, lease);
                     }
@@ -2283,6 +2362,7 @@ impl Engine {
             },
         );
         let req = posted.req;
+        self.open_span(ctx, Phase::RndvRead, req, read_len, hdr.src_rank);
         let wr = SendWr::rdma_read(req, vec![sge], hdr.addr, MrKey(hdr.rkey));
         self.post_tracked(ctx, hdr.src_rank, wr, WrKind::RndvRead { req });
     }

@@ -46,6 +46,7 @@ mod config;
 pub mod datatype;
 mod engine;
 pub mod hostcoll;
+pub mod metrics;
 mod mrcache;
 mod packet;
 mod resources;
@@ -58,10 +59,11 @@ mod world;
 pub use comm::{Comm, Communicator, Persistent};
 pub use config::{MpiConfig, Placement};
 pub use engine::{CommStats, Engine, PeerEndpoint};
+pub use metrics::{HistogramSnapshot, MetricKey, Metrics, MetricsHub, Phase, Span};
 pub use mrcache::CacheStats;
 pub use packet::PacketKind;
 pub use resources::Resources;
-pub use stats::StatsReport;
+pub use stats::{StatsCell, StatsReport};
 pub use trace::{audit, AuditReport, TraceBuf, TraceEvent};
 pub use types::{
     Datatype, MpiError, Rank, ReduceOp, Request, Src, Status, Tag, TagSel, TransportOp,

@@ -21,6 +21,7 @@ use fabric::Buffer;
 use simcore::Ctx;
 use verbs::MemoryRegion;
 
+use crate::metrics::{Metrics, Phase};
 use crate::resources::Resources;
 use crate::trace::{Trace, TraceEvent};
 use crate::types::Rank;
@@ -73,6 +74,7 @@ pub struct MrCache {
     clock: u64,
     pub(crate) stats: CacheStats,
     pub(crate) trace: Trace,
+    metrics: Metrics,
     rank: Rank,
 }
 
@@ -86,6 +88,7 @@ impl MrCache {
             clock: 0,
             stats: CacheStats::default(),
             trace: Trace::default(),
+            metrics: Metrics::default(),
             rank: 0,
         }
     }
@@ -93,6 +96,10 @@ impl MrCache {
     pub(crate) fn set_trace(&mut self, trace: Trace, rank: Rank) {
         self.trace = trace;
         self.rank = rank;
+    }
+
+    pub(crate) fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Acquire a pinned region covering `buf`, registering on miss. A hit
@@ -130,7 +137,10 @@ impl MrCache {
             // Fall through to the miss path: register afresh.
         }
         self.stats.misses += 1;
+        let reg_start = self.metrics.start(|| ctx.now());
         let mr = res.reg_mr(ctx, buf.clone());
+        self.metrics
+            .record_since(reg_start, || ctx.now(), Phase::MrRegister, buf.len, None);
         self.stats.registered += 1;
         let key = mr.key().0;
         if self.capacity == 0 {
@@ -297,6 +307,7 @@ pub struct OffloadCache {
     clock: u64,
     pub(crate) stats: CacheStats,
     trace: Trace,
+    metrics: Metrics,
     rank: Rank,
 }
 
@@ -308,6 +319,7 @@ impl OffloadCache {
             clock: 0,
             stats: CacheStats::default(),
             trace: Trace::default(),
+            metrics: Metrics::default(),
             rank: 0,
         }
     }
@@ -315,6 +327,10 @@ impl OffloadCache {
     pub(crate) fn set_trace(&mut self, trace: Trace, rank: Rank) {
         self.trace = trace;
         self.rank = rank;
+    }
+
+    pub(crate) fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Find or create the twin covering `buf`, bump LRU, and return its
@@ -346,7 +362,10 @@ impl OffloadCache {
                 .record(|| TraceEvent::MrInvalidated { rank, key });
         }
         self.stats.misses += 1;
+        let reg_start = self.metrics.start(|| ctx.now());
         let omr = res.reg_offload(ctx, buf)?;
+        self.metrics
+            .record_since(reg_start, || ctx.now(), Phase::MrRegister, buf.len, None);
         self.stats.registered += 1;
         let key = omr.host_mr.key().0;
         self.trace.record(|| TraceEvent::MrRegister {

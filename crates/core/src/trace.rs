@@ -30,7 +30,11 @@
 //! 5. control-plane fault recovery is complete: every daemon crash is
 //!    paired with a respawn of the same incarnation, and every client
 //!    re-attach replays its *entire* resource journal (`replayed ==
-//!    journaled` — no resource silently lost across a respawn).
+//!    journaled` — no resource silently lost across a respawn);
+//! 6. every opened metrics span is closed exactly once before rank
+//!    finalize: a dangling or double-closed span is a leak in the
+//!    engine's phase accounting and fails the audit with the span's
+//!    phase and message id.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -38,6 +42,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::metrics::Phase;
 use crate::packet::PacketKind;
 use crate::types::Rank;
 
@@ -157,6 +162,11 @@ pub enum TraceEvent {
     /// The rank gave up on offload twins (repeated registration failure)
     /// and degraded to direct-from-Phi rendezvous sends.
     OffloadDegraded { rank: Rank },
+    /// A metrics span opened: an asynchronous protocol stage of message
+    /// `id` began in `phase`. Must be closed exactly once.
+    SpanOpen { rank: Rank, id: u64, phase: Phase },
+    /// The matching span close.
+    SpanClose { rank: Rank, id: u64, phase: Phase },
 }
 
 struct TraceInner {
@@ -306,6 +316,8 @@ pub struct AuditReport {
     pub ctrl_replays: u64,
     /// Ranks that degraded to direct-from-Phi rendezvous sends.
     pub offload_degraded: u64,
+    /// Metrics spans opened and closed (paired exactly).
+    pub spans_closed: u64,
 }
 
 /// Check the protocol invariants over a recorded event stream.
@@ -335,6 +347,8 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
     let mut allowed_dups: HashMap<(Rank, Rank, PacketKind, u64), u64> = HashMap::new();
     // Invariant 5: per-(node, epoch) daemon crash/respawn pairing.
     let mut crash_respawn: HashMap<(usize, u32), (u64, u64)> = HashMap::new();
+    // Invariant 6: per-(rank, id) open metrics spans.
+    let mut open_spans: HashMap<(Rank, u64), Phase> = HashMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         match *ev {
@@ -551,6 +565,28 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
             TraceEvent::OffloadDegraded { .. } => {
                 report.offload_degraded += 1;
             }
+            TraceEvent::SpanOpen { rank, id, phase } => {
+                if let Some(prev) = open_spans.insert((rank, id), phase) {
+                    errs.push(format!(
+                        "[{i}] rank{rank} span {phase} msg {id}: opened while {prev} span \
+                         still open (span leak)"
+                    ));
+                }
+            }
+            TraceEvent::SpanClose { rank, id, phase } => match open_spans.remove(&(rank, id)) {
+                Some(open_phase) => {
+                    if open_phase != phase {
+                        errs.push(format!(
+                            "[{i}] rank{rank} msg {id}: {open_phase} span closed as {phase}"
+                        ));
+                    }
+                    report.spans_closed += 1;
+                }
+                None => errs.push(format!(
+                    "[{i}] rank{rank} span {phase} msg {id}: closed without an open span \
+                         (dangling or double close)"
+                )),
+            },
         }
     }
 
@@ -595,6 +631,11 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
                  (daemon incarnation not recovered)"
             ));
         }
+    }
+    for ((rank, id), phase) in &open_spans {
+        errs.push(format!(
+            "rank{rank} span {phase} msg {id}: never closed before finalize"
+        ));
     }
 
     if errs.is_empty() {
@@ -999,6 +1040,81 @@ mod tests {
         assert_eq!(r.ctrl_replays, 1);
         assert_eq!(r.lease_reclaims, 1);
         assert_eq!(r.offload_degraded, 1);
+    }
+
+    #[test]
+    fn spans_must_pair_exactly() {
+        use crate::metrics::Phase;
+        let open = TraceEvent::SpanOpen {
+            rank: 0,
+            id: 42,
+            phase: Phase::RtsWait,
+        };
+        let close = TraceEvent::SpanClose {
+            rank: 0,
+            id: 42,
+            phase: Phase::RtsWait,
+        };
+        let r = audit(&[open, close]).expect("paired span is clean");
+        assert_eq!(r.spans_closed, 1);
+
+        // Dangling: opened but never closed before finalize.
+        let errs = audit(&[open]).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("never closed") && e.contains("RtsWait") && e.contains("42")),
+            "{errs:?}"
+        );
+
+        // Double close.
+        let errs = audit(&[open, close, close]).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("dangling or double close") && e.contains("42")),
+            "{errs:?}"
+        );
+
+        // Close without any open.
+        let errs = audit(&[close]).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("dangling or double close")),
+            "{errs:?}"
+        );
+
+        // Re-open while still open (same message id).
+        let reopen = TraceEvent::SpanOpen {
+            rank: 0,
+            id: 42,
+            phase: Phase::RndvRead,
+        };
+        let errs = audit(&[open, reopen]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("span leak")), "{errs:?}");
+
+        // Phase mismatch between open and close.
+        let wrong_close = TraceEvent::SpanClose {
+            rank: 0,
+            id: 42,
+            phase: Phase::RndvWrite,
+        };
+        let errs = audit(&[open, wrong_close]).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("closed as RndvWrite")),
+            "{errs:?}"
+        );
+
+        // Same id on a different rank is a separate span.
+        let other_rank = TraceEvent::SpanOpen {
+            rank: 1,
+            id: 42,
+            phase: Phase::Eager,
+        };
+        let other_close = TraceEvent::SpanClose {
+            rank: 1,
+            id: 42,
+            phase: Phase::Eager,
+        };
+        let r = audit(&[open, other_rank, close, other_close]).expect("per-rank spans");
+        assert_eq!(r.spans_closed, 2);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct LaunchOpts {
     /// bridged into the trace ring so the auditor sees crash/respawn/
     /// re-attach alongside the data path.
     pub daemon: dcfa::DaemonConfig,
+    /// Shared latency-metrics hub every rank's engine records into (see
+    /// [`crate::metrics`]). `None` = profiling off. Only effective with
+    /// the `trace` cargo feature (default); without it the field is
+    /// accepted but ignored.
+    pub metrics: Option<crate::metrics::MetricsHub>,
 }
 
 impl Default for LaunchOpts {
@@ -61,8 +66,25 @@ impl Default for LaunchOpts {
             placements: None,
             tracer: None,
             daemon: dcfa::DaemonConfig::default(),
+            metrics: None,
         }
     }
+}
+
+/// Bridge [`dcfa::CtrlPerf`] latency samples into the metrics hub:
+/// command round-trips and offload-twin PCIe syncs become
+/// [`crate::metrics::Phase::CtrlRoundtrip`] / `OffloadSync` histogram
+/// entries (peer unknown at this layer).
+#[cfg(feature = "trace")]
+fn ctrl_perf_probe(hub: crate::metrics::MetricsHub) -> dcfa::PerfProbe {
+    use crate::metrics::Phase;
+    Arc::new(move |p: dcfa::CtrlPerf| {
+        let phase = match p.op {
+            dcfa::CtrlOp::Command => Phase::CtrlRoundtrip,
+            dcfa::CtrlOp::OffloadSync => Phase::OffloadSync,
+        };
+        hub.record(phase, p.bytes, None, p.ns);
+    })
 }
 
 /// Bridge [`dcfa::CtrlEvent`]s into the structured trace ring, so the
@@ -160,6 +182,11 @@ where
     let ctrl_hook: Option<dcfa::CtrlHook> = opts.tracer.clone().map(ctrl_trace_hook);
     #[cfg(not(feature = "trace"))]
     let ctrl_hook: Option<dcfa::CtrlHook> = None;
+    // Bridge control-plane latency samples into the metrics hub.
+    #[cfg(feature = "trace")]
+    let ctrl_perf: Option<dcfa::PerfProbe> = opts.metrics.clone().map(ctrl_perf_probe);
+    #[cfg(not(feature = "trace"))]
+    let ctrl_perf: Option<dcfa::PerfProbe> = None;
     let daemon_stats = if any_phi && opts.spawn_daemons {
         let mut dcfg = opts.daemon.clone();
         if dcfg.hook.is_none() {
@@ -192,8 +219,10 @@ where
         let boot = boot.clone();
         let f = f.clone();
         let tracer = opts.tracer.clone();
+        let metrics = opts.metrics.clone();
         let daemon_stats = daemon_stats.clone();
         let ctrl_hook = ctrl_hook.clone();
+        let ctrl_perf = ctrl_perf.clone();
         sim.spawn(format!("rank{r}"), move |ctx| {
             let res = match cfg.placement {
                 Placement::Phi => {
@@ -203,6 +232,7 @@ where
                         heartbeat_interval: cfg.heartbeat_interval,
                         stats: daemon_stats.clone().unwrap_or_default(),
                         hook: ctrl_hook,
+                        perf: ctrl_perf,
                         ..dcfa::DcfaConfig::default()
                     };
                     let d = dcfa::DcfaContext::open_with(ctx, &ib, &scif, node, dcfg)
@@ -216,6 +246,9 @@ where
             let (mut engine, endpoints) = Engine::create(ctx, r, n, cfg, res);
             if let Some(t) = &tracer {
                 engine.set_tracer(t.clone());
+            }
+            if let Some(m) = &metrics {
+                engine.set_metrics(m.clone());
             }
 
             // Publish and wait for everyone (the PMI exchange).

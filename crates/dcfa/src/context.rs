@@ -22,7 +22,7 @@ use scif::{ScifEndpoint, ScifError, ScifFabric};
 use simcore::{Ctx, SimDuration};
 use verbs::{CompletionQueue, IbFabric, MemoryRegion, MrKey, QueuePair, VerbsContext};
 
-use crate::daemon::{CtrlEvent, CtrlHook, DcfaStats, DCFA_PORT};
+use crate::daemon::{CtrlEvent, CtrlHook, CtrlOp, CtrlPerf, DcfaStats, PerfProbe, DCFA_PORT};
 use crate::wire::{
     decode_reply_frame, encode_cmd_frame, err_code, Cmd, Reply, CLIENT_NONE, SEQ_NONE,
 };
@@ -98,6 +98,9 @@ pub struct DcfaConfig {
     pub stats: DcfaStats,
     /// Control-plane event observer.
     pub hook: Option<CtrlHook>,
+    /// Control-plane latency observer (command round-trips, offload-twin
+    /// syncs). Fed into the MPI core's metrics hub when profiling is on.
+    pub perf: Option<PerfProbe>,
 }
 
 impl fmt::Debug for DcfaConfig {
@@ -110,6 +113,7 @@ impl fmt::Debug for DcfaConfig {
             .field("reconnect_backoff", &self.reconnect_backoff)
             .field("heartbeat_interval", &self.heartbeat_interval)
             .field("hook", &self.hook.as_ref().map(|_| ".."))
+            .field("perf", &self.perf.as_ref().map(|_| ".."))
             .finish_non_exhaustive()
     }
 }
@@ -125,6 +129,7 @@ impl Default for DcfaConfig {
             heartbeat_interval: None,
             stats: DcfaStats::default(),
             hook: None,
+            perf: None,
         }
     }
 }
@@ -319,6 +324,19 @@ impl DcfaContext {
     /// (reconnect + journal replay) when retries exhaust or the daemon
     /// reports our session gone.
     fn command(&self, ctx: &mut Ctx, cmd: Cmd) -> Result<Reply, DcfaError> {
+        let started = self.cfg.perf.as_ref().map(|_| ctx.now());
+        let result = self.command_inner(ctx, cmd);
+        if let (Some(probe), Some(t0)) = (&self.cfg.perf, started) {
+            probe(CtrlPerf {
+                op: CtrlOp::Command,
+                bytes: 0,
+                ns: ctx.now().since(t0).as_nanos(),
+            });
+        }
+        result
+    }
+
+    fn command_inner(&self, ctx: &mut Ctx, cmd: Cmd) -> Result<Reply, DcfaError> {
         let seq = self.alloc_seq();
         let mut reattach_budget = 2u32;
         loop {
@@ -661,10 +679,18 @@ impl DcfaContext {
     /// up to date ("data must be synchronized into the corresponding host
     /// buffer using the DMA engine" before posting the send).
     pub fn sync_offload_mr(&self, ctx: &mut Ctx, omr: &OffloadMr, offset: u64, len: u64) {
+        let started = self.cfg.perf.as_ref().map(|_| ctx.now());
         let src = omr.phi.slice(offset, len);
         let dst = omr.host_mr.buffer().slice(offset, len);
         let t = self.cluster.pci_dma(&src, &dst, ctx.now());
         ctx.wait_reason(&t.completion, "sync_offload_mr");
+        if let (Some(probe), Some(t0)) = (&self.cfg.perf, started) {
+            probe(CtrlPerf {
+                op: CtrlOp::OffloadSync,
+                bytes: len,
+                ns: ctx.now().since(t0).as_nanos(),
+            });
+        }
     }
 
     /// `dereg_offload_mr`: destroy the Phi-side descriptor, deregister the

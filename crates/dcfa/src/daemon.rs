@@ -144,6 +144,30 @@ pub enum CtrlEvent {
 /// Observer callback for [`CtrlEvent`]s.
 pub type CtrlHook = Arc<dyn Fn(&CtrlEvent) + Send + Sync>;
 
+/// Which control-plane operation a [`CtrlPerf`] sample timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlOp {
+    /// One full `command()` round-trip, including retries and reattaches.
+    Command,
+    /// One offload-twin PCIe sync (`sync_offload_mr`).
+    OffloadSync,
+}
+
+/// A latency sample from the control plane, in virtual nanoseconds.
+/// Reported through [`PerfProbe`] so an embedding layer can feed its own
+/// histograms without this crate depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlPerf {
+    pub op: CtrlOp,
+    /// Bytes moved, when the operation has a payload (offload syncs).
+    pub bytes: u64,
+    /// Elapsed virtual time in nanoseconds.
+    pub ns: u64,
+}
+
+/// Observer callback for [`CtrlPerf`] samples.
+pub type PerfProbe = Arc<dyn Fn(CtrlPerf) + Send + Sync>;
+
 // ---------------------------------------------------------------------------
 // Daemon fault plans
 // ---------------------------------------------------------------------------

@@ -27,5 +27,6 @@ pub mod wire;
 pub use context::{DcfaConfig, DcfaContext, DcfaError, OffloadMr};
 pub use daemon::{
     parse_daemon_fault_spec, spawn_daemons, spawn_daemons_with, spawn_node_daemon, CtrlEvent,
-    CtrlHook, DaemonConfig, DaemonFault, DaemonFaultKind, DcfaCounters, DcfaStats, DCFA_PORT,
+    CtrlHook, CtrlOp, CtrlPerf, DaemonConfig, DaemonFault, DaemonFaultKind, DcfaCounters,
+    DcfaStats, PerfProbe, DCFA_PORT,
 };
