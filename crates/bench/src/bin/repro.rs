@@ -35,6 +35,13 @@ use bench::{
 };
 use fabric::ClusterConfig;
 
+fn minor_faults() -> u64 {
+    std::fs::read_to_string("/proc/self/stat")
+        .ok()
+        .and_then(|s| s.split(' ').nth(9).and_then(|v| v.parse().ok()))
+        .unwrap_or(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -515,7 +522,14 @@ fn observability(show_stats: bool, show_trace: bool) {
 /// gate it against a saved baseline. Exits 1 on a drift violation, 2 when
 /// a report cannot be read or parsed.
 fn metrics_report(json_path: Option<&String>, baseline_path: Option<&String>, tolerance: f64) {
+    let faults_before = minor_faults();
     let run = bench::observability_run(&ClusterConfig::paper());
+    if std::env::var_os("SIM_PROFILE").is_some() {
+        eprintln!(
+            "SIM_PROFILE: minor faults during run: {}",
+            minor_faults() - faults_before
+        );
+    }
     if let Err(errors) = &run.audit {
         println!(
             "auditor: {} invariant violations in the profiled run",
@@ -527,6 +541,15 @@ fn metrics_report(json_path: Option<&String>, baseline_path: Option<&String>, to
         std::process::exit(1);
     }
     let report = bench::metrics_report_json(&run);
+    let wall_secs = run.wall_ns as f64 / 1e9;
+    println!(
+        "wall clock: {:.1} ms  |  {} events ({:.0} events/s)  |  {} ops ({:.0} ops/s)",
+        run.wall_ns as f64 / 1e6,
+        run.sim_events,
+        run.sim_events as f64 / wall_secs.max(1e-12),
+        run.mpi_ops,
+        run.mpi_ops as f64 / wall_secs.max(1e-12),
+    );
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(path, &report) {
             eprintln!("cannot write {path}: {e}");

@@ -427,6 +427,15 @@ pub struct ObservabilityRun {
     pub metrics: dcfa_mpi::MetricsHub,
     /// Virtual time the whole simulation took, in nanoseconds.
     pub elapsed_ns: u64,
+    /// Wall-clock time the simulation took to execute, in nanoseconds.
+    /// Machine-dependent: gated as a floor, never as symmetric drift.
+    pub wall_ns: u64,
+    /// Scheduler events the run processed (wall-clock throughput is
+    /// `sim_events / wall_ns`).
+    pub sim_events: u64,
+    /// Completed MPI-level send operations across all ranks (eager +
+    /// rendezvous), the numerator of `ops_per_sec`.
+    pub mpi_ops: u64,
     /// The MPI configuration the ranks ran under (report fingerprint).
     pub cfg: MpiConfig,
     /// Number of ranks launched.
@@ -502,13 +511,19 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
         }
         reports2.lock()[r] = Some(comm.dump());
     });
+    let wall_start = std::time::Instant::now();
     let run_report = sim.run_expect();
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let events = tracer.snapshot();
     let per_rank: Vec<_> = reports
         .lock()
         .iter()
         .map(|r| r.expect("rank finished"))
         .collect();
+    let mpi_ops = per_rank
+        .iter()
+        .map(|r| r.comm.eager_sends + r.comm.rndv_sends)
+        .sum();
     ObservabilityRun {
         reports: per_rank,
         daemon: daemon.map(|d| d.snapshot()),
@@ -520,6 +535,9 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
         events,
         metrics,
         elapsed_ns: run_report.final_time.0,
+        wall_ns,
+        sim_events: run_report.events_processed,
+        mpi_ops,
         cfg,
         ranks: N,
     }
@@ -627,13 +645,19 @@ pub fn fault_soak_run(ccfg: &ClusterConfig, faults: &[fabric::LinkFault]) -> Fau
         t.1 += failed;
         reports2.lock()[r] = Some(comm.dump());
     });
+    let wall_start = std::time::Instant::now();
     let run_report = sim.run_expect();
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let events = tracer.snapshot();
     let per_rank: Vec<_> = reports
         .lock()
         .iter()
         .map(|r| r.expect("rank finished"))
         .collect();
+    let mpi_ops = per_rank
+        .iter()
+        .map(|r| r.comm.eager_sends + r.comm.rndv_sends)
+        .sum();
     let (ops_ok, ops_failed) = *tallies.lock();
     FaultSoakRun {
         ops_ok,
@@ -649,6 +673,9 @@ pub fn fault_soak_run(ccfg: &ClusterConfig, faults: &[fabric::LinkFault]) -> Fau
             events,
             metrics,
             elapsed_ns: run_report.final_time.0,
+            wall_ns,
+            sim_events: run_report.events_processed,
+            mpi_ops,
             cfg,
             ranks: N,
         },
@@ -801,7 +828,9 @@ pub fn daemon_fault_soak_run(
         t.2 += corrupt;
         reports2.lock()[r] = Some(comm.dump());
     });
+    let wall_start = std::time::Instant::now();
     let run_report = sim.run_expect();
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
     let mem_balance = (0..N)
         .map(|n| (n, mem_before[n], cluster.mem_used(host(n))))
         .collect();
@@ -811,6 +840,10 @@ pub fn daemon_fault_soak_run(
         .iter()
         .map(|r| r.expect("rank finished"))
         .collect();
+    let mpi_ops = per_rank
+        .iter()
+        .map(|r| r.comm.eager_sends + r.comm.rndv_sends)
+        .sum();
     let (ops_ok, ops_failed, payload_errors) = *tallies.lock();
     DaemonFaultSoakRun {
         ops_ok,
@@ -828,6 +861,9 @@ pub fn daemon_fault_soak_run(
             events,
             metrics,
             elapsed_ns: run_report.final_time.0,
+            wall_ns,
+            sim_events: run_report.events_processed,
+            mpi_ops,
             cfg,
             ranks: N,
         },

@@ -139,6 +139,12 @@ impl Comm {
         self.engine.stats()
     }
 
+    /// Live handshake-replay entries (`served_done` + `served_dw`) across
+    /// all peers; bounded under load by CREDIT watermark pruning.
+    pub fn replay_entries(&self) -> usize {
+        self.engine.replay_entries()
+    }
+
     /// Allocate a page-aligned buffer in this rank's memory domain.
     pub fn alloc(&self, len: u64) -> Result<Buffer, MpiError> {
         self.engine

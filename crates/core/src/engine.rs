@@ -27,26 +27,28 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use fabric::{Buffer, CostModel, MemRef};
-use simcore::{Ctx, SimDuration, SimEvent, SimTime};
+use simcore::{Ctx, SimDuration, SimEvent};
 use verbs::{CompletionQueue, MemoryRegion, MrKey, QueuePair, SendWr, Wc, WcStatus};
 
 use crate::config::{MpiConfig, Placement};
 use crate::metrics::{Metrics, MetricsHub, Phase, Span};
 use crate::mrcache::{MrCache, MrLease, OffloadCache, OffloadLease};
 use crate::packet::{
-    tail_seq, tail_word, PacketHeader, PacketKind, HEADER_LEN, SLOT_OVERHEAD, TAIL_LEN,
+    tail_seq, tail_word, PacketHeader, PacketKind, HEADER_BYTES, HEADER_LEN, SLOT_OVERHEAD,
+    TAIL_LEN,
 };
 use crate::resources::Resources;
+use crate::slots::{SlotTable, TimerHeap};
 use crate::stats::{StatsCell, StatsReport};
 use crate::trace::{Trace, TraceBuf, TraceEvent};
 use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel, TransportOp};
 
-/// wr_id namespace for eager-ring writes. Ring writes draw ids from a
-/// counter starting here; rendezvous RDMA reads/writes use their request
-/// id (which starts at 1), so the two spaces never collide and *every*
-/// send-side work request can be found in the inflight table when its
-/// completion — success or error — arrives.
-const WR_RING_BASE: u64 = 1 << 63;
+/// Completions drained from the CQ per lock acquisition in a progress
+/// sweep (the `ibv_poll_cq` batch size).
+const CQ_BATCH: usize = 64;
+
+/// Recycled payload buffers kept for unexpected-message copy-out.
+const PAYLOAD_POOL_CAP: usize = 32;
 
 /// Per-peer connection state.
 pub(crate) struct Peer {
@@ -124,7 +126,7 @@ struct InflightWr {
 }
 
 /// A pending rendezvous-handshake watchdog.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum TimeoutKind {
     /// Sender-first: re-issue the RTS if the DONE hasn't arrived.
     Rts { req: u64 },
@@ -261,6 +263,12 @@ pub struct CommStats {
     /// back to sourcing the Phi buffer directly (twin unavailable, or the
     /// rank degraded after repeated failures).
     pub offload_fallbacks: u64,
+    /// Handshake-replay entries (`served_done`/`served_dw`) pruned on
+    /// peer-acknowledged sequence advance (CREDIT watermarks).
+    pub replay_pruned: u64,
+    /// Queued control packets posted without ringing a fresh doorbell
+    /// (coalesced behind the first post of the same ctrl drain).
+    pub doorbells_coalesced: u64,
 }
 
 /// The per-rank protocol engine.
@@ -275,8 +283,10 @@ pub struct Engine {
     peers: Vec<Option<Peer>>,
     pub(crate) mr_cache: MrCache,
     pub(crate) offload_cache: OffloadCache,
-    reqs: HashMap<u64, ReqState>,
-    next_req: u64,
+    /// Request table. Slot-indexed with generation-tagged handles: a
+    /// consumed/unknown `Request` misses on its generation and reports
+    /// `BadRequest`, exactly like the old hash-map lookup did.
+    reqs: SlotTable<ReqState>,
     recv_q: Vec<PostedRecv>,
     unexpected: Vec<Unexpected>,
     mpi_call: SimDuration,
@@ -286,21 +296,39 @@ pub struct Engine {
     stats_cell: Arc<StatsCell>,
     trace: Trace,
     metrics: Metrics,
-    /// Open latency spans keyed by request id: one asynchronous protocol
-    /// stage per request, closed when the request resolves.
-    open_spans: HashMap<u64, Span>,
+    /// Open latency spans, slot-indexed in step with `reqs` (the stored
+    /// full id disambiguates slot reuse): one asynchronous protocol stage
+    /// per request, closed when the request resolves.
+    open_spans: Vec<Option<(u64, Span)>>,
     /// Re-entrancy guard: progress() invoked from within progress() (via
     /// a packet handler) is a no-op; the outer sweep picks up the work.
     in_progress: bool,
-    /// Every posted send-side work request, keyed by wr_id, until its
-    /// completion is classified (success / retry / permanent failure).
-    inflight: HashMap<u64, InflightWr>,
-    /// Next offset above [`WR_RING_BASE`] for ring-write wr_ids.
-    next_ring_wr: u64,
-    /// Transiently failed WRs waiting out their backoff: (due, wr_id).
-    retry_due: Vec<(SimTime, u64)>,
-    /// Armed rendezvous-handshake watchdogs: (due, kind).
-    rndv_timeouts: Vec<(SimTime, TimeoutKind)>,
+    /// Every posted send-side work request until its completion is
+    /// classified (success / retry / permanent failure). The table handle
+    /// IS the wr_id: every send-side WR's id is drawn from here, so a
+    /// completion — success or error — always finds its owner, and a
+    /// handle that went stale (request failed under the retry) simply
+    /// misses on its generation.
+    inflight: SlotTable<InflightWr>,
+    /// Transiently failed WRs waiting out their backoff, by due time.
+    retry_due: TimerHeap<u64>,
+    /// Armed rendezvous-handshake watchdogs, by due time.
+    rndv_timeouts: TimerHeap<TimeoutKind>,
+    /// Reusable scratch: elapsed retry wr_ids popped per sweep.
+    retry_scratch: Vec<u64>,
+    /// Reusable scratch: fired watchdogs popped per sweep.
+    timeout_scratch: Vec<TimeoutKind>,
+    /// Reusable scratch: completions drained per CQ batch.
+    cq_scratch: Vec<Wc>,
+    /// Reusable scratch: staging-copy bounce buffer for payload moves.
+    copy_scratch: Vec<u8>,
+    /// Recycled payload buffers for the unexpected-message queue: eager
+    /// copy-out pops one here instead of allocating, and consuming the
+    /// unexpected message pushes it back.
+    payload_pool: Vec<Vec<u8>>,
+    /// Set by `flush_ctrl` for the second and later posts of one drain:
+    /// their doorbells coalesce behind the first post's.
+    coalesce_next_post: bool,
     /// Receives that failed permanently, keyed by (peer, pair seq): the
     /// peer's late data packet for that seq is answered with a NACK (RTS)
     /// or dropped (EAGER) instead of matching a later receive.
@@ -418,8 +446,7 @@ impl Engine {
                 peers,
                 mr_cache,
                 offload_cache,
-                reqs: HashMap::new(),
-                next_req: 1,
+                reqs: SlotTable::with_capacity(64),
                 recv_q: Vec::new(),
                 unexpected: Vec::new(),
                 mpi_call,
@@ -427,12 +454,17 @@ impl Engine {
                 stats_cell: Arc::new(StatsCell::new()),
                 trace: Trace::default(),
                 metrics: Metrics::default(),
-                open_spans: HashMap::new(),
+                open_spans: Vec::new(),
                 in_progress: false,
-                inflight: HashMap::new(),
-                next_ring_wr: 0,
-                retry_due: Vec::new(),
-                rndv_timeouts: Vec::new(),
+                inflight: SlotTable::with_capacity(64),
+                retry_due: TimerHeap::new(),
+                rndv_timeouts: TimerHeap::new(),
+                retry_scratch: Vec::new(),
+                timeout_scratch: Vec::new(),
+                cq_scratch: Vec::with_capacity(CQ_BATCH),
+                copy_scratch: Vec::new(),
+                payload_pool: Vec::new(),
+                coalesce_next_post: false,
                 dead_rx: HashSet::new(),
                 seen_ctrl_epoch: 0,
                 offload_down: false,
@@ -475,10 +507,7 @@ impl Engine {
     }
 
     fn new_req(&mut self, state: ReqState) -> u64 {
-        let id = self.next_req;
-        self.next_req += 1;
-        self.reqs.insert(id, state);
-        id
+        self.reqs.insert(state)
     }
 
     // ---- public operations -------------------------------------------------
@@ -494,6 +523,7 @@ impl Engine {
         if dst >= self.size || dst == self.rank {
             return Err(MpiError::BadRank(dst));
         }
+        let _hot = crate::hotpath::enter();
         ctx.sleep(self.mpi_call);
         let len = buf.len;
         let seq = {
@@ -569,7 +599,7 @@ impl Engine {
             seq,
             status,
             lease,
-            hdr: hdr.clone(),
+            hdr,
         });
         self.open_span(ctx, Phase::RtsWait, req, len, dst);
         self.send_ctrl(ctx, dst, hdr);
@@ -590,6 +620,7 @@ impl Engine {
                 return Err(MpiError::BadRank(r));
             }
         }
+        let _hot = crate::hotpath::enter();
         ctx.sleep(self.mpi_call);
         // Drain anything already sitting in the rings so protocol
         // selection sees the latest state (an RTS that already arrived
@@ -640,13 +671,14 @@ impl Engine {
 
     /// Non-blocking completion test. `Some` removes the request.
     pub fn test(&mut self, ctx: &mut Ctx, req: Request) -> Option<Result<Status, MpiError>> {
+        let _hot = crate::hotpath::enter();
         self.progress(ctx);
-        match self.reqs.get(&req.0) {
-            Some(ReqState::Done(_)) => match self.reqs.remove(&req.0) {
+        match self.reqs.get(req.0) {
+            Some(ReqState::Done(_)) => match self.reqs.remove(req.0) {
                 Some(ReqState::Done(s)) => Some(Ok(s)),
                 _ => unreachable!(),
             },
-            Some(ReqState::Failed(_)) => match self.reqs.remove(&req.0) {
+            Some(ReqState::Failed(_)) => match self.reqs.remove(req.0) {
                 Some(ReqState::Failed(e)) => Some(Err(e)),
                 _ => unreachable!(),
             },
@@ -657,11 +689,15 @@ impl Engine {
 
     /// Block until the request completes.
     pub fn wait(&mut self, ctx: &mut Ctx, req: Request) -> Result<Status, MpiError> {
+        let _hot = crate::hotpath::enter();
         loop {
             let seen = self.progress_event.epoch();
             if let Some(r) = self.test(ctx, req) {
                 return r;
             }
+            // Parking the simulated process is simulator plumbing, not
+            // library work.
+            let _dev = crate::hotpath::pause();
             ctx.wait_event(&self.progress_event, seen, "mpi wait");
         }
     }
@@ -724,6 +760,7 @@ impl Engine {
             if let Some(st) = self.iprobe(ctx, src, tag) {
                 return st;
             }
+            let _dev = crate::hotpath::pause();
             ctx.wait_event(&self.progress_event, seen, "mpi probe");
         }
     }
@@ -736,6 +773,7 @@ impl Engine {
         reqs: &[Request],
     ) -> (usize, Result<Status, MpiError>) {
         assert!(!reqs.is_empty(), "waitany on empty set");
+        let _hot = crate::hotpath::enter();
         loop {
             let seen = self.progress_event.epoch();
             self.progress(ctx);
@@ -745,7 +783,7 @@ impl Engine {
             // is inactive.
             let mut all_inactive = true;
             for (i, &r) in reqs.iter().enumerate() {
-                match self.reqs.get(&r.0) {
+                match self.reqs.get(r.0) {
                     Some(ReqState::Done(_)) | Some(ReqState::Failed(_)) => {
                         return (i, self.test(ctx, r).expect("just checked"));
                     }
@@ -756,6 +794,7 @@ impl Engine {
             if all_inactive {
                 return (0, Err(MpiError::BadRequest));
             }
+            let _dev = crate::hotpath::pause();
             ctx.wait_event(&self.progress_event, seen, "mpi waitany");
         }
     }
@@ -788,6 +827,17 @@ impl Engine {
         self.stats_cell.clone()
     }
 
+    /// Live handshake-replay entries (`served_done` + `served_dw`) across
+    /// all peers. Bounded by the unresolved-handshake window thanks to
+    /// CREDIT watermark pruning — the soak regression test pins this.
+    pub fn replay_entries(&self) -> usize {
+        self.peers
+            .iter()
+            .flatten()
+            .map(|p| p.served_done.len() + p.served_dw.len())
+            .sum()
+    }
+
     /// Attach this engine (and its caches) to a shared structured trace
     /// ring. Recording is a no-op until this is called.
     pub fn set_tracer(&mut self, buf: TraceBuf) {
@@ -812,7 +862,11 @@ impl Engine {
             .metrics
             .span_begin(phase, id, bytes, Some(peer), || ctx.now())
         {
-            self.open_spans.insert(id, span);
+            let slot = id as u32 as usize;
+            if self.open_spans.len() <= slot {
+                self.open_spans.resize(slot + 1, None);
+            }
+            self.open_spans[slot] = Some((id, span));
             let rank = self.rank;
             self.trace
                 .record(|| TraceEvent::SpanOpen { rank, id, phase });
@@ -822,7 +876,12 @@ impl Engine {
     /// Close request `id`'s span, attributing its lifetime to the phase
     /// it opened under. No-op when no span is open (metrics detached).
     fn close_span(&mut self, ctx: &Ctx, id: u64) {
-        if let Some(span) = self.open_spans.remove(&id) {
+        let slot = id as u32 as usize;
+        match self.open_spans.get(slot) {
+            Some(Some((owner, _))) if *owner == id => {}
+            _ => return,
+        }
+        if let Some(Some((_, span))) = self.open_spans.get_mut(slot).map(|s| s.take()) {
             let phase = span.phase;
             self.metrics.span_end(span, || ctx.now());
             let rank = self.rank;
@@ -994,10 +1053,10 @@ impl Engine {
             rkey: lease.mr().key().0,
         };
         posted.rtr_lease = Some(lease);
-        posted.rtr_hdr = Some(hdr.clone());
+        posted.rtr_hdr = Some(hdr);
         self.send_ctrl(ctx, src, hdr);
         posted.rtr_sent = true;
-        self.reqs.insert(posted.req, ReqState::RecvAwaitDone);
+        self.reqs.replace(posted.req, ReqState::RecvAwaitDone);
         self.arm_rndv_timeout(ctx, TimeoutKind::Rtr { req: posted.req });
     }
 
@@ -1020,7 +1079,7 @@ impl Engine {
             len: write_len,
             lkey: src_rkey,
         };
-        let wr = SendWr::rdma_write(req, vec![sge], rtr.addr, MrKey(rtr.rkey));
+        let wr = SendWr::rdma_write(0, sge, rtr.addr, MrKey(rtr.rkey));
         self.post_tracked(ctx, dst, wr, WrKind::RndvWrite { req });
     }
 
@@ -1046,28 +1105,70 @@ impl Engine {
         self.flush_ctrl(ctx, dst);
     }
 
-    /// Transmit queued control packets while the window allows.
+    /// Transmit queued control packets while the window allows. Posts
+    /// after the first of one drain ride the first post's doorbell (the
+    /// HCA fetches batched WQEs on one ring).
     fn flush_ctrl(&mut self, ctx: &mut Ctx, dst: Rank) {
+        let mut posted_any = false;
         loop {
             let hdr = {
                 let Some(peer) = self.peers[dst].as_ref() else {
-                    return;
+                    break;
                 };
                 let Some(front) = peer.pending_ctrl.front() else {
-                    return;
+                    break;
                 };
                 if peer.out_slot_seq - peer.out_consumed >= self.window_for(front.kind) {
-                    return; // still no room
+                    break; // still no room
                 }
-                peer.pending_ctrl.front().cloned().expect("checked")
+                *front
             };
             self.peers[dst]
                 .as_mut()
                 .expect("no peer")
                 .pending_ctrl
                 .pop_front();
+            self.coalesce_next_post = posted_any;
             self.transmit_packet(ctx, dst, hdr, None, None);
+            posted_any = true;
         }
+        // The ring reserves two slots beyond the non-credit window so
+        // CREDIT packets can always flow — but that reserve is useless
+        // if a queued credit sits behind a window-blocked RTS/DONE at
+        // the queue front. Let credits bypass the stalled front: two
+        // rings that fill simultaneously would otherwise each wait for
+        // the other's ack and wedge. Bypassing is safe — a credit's
+        // `out_consumed` watermark is applied with `max` and its replay
+        // prune watermarks only ever claim already-resolved handshakes,
+        // so neither interacts with the non-credit packets it overtakes.
+        loop {
+            let idx = {
+                let Some(peer) = self.peers[dst].as_ref() else {
+                    break;
+                };
+                if peer.out_slot_seq - peer.out_consumed >= self.window_for(PacketKind::Credit) {
+                    break;
+                }
+                match peer
+                    .pending_ctrl
+                    .iter()
+                    .position(|h| h.kind == PacketKind::Credit)
+                {
+                    Some(i) => i,
+                    None => break,
+                }
+            };
+            let hdr = self.peers[dst]
+                .as_mut()
+                .expect("no peer")
+                .pending_ctrl
+                .remove(idx)
+                .expect("indexed");
+            self.coalesce_next_post = posted_any;
+            self.transmit_packet(ctx, dst, hdr, None, None);
+            posted_any = true;
+        }
+        self.coalesce_next_post = false;
     }
 
     /// Send a data-bearing (eager) packet: waits for ring credit at top
@@ -1146,10 +1247,18 @@ impl Engine {
                 peer.out_ring_rkey,
             )
         };
-        cluster.write(&stage, base, &hdr.encode());
+        let mut hdr_bytes = [0u8; HEADER_BYTES];
+        hdr.encode_into(&mut hdr_bytes);
+        cluster.write(&stage, base, &hdr_bytes);
         if let Some(p) = payload {
-            let data = cluster.read_vec(p);
+            // Bounce through the reusable scratch buffer — the eager
+            // protocol's "one copy", allocation-free in steady state.
+            let mut data = std::mem::take(&mut self.copy_scratch);
+            data.clear();
+            data.resize(p.len as usize, 0);
+            cluster.read(p, 0, &mut data);
             cluster.write(&stage, base + HEADER_LEN, &data);
+            self.copy_scratch = data;
             let t0 = self.metrics.start(|| ctx.now());
             ctx.sleep(cluster.copy_duration(mem_domain, payload_len));
             self.metrics
@@ -1196,10 +1305,9 @@ impl Engine {
         // Every ring write is signaled and tracked: a failed control
         // packet must be retried (dropping it would wedge the peer's
         // ring), and that needs the WR and its slot to still be known
-        // when the error completion arrives.
-        let wr_id = WR_RING_BASE + self.next_ring_wr;
-        self.next_ring_wr += 1;
-        let wr = SendWr::rdma_write(wr_id, vec![sge], out_ring_addr + base, out_ring_rkey);
+        // when the error completion arrives. The wr_id is assigned by
+        // `post_tracked` from the inflight table.
+        let wr = SendWr::rdma_write(0, sge, out_ring_addr + base, out_ring_rkey);
         self.post_tracked(
             ctx,
             dst,
@@ -1232,7 +1340,9 @@ impl Engine {
                 peer.out_ring_rkey,
             )
         };
-        cluster.write(&stage, base, &hdr.encode());
+        let mut hdr_bytes = [0u8; HEADER_BYTES];
+        hdr.encode_into(&mut hdr_bytes);
+        cluster.write(&stage, base, &hdr_bytes);
         cluster.write(
             &stage,
             base + HEADER_LEN,
@@ -1259,9 +1369,7 @@ impl Engine {
             len: HEADER_LEN + TAIL_LEN,
             lkey: stage_mr.key(),
         };
-        let wr_id = WR_RING_BASE + self.next_ring_wr;
-        self.next_ring_wr += 1;
-        let wr = SendWr::rdma_write(wr_id, vec![sge], out_ring_addr + base, out_ring_rkey);
+        let wr = SendWr::rdma_write(0, sge, out_ring_addr + base, out_ring_rkey);
         self.post_tracked(
             ctx,
             dst,
@@ -1279,24 +1387,36 @@ impl Engine {
     /// the WR — no completion will ever arrive) is treated as a fatal
     /// completion, but without the recovery traffic: the QP itself is the
     /// thing that is broken.
-    fn post_tracked(&mut self, ctx: &mut Ctx, dst: Rank, wr: SendWr, kind: WrKind) {
-        let wr_id = wr.wr_id;
-        self.inflight.insert(
-            wr_id,
-            InflightWr {
-                wr: wr.clone(),
-                dst,
-                attempts: 1,
-                kind,
-            },
-        );
-        let res = self.peers[dst]
-            .as_mut()
-            .expect("no peer")
-            .qp
-            .post_send(ctx, wr);
+    fn post_tracked(&mut self, ctx: &mut Ctx, dst: Rank, mut wr: SendWr, kind: WrKind) {
+        let coalesce = std::mem::replace(&mut self.coalesce_next_post, false);
+        // The inflight-table handle IS the wr_id: insert first to obtain
+        // it, then stamp the WR (both the posted one and the stored copy
+        // used for retries).
+        let wr_id = self.inflight.insert(InflightWr {
+            wr,
+            dst,
+            attempts: 1,
+            kind,
+        });
+        wr.wr_id = wr_id;
+        self.inflight
+            .get_mut(wr_id)
+            .expect("just inserted")
+            .wr
+            .wr_id = wr_id;
+        let qp = &self.peers[dst].as_mut().expect("no peer").qp;
+        // Posting is a device-model excursion: the simulated HCA may
+        // allocate (scheduling its completion event) without that
+        // counting against the library's zero-alloc budget.
+        let _dev = crate::hotpath::pause();
+        let res = if coalesce {
+            self.stats.doorbells_coalesced += 1;
+            qp.post_send_coalesced(ctx, wr)
+        } else {
+            qp.post_send(ctx, wr)
+        };
         if res.is_err() {
-            if let Some(entry) = self.inflight.remove(&wr_id) {
+            if let Some(entry) = self.inflight.remove(wr_id) {
                 self.fail_wr(ctx, entry, WcStatus::RemoteAccessError, false);
             }
         }
@@ -1307,6 +1427,7 @@ impl Engine {
         if self.in_progress {
             return; // re-entered from a handler; the outer sweep continues
         }
+        let _hot = crate::hotpath::enter();
         self.in_progress = true;
         self.progress_inner(ctx);
         self.in_progress = false;
@@ -1315,9 +1436,19 @@ impl Engine {
     fn progress_inner(&mut self, ctx: &mut Ctx) {
         self.pump_retries(ctx);
         self.pump_rndv_timeouts(ctx);
-        while let Some(wc) = self.cq.poll() {
-            self.handle_wc(ctx, wc);
+        // Drain completions in batches: one CQ lock per CQ_BATCH entries
+        // instead of one per completion.
+        let mut batch = std::mem::take(&mut self.cq_scratch);
+        loop {
+            batch.clear();
+            if self.cq.poll_batch(&mut batch, CQ_BATCH) == 0 {
+                break;
+            }
+            for wc in batch.drain(..) {
+                self.handle_wc(ctx, wc);
+            }
         }
+        self.cq_scratch = batch;
         for p in 0..self.size {
             while let Some((hdr, slot_base)) = self.peek_ring(p) {
                 // Consume the slot before handling so handlers can send.
@@ -1347,7 +1478,7 @@ impl Engine {
         let slot_size = Self::slot_size(&self.cfg);
         let base = (peer.in_next_seq % slots) * slot_size;
         let cluster = self.res.cluster();
-        let mut hdr_bytes = vec![0u8; HEADER_LEN as usize];
+        let mut hdr_bytes = [0u8; HEADER_BYTES];
         cluster.read(&peer.in_ring, base, &mut hdr_bytes);
         let hdr = PacketHeader::decode(&hdr_bytes)?;
         let payload_len = match hdr.kind {
@@ -1360,6 +1491,57 @@ impl Engine {
         let mut tail = [0u8; 8];
         cluster.read(&peer.in_ring, base + HEADER_LEN + payload_len, &mut tail);
         (tail_seq(u64::from_le_bytes(tail)) == Some(peer.in_next_seq)).then_some((hdr, base))
+    }
+
+    /// Smallest pair sequence toward `p` whose sender-first handshake is
+    /// still unresolved on our side — the watchdog could re-issue its RTS,
+    /// so the peer must keep its `served_done` reply for it. Everything
+    /// below is acknowledged: the peer may forget those replies.
+    fn ack_tx_watermark(&self, p: usize) -> u64 {
+        let mut w = self.peers[p].as_ref().map_or(0, |peer| peer.tx_seq);
+        for (_, state) in self.reqs.iter() {
+            if let ReqState::RndvSendAwaitDone { dst, seq, .. } = state {
+                if *dst == p {
+                    w = w.min(*seq);
+                }
+            }
+        }
+        w
+    }
+
+    /// Smallest pair sequence from `p` whose receiver-first handshake is
+    /// still unresolved on our side — the watchdog could re-issue its RTR,
+    /// so the peer must keep its `served_dw` reply for it. New receives
+    /// always advertise sequences at or above `rx_seq`, so the watermark
+    /// never moves backwards.
+    fn ack_rx_watermark(&self, p: usize) -> u64 {
+        let mut w = self.peers[p].as_ref().map_or(0, |peer| peer.rx_seq);
+        for r in &self.recv_q {
+            if r.rtr_sent && r.src == Src::Rank(p) {
+                if let Some(seq) = r.seq {
+                    w = w.min(seq);
+                }
+            }
+        }
+        w
+    }
+
+    /// Build a CREDIT packet for peer `p`: `len` reports consumed ring
+    /// slots, and the otherwise-unused `seq`/`addr` fields piggyback the
+    /// handshake-resolution watermarks that let the peer prune its
+    /// `served_done`/`served_dw` replay maps (see `handle_packet`). Old
+    /// peers that sent zeros here simply prune nothing.
+    fn credit_header(&self, p: usize) -> PacketHeader {
+        let consumed = self.peers[p].as_ref().expect("no peer").in_next_seq;
+        let mut hdr = PacketHeader::control(
+            PacketKind::Credit,
+            self.rank,
+            0,
+            self.ack_tx_watermark(p),
+            consumed,
+        );
+        hdr.addr = self.ack_rx_watermark(p);
+        hdr
     }
 
     fn maybe_credit(&mut self, ctx: &mut Ctx, p: usize) {
@@ -1381,8 +1563,7 @@ impl Engine {
         if !due {
             return;
         }
-        let consumed = peer.in_next_seq;
-        let hdr = PacketHeader::control(PacketKind::Credit, self.rank, 0, 0, consumed);
+        let hdr = self.credit_header(p);
         self.send_ctrl(ctx, p, hdr);
         if let Some(peer) = self.peers[p].as_mut() {
             peer.in_unreported = 0;
@@ -1396,7 +1577,7 @@ impl Engine {
     /// land or the peer's ring wedges), or permanent failure of the
     /// owning request — never a panic, never a dead rank.
     fn handle_wc(&mut self, ctx: &mut Ctx, wc: Wc) {
-        let Some(entry) = self.inflight.remove(&wc.wr_id) else {
+        let Some(entry) = self.inflight.remove(wc.wr_id) else {
             return;
         };
         if wc.status == WcStatus::Success {
@@ -1425,7 +1606,7 @@ impl Engine {
             )
         );
         if ownerless_ctrl || (transient && entry.attempts <= self.cfg.retry_limit) {
-            self.schedule_retry(ctx, wc.wr_id, entry);
+            self.schedule_retry(ctx, entry);
         } else {
             self.fail_wr(ctx, entry, wc.status, true);
         }
@@ -1436,19 +1617,22 @@ impl Engine {
         match entry.kind {
             WrKind::Ring { hdr, req, .. } => {
                 let Some(id) = req else { return };
-                match self.reqs.remove(&id) {
+                match self.reqs.get(id) {
                     Some(ReqState::EagerSend { status }) => {
+                        let status = *status;
                         self.close_span(ctx, id);
-                        self.reqs.insert(id, ReqState::Done(status));
+                        self.reqs.replace(id, ReqState::Done(status));
                     }
-                    Some(other) => {
-                        self.reqs.insert(id, other);
+                    Some(_) => {
                         panic!("unexpected ring WC for request {id} ({:?})", hdr.kind);
                     }
                     None => {}
                 }
             }
-            WrKind::RndvRead { req } => match self.reqs.remove(&req) {
+            // State transitions below swap the state out (the handle stays
+            // valid, so the request keeps its id), work on the old fields,
+            // then swap the final state in.
+            WrKind::RndvRead { req } => match self.reqs.replace(req, ReqState::RecvAwaitDone) {
                 Some(ReqState::RndvRecvReading {
                     src,
                     seq,
@@ -1467,67 +1651,72 @@ impl Engine {
                         status.len,
                     );
                     if let Some(peer) = self.peers[src].as_mut() {
-                        peer.served_done.insert(seq, hdr.clone());
+                        peer.served_done.insert(seq, hdr);
                     }
                     self.send_ctrl(ctx, src, hdr);
                     let final_state = match truncated {
                         Some(e) => ReqState::Failed(e),
                         None => ReqState::Done(status),
                     };
-                    self.reqs.insert(req, final_state);
+                    self.reqs.replace(req, final_state);
                 }
                 Some(other) => {
-                    self.reqs.insert(req, other);
+                    self.reqs.replace(req, other);
                     panic!("unexpected RDMA-read WC for request {req}");
                 }
                 None => {}
             },
-            WrKind::RndvWrite { req } => match self.reqs.remove(&req) {
-                Some(ReqState::RndvSendWriting {
-                    dst,
-                    seq,
-                    full_len,
-                    status,
-                    lease,
-                }) => {
-                    // Data placed; the source is free again. Tell the
-                    // receiver.
-                    self.close_span(ctx, req);
-                    self.release_send_lease(ctx, lease);
-                    let hdr = PacketHeader::control(
-                        PacketKind::DoneWrite,
-                        self.rank,
-                        status.tag,
+            WrKind::RndvWrite { req } => {
+                match self.reqs.replace(req, ReqState::RecvAwaitDone) {
+                    Some(ReqState::RndvSendWriting {
+                        dst,
                         seq,
                         full_len,
-                    );
-                    if let Some(peer) = self.peers[dst].as_mut() {
-                        peer.served_dw.insert(seq, hdr.clone());
+                        status,
+                        lease,
+                    }) => {
+                        // Data placed; the source is free again. Tell the
+                        // receiver.
+                        self.close_span(ctx, req);
+                        self.release_send_lease(ctx, lease);
+                        let hdr = PacketHeader::control(
+                            PacketKind::DoneWrite,
+                            self.rank,
+                            status.tag,
+                            seq,
+                            full_len,
+                        );
+                        if let Some(peer) = self.peers[dst].as_mut() {
+                            peer.served_dw.insert(seq, hdr);
+                        }
+                        self.send_ctrl(ctx, dst, hdr);
+                        self.reqs.replace(req, ReqState::Done(status));
                     }
-                    self.send_ctrl(ctx, dst, hdr);
-                    self.reqs.insert(req, ReqState::Done(status));
+                    Some(other) => {
+                        self.reqs.replace(req, other);
+                        panic!("unexpected RDMA-write WC for request {req}");
+                    }
+                    None => {}
                 }
-                Some(other) => {
-                    self.reqs.insert(req, other);
-                    panic!("unexpected RDMA-write WC for request {req}");
-                }
-                None => {}
-            },
+            }
         }
     }
 
     /// Put a transiently failed WR back on the wire after an exponential
     /// backoff (scheduled through the simulation clock; the progress
     /// event is poked at the due time so a waiting rank wakes up).
-    fn schedule_retry(&mut self, ctx: &mut Ctx, wr_id: u64, mut entry: InflightWr) {
+    fn schedule_retry(&mut self, ctx: &mut Ctx, mut entry: InflightWr) {
         let shift = (entry.attempts - 1).min(20);
         let backoff = self.cfg.retry_backoff * (1u64 << shift);
         self.metrics
             .record_ns(Phase::Backoff, 0, Some(entry.dst), backoff.as_nanos());
         entry.attempts += 1;
-        self.inflight.insert(wr_id, entry);
+        // Re-insert under a fresh handle (the caller removed the entry to
+        // classify its completion). The WR is re-stamped with the current
+        // handle at each re-post, so the eventual completion still routes.
+        let new_id = self.inflight.insert(entry);
         let due = ctx.now() + backoff;
-        self.retry_due.push((due, wr_id));
+        self.retry_due.push(due, new_id);
         self.progress_event
             .notify_at(self.res.cluster().scheduler(), due);
     }
@@ -1535,20 +1724,18 @@ impl Engine {
     /// Re-post WRs whose backoff has elapsed.
     fn pump_retries(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
-        let mut due = Vec::new();
-        self.retry_due.retain(|&(t, id)| {
-            if t <= now {
-                due.push(id);
-                false
-            } else {
-                true
-            }
-        });
-        for wr_id in due {
-            let Some(entry) = self.inflight.get(&wr_id) else {
+        if self.retry_due.peek_due().is_none_or(|d| d > now) {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.retry_scratch);
+        due.clear();
+        self.retry_due.drain_due(now, &mut due);
+        for wr_id in due.drain(..) {
+            let Some(entry) = self.inflight.get(wr_id) else {
                 continue;
             };
-            let (dst, wr, attempt) = (entry.dst, entry.wr.clone(), entry.attempts);
+            let (dst, mut wr, attempt) = (entry.dst, entry.wr, entry.attempts);
+            wr.wr_id = wr_id;
             let rank = self.rank;
             self.trace.record(|| TraceEvent::WrRetry {
                 rank,
@@ -1563,11 +1750,12 @@ impl Engine {
                 .qp
                 .post_send(ctx, wr);
             if res.is_err() {
-                if let Some(entry) = self.inflight.remove(&wr_id) {
+                if let Some(entry) = self.inflight.remove(wr_id) {
                     self.fail_wr(ctx, entry, WcStatus::RemoteAccessError, false);
                 }
             }
         }
+        self.retry_scratch = due;
     }
 
     /// A send-side work request failed permanently: fail the owning
@@ -1592,7 +1780,7 @@ impl Engine {
                     });
                     if let Some(id) = req {
                         self.close_span(ctx, id);
-                        self.reqs.insert(
+                        self.reqs.replace(
                             id,
                             ReqState::Failed(MpiError::Transport {
                                 status,
@@ -1625,25 +1813,22 @@ impl Engine {
                         ReqState::RndvSendAwaitDone { dst: d, seq: s, .. }
                             if *d == dst && *s == hdr.seq =>
                         {
-                            Some(*id)
+                            Some(id)
                         }
                         _ => None,
                     });
                     if let Some(id) = owner {
                         self.close_span(ctx, id);
-                        if let Some(ReqState::RndvSendAwaitDone { lease, .. }) =
-                            self.reqs.remove(&id)
-                        {
-                            self.release_send_lease(ctx, lease);
-                        }
-                        self.reqs.insert(
+                        if let Some(ReqState::RndvSendAwaitDone { lease, .. }) = self.reqs.replace(
                             id,
                             ReqState::Failed(MpiError::Transport {
                                 status,
                                 op: TransportOp::CtrlWrite,
                                 attempts,
                             }),
-                        );
+                        ) {
+                            self.release_send_lease(ctx, lease);
+                        }
                     }
                     if recover {
                         let nack = PacketHeader::control(
@@ -1673,7 +1858,7 @@ impl Engine {
                         if let Some(l) = posted.rtr_lease.take() {
                             self.mr_cache.release(ctx, &self.res, l);
                         }
-                        self.reqs.insert(
+                        self.reqs.replace(
                             posted.req,
                             ReqState::Failed(MpiError::Transport {
                                 status,
@@ -1687,9 +1872,7 @@ impl Engine {
                         self.dead_rx.insert((dst, hdr.seq));
                     }
                     if recover {
-                        let consumed = self.peers[dst].as_ref().expect("no peer").in_next_seq;
-                        let filler =
-                            PacketHeader::control(PacketKind::Credit, self.rank, 0, 0, consumed);
+                        let filler = self.credit_header(dst);
                         self.transmit_into_slot(ctx, dst, filler, slot_seq);
                     }
                 }
@@ -1704,8 +1887,14 @@ impl Engine {
                     status: st,
                     lease,
                     ..
-                }) = self.reqs.remove(&req)
-                {
+                }) = self.reqs.replace(
+                    req,
+                    ReqState::Failed(MpiError::Transport {
+                        status,
+                        op: TransportOp::RndvRead,
+                        attempts,
+                    }),
+                ) {
                     self.close_span(ctx, req);
                     self.mr_cache.release(ctx, &self.res, lease);
                     self.trace.record(|| TraceEvent::TransportFail {
@@ -1713,19 +1902,11 @@ impl Engine {
                         peer: src,
                         seq,
                     });
-                    self.reqs.insert(
-                        req,
-                        ReqState::Failed(MpiError::Transport {
-                            status,
-                            op: TransportOp::RndvRead,
-                            attempts,
-                        }),
-                    );
                     if recover {
                         let nack =
                             PacketHeader::control(PacketKind::Nack, self.rank, st.tag, seq, 0);
                         if let Some(peer) = self.peers[src].as_mut() {
-                            peer.served_done.insert(seq, nack.clone());
+                            peer.served_done.insert(seq, nack);
                         }
                         self.send_ctrl(ctx, src, nack);
                     }
@@ -1738,25 +1919,23 @@ impl Engine {
                     status: st,
                     lease,
                     ..
-                }) = self.reqs.remove(&req)
-                {
+                }) = self.reqs.replace(
+                    req,
+                    ReqState::Failed(MpiError::Transport {
+                        status,
+                        op: TransportOp::RndvWrite,
+                        attempts,
+                    }),
+                ) {
                     self.close_span(ctx, req);
                     self.release_send_lease(ctx, lease);
                     self.trace
                         .record(|| TraceEvent::TransportFail { rank, peer: d, seq });
-                    self.reqs.insert(
-                        req,
-                        ReqState::Failed(MpiError::Transport {
-                            status,
-                            op: TransportOp::RndvWrite,
-                            attempts,
-                        }),
-                    );
                     if recover {
                         let nack =
                             PacketHeader::control(PacketKind::NackWrite, self.rank, st.tag, seq, 0);
                         if let Some(peer) = self.peers[d].as_mut() {
-                            peer.served_dw.insert(seq, nack.clone());
+                            peer.served_dw.insert(seq, nack);
                         }
                         self.send_ctrl(ctx, d, nack);
                     }
@@ -1772,7 +1951,7 @@ impl Engine {
             return;
         };
         let due = ctx.now() + t;
-        self.rndv_timeouts.push((due, kind));
+        self.rndv_timeouts.push(due, kind);
         self.progress_event
             .notify_at(self.res.cluster().scheduler(), due);
     }
@@ -1781,18 +1960,16 @@ impl Engine {
     /// resolved (completed or failed) is simply dropped.
     fn pump_rndv_timeouts(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
-        let mut fired = Vec::new();
-        self.rndv_timeouts.retain(|&(t, k)| {
-            if t <= now {
-                fired.push(k);
-                false
-            } else {
-                true
-            }
-        });
-        for kind in fired {
+        if self.rndv_timeouts.peek_due().is_none_or(|d| d > now) {
+            return;
+        }
+        let mut fired = std::mem::take(&mut self.timeout_scratch);
+        fired.clear();
+        self.rndv_timeouts.drain_due(now, &mut fired);
+        for kind in fired.drain(..) {
             self.handle_rndv_timeout(ctx, kind);
         }
+        self.timeout_scratch = fired;
     }
 
     /// Whether the handshake packet `hdr` is still on its way out of this
@@ -1805,7 +1982,7 @@ impl Engine {
                 .any(|h| h.kind == hdr.kind && h.seq == hdr.seq)
         });
         queued
-            || self.inflight.values().any(|e| {
+            || self.inflight.iter().any(|(_, e)| {
                 e.dst == dst
                     && matches!(&e.kind, WrKind::Ring { hdr: h, .. }
                         if h.kind == hdr.kind && h.seq == hdr.seq)
@@ -1815,19 +1992,19 @@ impl Engine {
     fn handle_rndv_timeout(&mut self, ctx: &mut Ctx, kind: TimeoutKind) {
         let (dst, hdr) = match kind {
             TimeoutKind::Rts { req } => {
-                let Some(ReqState::RndvSendAwaitDone { dst, hdr, .. }) = self.reqs.get(&req) else {
+                let Some(ReqState::RndvSendAwaitDone { dst, hdr, .. }) = self.reqs.get(req) else {
                     return;
                 };
-                (*dst, hdr.clone())
+                (*dst, *hdr)
             }
             TimeoutKind::Rtr { req } => {
-                if !matches!(self.reqs.get(&req), Some(ReqState::RecvAwaitDone)) {
+                if !matches!(self.reqs.get(req), Some(ReqState::RecvAwaitDone)) {
                     return;
                 }
                 let Some(posted) = self.recv_q.iter().find(|r| r.req == req) else {
                     return;
                 };
-                let (Some(hdr), Src::Rank(dst)) = (posted.rtr_hdr.clone(), posted.src) else {
+                let (Some(hdr), Src::Rank(dst)) = (posted.rtr_hdr, posted.src) else {
                     return;
                 };
                 (dst, hdr)
@@ -1893,6 +2070,17 @@ impl Engine {
                 });
                 let peer = self.peers[p].as_mut().expect("no peer");
                 peer.out_consumed = peer.out_consumed.max(hdr.len);
+                // Prune replayed-handshake answers the peer has resolved.
+                // `seq`/`addr` carry the peer's resolution watermarks (see
+                // `credit_header`); ring FIFO guarantees any still-replayable
+                // duplicate RTS/RTR was processed before this credit, so
+                // dropping entries below the watermarks is safe. Zeros (old
+                // peers, bootstrap) prune nothing.
+                let before = peer.served_done.len() + peer.served_dw.len();
+                peer.served_done.retain(|&seq, _| seq >= hdr.seq);
+                peer.served_dw.retain(|&seq, _| seq >= hdr.addr);
+                let after = peer.served_done.len() + peer.served_dw.len();
+                self.stats.replay_pruned += (before - after) as u64;
             }
             PacketKind::Eager => {
                 if self.is_dup_data(p, hdr.seq) {
@@ -1917,10 +2105,13 @@ impl Engine {
                     }
                     None => {
                         // Copy out so the slot can be reused (unexpected
-                        // message queue).
+                        // message queue). Recycled buffers come back via
+                        // `payload_pool` when the message is consumed.
                         let cluster = self.res.cluster().clone();
                         let peer = self.peers[p].as_ref().expect("no peer");
-                        let mut data = vec![0u8; hdr.len as usize];
+                        let mut data = self.payload_pool.pop().unwrap_or_default();
+                        data.clear();
+                        data.resize(hdr.len as usize, 0);
                         cluster.read(&peer.in_ring, slot_base + HEADER_LEN, &mut data);
                         ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
                         self.unexpected.push(Unexpected::Eager {
@@ -1963,7 +2154,7 @@ impl Engine {
                     let nack =
                         PacketHeader::control(PacketKind::Nack, self.rank, hdr.tag, hdr.seq, 0);
                     if let Some(peer) = self.peers[p].as_mut() {
-                        peer.served_done.insert(hdr.seq, nack.clone());
+                        peer.served_done.insert(hdr.seq, nack);
                     }
                     self.send_ctrl(ctx, p, nack);
                     return;
@@ -1984,7 +2175,7 @@ impl Engine {
                     ReqState::RndvSendAwaitDone { dst, seq, .. }
                         if *dst == hdr.src_rank && *seq == hdr.seq =>
                     {
-                        Some(*id)
+                        Some(id)
                     }
                     _ => None,
                 });
@@ -2014,7 +2205,7 @@ impl Engine {
                 }
                 // A re-issued RTR whose first copy already started our
                 // RDMA write: the answer is coming, drop the dup.
-                let writing = self.reqs.values().any(|st| {
+                let writing = self.reqs.iter().any(|(_, st)| {
                     matches!(st, ReqState::RndvSendWriting { dst, seq, .. }
                         if *dst == p && *seq == hdr.seq)
                 });
@@ -2046,17 +2237,17 @@ impl Engine {
                     ReqState::RndvSendAwaitDone { dst, seq, .. }
                         if *dst == hdr.src_rank && *seq == hdr.seq =>
                     {
-                        Some(*id)
+                        Some(id)
                     }
                     _ => None,
                 });
                 if let Some(id) = sender_req {
                     if let Some(ReqState::RndvSendAwaitDone { status, lease, .. }) =
-                        self.reqs.remove(&id)
+                        self.reqs.replace(id, ReqState::RecvAwaitDone)
                     {
                         self.close_span(ctx, id);
                         self.release_send_lease(ctx, lease);
-                        self.reqs.insert(id, ReqState::Done(status));
+                        self.reqs.replace(id, ReqState::Done(status));
                     }
                 }
             }
@@ -2087,7 +2278,7 @@ impl Engine {
                             len: hdr.len,
                         })
                     };
-                    self.reqs.insert(posted.req, state);
+                    self.reqs.replace(posted.req, state);
                 }
             }
             PacketKind::NackSend => {
@@ -2109,7 +2300,7 @@ impl Engine {
                             self.mr_cache.release(ctx, &self.res, l);
                         }
                         let was_any = posted.seq.is_none();
-                        self.reqs.insert(
+                        self.reqs.replace(
                             posted.req,
                             ReqState::Failed(MpiError::RemoteTransport {
                                 peer: hdr.src_rank,
@@ -2132,22 +2323,21 @@ impl Engine {
                     ReqState::RndvSendAwaitDone { dst, seq, .. }
                         if *dst == hdr.src_rank && *seq == hdr.seq =>
                     {
-                        Some(*id)
+                        Some(id)
                     }
                     _ => None,
                 });
                 if let Some(id) = sender_req {
                     self.close_span(ctx, id);
-                    if let Some(ReqState::RndvSendAwaitDone { lease, .. }) = self.reqs.remove(&id) {
-                        self.release_send_lease(ctx, lease);
-                    }
-                    self.reqs.insert(
+                    if let Some(ReqState::RndvSendAwaitDone { lease, .. }) = self.reqs.replace(
                         id,
                         ReqState::Failed(MpiError::RemoteTransport {
                             peer: hdr.src_rank,
                             seq: hdr.seq,
                         }),
-                    );
+                    ) {
+                        self.release_send_lease(ctx, lease);
+                    }
                 }
             }
             PacketKind::NackWrite => {
@@ -2163,7 +2353,7 @@ impl Engine {
                     if let Some(l) = posted.rtr_lease.take() {
                         self.mr_cache.release(ctx, &self.res, l);
                     }
-                    self.reqs.insert(
+                    self.reqs.replace(
                         posted.req,
                         ReqState::Failed(MpiError::RemoteTransport {
                             peer: hdr.src_rank,
@@ -2244,7 +2434,7 @@ impl Engine {
                 data,
             } => {
                 if data.len() as u64 > buf.len {
-                    self.reqs.insert(
+                    self.reqs.replace(
                         req,
                         ReqState::Failed(MpiError::Truncated {
                             got: data.len() as u64,
@@ -2258,7 +2448,7 @@ impl Engine {
                 ctx.sleep(cluster.copy_duration(self.res.mem().domain, data.len() as u64));
                 self.note_rx_seq(src, seq);
                 self.stats.bytes_received += data.len() as u64;
-                self.reqs.insert(
+                self.reqs.replace(
                     req,
                     ReqState::Done(Status {
                         source: src,
@@ -2266,6 +2456,11 @@ impl Engine {
                         len: data.len() as u64,
                     }),
                 );
+                // Recycle the copy-out buffer for the next unexpected
+                // message.
+                if self.payload_pool.len() < PAYLOAD_POOL_CAP {
+                    self.payload_pool.push(data);
+                }
             }
             Unexpected::Rts { hdr } => {
                 self.note_rx_seq(hdr.src_rank, hdr.seq);
@@ -2283,7 +2478,7 @@ impl Engine {
             }
             Unexpected::Nack { src, seq, .. } => {
                 self.note_rx_seq(src, seq);
-                self.reqs.insert(
+                self.reqs.replace(
                     req,
                     ReqState::Failed(MpiError::RemoteTransport { peer: src, seq }),
                 );
@@ -2301,7 +2496,7 @@ impl Engine {
         slot_base: u64,
     ) {
         if hdr.len > posted.buf.len {
-            self.reqs.insert(
+            self.reqs.replace(
                 posted.req,
                 ReqState::Failed(MpiError::Truncated {
                     got: hdr.len,
@@ -2312,12 +2507,15 @@ impl Engine {
         }
         let cluster = self.res.cluster().clone();
         let peer = self.peers[p].as_ref().expect("no peer");
-        let mut data = vec![0u8; hdr.len as usize];
+        let mut data = std::mem::take(&mut self.copy_scratch);
+        data.clear();
+        data.resize(hdr.len as usize, 0);
         cluster.read(&peer.in_ring, slot_base + HEADER_LEN, &mut data);
         cluster.write(&posted.buf, 0, &data);
+        self.copy_scratch = data;
         ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
         self.stats.bytes_received += hdr.len;
-        self.reqs.insert(
+        self.reqs.replace(
             posted.req,
             ReqState::Done(Status {
                 source: hdr.src_rank,
@@ -2351,7 +2549,7 @@ impl Engine {
             tag: hdr.tag,
             len: read_len,
         };
-        self.reqs.insert(
+        self.reqs.replace(
             posted.req,
             ReqState::RndvRecvReading {
                 src: hdr.src_rank,
@@ -2363,7 +2561,7 @@ impl Engine {
         );
         let req = posted.req;
         self.open_span(ctx, Phase::RndvRead, req, read_len, hdr.src_rank);
-        let wr = SendWr::rdma_read(req, vec![sge], hdr.addr, MrKey(hdr.rkey));
+        let wr = SendWr::rdma_read(0, sge, hdr.addr, MrKey(hdr.rkey));
         self.post_tracked(ctx, hdr.src_rank, wr, WrKind::RndvRead { req });
     }
 

@@ -1,0 +1,91 @@
+//! Hot-path allocation accounting hooks.
+//!
+//! The paper's argument is that the message path must not pay for
+//! copies or allocator traffic; `crates/core/tests/alloc_hotpath.rs`
+//! enforces that claim with a counting global allocator. The engine
+//! brackets its MPI-library code with [`enter`] ("this thread is on
+//! the hot path") and brackets excursions into the *device model* —
+//! the simulated HCA, fabric DMA and simulator parking, which model
+//! hardware rather than library software — with [`pause`]. The
+//! counting allocator then attributes an allocation to the hot path
+//! exactly when [`armed`] is true on the allocating thread.
+//!
+//! All state is thread-local (`Cell<u32>` depth counters, const-init
+//! so TLS access itself never allocates), making the hooks free to
+//! leave compiled in: production builds simply never read them.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static PAUSE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether the current thread is inside a hot-path section and not
+/// paused for a device-model excursion.
+pub fn armed() -> bool {
+    DEPTH.with(|d| d.get()) > 0 && PAUSE.with(|p| p.get()) == 0
+}
+
+/// RAII marker for a hot-path section (see [`enter`]).
+pub struct HotSection(());
+
+/// Mark the current thread as executing MPI-library hot-path code
+/// until the returned guard drops. Nests.
+pub fn enter() -> HotSection {
+    DEPTH.with(|d| d.set(d.get() + 1));
+    HotSection(())
+}
+
+impl Drop for HotSection {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// RAII marker for a device-model excursion (see [`pause`]).
+pub struct DevicePause(());
+
+/// Suspend hot-path attribution while the thread runs device-model or
+/// simulator-internal code (posting to the simulated HCA, parking the
+/// simulated process). Nests.
+pub fn pause() -> DevicePause {
+    PAUSE.with(|p| p.set(p.get() + 1));
+    DevicePause(())
+}
+
+impl Drop for DevicePause {
+    fn drop(&mut self) {
+        PAUSE.with(|p| p.set(p.get() - 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_nests_and_pauses() {
+        assert!(!armed());
+        let a = enter();
+        assert!(armed());
+        {
+            let b = enter();
+            assert!(armed());
+            let p = pause();
+            assert!(!armed());
+            {
+                let q = pause();
+                assert!(!armed());
+                drop(q);
+            }
+            assert!(!armed());
+            drop(p);
+            assert!(armed());
+            drop(b);
+        }
+        assert!(armed());
+        drop(a);
+        assert!(!armed());
+    }
+}

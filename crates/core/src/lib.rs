@@ -46,10 +46,12 @@ mod config;
 pub mod datatype;
 mod engine;
 pub mod hostcoll;
+pub mod hotpath;
 pub mod metrics;
 mod mrcache;
 mod packet;
 mod resources;
+pub mod slots;
 mod stats;
 pub mod subcomm;
 pub mod trace;

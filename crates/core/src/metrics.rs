@@ -258,12 +258,20 @@ impl HistogramSnapshot {
     /// piecewise-linear CDF over the bucket boundaries. Returns 0 for an
     /// empty histogram. The estimate is exact up to bucket resolution
     /// (relative error < 1 bucket width).
+    ///
+    /// The result is always clamped to the observed `[min, max]` range:
+    /// within-bucket interpolation can otherwise extrapolate past any
+    /// recorded sample — catastrophically so in bucket 63, whose upper
+    /// bound is 2⁶⁴ — and a mid-flight snapshot whose `count` leads the
+    /// bucket sums can fall off the end of the CDF entirely. A percentile
+    /// of real samples can never exceed the largest one.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let target = (p / 100.0).clamp(0.0, 1.0) * self.count as f64;
         let mut cum = 0u64;
+        let mut raw = self.max as f64;
         for i in 0..BUCKETS {
             let c = self.buckets[i];
             if c == 0 {
@@ -273,11 +281,21 @@ impl HistogramSnapshot {
                 let lo = Histogram::bucket_lo(i) as f64;
                 let hi = Histogram::bucket_hi(i);
                 let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
-                return lo + frac * (hi - lo);
+                raw = lo + frac * (hi - lo);
+                break;
             }
             cum += c;
         }
-        self.max as f64
+        // `min` can still be unset (u64::MAX) in a snapshot that raced
+        // `record`, and `max` can trail `min` the same way, so clamp with
+        // max-then-min rather than `f64::clamp` (which panics on an
+        // inverted range); when the bounds cross, the observed `max` wins.
+        let lo_bound = if self.min == u64::MAX {
+            0.0
+        } else {
+            self.min as f64
+        };
+        raw.max(lo_bound).min(self.max as f64)
     }
 
     pub fn p50(&self) -> f64 {
@@ -608,9 +626,11 @@ mod tests {
         let s = HistogramSnapshot::from_samples(&samples);
         let p50 = s.p50();
         assert!((p50 - 1536.0).abs() < 16.0, "p50 = {p50}");
-        // All mass in one bucket: p0 → lower bound, p100 → upper bound.
+        // All mass in one bucket: p0 → the smallest sample, p100 → the
+        // largest (not the bucket bounds — percentiles never extrapolate
+        // past observed samples).
         assert!((s.percentile(0.0) - 1024.0).abs() < 1e-9);
-        assert!((s.percentile(100.0) - 2048.0).abs() < 1e-9);
+        assert!((s.percentile(100.0) - 2014.0).abs() < 1e-9);
         // Percentiles are monotone in p.
         let mut last = -1.0;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
@@ -630,6 +650,62 @@ mod tests {
         assert!(s.p50() < 8.0, "p50 = {}", s.p50());
         assert!(s.p99() >= (1 << 20) as f64, "p99 = {}", s.p99());
         assert!(s.p99() < (1 << 21) as f64, "p99 = {}", s.p99());
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_range() {
+        // Samples clustered mid-bucket: interpolation toward the bucket's
+        // upper bound would exceed every sample; the observed max caps it.
+        let s = HistogramSnapshot::from_samples(&[5000; 100]);
+        for p in [50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), 5000.0, "p{p}");
+        }
+        // Low side symmetrically: p0 is the smallest sample, not the
+        // bucket's lower bound.
+        let s = HistogramSnapshot::from_samples(&[100, 100]);
+        assert_eq!(s.percentile(0.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_bucket_63_does_not_extrapolate() {
+        // Bucket 63's upper bound is 2⁶⁴; interpolation used to run the
+        // p100 of a single sample at 2⁶³ up to twice its value.
+        let top = 1u64 << 63;
+        let s = HistogramSnapshot::from_samples(&[top]);
+        assert_eq!(s.percentile(50.0), top as f64);
+        assert_eq!(s.percentile(100.0), top as f64);
+        // Mixed with a small sample, high percentiles stay <= max.
+        let s = HistogramSnapshot::from_samples(&[1, top]);
+        assert!(s.percentile(99.0) <= top as f64);
+        assert_eq!(s.percentile(100.0), top as f64);
+    }
+
+    #[test]
+    fn percentile_mid_flight_snapshots() {
+        // A snapshot can race `record`: `count` may lead the bucket sums
+        // (count read after the bucket pass) or trail them, and min/max
+        // may not have landed yet. Percentiles must stay inside whatever
+        // range *was* observed — never panic, never extrapolate.
+        let mut s = HistogramSnapshot::default();
+        // count leads the bucket sums: the CDF walk falls off the end.
+        s.buckets[Histogram::bucket_index(2100)] = 1;
+        s.count = 4;
+        s.max = 2100;
+        s.min = 2100;
+        assert_eq!(s.percentile(100.0), 2100.0);
+        // A partial landing inside the last bucket clamps to max too.
+        assert!(s.percentile(20.0) <= 2100.0);
+        // count trails the bucket sums (records raced in after the count
+        // read): targets are smaller, result still within [min, max].
+        s.count = 1;
+        assert!(s.percentile(50.0) >= 2048.0 && s.percentile(50.0) <= 2100.0);
+        // min not yet recorded (still the u64::MAX sentinel): the clamp
+        // must not treat it as a lower bound.
+        let mut s = HistogramSnapshot::default();
+        s.buckets[0] = 1;
+        s.count = 1;
+        s.max = 1;
+        assert!(s.percentile(50.0) <= 1.0);
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl PacketKind {
 }
 
 /// Fixed-size packet header (one ring slot holds header + payload + tail).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// All-scalar and `Copy`: headers are stashed, queued and replayed on the
+/// engine's hot path, and none of that should touch the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketHeader {
     pub kind: PacketKind,
     pub src_rank: Rank,
@@ -82,6 +84,9 @@ pub struct PacketHeader {
 
 /// Encoded header size in bytes.
 pub const HEADER_LEN: u64 = 1 + 4 + 4 + 8 + 8 + 8 + 4;
+
+/// [`HEADER_LEN`] as a `usize`, for sizing stack buffers.
+pub const HEADER_BYTES: usize = HEADER_LEN as usize;
 
 /// Tail size in bytes (slot sequence number, written last).
 pub const TAIL_LEN: u64 = 8;
@@ -103,17 +108,22 @@ impl PacketHeader {
         }
     }
 
+    #[cfg(test)]
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(HEADER_LEN as usize);
-        b.push(self.kind as u8);
-        b.extend_from_slice(&(self.src_rank as u32).to_le_bytes());
-        b.extend_from_slice(&self.tag.to_le_bytes());
-        b.extend_from_slice(&self.seq.to_le_bytes());
-        b.extend_from_slice(&self.len.to_le_bytes());
-        b.extend_from_slice(&self.addr.to_le_bytes());
-        b.extend_from_slice(&self.rkey.to_le_bytes());
-        debug_assert_eq!(b.len() as u64, HEADER_LEN);
-        b
+        let mut b = [0u8; HEADER_BYTES];
+        self.encode_into(&mut b);
+        b.to_vec()
+    }
+
+    /// Allocation-free encode into a caller-provided (stack) buffer.
+    pub fn encode_into(&self, b: &mut [u8; HEADER_BYTES]) {
+        b[0] = self.kind as u8;
+        b[1..5].copy_from_slice(&(self.src_rank as u32).to_le_bytes());
+        b[5..9].copy_from_slice(&self.tag.to_le_bytes());
+        b[9..17].copy_from_slice(&self.seq.to_le_bytes());
+        b[17..25].copy_from_slice(&self.len.to_le_bytes());
+        b[25..33].copy_from_slice(&self.addr.to_le_bytes());
+        b[33..37].copy_from_slice(&self.rkey.to_le_bytes());
     }
 
     pub fn decode(data: &[u8]) -> Option<PacketHeader> {

@@ -1,0 +1,375 @@
+//! Allocation-free bookkeeping for the progress engine's hot path.
+//!
+//! [`SlotTable`] replaces the per-engine `HashMap<u64, _>` request and
+//! inflight-WR tables: entries live in a dense `Vec` of slots, handles
+//! encode `(generation << 32) | slot`, and freed slots are recycled
+//! through an intrusive free list. Steady-state insert/remove therefore
+//! touches no allocator and no hasher, and a stale handle (slot reused
+//! since) misses on its generation tag instead of aliasing a new entry —
+//! preserving the "unknown request" semantics the MPI layer relies on.
+//!
+//! [`TimerHeap`] replaces the `Vec` + `retain`-scan timer lists: a
+//! min-heap ordered by deadline, popped only while `due <= now`, so a
+//! progress sweep costs O(fired · log n) instead of O(n) per call.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use simcore::SimTime;
+
+enum Slot<T> {
+    /// Free slot: the next free slot (or `NO_FREE`) and the generation
+    /// the next occupant will carry (bumped at removal time).
+    Free {
+        next_free: u32,
+        gen: u32,
+    },
+    Full {
+        gen: u32,
+        value: T,
+    },
+}
+
+/// Dense generation-tagged storage. Handles are plain `u64`s so they can
+/// flow through wire-adjacent code (e.g. verbs `wr_id` fields) unchanged.
+pub struct SlotTable<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+const NO_FREE: u32 = u32::MAX;
+
+impl<T> SlotTable<T> {
+    pub fn new() -> Self {
+        SlotTable {
+            slots: Vec::new(),
+            free_head: NO_FREE,
+            len: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut t = SlotTable::new();
+        t.slots.reserve(cap);
+        t
+    }
+
+    fn split(id: u64) -> (u32, u32) {
+        ((id >> 32) as u32, id as u32)
+    }
+
+    /// Insert a value, returning its handle. Generations start at 1 so a
+    /// handle is never 0 (the engine uses ids in contexts where 0 would
+    /// read as "unset").
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if self.free_head != NO_FREE {
+            let idx = self.free_head;
+            let gen = match self.slots[idx as usize] {
+                Slot::Free { next_free, gen } => {
+                    self.free_head = next_free;
+                    gen
+                }
+                Slot::Full { .. } => unreachable!("free list points at a full slot"),
+            };
+            self.slots[idx as usize] = Slot::Full { gen, value };
+            ((gen as u64) << 32) | idx as u64
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != u32::MAX, "slot table exhausted");
+            self.slots.push(Slot::Full { gen: 1, value });
+            (1u64 << 32) | idx as u64
+        }
+    }
+
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let (gen, idx) = Self::split(id);
+        match self.slots.get(idx as usize) {
+            Some(Slot::Full { gen: g, value }) if *g == gen => Some(value),
+            _ => None,
+        }
+    }
+
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (gen, idx) = Self::split(id);
+        match self.slots.get_mut(idx as usize) {
+            Some(Slot::Full { gen: g, value }) if *g == gen => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the value for `id`. The slot's generation is
+    /// bumped so outstanding copies of the handle go stale.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let (gen, idx) = Self::split(id);
+        match self.slots.get_mut(idx as usize) {
+            Some(slot @ Slot::Full { .. }) => {
+                if !matches!(slot, Slot::Full { gen: g, .. } if *g == gen) {
+                    return None;
+                }
+                // Bump the generation for the next occupant; skip 0 on
+                // wrap so ids stay non-zero.
+                let next_gen = match gen.wrapping_add(1) {
+                    0 => 1,
+                    g => g,
+                };
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free {
+                        next_free: self.free_head,
+                        gen: next_gen,
+                    },
+                );
+                self.free_head = idx;
+                self.len -= 1;
+                match old {
+                    Slot::Full { value, .. } => Some(value),
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Swap the value stored for `id`, returning the previous one. The
+    /// handle stays valid — this is the engine's state-transition
+    /// primitive (`replace` out, work on the old state, `replace` back).
+    pub fn replace(&mut self, id: u64, value: T) -> Option<T> {
+        self.get_mut(id).map(|v| std::mem::replace(v, value))
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate `(id, &value)` over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Full { gen, value } => Some((((*gen as u64) << 32) | i as u64, value)),
+            Slot::Free { .. } => None,
+        })
+    }
+
+    /// Iterate `(id, &mut value)` over live entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Full { gen, value } => Some((((*gen as u64) << 32) | i as u64, value)),
+                Slot::Free { .. } => None,
+            })
+    }
+}
+
+impl<T> Default for SlotTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An entry in a [`TimerHeap`].
+#[derive(PartialEq, Eq)]
+struct TimerEntry<K> {
+    due: SimTime,
+    /// Insertion ticket: ties broken FIFO, and `K` needs no `Ord`.
+    ticket: u64,
+    key: K,
+}
+
+impl<K: Eq> Ord for TimerEntry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.ticket).cmp(&(other.due, other.ticket))
+    }
+}
+
+impl<K: Eq> PartialOrd for TimerEntry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of `(deadline, key)` pairs. Cancellation is lazy: the engine
+/// validates each popped key against its request/WR table (stale handles
+/// miss on their generation), so no `retain` scan is ever needed.
+pub struct TimerHeap<K: Eq> {
+    heap: BinaryHeap<Reverse<TimerEntry<K>>>,
+    next_ticket: u64,
+}
+
+impl<K: Eq> TimerHeap<K> {
+    pub fn new() -> Self {
+        TimerHeap {
+            heap: BinaryHeap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    pub fn push(&mut self, due: SimTime, key: K) {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.heap.push(Reverse(TimerEntry { due, ticket, key }));
+    }
+
+    /// Earliest deadline, if any.
+    pub fn peek_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.due)
+    }
+
+    /// Pop the earliest entry if its deadline is at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, K)> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.due <= now) {
+            self.heap.pop().map(|Reverse(e)| (e.due, e.key))
+        } else {
+            None
+        }
+    }
+
+    /// Drain every entry due at or before `now` into `out` (a reusable
+    /// scratch buffer), preserving deadline order. Handlers may push new
+    /// entries while `out` is being processed.
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<K>) {
+        while let Some((_, k)) = self.pop_due(now) {
+            out.push(k);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<K: Eq> Default for TimerHeap<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = SlotTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get(b), Some(&"b"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(a), None, "double remove misses");
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_stale_after_reuse() {
+        let mut t = SlotTable::new();
+        let a = t.insert(1u32);
+        assert_ne!(a, 0);
+        t.remove(a);
+        let b = t.insert(2u32);
+        // Same slot, new generation: the old handle must not alias.
+        assert_eq!(b as u32, a as u32, "slot recycled");
+        assert_ne!(a, b);
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.get(b), Some(&2));
+    }
+
+    #[test]
+    fn steady_state_reuses_one_slot() {
+        let mut t = SlotTable::new();
+        for i in 0..10_000u32 {
+            let id = t.insert(i);
+            assert_eq!(t.remove(id), Some(i));
+        }
+        assert_eq!(t.slots.len(), 1, "one slot recycled throughout");
+    }
+
+    #[test]
+    fn replace_keeps_handle_valid() {
+        let mut t = SlotTable::new();
+        let id = t.insert(10);
+        assert_eq!(t.replace(id, 20), Some(10));
+        assert_eq!(t.get(id), Some(&20));
+        assert_eq!(t.replace(999, 1), None);
+    }
+
+    #[test]
+    fn iter_visits_live_entries_only() {
+        let mut t = SlotTable::new();
+        let a = t.insert("a");
+        let _b = t.insert("b");
+        let _c = t.insert("c");
+        t.remove(a);
+        let mut vals: Vec<_> = t.iter().map(|(_, v)| *v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, ["b", "c"]);
+        for (id, v) in t.iter_mut() {
+            assert_ne!(id, 0);
+            *v = "x";
+        }
+        assert!(t.iter().all(|(_, v)| *v == "x"));
+    }
+
+    #[test]
+    fn generation_wrap_skips_zero() {
+        let mut t = SlotTable::new();
+        // Force the slot-0 generation to the wrap point.
+        let id = t.insert(0u8);
+        t.remove(id);
+        match &mut t.slots[0] {
+            Slot::Free { gen, .. } => *gen = u32::MAX,
+            Slot::Full { .. } => unreachable!(),
+        }
+        let id = t.insert(1u8);
+        assert_eq!(id >> 32, u32::MAX as u64);
+        t.remove(id);
+        let id = t.insert(2u8);
+        assert_eq!(id >> 32, 1, "generation wraps past zero");
+        assert_eq!(t.get(id), Some(&2));
+    }
+
+    #[test]
+    fn timer_heap_pops_in_deadline_order() {
+        let mut h = TimerHeap::new();
+        let t = SimTime;
+        h.push(t(30), "c");
+        h.push(t(10), "a");
+        h.push(t(20), "b");
+        assert_eq!(h.peek_due(), Some(t(10)));
+        assert_eq!(h.pop_due(t(5)), None, "nothing due yet");
+        assert_eq!(h.pop_due(t(15)), Some((t(10), "a")));
+        let mut out = Vec::new();
+        h.drain_due(t(100), &mut out);
+        assert_eq!(out, ["b", "c"]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn timer_heap_breaks_ties_fifo() {
+        let mut h = TimerHeap::new();
+        let t = SimTime(7);
+        for i in 0..5u32 {
+            h.push(t, i);
+        }
+        let mut out = Vec::new();
+        h.drain_due(t, &mut out);
+        assert_eq!(out, [0, 1, 2, 3, 4]);
+    }
+}

@@ -60,6 +60,11 @@ impl fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
+            "  hot path   doorbells coalesced {:>5}  replay entries pruned {:>5}",
+            c.doorbells_coalesced, c.replay_pruned
+        )?;
+        writeln!(
+            f,
             "  mr cache   hits {:>6}  misses {:>4}  evictions {:>4}  reg {:>4}  dereg {:>4}  \
              invalidated {:>4}  (resident {}, pinned {})",
             self.mr_cache.hits,
@@ -86,7 +91,7 @@ impl fmt::Display for StatsReport {
 }
 
 /// Number of `u64` words a [`StatsReport`] flattens into.
-const WORDS: usize = 30;
+const WORDS: usize = 32;
 
 impl StatsReport {
     /// Flatten into a fixed word array. The order is part of the
@@ -127,6 +132,8 @@ impl StatsReport {
             o.registered,
             o.deregistered,
             o.invalidated,
+            c.replay_pruned,
+            c.doorbells_coalesced,
         ]
     }
 
@@ -151,6 +158,8 @@ impl StatsReport {
                 handshake_reissues: w[15],
                 ctrl_abandoned: w[16],
                 offload_fallbacks: w[17],
+                replay_pruned: w[30],
+                doorbells_coalesced: w[31],
             },
             mr_cache: CacheStats {
                 hits: w[18],
@@ -315,6 +324,8 @@ mod tests {
                 handshake_reissues: 13,
                 ctrl_abandoned: 14,
                 offload_fallbacks: 15,
+                replay_pruned: 30,
+                doorbells_coalesced: 31,
             },
             mr_cache: CacheStats {
                 hits: 16,

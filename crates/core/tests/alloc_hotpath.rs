@@ -1,0 +1,126 @@
+//! Allocation regression test for the zero-allocation hot path.
+//!
+//! A counting global allocator attributes every heap allocation made
+//! while `dcfa_mpi::hotpath::armed()` is true — i.e. on a simulated
+//! rank thread inside `isend`/`irecv`/`test`/`wait`/`progress`, and
+//! not paused for a device-model excursion — to the MPI library's hot
+//! path. After a warmup phase (which is allowed to allocate: slab
+//! slots, ring scratch, metric keys and scheduler heaps all grow to
+//! steady-state capacity once), a long eager ping-pong must perform
+//! **zero** hot-path allocations. This turns the tentpole's central
+//! claim into an enforced invariant rather than an assertion in prose.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcfa_mpi::{launch, Communicator, LaunchOpts, MpiConfig, Src, TagSel};
+use parking_lot::Mutex;
+
+struct HotCounting;
+
+static HOT_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for HotCounting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if dcfa_mpi::hotpath::armed() {
+            HOT_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(l)
+    }
+
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        if dcfa_mpi::hotpath::armed() {
+            HOT_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(l)
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if dcfa_mpi::hotpath::armed() {
+            HOT_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(p, l, new_size)
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static ALLOC: HotCounting = HotCounting;
+
+/// Rounds allowed to allocate (fills slabs, scratch buffers, metric
+/// keys and event-queue capacity).
+const WARMUP_ROUNDS: usize = 64;
+/// Measured rounds: two eager ops each (one send + one recv per rank).
+const MEASURED_ROUNDS: usize = 1000;
+/// Well under the eager threshold so every op takes the eager path.
+const MSG: u64 = 256;
+
+#[test]
+fn steady_state_eager_ops_do_not_allocate() {
+    let mut sim = simcore::Simulation::new();
+    let cluster = fabric::Cluster::new(sim.scheduler(), fabric::ClusterConfig::with_nodes(2));
+    let ib = verbs::IbFabric::new(cluster.clone());
+    let scif = scif::ScifFabric::new(cluster);
+    let measured = Arc::new(Mutex::new(None::<u64>));
+    let measured2 = measured.clone();
+    launch(
+        &sim,
+        &ib,
+        &scif,
+        MpiConfig::dcfa(),
+        2,
+        LaunchOpts::default(),
+        move |ctx, comm| {
+            let buf = comm.alloc(MSG).unwrap();
+            let me = comm.rank();
+            let peer = 1 - me;
+            let round = |ctx: &mut simcore::Ctx, comm: &mut dcfa_mpi::Comm| {
+                if me == 0 {
+                    comm.send(ctx, &buf, peer, 7).unwrap();
+                    comm.recv(ctx, &buf, Src::Rank(peer), TagSel::Tag(7))
+                        .unwrap();
+                } else {
+                    comm.recv(ctx, &buf, Src::Rank(peer), TagSel::Tag(7))
+                        .unwrap();
+                    comm.send(ctx, &buf, peer, 7).unwrap();
+                }
+            };
+            for _ in 0..WARMUP_ROUNDS {
+                round(ctx, comm);
+            }
+            let before = HOT_ALLOCS.load(Ordering::Relaxed);
+            // The harness must be live: warmup itself allocates (slabs
+            // and scratch growing to steady-state capacity), so a zero
+            // here would mean arming is broken, not that the code is
+            // allocation-free.
+            if me == 0 {
+                assert!(
+                    before > 0,
+                    "counting allocator never saw an armed allocation; \
+                     hot-path instrumentation is not wired up"
+                );
+            }
+            for _ in 0..MEASURED_ROUNDS {
+                round(ctx, comm);
+            }
+            let after = HOT_ALLOCS.load(Ordering::Relaxed);
+            if me == 0 {
+                *measured2.lock() = Some(after - before);
+            }
+        },
+    );
+    sim.run_expect();
+    let hot = measured
+        .lock()
+        .take()
+        .expect("rank 0 recorded a measurement");
+    assert_eq!(
+        hot, 0,
+        "steady-state eager ping-pong performed {hot} hot-path heap \
+         allocations over {MEASURED_ROUNDS} rounds (expected zero)"
+    );
+}

@@ -4,6 +4,16 @@
 //! the element-wise min/max of the parts' percentiles (the merged CDF is a
 //! count-weighted mixture of the parts' CDFs, so its inverse cannot escape
 //! the envelope of the two inverses).
+//!
+//! One refinement: `percentile` clamps its interpolation to each
+//! snapshot's observed `[min, max]` (a percentile of real samples can
+//! never escape them — see the hardening notes on
+//! `HistogramSnapshot::percentile`). The clamp bound is data-dependent,
+//! so when it engages for one of the three snapshots at some `p` the
+//! pure-mixture envelope no longer applies at that point; the tests below
+//! fall back to the clamp's own guarantee — the merged percentile stays
+//! inside the merged observed range — and assert the strict envelope
+//! whenever no clamp was active.
 
 use dcfa_mpi::HistogramSnapshot;
 use proptest::prelude::*;
@@ -37,10 +47,27 @@ proptest! {
         prop_assert_eq!(merged.min, sa.min.min(sb.min));
         prop_assert_eq!(merged.max, sa.max.max(sb.max));
 
+        let clamped = |s: &HistogramSnapshot, v: f64| {
+            (v - s.min as f64).abs() < EPS || (v - s.max as f64).abs() < EPS
+        };
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let pa = sa.percentile(p);
             let pb = sb.percentile(p);
             let pm = merged.percentile(p);
+            // The clamp's guarantee holds unconditionally: the merged
+            // percentile never escapes the merged observed range.
+            prop_assert!(
+                pm >= merged.min as f64 - EPS && pm <= merged.max as f64 + EPS,
+                "p{:.0}: merged {} outside observed [{}, {}]",
+                p, pm, merged.min, merged.max
+            );
+            // The mixture envelope holds whenever no snapshot's clamp was
+            // active at this p (a value sitting exactly on its snapshot's
+            // min/max may have been clamped there, shrinking the parts'
+            // envelope below what the raw mixture argument covers).
+            if clamped(&sa, pa) || clamped(&sb, pb) || clamped(&merged, pm) {
+                continue;
+            }
             let lo = pa.min(pb);
             let hi = pa.max(pb);
             prop_assert!(

@@ -101,6 +101,11 @@ pub struct Memory {
     used: u64,
     /// Arena backing store, grown lazily.
     bytes: Vec<u8>,
+    /// Highest allocation end ever handed out. Space above this line has
+    /// never been allocated, so it still reads as fresh (lazy) zeros and
+    /// must not be scrubbed — scrubbing would fault in pages the
+    /// simulated software never touches.
+    high_water: u64,
     /// Free list: base -> len, coalesced on free.
     free: BTreeMap<u64, u64>,
     /// Live allocations: base -> len (double-free / bad-free detection).
@@ -116,6 +121,7 @@ impl Memory {
             capacity,
             used: 0,
             bytes: Vec::new(),
+            high_water: 0,
             free,
             live: BTreeMap::new(),
         }
@@ -172,9 +178,18 @@ impl Memory {
         // recycled arena space.
         let need = end as usize;
         if self.bytes.len() < need {
-            self.bytes.resize(need, 0);
+            self.grow_arena(need);
         }
-        self.bytes[aligned as usize..end as usize].fill(0);
+        // Fresh arena space — above the allocation high-water mark — is
+        // still (lazily) zero; explicitly zeroing it would fault in every
+        // page of e.g. a ring buffer whose slots are mostly never
+        // touched. Only recycled space needs scrubbing so that a reused
+        // region reads as zero like fresh pages do.
+        let scrub_end = end.min(self.high_water);
+        if aligned < scrub_end {
+            self.bytes[aligned as usize..scrub_end as usize].fill(0);
+        }
+        self.high_water = self.high_water.max(end);
         Ok(Buffer {
             mem: self.mem,
             addr: aligned,
@@ -185,6 +200,26 @@ impl Memory {
     /// Allocate page-aligned.
     pub fn alloc_pages(&mut self, len: u64) -> Result<Buffer, OutOfMemory> {
         self.alloc(len, PAGE_SIZE)
+    }
+
+    /// Grow the backing arena to at least `need` bytes.
+    ///
+    /// Deliberately NOT `Vec::resize`: a resize both memsets the new
+    /// tail (faulting in every page even if the simulated software
+    /// never touches it) and, on reallocation, copies the whole arena.
+    /// Instead allocate a fresh zeroed buffer — `alloc_zeroed` maps
+    /// demand-zero pages that are only faulted in on first real use —
+    /// and copy just the live prefix. Growth is geometric with a floor,
+    /// so a warming-up arena reallocates O(log n) times.
+    fn grow_arena(&mut self, need: usize) {
+        const ARENA_FLOOR: usize = 4 << 20;
+        let target = need
+            .max(self.bytes.capacity() * 2)
+            .max(ARENA_FLOOR.min(self.capacity as usize))
+            .max(1);
+        let mut fresh = vec![0u8; target];
+        fresh[..self.bytes.len()].copy_from_slice(&self.bytes);
+        self.bytes = fresh;
     }
 
     /// Free an allocation by its buffer. Panics on double free or on a
@@ -335,6 +370,19 @@ mod tests {
         let mut out = [0u8; 4];
         m.read(&a, 256, &mut out);
         assert_eq!(out, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recycled_memory_reads_zero() {
+        let mut m = mem();
+        let a = m.alloc(256, 1).unwrap();
+        m.write(&a, 0, &[0xAB; 256]);
+        m.free(&a);
+        // First-fit hands the same region back; it must read as zero
+        // like fresh pages do, not leak the previous tenant's bytes.
+        let b = m.alloc(256, 1).unwrap();
+        assert_eq!(b.addr, a.addr);
+        assert_eq!(m.read_vec(&b), vec![0u8; 256]);
     }
 
     #[test]

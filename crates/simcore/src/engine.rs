@@ -254,13 +254,29 @@ impl Ctx {
         if d.is_zero() {
             return;
         }
-        let epoch = {
+        {
             let mut st = self.scheduler.shared.state.lock();
+            let t = st.now + d;
+            // Fast-forward: while this process runs, no other thread can
+            // mutate the scheduler (every other process is parked and the
+            // engine thread is waiting for our park), so if our wake
+            // would sort before everything queued, parking would only
+            // make the engine pop it straight back to us. Advance the
+            // clock inline instead and skip both thread handoffs — the
+            // event still counts, identically to the two-hop path. A
+            // queued event at the same instant wins (it holds an earlier
+            // sequence number), exactly as in the two-hop path.
+            if st.events_processed < st.event_limit
+                && st.queue.peek().is_none_or(|Reverse(h)| t < h.time)
+            {
+                st.now = t;
+                st.events_processed += 1;
+                return;
+            }
             let slot = &mut st.procs[self.pid.0];
             slot.epoch += 1;
             slot.block_reason = "sleep";
             let epoch = slot.epoch;
-            let t = st.now + d;
             st.schedule(
                 t,
                 EventKind::Wake(WakeTarget {
@@ -268,22 +284,29 @@ impl Ctx {
                     epoch,
                 }),
             );
-            epoch
-        };
-        let _ = epoch;
+        }
         self.park();
     }
 
     /// Yield the processor: requeue after every event already scheduled at
     /// the current instant.
     pub fn yield_now(&mut self) {
-        let () = {
+        {
             let mut st = self.scheduler.shared.state.lock();
+            let now = st.now;
+            // Fast-forward (see `sleep`): with nothing else queued at the
+            // current instant the yield is a no-op — requeueing would
+            // bounce straight back through the engine thread.
+            if st.events_processed < st.event_limit
+                && st.queue.peek().is_none_or(|Reverse(h)| now < h.time)
+            {
+                st.events_processed += 1;
+                return;
+            }
             let slot = &mut st.procs[self.pid.0];
             slot.epoch += 1;
             slot.block_reason = "yield";
             let epoch = slot.epoch;
-            let now = st.now;
             st.schedule(
                 now,
                 EventKind::Wake(WakeTarget {
@@ -291,7 +314,7 @@ impl Ctx {
                     epoch,
                 }),
             );
-        };
+        }
         self.park();
     }
 
@@ -396,17 +419,101 @@ impl Ctx {
     }
 
     fn park(&mut self) {
-        self.scheduler
-            .shared
-            .park_tx
-            .send(Park::Blocked(self.pid))
-            .expect("engine gone while parking");
+        if profile_enabled() {
+            LAST_RESUME.with(|c| {
+                if let Some(t) = c.take() {
+                    PROFILE_ACTIVE_NS.fetch_add(
+                        t.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                }
+            });
+        }
+        // Direct handoff: while this thread runs, the engine thread sits
+        // blocked waiting for our park, so bouncing control through it
+        // costs two thread switches per event. If the next event is a
+        // plain wake of a parked process, deliver it from here: pop it,
+        // mark the target running and resume it directly — or, when the
+        // wake targets this very process, just keep running with no
+        // switch at all. Device callbacks (`Call`), an exhausted event
+        // budget, an empty queue (run end / deadlock detection) and
+        // process exit still go through the engine thread, which keeps
+        // sole authority over run termination and error reporting.
+        enum Hand {
+            SelfResume,
+            Direct(Sender<Resume>),
+            Engine,
+        }
+        let hand = {
+            let mut st = self.scheduler.shared.state.lock();
+            st.procs[self.pid.0].status = ProcStatus::Blocked;
+            loop {
+                if st.events_processed >= st.event_limit {
+                    // Let the engine thread pop the offending event and
+                    // report `SimError::EventLimit`.
+                    break Hand::Engine;
+                }
+                let target = match st.queue.peek() {
+                    Some(Reverse(ev)) => match ev.kind {
+                        EventKind::Wake(t) => t,
+                        EventKind::Call(_) => break Hand::Engine,
+                    },
+                    None => break Hand::Engine,
+                };
+                let Some(Reverse(ev)) = st.queue.pop() else {
+                    unreachable!("peeked event vanished under the state lock")
+                };
+                debug_assert!(ev.time >= st.now);
+                st.now = ev.time;
+                st.events_processed += 1;
+                let slot = &mut st.procs[target.pid.0];
+                if slot.status != ProcStatus::Blocked || slot.epoch != target.epoch {
+                    continue; // stale wake, skipped exactly like the engine loop
+                }
+                slot.status = ProcStatus::Running;
+                if target.pid == self.pid {
+                    break Hand::SelfResume;
+                }
+                break Hand::Direct(slot.resume_tx.clone());
+            }
+        };
+        match hand {
+            Hand::SelfResume => {
+                if profile_enabled() {
+                    LAST_RESUME.with(|c| c.set(Some(std::time::Instant::now())));
+                }
+                return;
+            }
+            Hand::Direct(tx) => {
+                tx.send(Resume::Go).expect("process thread gone");
+            }
+            Hand::Engine => {
+                self.scheduler
+                    .shared
+                    .park_tx
+                    .send(Park::Blocked(self.pid))
+                    .expect("engine gone while parking");
+            }
+        }
         match self.resume_rx.recv() {
             Ok(Resume::Go) => {}
             // resume_unwind skips the panic hook: teardown stays quiet.
             Ok(Resume::Abort) | Err(_) => std::panic::resume_unwind(Box::new(AbortMarker)),
         }
+        if profile_enabled() {
+            LAST_RESUME.with(|c| c.set(Some(std::time::Instant::now())));
+        }
     }
+}
+
+static PROFILE_ACTIVE_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+thread_local! {
+    static LAST_RESUME: std::cell::Cell<Option<std::time::Instant>> =
+        const { std::cell::Cell::new(None) };
+}
+fn profile_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("SIM_PROFILE").is_some())
 }
 
 /// Outcome of a completed run.
@@ -555,6 +662,12 @@ impl Simulation {
 
     /// Run until the event queue drains and every process has finished.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let profile = std::env::var_os("SIM_PROFILE").is_some();
+        let mut calls = 0u64;
+        let mut call_ns = 0u64;
+        let mut wakes = 0u64;
+        let mut wake_ns = 0u64;
+        let t_run = std::time::Instant::now();
         loop {
             let ev = {
                 let mut st = self.shared.state.lock();
@@ -577,6 +690,18 @@ impl Simulation {
             let Some(ev) = ev else {
                 let st = self.shared.state.lock();
                 if st.live == 0 {
+                    if profile {
+                        eprintln!(
+                            "SIM_PROFILE: total {:.1}ms | {} calls {:.1}ms | {} wakes {:.1}ms | proc-active {:.1}ms",
+                            t_run.elapsed().as_secs_f64() * 1e3,
+                            calls,
+                            call_ns as f64 / 1e6,
+                            wakes,
+                            wake_ns as f64 / 1e6,
+                            PROFILE_ACTIVE_NS.load(std::sync::atomic::Ordering::Relaxed) as f64
+                                / 1e6,
+                        );
+                    }
                     return Ok(RunReport {
                         final_time: st.now,
                         events_processed: st.events_processed,
@@ -598,10 +723,14 @@ impl Simulation {
             };
             match ev.kind {
                 EventKind::Call(f) => {
+                    let t0 = std::time::Instant::now();
                     let sched = self.scheduler();
                     f(&sched);
+                    calls += 1;
+                    call_ns += t0.elapsed().as_nanos() as u64;
                 }
                 EventKind::Wake(target) => {
+                    let t0 = std::time::Instant::now();
                     let resume_tx = {
                         let mut st = self.shared.state.lock();
                         let slot = &mut st.procs[target.pid.0];
@@ -612,7 +741,10 @@ impl Simulation {
                         slot.resume_tx.clone()
                     };
                     resume_tx.send(Resume::Go).expect("process thread gone");
-                    match self.park_rx.recv().expect("all process threads gone") {
+                    let parked = self.park_rx.recv().expect("all process threads gone");
+                    wakes += 1;
+                    wake_ns += t0.elapsed().as_nanos() as u64;
+                    match parked {
                         Park::Blocked(pid) => {
                             self.shared.state.lock().procs[pid.0].status = ProcStatus::Blocked;
                         }

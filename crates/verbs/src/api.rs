@@ -477,9 +477,32 @@ impl QueuePair {
 
     /// Post a send-queue work request (Send / RDMA WRITE / RDMA READ).
     pub fn post_send(&self, ctx: &mut Ctx, wr: SendWr) -> Result<(), VerbsError> {
+        self.post_send_inner(ctx, wr, true)
+    }
+
+    /// Post a send WR whose doorbell rides on the previous post: real HCAs
+    /// fetch WQEs in cache-line batches, so software that enqueues several
+    /// WQEs and rings once pays the doorbell/WQE-fetch overhead only on the
+    /// first. The engine uses this when flushing a backlog of queued
+    /// control packets in one sweep.
+    pub fn post_send_coalesced(&self, ctx: &mut Ctx, wr: SendWr) -> Result<(), VerbsError> {
+        self.post_send_inner(ctx, wr, false)
+    }
+
+    fn post_send_inner(
+        &self,
+        ctx: &mut Ctx,
+        wr: SendWr,
+        ring_doorbell: bool,
+    ) -> Result<(), VerbsError> {
         let cost = self.fabric.cluster().config().cost.clone();
-        // Software post overhead + HCA doorbell/WQE fetch.
-        ctx.sleep(cost.cpu_op(self.domain) + cost.hca_wqe_overhead);
+        // Software post overhead + HCA doorbell/WQE fetch (the latter only
+        // when this post rings its own doorbell).
+        if ring_doorbell {
+            ctx.sleep(cost.cpu_op(self.domain) + cost.hca_wqe_overhead);
+        } else {
+            ctx.sleep(cost.cpu_op(self.domain));
+        }
 
         let remote = self
             .shared
@@ -587,7 +610,7 @@ impl QueuePair {
         // Schedule the delivery.
         let fabric = self.fabric.clone();
         let shared = self.shared.clone();
-        let wr2 = wr.clone();
+        let wr2 = wr;
         let domain = self.domain;
         cluster.call_at(end, move |s| {
             deliver(

@@ -52,6 +52,18 @@ impl CompletionQueue {
         self.inner.lock().queue.pop_front()
     }
 
+    /// Non-blocking batched poll, like `ibv_poll_cq` with `max` entries:
+    /// drains up to `max` completions into `out` under a single lock
+    /// acquisition and returns how many were appended. `out` is a
+    /// caller-owned scratch buffer so a steady-state progress sweep does
+    /// not allocate.
+    pub fn poll_batch(&self, out: &mut Vec<Wc>, max: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.queue.len());
+        out.extend(inner.queue.drain(..n));
+        n
+    }
+
     /// Blocking poll: parks the process until a CQE is available.
     pub fn wait(&self, ctx: &mut Ctx) -> Wc {
         loop {

@@ -29,6 +29,120 @@ pub struct Sge {
     pub lkey: MrKey,
 }
 
+/// An inline gather list: up to [`SgeList::MAX`] SGEs without a heap
+/// allocation. Work requests are posted on the hot path of every eager
+/// packet, so the gather list lives inside the WR (making [`SendWr`]
+/// `Copy`) instead of in a per-post `Vec` — the paper's EAGER packet
+/// needs at most three SGEs (header ‖ payload ‖ tail).
+#[derive(Debug, Clone, Copy)]
+pub struct SgeList {
+    sges: [Sge; Self::MAX],
+    len: u8,
+}
+
+impl SgeList {
+    /// Maximum gather entries (header, payload, tail).
+    pub const MAX: usize = 3;
+
+    const EMPTY: Sge = Sge {
+        addr: 0,
+        len: 0,
+        lkey: MrKey(0),
+    };
+
+    pub fn new() -> Self {
+        SgeList {
+            sges: [Self::EMPTY; Self::MAX],
+            len: 0,
+        }
+    }
+
+    pub fn push(&mut self, sge: Sge) {
+        assert!(
+            (self.len as usize) < Self::MAX,
+            "SgeList overflow: at most {} SGEs",
+            Self::MAX
+        );
+        self.sges[self.len as usize] = sge;
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Sge> {
+        self.as_slice().iter()
+    }
+
+    pub fn as_slice(&self) -> &[Sge] {
+        &self.sges[..self.len as usize]
+    }
+}
+
+impl Default for SgeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for SgeList {
+    type Target = [Sge];
+    fn deref(&self) -> &[Sge] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SgeList {
+    type Item = &'a Sge;
+    type IntoIter = std::slice::Iter<'a, Sge>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<Sge> for SgeList {
+    fn from(sge: Sge) -> Self {
+        let mut l = SgeList::new();
+        l.push(sge);
+        l
+    }
+}
+
+impl<const N: usize> From<[Sge; N]> for SgeList {
+    fn from(sges: [Sge; N]) -> Self {
+        let mut l = SgeList::new();
+        for s in sges {
+            l.push(s);
+        }
+        l
+    }
+}
+
+impl From<Vec<Sge>> for SgeList {
+    fn from(sges: Vec<Sge>) -> Self {
+        let mut l = SgeList::new();
+        for s in sges {
+            l.push(s);
+        }
+        l
+    }
+}
+
+impl From<&[Sge]> for SgeList {
+    fn from(sges: &[Sge]) -> Self {
+        let mut l = SgeList::new();
+        for &s in sges {
+            l.push(s);
+        }
+        l
+    }
+}
+
 /// Send-queue operation kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOpcode {
@@ -46,14 +160,16 @@ pub enum SendOpcode {
     CompareSwap,
 }
 
-/// A send work request.
-#[derive(Debug, Clone)]
+/// A send work request. `Copy` by design: the engine re-posts WRs on
+/// retry and keeps them in an inflight table, and an inline gather list
+/// keeps every such move allocation-free.
+#[derive(Debug, Clone, Copy)]
 pub struct SendWr {
     pub wr_id: u64,
     pub opcode: SendOpcode,
     /// Local gather list (Send/RdmaWrite: source; RdmaRead/atomics:
     /// destination).
-    pub sges: Vec<Sge>,
+    pub sges: SgeList,
     /// Remote address for RDMA operations.
     pub remote_addr: u64,
     /// Remote key for RDMA operations.
@@ -67,7 +183,7 @@ pub struct SendWr {
 }
 
 impl SendWr {
-    fn base(wr_id: u64, opcode: SendOpcode, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
+    fn base(wr_id: u64, opcode: SendOpcode, sges: SgeList, remote_addr: u64, rkey: MrKey) -> Self {
         SendWr {
             wr_id,
             opcode,
@@ -80,16 +196,16 @@ impl SendWr {
         }
     }
 
-    pub fn send(wr_id: u64, sges: Vec<Sge>) -> Self {
-        Self::base(wr_id, SendOpcode::Send, sges, 0, MrKey(0))
+    pub fn send(wr_id: u64, sges: impl Into<SgeList>) -> Self {
+        Self::base(wr_id, SendOpcode::Send, sges.into(), 0, MrKey(0))
     }
 
-    pub fn rdma_write(wr_id: u64, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
-        Self::base(wr_id, SendOpcode::RdmaWrite, sges, remote_addr, rkey)
+    pub fn rdma_write(wr_id: u64, sges: impl Into<SgeList>, remote_addr: u64, rkey: MrKey) -> Self {
+        Self::base(wr_id, SendOpcode::RdmaWrite, sges.into(), remote_addr, rkey)
     }
 
-    pub fn rdma_read(wr_id: u64, sges: Vec<Sge>, remote_addr: u64, rkey: MrKey) -> Self {
-        Self::base(wr_id, SendOpcode::RdmaRead, sges, remote_addr, rkey)
+    pub fn rdma_read(wr_id: u64, sges: impl Into<SgeList>, remote_addr: u64, rkey: MrKey) -> Self {
+        Self::base(wr_id, SendOpcode::RdmaRead, sges.into(), remote_addr, rkey)
     }
 
     /// Atomic fetch-and-add of `add` on the 8-byte word at
@@ -99,7 +215,7 @@ impl SendWr {
         let mut wr = Self::base(
             wr_id,
             SendOpcode::FetchAdd,
-            vec![result_sge],
+            result_sge.into(),
             remote_addr,
             rkey,
         );
@@ -120,7 +236,7 @@ impl SendWr {
         let mut wr = Self::base(
             wr_id,
             SendOpcode::CompareSwap,
-            vec![result_sge],
+            result_sge.into(),
             remote_addr,
             rkey,
         );
@@ -257,6 +373,38 @@ mod tests {
         assert!(!wr.signaled);
         assert_eq!(wr.byte_len(), 128);
         assert_eq!(wr.rkey, MrKey(9));
+    }
+
+    #[test]
+    fn sge_list_conversions() {
+        let sge = Sge {
+            addr: 0x40,
+            len: 8,
+            lkey: MrKey(3),
+        };
+        let from_one: SgeList = sge.into();
+        assert_eq!(from_one.len(), 1);
+        assert_eq!(from_one[0].addr, 0x40);
+        let from_arr: SgeList = [sge, sge, sge].into();
+        assert_eq!(from_arr.len(), 3);
+        assert_eq!(from_arr.iter().map(|s| s.len).sum::<u64>(), 24);
+        let from_vec: SgeList = vec![sge, sge].into();
+        assert_eq!(from_vec.as_slice().len(), 2);
+        assert!(SgeList::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "SgeList overflow")]
+    fn sge_list_overflow_panics() {
+        let sge = Sge {
+            addr: 0,
+            len: 1,
+            lkey: MrKey(0),
+        };
+        let mut l = SgeList::new();
+        for _ in 0..=SgeList::MAX {
+            l.push(sge);
+        }
     }
 
     #[test]
