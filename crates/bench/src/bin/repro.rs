@@ -26,6 +26,17 @@
 //!                      # diff the current run against a saved report;
 //!                      # exits 1 if p99/bandwidth drift beyond PCT
 //!                      # (default 25), 2 if a report cannot be parsed
+//! repro --ranks N [--shards S] [--no-srq]
+//!                      # audited neighbor-halo fault soak at N ranks (one
+//!                      # per node) on S DES shards; SRQ receive pooling is
+//!                      # on unless --no-srq. Gates: auditor OK, 0 corrupt
+//!                      # payloads, established pairs O(ranks), per-rank
+//!                      # buffer memory under a flat ceiling. Exits 1 on
+//!                      # any violation.
+//! repro --scale-curve PATH [--shards S] [--no-srq]
+//!                      # sweep ranks 8/16/32/64, write the memory-per-rank
+//!                      # curve to PATH as CSV, and gate sub-quadratic
+//!                      # growth of pairs and buffer bytes
 //! ```
 
 use bench::{
@@ -87,6 +98,27 @@ fn main() {
             }
         })
         .unwrap_or(25.0);
+    let parse_count = |flag: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| match s.parse::<usize>() {
+                Ok(v) if v >= 1 => v,
+                _ => {
+                    eprintln!("bad {flag} {s:?}: expected a positive integer");
+                    std::process::exit(2);
+                }
+            })
+    };
+    // `--ranks N [--shards S] [--no-srq]` runs the audited scale soak.
+    let scale_ranks = parse_count("--ranks");
+    let scale_shards = parse_count("--shards").unwrap_or(1);
+    let scale_srq = !args.iter().any(|a| a == "--no-srq");
+    // `--scale-curve PATH` sweeps rank counts and writes the memory curve.
+    let scale_curve: Option<&String> = args
+        .iter()
+        .position(|a| a == "--scale-curve")
+        .and_then(|i| args.get(i + 1));
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -101,6 +133,9 @@ fn main() {
                 || *a == "--metrics-json"
                 || *a == "--compare-metrics"
                 || *a == "--tolerance"
+                || *a == "--ranks"
+                || *a == "--shards"
+                || *a == "--scale-curve"
             {
                 skip_next = true;
             }
@@ -120,9 +155,17 @@ fn main() {
             && fault_spec.is_none()
             && daemon_fault_spec.is_none()
             && metrics_json.is_none()
-            && compare_metrics.is_none());
+            && compare_metrics.is_none()
+            && scale_ranks.is_none()
+            && scale_curve.is_none());
     let want = |k: &str| all || wanted.contains(&k);
 
+    if let Some(ranks) = scale_ranks {
+        scale_soak(ranks, scale_shards, scale_srq);
+    }
+    if let Some(path) = scale_curve {
+        scale_curve_sweep(path, scale_shards, scale_srq);
+    }
     if let Some(spec) = fault_spec {
         fault_soak(spec);
     }
@@ -306,6 +349,187 @@ fn main() {
         println!("host-staged bcast @2 MiB x 8 ranks (future work §VI): plain {plain:.1} us, staged {staged:.1} us ({:.2}x)",
             plain / staged);
     }
+}
+
+/// The transient link faults every scale soak runs under: enough churn to
+/// exercise retry and reorder handling at rank counts the 4-rank suites
+/// never reach, but nothing fatal — every operation must still succeed.
+const SCALE_FAULT_SPEC: &str = "7:transient,23:retry,61:transient";
+
+/// `--ranks N [--shards S] [--no-srq]`: the audited neighbor-halo fault
+/// soak at scale. Prints the scale counters and exits 1 if the auditor
+/// objects, a payload was corrupted, an operation failed, connections grew
+/// past the touched O(ranks) neighbor set, or per-rank buffer memory broke
+/// its flat ceiling.
+fn scale_soak(ranks: usize, shards: usize, srq: bool) {
+    // 4 ring neighbors per rank, doubled for slack (boot-order effects).
+    let max_pairs = ranks as u64 * 8;
+    // One shared receive pool + a handful of per-neighbor stage rings;
+    // independent of the rank count.
+    let max_bytes_per_rank: u64 = 16 << 20;
+    let faults = fabric::parse_fault_spec(SCALE_FAULT_SPEC).expect("builtin fault spec");
+    println!(
+        "== scale soak: {ranks} ranks on {} DES shard(s), SRQ {}, {} transient fault plan(s) ==",
+        shards.max(1),
+        if srq { "on" } else { "off" },
+        faults.len()
+    );
+    let run = bench::scale_run(ranks, shards, srq, &faults);
+    println!(
+        "virtual time {:.1} ms | wall {:.1} ms | {} events",
+        run.elapsed_ns as f64 / 1e6,
+        run.wall_ns as f64 / 1e6,
+        run.sim_events
+    );
+    println!(
+        "operations: {} completed, {} failed, {} corrupted payloads",
+        run.ops_ok, run.ops_failed, run.corrupt
+    );
+    println!(
+        "pairs established: {} total, {} max per rank (full mesh would be {})",
+        run.established_pairs(),
+        run.max_pairs_per_rank(),
+        ranks as u64 * (ranks as u64 - 1)
+    );
+    println!(
+        "comm buffer bytes per rank: {} max | srq pool high-water: {} slot(s)",
+        run.bytes_per_rank(),
+        run.srq_highwater()
+    );
+    let mut bad = false;
+    match &run.audit {
+        Ok(report) => println!("auditor: OK — {report:?}"),
+        Err(errors) => {
+            println!("auditor: {} invariant violations", errors.len());
+            for e in errors.iter().take(20) {
+                println!("  {e}");
+            }
+            bad = true;
+        }
+    }
+    if run.dropped > 0 {
+        println!(
+            "FAIL: trace ring dropped {} events (audit unbound)",
+            run.dropped
+        );
+        bad = true;
+    }
+    if run.corrupt > 0 || run.ops_failed > 0 {
+        println!(
+            "FAIL: {} corrupt payloads, {} failed operations under transient faults",
+            run.corrupt, run.ops_failed
+        );
+        bad = true;
+    }
+    if run.established_pairs() > max_pairs {
+        println!(
+            "FAIL: {} pairs established, gate is {} (O(ranks) neighbor set)",
+            run.established_pairs(),
+            max_pairs
+        );
+        bad = true;
+    }
+    if run.bytes_per_rank() > max_bytes_per_rank {
+        println!(
+            "FAIL: {} comm buffer bytes per rank, ceiling is {}",
+            run.bytes_per_rank(),
+            max_bytes_per_rank
+        );
+        bad = true;
+    }
+    if srq && run.srq_highwater() == 0 {
+        println!("FAIL: SRQ mode on but the pool was never used");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!();
+}
+
+/// `--scale-curve PATH`: sweep the soak over ranks 8/16/32/64, write the
+/// per-rank memory and connection curve as CSV, and gate sub-quadratic
+/// growth: connections scale linearly with ranks and per-rank buffer bytes
+/// stay flat. Exits 1 on a violation (including any per-run gate).
+fn scale_curve_sweep(path: &str, shards: usize, srq: bool) {
+    let faults = fabric::parse_fault_spec(SCALE_FAULT_SPEC).expect("builtin fault spec");
+    let sweep = [8usize, 16, 32, 64];
+    let mut rows = Vec::new();
+    println!(
+        "== scale curve: ranks {sweep:?} on {} DES shard(s), SRQ {} ==",
+        shards.max(1),
+        if srq { "on" } else { "off" }
+    );
+    for &ranks in &sweep {
+        let run = bench::scale_run(ranks, shards, srq, &faults);
+        let audit_ok = run.audit.is_ok() && run.dropped == 0;
+        println!(
+            "ranks {ranks:>4}: {:>6} pairs, {:>9} B/rank, srq high-water {:>3}, audit {}",
+            run.established_pairs(),
+            run.bytes_per_rank(),
+            run.srq_highwater(),
+            if audit_ok { "OK" } else { "FAIL" }
+        );
+        rows.push((run, audit_ok));
+    }
+    let csv: String = std::iter::once(
+        "ranks,established_pairs,max_pairs_per_rank,bytes_per_rank,srq_highwater\n".to_string(),
+    )
+    .chain(rows.iter().map(|(r, _)| {
+        format!(
+            "{},{},{},{},{}\n",
+            r.ranks,
+            r.established_pairs(),
+            r.max_pairs_per_rank(),
+            r.bytes_per_rank(),
+            r.srq_highwater()
+        )
+    }))
+    .collect();
+    if let Err(e) = std::fs::write(path, csv) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("memory-per-rank curve written to {path}");
+    let mut bad = false;
+    for (r, audit_ok) in &rows {
+        if !audit_ok || r.corrupt > 0 || r.ops_failed > 0 {
+            println!(
+                "FAIL: ranks {} run unhealthy (audit ok: {audit_ok}, corrupt {}, failed {})",
+                r.ranks, r.corrupt, r.ops_failed
+            );
+            bad = true;
+        }
+    }
+    let (first, _) = &rows[0];
+    let (last, _) = &rows[rows.len() - 1];
+    let rank_growth = (last.ranks / first.ranks) as u64;
+    // Connections: linear in ranks (x1.5 slack). Quadratic growth would
+    // multiply by rank_growth^2.
+    if last.established_pairs() > first.established_pairs() * rank_growth * 3 / 2 {
+        println!(
+            "FAIL: pairs grew {} -> {} over a {}x rank increase (super-linear)",
+            first.established_pairs(),
+            last.established_pairs(),
+            rank_growth
+        );
+        bad = true;
+    }
+    // Per-rank memory: flat (x2 slack). Per-pair receive rings would grow
+    // it by rank_growth.
+    if last.bytes_per_rank() > first.bytes_per_rank() * 2 {
+        println!(
+            "FAIL: per-rank buffer bytes grew {} -> {} over a {}x rank increase",
+            first.bytes_per_rank(),
+            last.bytes_per_rank(),
+            rank_growth
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!();
 }
 
 /// `--faults SPEC`: arm the parsed fault plans on the fabric, run the

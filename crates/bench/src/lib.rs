@@ -870,6 +870,192 @@ pub fn daemon_fault_soak_run(
     }
 }
 
+// ---- scale (`repro --ranks N [--shards S]`) --------------------------------
+
+/// Result of the audited neighbor-halo soak behind `repro --ranks N`:
+/// per-rank counters, payload integrity and the auditor verdict at a rank
+/// count far past the 4-rank suites.
+pub struct ScaleRun {
+    /// Ranks launched (one per simulated node).
+    pub ranks: usize,
+    /// DES event-wheel shards the run executed on.
+    pub shards: usize,
+    /// Point-to-point waits that completed successfully.
+    pub ops_ok: u64,
+    /// Waits that surfaced a transport error to the caller.
+    pub ops_failed: u64,
+    /// Received payloads whose contents did not match the sender's.
+    pub corrupt: u64,
+    /// Per-rank [`dcfa_mpi::StatsReport`], indexed by rank.
+    pub reports: Vec<dcfa_mpi::StatsReport>,
+    /// Protocol-auditor verdict over the traced run.
+    pub audit: Result<dcfa_mpi::AuditReport, Vec<String>>,
+    /// Events dropped by the trace ring (must be 0 for the audit to bind).
+    pub dropped: u64,
+    /// Virtual time the whole soak took, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Wall-clock time the soak took to execute, in nanoseconds.
+    pub wall_ns: u64,
+    /// Scheduler events processed.
+    pub sim_events: u64,
+}
+
+impl ScaleRun {
+    /// Lazily established QP pairs, summed over ranks. The scale gate:
+    /// a neighbor workload must keep this O(ranks), not O(ranks^2).
+    pub fn established_pairs(&self) -> u64 {
+        self.reports.iter().map(|r| r.comm.pairs_established).sum()
+    }
+
+    /// Largest per-rank established-pair count.
+    pub fn max_pairs_per_rank(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.comm.pairs_established)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest per-rank communication-buffer footprint (receive pool +
+    /// stage rings), in bytes. Must stay flat as ranks grow.
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.comm.comm_buffer_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Highest SRQ pool occupancy any rank saw.
+    pub fn srq_highwater(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.comm.srq_highwater)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Run the audited neighbor-halo soak at `ranks` ranks (one per node) on
+/// `shards` DES shards. Every rank exchanges salted, content-checked halos
+/// with its ring neighbors at offsets 1 and 2 — the touched pairs stay
+/// O(ranks), so with lazy connections only those ever get QPs and, in SRQ
+/// mode (`srq`), each rank's receive memory is one shared pool. Optional
+/// link-fault plans make it a fault soak; the workload tallies transport
+/// errors instead of panicking on them.
+pub fn scale_run(ranks: usize, shards: usize, srq: bool, faults: &[fabric::LinkFault]) -> ScaleRun {
+    use dcfa_mpi::{Communicator, MpiError, Src, TagSel};
+    use std::sync::Arc;
+
+    const ROUNDS: u32 = 4;
+    const HALO: u64 = 1024;
+
+    let mut sim = simcore::Simulation::new();
+    let ccfg = ClusterConfig::with_nodes(ranks.max(2));
+    if shards > 1 {
+        // Lookahead = the IB wire latency: shard assignment is per node,
+        // so only inter-node events cross wheels.
+        sim.set_shards(shards, ccfg.cost.ib_latency);
+    }
+    let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
+    for f in faults {
+        cluster.inject_link_fault(*f);
+    }
+    let ib = verbs::IbFabric::new(cluster.clone());
+    let scif = scif::ScifFabric::new(cluster.clone());
+    // Size the trace ring to the run: a dropped event would unbind the
+    // auditor's verdict.
+    let trace_cap = (ranks * 2048).next_power_of_two().max(1 << 16);
+    let tracer = dcfa_mpi::TraceBuf::new(trace_cap);
+    let cfg = MpiConfig {
+        srq_depth: if srq { Some(256) } else { None },
+        ..MpiConfig::dcfa()
+    };
+    let reports = Arc::new(parking_lot::Mutex::new(vec![None; ranks]));
+    let reports2 = reports.clone();
+    let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64, 0u64)));
+    let tallies2 = tallies.clone();
+    let opts = dcfa_mpi::LaunchOpts {
+        tracer: Some(tracer.clone()),
+        ..Default::default()
+    };
+    dcfa_mpi::launch(&sim, &ib, &scif, cfg, ranks, opts, move |ctx, comm| {
+        let (me, n) = (comm.rank(), comm.size());
+        let salt =
+            |rank: usize, round: u32| (rank as u8).wrapping_mul(37).wrapping_add(round as u8);
+        let fill = |s: u8| {
+            (0..HALO as usize)
+                .map(|i| (i as u8) ^ s)
+                .collect::<Vec<u8>>()
+        };
+        // Ring-halo neighbor set at offsets +/-1 and +/-2 (deduplicated:
+        // tiny clusters fold offsets onto the same rank).
+        let mut peers: Vec<usize> = Vec::new();
+        for off in [1usize, 2, n - 1, n - 2] {
+            let p = (me + off) % n;
+            if p != me && !peers.contains(&p) {
+                peers.push(p);
+            }
+        }
+        let sbufs: Vec<_> = peers.iter().map(|_| comm.alloc(HALO).unwrap()).collect();
+        let rbufs: Vec<_> = peers.iter().map(|_| comm.alloc(HALO).unwrap()).collect();
+        let (mut ok, mut failed, mut corrupt) = (0u64, 0u64, 0u64);
+        for round in 0..ROUNDS {
+            let mut reqs = Vec::with_capacity(peers.len() * 2);
+            for (i, &p) in peers.iter().enumerate() {
+                comm.write(&sbufs[i], 0, &fill(salt(me, round)));
+                reqs.push(
+                    comm.irecv(ctx, &rbufs[i], Src::Rank(p), TagSel::Tag(round))
+                        .unwrap(),
+                );
+                reqs.push(comm.isend(ctx, &sbufs[i], p, round).unwrap());
+            }
+            for r in reqs {
+                match comm.wait(ctx, r) {
+                    Ok(_) => ok += 1,
+                    Err(MpiError::Transport { .. }) | Err(MpiError::RemoteTransport { .. }) => {
+                        failed += 1
+                    }
+                    Err(e) => panic!("unexpected MPI error in scale soak: {e}"),
+                }
+            }
+            for (i, &p) in peers.iter().enumerate() {
+                if comm.read_vec(&rbufs[i]) != fill(salt(p, round)) {
+                    corrupt += 1;
+                }
+            }
+        }
+        let mut t = tallies2.lock();
+        t.0 += ok;
+        t.1 += failed;
+        t.2 += corrupt;
+        reports2.lock()[me] = Some(comm.dump());
+    });
+    let wall_start = std::time::Instant::now();
+    let run_report = sim.run_expect();
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let events = tracer.snapshot();
+    let per_rank: Vec<_> = reports
+        .lock()
+        .iter()
+        .map(|r| r.expect("rank finished"))
+        .collect();
+    let (ops_ok, ops_failed, corrupt) = *tallies.lock();
+    ScaleRun {
+        ranks,
+        shards: shards.max(1),
+        ops_ok,
+        ops_failed,
+        corrupt,
+        reports: per_rank,
+        audit: dcfa_mpi::audit(&events),
+        dropped: tracer.dropped(),
+        elapsed_ns: run_report.final_time.0,
+        wall_ns,
+        sim_events: run_report.events_processed,
+    }
+}
+
 /// Write a set of series as CSV: `size,<label1>,<label2>,...`.
 pub fn write_series_csv(path: &std::path::Path, series: &[Series]) -> std::io::Result<()> {
     use std::io::Write;

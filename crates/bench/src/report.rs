@@ -74,7 +74,13 @@ pub fn metrics_report_json(run: &ObservabilityRun) -> String {
     }
     let _ = write!(out, "\"mr_cache_capacity\":{},", cfg.mr_cache_capacity);
     let _ = write!(out, "\"ring_slots\":{},", cfg.ring_slots);
-    let _ = write!(out, "\"ring_slot_payload\":{}", cfg.ring_slot_payload);
+    let _ = write!(out, "\"ring_slot_payload\":{},", cfg.ring_slot_payload);
+    match cfg.srq_depth {
+        Some(d) => {
+            let _ = write!(out, "\"srq_depth\":{d}");
+        }
+        None => out.push_str("\"srq_depth\":null"),
+    }
     out.push_str("},\n");
 
     let _ = writeln!(out, "\"elapsed_ns\":{},", run.elapsed_ns);
@@ -130,6 +136,31 @@ pub fn metrics_report_json(run: &ObservabilityRun) -> String {
          \"eager_sends\":{eager_sends},\"rndv_sends\":{rndv_sends},\
          \"offload_syncs\":{offload_syncs},\"packets_processed\":{packets},\
          \"mr_cache_hits\":{mr_hits},\"mr_cache_misses\":{mr_misses}"
+    );
+    out.push_str("},\n");
+
+    // Scale counters: how many QP pairs lazy connection establishment
+    // actually touched, the per-rank communication-buffer footprint, and
+    // the SRQ pool's peak occupancy (0 on the per-pair ring path).
+    let pairs: u64 = run.reports.iter().map(|r| r.comm.pairs_established).sum();
+    let bytes_per_rank = run
+        .reports
+        .iter()
+        .map(|r| r.comm.comm_buffer_bytes)
+        .max()
+        .unwrap_or(0);
+    let srq_hw = run
+        .reports
+        .iter()
+        .map(|r| r.comm.srq_highwater)
+        .max()
+        .unwrap_or(0);
+    out.push_str("\"scale\":{");
+    let _ = write!(
+        out,
+        "\"ranks\":{},\"established_pairs\":{pairs},\
+         \"bytes_per_rank\":{bytes_per_rank},\"srq_highwater\":{srq_hw}",
+        run.ranks
     );
     out.push_str("},\n");
 
@@ -296,6 +327,28 @@ pub fn compare_reports(
             violations.push(format!(
                 "phase {name}: new in current run, absent from baseline (refresh the baseline)"
             ));
+        }
+    }
+
+    // Scale gates. Connection count and buffer footprint are deterministic
+    // in virtual time, but stay under the symmetric drift tolerance so a
+    // deliberate workload change only requires a baseline refresh, not a
+    // schema bump. A baseline without a scale section skips the gate
+    // (pre-scale reports stay comparable).
+    if let (Some(bs), Some(cs)) = (base.get("scale"), cur.get("scale")) {
+        for key in ["established_pairs", "bytes_per_rank"] {
+            let (Some(b), Some(c)) = (
+                bs.get(key).and_then(JsonValue::as_f64),
+                cs.get(key).and_then(JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            let d = drift_pct(b, c);
+            if d > tolerance_pct {
+                violations.push(format!(
+                    "scale {key} drifted {d:.1}% ({b:.0} -> {c:.0}), tolerance {tolerance_pct}%"
+                ));
+            }
         }
     }
 

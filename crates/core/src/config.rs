@@ -61,6 +61,17 @@ pub struct MpiConfig {
     /// disables the sidecar; the daemon then sees the rank as alive only
     /// while it issues commands (fine unless a lease TTL is configured).
     pub heartbeat_interval: Option<SimDuration>,
+    /// Bound on live entries in each engine slot table (outstanding
+    /// requests, inflight work requests). Hitting the bound surfaces as
+    /// [`crate::MpiError::ResourceExhausted`] backpressure on `isend`
+    /// / `irecv` instead of aborting the rank.
+    pub max_requests: u32,
+    /// Shared-receive-queue depth. `Some(d)` switches eager/control
+    /// traffic from per-pair RDMA rings to two-sided sends into one
+    /// `d`-slot pool shared by all peers of a rank — O(ranks) instead of
+    /// O(ranks²) buffer memory per world. `None` keeps the per-pair ring
+    /// path.
+    pub srq_depth: Option<u32>,
 }
 
 impl MpiConfig {
@@ -88,6 +99,8 @@ impl MpiConfig {
             cmd_timeout: SimDuration::from_micros(500),
             cmd_retry_limit: 3,
             heartbeat_interval: None,
+            max_requests: 1 << 20,
+            srq_depth: None,
         }
     }
 
@@ -135,6 +148,13 @@ impl MpiConfig {
         );
         if let Some(h) = self.heartbeat_interval {
             assert!(h > SimDuration::ZERO, "heartbeat interval must be positive");
+        }
+        assert!(self.max_requests >= 4, "need at least 4 request slots");
+        if let Some(d) = self.srq_depth {
+            assert!(
+                d >= 2 * self.ring_slots,
+                "SRQ pool must hold at least two peers' windows"
+            );
         }
     }
 }

@@ -28,9 +28,13 @@ use std::sync::Arc;
 
 use fabric::{Buffer, CostModel, MemRef};
 use simcore::{Ctx, SimDuration, SimEvent};
-use verbs::{CompletionQueue, MemoryRegion, MrKey, QueuePair, SendWr, Wc, WcStatus};
+use verbs::{
+    CompletionQueue, MemoryRegion, MrKey, QueuePair, RecvWr, SendWr, SharedReceiveQueue, Wc,
+    WcStatus,
+};
 
 use crate::config::{MpiConfig, Placement};
+use crate::connect::{ConnDirectory, ConnMsg};
 use crate::metrics::{Metrics, MetricsHub, Phase, Span};
 use crate::mrcache::{MrCache, MrLease, OffloadCache, OffloadLease};
 use crate::packet::{
@@ -50,9 +54,24 @@ const CQ_BATCH: usize = 64;
 /// Recycled payload buffers kept for unexpected-message copy-out.
 const PAYLOAD_POOL_CAP: usize = 32;
 
+/// Return an unexpected-message copy-out buffer to the pool: cleared, so
+/// stale bytes from this message can never leak into a shorter later
+/// one, and dropped outright when its capacity outgrew `max_capacity`
+/// (one jumbo packet must not pin its high-water allocation in the pool
+/// forever).
+fn recycle_payload(pool: &mut Vec<Vec<u8>>, mut data: Vec<u8>, max_capacity: usize) {
+    data.clear();
+    if pool.len() < PAYLOAD_POOL_CAP && data.capacity() <= max_capacity {
+        pool.push(data);
+    }
+}
+
 /// Per-peer connection state.
 pub(crate) struct Peer {
     qp: QueuePair,
+    /// Whether the outbound half is wired (the lazy-connect Req/Ack
+    /// handshake resolved). Data and control packets queue until then.
+    connected: bool,
     /// Remote (peer-side) inbound ring we write into.
     out_ring_addr: u64,
     out_ring_rkey: MrKey,
@@ -63,10 +82,12 @@ pub(crate) struct Peer {
     /// Local staging region mirroring the remote ring layout.
     stage: Buffer,
     stage_mr: MemoryRegion,
-    /// Local inbound ring this peer writes into.
-    in_ring: Buffer,
+    /// Local inbound ring this peer writes into. `None` in SRQ mode,
+    /// where all peers share one receive pool — the O(ranks²) → O(ranks)
+    /// buffer-memory win.
+    in_ring: Option<Buffer>,
     #[allow(dead_code)]
-    in_ring_mr: MemoryRegion,
+    in_ring_mr: Option<MemoryRegion>,
     /// Next inbound slot sequence to consume.
     in_next_seq: u64,
     /// Consumed slots not yet reported as credit.
@@ -97,6 +118,32 @@ pub(crate) struct Peer {
     /// DONE-WRITE/NACK-WRITE answers we already sent for receiver-first
     /// rendezvous — replayed when a re-issued RTR arrives.
     served_dw: HashMap<u64, PacketHeader>,
+    /// SRQ mode: packets that arrived ahead of `in_next_seq` (a retried
+    /// send's replacement can be overtaken by its successors — two-sided
+    /// Sends have no fixed ring slot to stall on). Copied off the shared
+    /// pool so the slot recycles; drained as the sequence catches up.
+    srq_stash: Vec<(u64, PacketHeader, Vec<u8>)>,
+}
+
+/// Shared-receive-queue state (when [`MpiConfig::srq_depth`] is set): one
+/// pool of receive slots serving every peer of this rank, replacing the
+/// per-pair inbound rings.
+struct SrqPool {
+    srq: SharedReceiveQueue,
+    /// Inbound Send completions land here, separate from the send-side CQ:
+    /// their wr_ids are pool slot indices, which must never collide with
+    /// the inflight-table handles that identify send-side completions.
+    recv_cq: CompletionQueue,
+    /// The pool: `depth` slots of ring-slot layout (hdr ‖ payload ‖ tail).
+    pool: Buffer,
+    pool_mr: MemoryRegion,
+    /// Slots consumed by the HCA and not yet re-posted.
+    outstanding: u32,
+    /// Sender (node, qpn) → peer rank, filled as pairs wire up.
+    src_ranks: HashMap<(fabric::NodeId, verbs::QpNum), usize>,
+    /// Completions whose source QP wasn't mapped yet (the first data
+    /// packet can race the connect Ack); retried after `pump_conn`.
+    pending: Vec<Wc>,
 }
 
 /// What a tracked send-side work request was doing, so its completion —
@@ -269,6 +316,16 @@ pub struct CommStats {
     /// Queued control packets posted without ringing a fresh doorbell
     /// (coalesced behind the first post of the same ctrl drain).
     pub doorbells_coalesced: u64,
+    /// Peer pairs actually established (lazily, on first touch). The
+    /// scale gate checks this stays far below `ranks²` for sparse
+    /// communication patterns.
+    pub pairs_established: u64,
+    /// Bytes of communication buffer memory (rings + staging + SRQ
+    /// pool) this rank allocated — the memory-per-rank curve.
+    pub comm_buffer_bytes: u64,
+    /// High-water mark of concurrently unconsumed SRQ pool slots (0 on
+    /// the per-pair ring path).
+    pub srq_highwater: u64,
 }
 
 /// The per-rank protocol engine.
@@ -342,6 +399,21 @@ pub struct Engine {
     offload_down: bool,
     /// Consecutive twin-registration failures (reset on success).
     offload_fail_streak: u32,
+    /// The world's lazy-connect directory (see [`crate::connect`]).
+    conn: Arc<ConnDirectory>,
+    /// Reusable scratch: connect messages drained per sweep.
+    conn_scratch: Vec<ConnMsg>,
+    /// Established peer indices, in establishment order — the progress
+    /// sweep iterates these instead of all `size` slots, so a rank that
+    /// talks to 4 of 512 peers pays for 4.
+    active_peers: Vec<usize>,
+    /// Shared receive pool (SRQ mode); `None` on the per-pair ring path.
+    srq: Option<SrqPool>,
+    /// Hand-off for a stashed SRQ payload: set just before `handle_packet`
+    /// when draining the reorder stash (the bytes are no longer in any
+    /// pool slot), consumed by the eager delivery paths, recycled by the
+    /// drain loop if the handler bailed early.
+    srq_inline: Option<Vec<u8>>,
 }
 
 impl Engine {
@@ -355,139 +427,265 @@ impl Engine {
         Self::slot_size(cfg) * cfg.ring_slots as u64
     }
 
-    /// Phase 1 of bootstrap: allocate local resources and produce the
-    /// endpoint info to publish for every peer.
-    #[allow(clippy::type_complexity)]
+    /// Create a rank's engine. No per-peer resources are allocated here:
+    /// QPs and rings materialize lazily on first touch (see
+    /// [`crate::connect`]), so a 512-rank world that only exchanges with
+    /// neighbours never pays for the all-pairs matrix.
     pub fn create(
         ctx: &mut Ctx,
         rank: Rank,
         size: usize,
         cfg: MpiConfig,
         res: Resources,
-    ) -> (Engine, Vec<Option<PeerEndpoint>>) {
+        conn: Arc<ConnDirectory>,
+    ) -> Engine {
         cfg.validate();
         let cost = res.cluster().config().cost.clone();
         let progress_event = SimEvent::new();
+        conn.register(rank, progress_event.clone());
         let cq = res.create_cq(ctx, progress_event.clone());
-        let mem = res.mem();
-        let ring_bytes = Self::ring_bytes(&cfg);
-
-        let mut peers: Vec<Option<Peer>> = Vec::with_capacity(size);
-        let mut endpoints: Vec<Option<PeerEndpoint>> = Vec::with_capacity(size);
-        for p in 0..size {
-            if p == rank {
-                peers.push(None);
-                endpoints.push(None);
-                continue;
-            }
-            let qp = res.create_qp(ctx, &cq, &cq);
-            // Inbound ring: registered with the shared progress event so an
-            // inbound packet wakes this rank.
-            let in_ring = res
-                .cluster()
-                .alloc_pages(mem, ring_bytes)
-                .expect("ring allocation failed");
-            let in_ring_mr = {
-                // Registration cost through the placement-appropriate path,
-                // then attach the shared progress event.
-                let mr = res.reg_mr(ctx, in_ring.clone());
-                res.ib()
-                    .set_write_event(mr.key(), progress_event.clone())
-                    .expect("ring MR vanished")
-            };
-            let stage = res
-                .cluster()
-                .alloc_pages(mem, ring_bytes)
-                .expect("stage allocation failed");
-            let stage_mr = res.reg_mr(ctx, stage.clone());
-            endpoints.push(Some(PeerEndpoint {
-                qpn: qp.qpn(),
-                node: qp.node(),
-                ring_addr: in_ring.addr,
-                ring_rkey: in_ring_mr.key(),
-            }));
-            peers.push(Some(Peer {
-                qp,
-                out_ring_addr: 0,
-                out_ring_rkey: MrKey(0),
-                out_slot_seq: 0,
-                out_consumed: 0,
-                stage,
-                stage_mr,
-                in_ring,
-                in_ring_mr,
-                in_next_seq: 0,
-                in_unreported: 0,
-                in_noncredit_pending: false,
-                tx_seq: 0,
-                rx_seq: 0,
-                stashed_rtrs: Vec::new(),
-                pending_ctrl: std::collections::VecDeque::new(),
-                rx_data_high: None,
-                served_done: HashMap::new(),
-                served_dw: HashMap::new(),
-            }));
-        }
+        let peers: Vec<Option<Peer>> = (0..size).map(|_| None).collect();
         let mpi_call = match cfg.placement {
             Placement::Phi => cost.mpi_call_phi,
             Placement::Host => cost.mpi_call_host,
         };
+        let max_requests = cfg.max_requests;
         let mr_cache = MrCache::new(cfg.mr_cache_capacity);
         let offload_cache = OffloadCache::new(16);
-        (
-            Engine {
-                rank,
-                size,
-                cfg,
-                res,
-                cost,
-                cq,
-                progress_event,
-                peers,
-                mr_cache,
-                offload_cache,
-                reqs: SlotTable::with_capacity(64),
-                recv_q: Vec::new(),
-                unexpected: Vec::new(),
-                mpi_call,
-                stats: CommStats::default(),
-                stats_cell: Arc::new(StatsCell::new()),
-                trace: Trace::default(),
-                metrics: Metrics::default(),
-                open_spans: Vec::new(),
-                in_progress: false,
-                inflight: SlotTable::with_capacity(64),
-                retry_due: TimerHeap::new(),
-                rndv_timeouts: TimerHeap::new(),
-                retry_scratch: Vec::new(),
-                timeout_scratch: Vec::new(),
-                cq_scratch: Vec::with_capacity(CQ_BATCH),
-                copy_scratch: Vec::new(),
-                payload_pool: Vec::new(),
-                coalesce_next_post: false,
-                dead_rx: HashSet::new(),
-                seen_ctrl_epoch: 0,
-                offload_down: false,
-                offload_fail_streak: 0,
-            },
-            endpoints,
-        )
+        let mut stats = CommStats::default();
+        // SRQ mode: one shared receive pool per rank, posted up front.
+        // Inbound Send completions wake the same progress event as the
+        // send CQ, so a blocked rank resumes on arrival.
+        let srq = cfg.srq_depth.map(|depth| {
+            let slot_size = Self::slot_size(&cfg);
+            let pool_bytes = depth as u64 * slot_size;
+            let srq = res.create_srq(ctx);
+            let recv_cq = res.create_cq(ctx, progress_event.clone());
+            let pool = res
+                .cluster()
+                .alloc_pages(res.mem(), pool_bytes)
+                .expect("SRQ pool allocation failed");
+            let pool_mr = res.reg_mr(ctx, pool.clone());
+            for i in 0..depth {
+                let sge = pool_mr.sge(i as u64 * slot_size, slot_size);
+                srq.post_recv(ctx, RecvWr::new(i as u64, vec![sge]))
+                    .expect("SRQ initial post failed");
+            }
+            stats.comm_buffer_bytes += pool_bytes;
+            SrqPool {
+                srq,
+                recv_cq,
+                pool,
+                pool_mr,
+                outstanding: 0,
+                src_ranks: HashMap::new(),
+                pending: Vec::new(),
+            }
+        });
+        Engine {
+            rank,
+            size,
+            cfg,
+            res,
+            cost,
+            cq,
+            progress_event,
+            peers,
+            mr_cache,
+            offload_cache,
+            reqs: SlotTable::with_limit(max_requests),
+            recv_q: Vec::new(),
+            unexpected: Vec::new(),
+            mpi_call,
+            stats,
+            stats_cell: Arc::new(StatsCell::new()),
+            trace: Trace::default(),
+            metrics: Metrics::default(),
+            open_spans: Vec::new(),
+            in_progress: false,
+            inflight: SlotTable::with_capacity(64),
+            retry_due: TimerHeap::new(),
+            rndv_timeouts: TimerHeap::new(),
+            retry_scratch: Vec::new(),
+            timeout_scratch: Vec::new(),
+            cq_scratch: Vec::with_capacity(CQ_BATCH),
+            copy_scratch: Vec::new(),
+            payload_pool: Vec::new(),
+            coalesce_next_post: false,
+            dead_rx: HashSet::new(),
+            seen_ctrl_epoch: 0,
+            offload_down: false,
+            offload_fail_streak: 0,
+            conn,
+            conn_scratch: Vec::new(),
+            active_peers: Vec::new(),
+            srq,
+            srq_inline: None,
+        }
     }
 
-    /// Phase 2 of bootstrap: wire QPs and outbound rings using the peers'
-    /// published endpoints (`their_view[p]` = what rank `p` published for
-    /// *us*).
-    #[allow(clippy::needless_range_loop)]
-    pub fn connect(&mut self, endpoints: &[Option<PeerEndpoint>]) {
-        for p in 0..self.size {
-            let Some(peer) = self.peers[p].as_mut() else {
-                continue;
-            };
-            let ep = endpoints[p].as_ref().expect("peer endpoint missing");
-            peer.qp.connect(ep.node, ep.qpn);
-            peer.out_ring_addr = ep.ring_addr;
-            peer.out_ring_rkey = ep.ring_rkey;
+    /// Allocate this rank's half of the pair with `p`: QP, inbound ring
+    /// (registered with the progress event so an inbound packet wakes
+    /// us) and the staging region mirroring the peer's ring. Returns the
+    /// endpoint to advertise. The outbound half stays unwired until the
+    /// peer's endpoint arrives (`Req` or `Ack`).
+    fn alloc_peer(&mut self, ctx: &mut Ctx, p: usize) -> PeerEndpoint {
+        debug_assert!(self.peers[p].is_none(), "peer {p} already established");
+        // Resource setup is a device/control excursion, not steady-state
+        // message traffic.
+        let _dev = crate::hotpath::pause();
+        let ring_bytes = Self::ring_bytes(&self.cfg);
+        let mem = self.res.mem();
+        // SRQ mode: the QP draws receives from the shared pool and needs
+        // no per-pair inbound ring — only the outbound stage scales with
+        // the number of touched peers.
+        let (qp, in_ring, in_ring_mr) = match &self.srq {
+            Some(pool) => {
+                let qp = self
+                    .res
+                    .create_qp_with_srq(ctx, &self.cq, &pool.recv_cq, &pool.srq);
+                (qp, None, None)
+            }
+            None => {
+                let qp = self.res.create_qp(ctx, &self.cq, &self.cq);
+                let in_ring = self
+                    .res
+                    .cluster()
+                    .alloc_pages(mem, ring_bytes)
+                    .expect("ring allocation failed");
+                let in_ring_mr = {
+                    // Registration cost through the placement-appropriate
+                    // path, then attach the shared progress event.
+                    let mr = self.res.reg_mr(ctx, in_ring.clone());
+                    self.res
+                        .ib()
+                        .set_write_event(mr.key(), self.progress_event.clone())
+                        .expect("ring MR vanished")
+                };
+                (qp, Some(in_ring), Some(in_ring_mr))
+            }
+        };
+        let stage = self
+            .res
+            .cluster()
+            .alloc_pages(mem, ring_bytes)
+            .expect("stage allocation failed");
+        let stage_mr = self.res.reg_mr(ctx, stage.clone());
+        let ep = PeerEndpoint {
+            qpn: qp.qpn(),
+            node: qp.node(),
+            ring_addr: in_ring.as_ref().map_or(0, |r| r.addr),
+            ring_rkey: in_ring_mr.as_ref().map_or(MrKey(0), |mr| mr.key()),
+        };
+        self.peers[p] = Some(Peer {
+            qp,
+            connected: false,
+            out_ring_addr: 0,
+            out_ring_rkey: MrKey(0),
+            out_slot_seq: 0,
+            out_consumed: 0,
+            stage,
+            stage_mr,
+            in_ring,
+            in_ring_mr,
+            in_next_seq: 0,
+            in_unreported: 0,
+            in_noncredit_pending: false,
+            tx_seq: 0,
+            rx_seq: 0,
+            stashed_rtrs: Vec::new(),
+            pending_ctrl: std::collections::VecDeque::new(),
+            rx_data_high: None,
+            served_done: HashMap::new(),
+            served_dw: HashMap::new(),
+            srq_stash: Vec::new(),
+        });
+        let pos = self.active_peers.partition_point(|&q| q < p);
+        self.active_peers.insert(pos, p);
+        self.stats.pairs_established += 1;
+        self.stats.comm_buffer_bytes += if self.srq.is_some() {
+            ring_bytes // stage only; receives share the pool
+        } else {
+            2 * ring_bytes
+        };
+        ep
+    }
+
+    /// First-touch connection establishment: allocate our half and post
+    /// the connect request. The caller's packet queues in `pending_ctrl`
+    /// (or waits in `send_packet`) until the peer's answer wires the
+    /// outbound ring.
+    fn ensure_peer(&mut self, ctx: &mut Ctx, p: usize) {
+        if self.peers[p].is_some() {
+            return;
         }
+        let ep = self.alloc_peer(ctx, p);
+        let _dev = crate::hotpath::pause();
+        let sched = self.res.cluster().scheduler();
+        self.conn.post(
+            sched,
+            p,
+            ConnMsg::Req {
+                from: self.rank,
+                ep,
+            },
+        );
+    }
+
+    /// Wire the outbound half of the pair from the peer's endpoint.
+    fn wire_peer(&mut self, p: usize, ep: &PeerEndpoint) {
+        let peer = self.peers[p].as_mut().expect("no peer");
+        peer.qp.connect(ep.node, ep.qpn);
+        peer.out_ring_addr = ep.ring_addr;
+        peer.out_ring_rkey = ep.ring_rkey;
+        peer.connected = true;
+        if let Some(pool) = self.srq.as_mut() {
+            // Inbound Send completions carry the sender's (node, qpn);
+            // map it to the rank so `pump_srq` can route packets.
+            pool.src_ranks.insert((ep.node, ep.qpn), p);
+        }
+    }
+
+    /// Serve the lazy-connect mailbox: establish passively on `Req`,
+    /// wire on `Req`/`Ack`. Queued packets for freshly wired peers drain
+    /// in the same progress sweep (it flushes every active peer).
+    fn pump_conn(&mut self, ctx: &mut Ctx) {
+        let mut msgs = std::mem::take(&mut self.conn_scratch);
+        msgs.clear();
+        self.conn.drain(self.rank, &mut msgs);
+        for msg in msgs.drain(..) {
+            match msg {
+                ConnMsg::Req { from, ep } => {
+                    if self.peers[from].is_none() {
+                        // Passive establishment: allocate our half, wire
+                        // toward the initiator, answer with our endpoint.
+                        let ours = self.alloc_peer(ctx, from);
+                        self.wire_peer(from, &ep);
+                        let _dev = crate::hotpath::pause();
+                        let sched = self.res.cluster().scheduler();
+                        self.conn.post(
+                            sched,
+                            from,
+                            ConnMsg::Ack {
+                                from: self.rank,
+                                ep: ours,
+                            },
+                        );
+                    } else if !self.peers[from].as_ref().expect("no peer").connected {
+                        // Cross-connect: both sides initiated at once.
+                        // Each wires from the other's Req; an Ack would
+                        // be redundant.
+                        self.wire_peer(from, &ep);
+                    }
+                }
+                ConnMsg::Ack { from, ep } => {
+                    if self.peers[from].as_ref().is_some_and(|p| !p.connected) {
+                        self.wire_peer(from, &ep);
+                    }
+                }
+            }
+        }
+        self.conn_scratch = msgs;
     }
 
     pub fn mem(&self) -> MemRef {
@@ -523,6 +721,13 @@ impl Engine {
         if dst >= self.size || dst == self.rank {
             return Err(MpiError::BadRank(dst));
         }
+        // Backpressure before the pair-sequence increment: a send that
+        // cannot get a request slot must not burn a sequence id, or the
+        // stream would carry a permanent hole and wedge matching.
+        if self.reqs.is_full() {
+            return Err(MpiError::ResourceExhausted);
+        }
+        self.ensure_peer(ctx, dst);
         let _hot = crate::hotpath::enter();
         ctx.sleep(self.mpi_call);
         let len = buf.len;
@@ -619,6 +824,14 @@ impl Engine {
             if r >= self.size || r == self.rank {
                 return Err(MpiError::BadRank(r));
             }
+        }
+        if self.reqs.is_full() {
+            return Err(MpiError::ResourceExhausted);
+        }
+        if let Src::Rank(r) = src {
+            // A known-source receive touches the pair (sequence ids, and
+            // possibly an RTR advertisement) — establish it.
+            self.ensure_peer(ctx, r);
         }
         let _hot = crate::hotpath::enter();
         ctx.sleep(self.mpi_call);
@@ -1115,6 +1328,9 @@ impl Engine {
                 let Some(peer) = self.peers[dst].as_ref() else {
                     break;
                 };
+                if !peer.connected {
+                    break; // queue until the lazy-connect handshake wires us
+                }
                 let Some(front) = peer.pending_ctrl.front() else {
                     break;
                 };
@@ -1146,6 +1362,9 @@ impl Engine {
                 let Some(peer) = self.peers[dst].as_ref() else {
                     break;
                 };
+                if !peer.connected {
+                    break;
+                }
                 if peer.out_slot_seq - peer.out_consumed >= self.window_for(PacketKind::Credit) {
                     break;
                 }
@@ -1186,7 +1405,8 @@ impl Engine {
             self.flush_ctrl(ctx, dst);
             let ready = {
                 let peer = self.peers[dst].as_ref().expect("no peer");
-                peer.pending_ctrl.is_empty()
+                peer.connected
+                    && peer.pending_ctrl.is_empty()
                     && peer.out_slot_seq - peer.out_consumed < self.window_for(hdr.kind)
             };
             if ready {
@@ -1196,7 +1416,8 @@ impl Engine {
             self.progress(ctx);
             let ready = {
                 let peer = self.peers[dst].as_ref().expect("no peer");
-                peer.pending_ctrl.is_empty()
+                peer.connected
+                    && peer.pending_ctrl.is_empty()
                     && peer.out_slot_seq - peer.out_consumed < self.window_for(hdr.kind)
             };
             if ready {
@@ -1306,8 +1527,14 @@ impl Engine {
         // packet must be retried (dropping it would wedge the peer's
         // ring), and that needs the WR and its slot to still be known
         // when the error completion arrives. The wr_id is assigned by
-        // `post_tracked` from the inflight table.
-        let wr = SendWr::rdma_write(0, sge, out_ring_addr + base, out_ring_rkey);
+        // `post_tracked` from the inflight table. SRQ mode ships the same
+        // bytes as a two-sided Send into the peer's shared pool; the
+        // slot sequence travels in the tail either way.
+        let wr = if self.srq.is_some() {
+            SendWr::send(0, sge)
+        } else {
+            SendWr::rdma_write(0, sge, out_ring_addr + base, out_ring_rkey)
+        };
         self.post_tracked(
             ctx,
             dst,
@@ -1369,7 +1596,11 @@ impl Engine {
             len: HEADER_LEN + TAIL_LEN,
             lkey: stage_mr.key(),
         };
-        let wr = SendWr::rdma_write(0, sge, out_ring_addr + base, out_ring_rkey);
+        let wr = if self.srq.is_some() {
+            SendWr::send(0, sge)
+        } else {
+            SendWr::rdma_write(0, sge, out_ring_addr + base, out_ring_rkey)
+        };
         self.post_tracked(
             ctx,
             dst,
@@ -1434,6 +1665,7 @@ impl Engine {
     }
 
     fn progress_inner(&mut self, ctx: &mut Ctx) {
+        self.pump_conn(ctx);
         self.pump_retries(ctx);
         self.pump_rndv_timeouts(ctx);
         // Drain completions in batches: one CQ lock per CQ_BATCH entries
@@ -1449,7 +1681,11 @@ impl Engine {
             }
         }
         self.cq_scratch = batch;
-        for p in 0..self.size {
+        self.pump_srq(ctx);
+        // Only established pairs have rings to sweep; by-index iteration
+        // tolerates pairs established mid-sweep (picked up next sweep).
+        for i in 0..self.active_peers.len() {
+            let p = self.active_peers[i];
             while let Some((hdr, slot_base)) = self.peek_ring(p) {
                 // Consume the slot before handling so handlers can send.
                 {
@@ -1471,15 +1707,17 @@ impl Engine {
         }
     }
 
-    /// Check the next inbound slot of peer `p`.
+    /// Check the next inbound slot of peer `p` (ring path only — SRQ-mode
+    /// arrivals surface as completions, drained by `pump_srq`).
     fn peek_ring(&self, p: usize) -> Option<(PacketHeader, u64)> {
         let peer = self.peers[p].as_ref()?;
+        let in_ring = peer.in_ring.as_ref()?;
         let slots = self.cfg.ring_slots as u64;
         let slot_size = Self::slot_size(&self.cfg);
         let base = (peer.in_next_seq % slots) * slot_size;
         let cluster = self.res.cluster();
         let mut hdr_bytes = [0u8; HEADER_BYTES];
-        cluster.read(&peer.in_ring, base, &mut hdr_bytes);
+        cluster.read(in_ring, base, &mut hdr_bytes);
         let hdr = PacketHeader::decode(&hdr_bytes)?;
         let payload_len = match hdr.kind {
             PacketKind::Eager => hdr.len,
@@ -1489,8 +1727,190 @@ impl Engine {
             return None; // corrupt / stale
         }
         let mut tail = [0u8; 8];
-        cluster.read(&peer.in_ring, base + HEADER_LEN + payload_len, &mut tail);
+        cluster.read(in_ring, base + HEADER_LEN + payload_len, &mut tail);
         (tail_seq(u64::from_le_bytes(tail)) == Some(peer.in_next_seq)).then_some((hdr, base))
+    }
+
+    /// The buffer holding peer `p`'s current inbound slot: the shared SRQ
+    /// pool, or the per-pair ring.
+    fn in_slot_buf(&self, p: usize) -> Buffer {
+        match &self.srq {
+            Some(pool) => pool.pool.clone(),
+            None => self.peers[p]
+                .as_ref()
+                .expect("no peer")
+                .in_ring
+                .clone()
+                .expect("ring path"),
+        }
+    }
+
+    /// SRQ mode: drain inbound Send completions from the shared pool's
+    /// recv CQ and feed them — in per-peer slot-sequence order — into the
+    /// same packet handler the ring path uses.
+    fn pump_srq(&mut self, ctx: &mut Ctx) {
+        if self.srq.is_none() {
+            return;
+        }
+        // Completions parked because their source QP wasn't mapped yet:
+        // `pump_conn` ran just before us, so the Ack that maps them may
+        // have landed. Their slots were counted outstanding on first
+        // sight — no re-count.
+        let pending = std::mem::take(&mut self.srq.as_mut().expect("srq").pending);
+        for wc in pending {
+            self.handle_srq_wc(ctx, wc);
+        }
+        let mut batch = std::mem::take(&mut self.cq_scratch);
+        loop {
+            batch.clear();
+            let recv_cq = self.srq.as_ref().expect("srq").recv_cq.clone();
+            if recv_cq.poll_batch(&mut batch, CQ_BATCH) == 0 {
+                break;
+            }
+            for wc in batch.drain(..) {
+                // Each fresh completion is one consumed pool slot; it
+                // stays counted until `repost_srq_slot` returns it.
+                let pool = self.srq.as_mut().expect("srq");
+                pool.outstanding += 1;
+                self.stats.srq_highwater = self.stats.srq_highwater.max(pool.outstanding as u64);
+                self.handle_srq_wc(ctx, wc);
+            }
+        }
+        self.cq_scratch = batch;
+    }
+
+    /// Route one inbound-Send completion: map the source QP to a rank,
+    /// parse the packet out of the pool slot, deliver in-order packets
+    /// directly and stash overtakers, then recycle the slot.
+    fn handle_srq_wc(&mut self, ctx: &mut Ctx, wc: Wc) {
+        let slot = wc.wr_id as usize;
+        let Some(src) = wc.src else {
+            self.repost_srq_slot(ctx, slot);
+            return;
+        };
+        let p = match self.srq.as_ref().expect("srq").src_ranks.get(&src) {
+            Some(&p) => p,
+            None => {
+                // Data raced the connect Ack that maps this QP — park the
+                // completion; the slot stays consumed until then.
+                self.srq.as_mut().expect("srq").pending.push(wc);
+                return;
+            }
+        };
+        if wc.status != WcStatus::Success {
+            // Scatter failure (defensive): recycle; the sender's retry
+            // machinery owns recovery.
+            self.repost_srq_slot(ctx, slot);
+            return;
+        }
+        let slot_size = Self::slot_size(&self.cfg);
+        let base = slot as u64 * slot_size;
+        let cluster = self.res.cluster().clone();
+        let pool_buf = self.srq.as_ref().expect("srq").pool.clone();
+        let mut hdr_bytes = [0u8; HEADER_BYTES];
+        cluster.read(&pool_buf, base, &mut hdr_bytes);
+        let Some(hdr) = PacketHeader::decode(&hdr_bytes) else {
+            self.repost_srq_slot(ctx, slot);
+            return;
+        };
+        let payload_len = match hdr.kind {
+            PacketKind::Eager => hdr.len,
+            _ => 0,
+        };
+        let mut tail = [0u8; 8];
+        cluster.read(&pool_buf, base + HEADER_LEN + payload_len, &mut tail);
+        let Some(slot_seq) = tail_seq(u64::from_le_bytes(tail)) else {
+            self.repost_srq_slot(ctx, slot);
+            return;
+        };
+        let next = self.peers[p].as_ref().expect("no peer").in_next_seq;
+        if slot_seq < next {
+            // Below the consumed watermark — already superseded. Cannot
+            // happen in the current protocol (a failed Send moves no
+            // data, so its slot sequence is only ever delivered once),
+            // but recycling is always safe.
+            self.repost_srq_slot(ctx, slot);
+            return;
+        }
+        if slot_seq > next {
+            // An overtaker: a retried packet's successors arrived first.
+            // Copy it off the pool so the slot recycles; drain later.
+            let _dev = crate::hotpath::pause();
+            let mut data = self.payload_pool.pop().unwrap_or_default();
+            debug_assert!(data.is_empty(), "pooled buffer returned dirty");
+            data.resize(payload_len as usize, 0);
+            if payload_len > 0 {
+                cluster.read(&pool_buf, base + HEADER_LEN, &mut data);
+            }
+            let peer = self.peers[p].as_mut().expect("no peer");
+            peer.srq_stash.push((slot_seq, hdr, data));
+            self.repost_srq_slot(ctx, slot);
+            return;
+        }
+        // In order: consume straight from the pool slot, then recycle it
+        // and drain any stashed successors.
+        self.consume_srq_packet(ctx, p, hdr, base, None);
+        self.repost_srq_slot(ctx, slot);
+        loop {
+            let next = self.peers[p].as_ref().expect("no peer").in_next_seq;
+            let peer = self.peers[p].as_mut().expect("no peer");
+            let Some(i) = peer.srq_stash.iter().position(|&(s, _, _)| s == next) else {
+                break;
+            };
+            let (_, hdr, data) = peer.srq_stash.swap_remove(i);
+            self.consume_srq_packet(ctx, p, hdr, 0, Some(data));
+        }
+    }
+
+    /// Advance peer `p`'s inbound sequence and run the shared packet
+    /// handler. `inline` carries a stashed payload (no longer in any pool
+    /// slot); otherwise the payload is read from the pool at `slot_base`.
+    fn consume_srq_packet(
+        &mut self,
+        ctx: &mut Ctx,
+        p: usize,
+        hdr: PacketHeader,
+        slot_base: u64,
+        inline: Option<Vec<u8>>,
+    ) {
+        {
+            let peer = self.peers[p].as_mut().expect("no peer");
+            peer.in_next_seq += 1;
+            peer.in_unreported += 1;
+        }
+        ctx.sleep(self.cost.cpu_op(self.res.mem().domain));
+        self.stats.packets_processed += 1;
+        if hdr.kind != PacketKind::Credit {
+            if let Some(peer) = self.peers[p].as_mut() {
+                peer.in_noncredit_pending = true;
+            }
+        }
+        self.srq_inline = inline;
+        self.handle_packet(ctx, p, hdr, slot_base);
+        // The handler bailed before consuming a stashed payload (dup,
+        // dead receive, truncation): recycle it here so it can never
+        // masquerade as the next packet's payload.
+        if let Some(data) = self.srq_inline.take() {
+            recycle_payload(
+                &mut self.payload_pool,
+                data,
+                self.cfg.ring_slot_payload as usize,
+            );
+        }
+    }
+
+    /// Return a consumed pool slot to the SRQ. May immediately complete a
+    /// backlogged Send (pool ran dry) — the new completion is picked up
+    /// by the `pump_srq` drain loop in the same sweep.
+    fn repost_srq_slot(&mut self, ctx: &mut Ctx, slot: usize) {
+        let _dev = crate::hotpath::pause();
+        let slot_size = Self::slot_size(&self.cfg);
+        let pool = self.srq.as_ref().expect("srq");
+        let sge = pool.pool_mr.sge(slot as u64 * slot_size, slot_size);
+        pool.srq
+            .post_recv(ctx, RecvWr::new(slot as u64, vec![sge]))
+            .expect("SRQ repost failed");
+        self.srq.as_mut().expect("srq").outstanding -= 1;
     }
 
     /// Smallest pair sequence toward `p` whose sender-first handshake is
@@ -1959,6 +2379,20 @@ impl Engine {
     /// Fire elapsed handshake watchdogs. A watchdog whose request has
     /// resolved (completed or failed) is simply dropped.
     fn pump_rndv_timeouts(&mut self, ctx: &mut Ctx) {
+        // Evict resolved handshakes' watchdogs once they dominate the
+        // heap — thousands of ranks re-arming rendezvous watchdogs would
+        // otherwise grow it without bound between (rare) fires.
+        let Engine {
+            rndv_timeouts,
+            reqs,
+            ..
+        } = self;
+        rndv_timeouts.maybe_compact(|k| match *k {
+            TimeoutKind::Rts { req } => {
+                matches!(reqs.get(req), Some(ReqState::RndvSendAwaitDone { .. }))
+            }
+            TimeoutKind::Rtr { req } => matches!(reqs.get(req), Some(ReqState::RecvAwaitDone)),
+        });
         let now = ctx.now();
         if self.rndv_timeouts.peek_due().is_none_or(|d| d > now) {
             return;
@@ -2106,13 +2540,21 @@ impl Engine {
                     None => {
                         // Copy out so the slot can be reused (unexpected
                         // message queue). Recycled buffers come back via
-                        // `payload_pool` when the message is consumed.
+                        // `payload_pool` when the message is consumed. A
+                        // stashed SRQ payload is already off-slot: adopt
+                        // its buffer directly.
                         let cluster = self.res.cluster().clone();
-                        let peer = self.peers[p].as_ref().expect("no peer");
-                        let mut data = self.payload_pool.pop().unwrap_or_default();
-                        data.clear();
-                        data.resize(hdr.len as usize, 0);
-                        cluster.read(&peer.in_ring, slot_base + HEADER_LEN, &mut data);
+                        let data = match self.srq_inline.take() {
+                            Some(data) => data,
+                            None => {
+                                let src_buf = self.in_slot_buf(p);
+                                let mut data = self.payload_pool.pop().unwrap_or_default();
+                                debug_assert!(data.is_empty(), "pooled buffer returned dirty");
+                                data.resize(hdr.len as usize, 0);
+                                cluster.read(&src_buf, slot_base + HEADER_LEN, &mut data);
+                                data
+                            }
+                        };
                         ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
                         self.unexpected.push(Unexpected::Eager {
                             src: hdr.src_rank,
@@ -2248,6 +2690,7 @@ impl Engine {
                         self.close_span(ctx, id);
                         self.release_send_lease(ctx, lease);
                         self.reqs.replace(id, ReqState::Done(status));
+                        self.note_watchdog_resolved();
                     }
                 }
             }
@@ -2279,6 +2722,7 @@ impl Engine {
                         })
                     };
                     self.reqs.replace(posted.req, state);
+                    self.note_watchdog_resolved();
                 }
             }
             PacketKind::NackSend => {
@@ -2338,6 +2782,7 @@ impl Engine {
                     ) {
                         self.release_send_lease(ctx, lease);
                     }
+                    self.note_watchdog_resolved();
                 }
             }
             PacketKind::NackWrite => {
@@ -2360,8 +2805,18 @@ impl Engine {
                             seq: hdr.seq,
                         }),
                     );
+                    self.note_watchdog_resolved();
                 }
             }
+        }
+    }
+
+    /// A rendezvous handshake with an armed watchdog just resolved: its
+    /// heap entry is now dead weight. Report it so `pump_rndv_timeouts`
+    /// can compact once dead entries dominate.
+    fn note_watchdog_resolved(&mut self) {
+        if self.cfg.rndv_timeout.is_some() {
+            self.rndv_timeouts.note_cancel();
         }
     }
 
@@ -2458,9 +2913,11 @@ impl Engine {
                 );
                 // Recycle the copy-out buffer for the next unexpected
                 // message.
-                if self.payload_pool.len() < PAYLOAD_POOL_CAP {
-                    self.payload_pool.push(data);
-                }
+                recycle_payload(
+                    &mut self.payload_pool,
+                    data,
+                    self.cfg.eager_threshold as usize,
+                );
             }
             Unexpected::Rts { hdr } => {
                 self.note_rx_seq(hdr.src_rank, hdr.seq);
@@ -2506,13 +2963,26 @@ impl Engine {
             return;
         }
         let cluster = self.res.cluster().clone();
-        let peer = self.peers[p].as_ref().expect("no peer");
-        let mut data = std::mem::take(&mut self.copy_scratch);
-        data.clear();
-        data.resize(hdr.len as usize, 0);
-        cluster.read(&peer.in_ring, slot_base + HEADER_LEN, &mut data);
-        cluster.write(&posted.buf, 0, &data);
-        self.copy_scratch = data;
+        match self.srq_inline.take() {
+            Some(data) => {
+                // Stashed SRQ payload: already off-slot, write directly.
+                cluster.write(&posted.buf, 0, &data);
+                recycle_payload(
+                    &mut self.payload_pool,
+                    data,
+                    self.cfg.ring_slot_payload as usize,
+                );
+            }
+            None => {
+                let src_buf = self.in_slot_buf(p);
+                let mut data = std::mem::take(&mut self.copy_scratch);
+                data.clear();
+                data.resize(hdr.len as usize, 0);
+                cluster.read(&src_buf, slot_base + HEADER_LEN, &mut data);
+                cluster.write(&posted.buf, 0, &data);
+                self.copy_scratch = data;
+            }
+        }
         ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
         self.stats.bytes_received += hdr.len;
         self.reqs.replace(
@@ -2613,5 +3083,41 @@ impl Engine {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_payload_buffers_come_back_empty() {
+        let mut pool = Vec::new();
+        let mut data = vec![0xAAu8; 128];
+        data.reserve(64);
+        recycle_payload(&mut pool, data, 8 << 10);
+        assert_eq!(pool.len(), 1);
+        assert!(pool[0].is_empty(), "stale bytes must not survive pooling");
+        assert!(pool[0].capacity() >= 128, "capacity is what gets reused");
+    }
+
+    #[test]
+    fn oversized_payload_buffers_are_dropped_not_pooled() {
+        let mut pool = Vec::new();
+        // A jumbo one-off: its high-water capacity must not be pinned.
+        recycle_payload(&mut pool, vec![1u8; 1 << 20], 8 << 10);
+        assert!(pool.is_empty(), "over-threshold capacity must be dropped");
+        // At-threshold buffers are kept.
+        recycle_payload(&mut pool, Vec::with_capacity(8 << 10), 8 << 10);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn payload_pool_is_capped() {
+        let mut pool = Vec::new();
+        for _ in 0..2 * PAYLOAD_POOL_CAP {
+            recycle_payload(&mut pool, vec![7u8; 16], 8 << 10);
+        }
+        assert_eq!(pool.len(), PAYLOAD_POOL_CAP);
     }
 }

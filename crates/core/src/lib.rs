@@ -43,6 +43,7 @@
 pub mod collectives;
 mod comm;
 mod config;
+mod connect;
 pub mod datatype;
 mod engine;
 pub mod hostcoll;
@@ -60,6 +61,7 @@ mod world;
 
 pub use comm::{Comm, Communicator, Persistent};
 pub use config::{MpiConfig, Placement};
+pub use connect::ConnDirectory;
 pub use engine::{CommStats, Engine, PeerEndpoint};
 pub use metrics::{HistogramSnapshot, MetricKey, Metrics, MetricsHub, Phase, Span};
 pub use mrcache::CacheStats;

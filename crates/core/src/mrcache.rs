@@ -17,7 +17,7 @@
 //! regions of `reg_offload_mr`), which are just as expensive to create.
 
 use dcfa::OffloadMr;
-use fabric::Buffer;
+use fabric::{Buffer, MemRef};
 use simcore::Ctx;
 use verbs::MemoryRegion;
 
@@ -44,6 +44,11 @@ pub struct CacheStats {
 }
 
 struct Entry {
+    /// Memory space the range lives in. Addresses are only meaningful
+    /// per (node, domain): Phi and host allocations both start at 0, so
+    /// a range match without this would alias a host buffer to a Phi
+    /// MR (or vice versa) and silently RDMA the wrong memory.
+    mem: MemRef,
     addr: u64,
     len: u64,
     mr: MemoryRegion,
@@ -110,11 +115,9 @@ impl MrCache {
         self.clock += 1;
         let clock = self.clock;
         let rank = self.rank;
-        if let Some(i) = self
-            .entries
-            .iter()
-            .position(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
-        {
+        if let Some(i) = self.entries.iter().position(|e| {
+            e.mem == buf.mem && e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len
+        }) {
             let live = self.entries[i].pins > 0 || res.mr_live(self.entries[i].mr.key());
             if live {
                 let e = &mut self.entries[i];
@@ -199,6 +202,7 @@ impl MrCache {
         });
         self.trace.record(|| TraceEvent::MrPin { rank, key });
         self.entries.push(Entry {
+            mem: buf.mem,
             addr: buf.addr,
             len: buf.len,
             mr: mr.clone(),
@@ -291,6 +295,8 @@ pub struct OffloadLease {
 }
 
 struct OffloadEntry {
+    /// Memory space of the Phi-side range (see [`Entry::mem`]).
+    mem: MemRef,
     addr: u64,
     len: u64,
     omr: OffloadMr,
@@ -343,11 +349,9 @@ impl OffloadCache {
         self.clock += 1;
         let clock = self.clock;
         let rank = self.rank;
-        if let Some(i) = self
-            .entries
-            .iter()
-            .position(|e| e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len)
-        {
+        if let Some(i) = self.entries.iter().position(|e| {
+            e.mem == buf.mem && e.addr <= buf.addr && buf.addr + buf.len <= e.addr + e.len
+        }) {
             let live = self.entries[i].pins > 0 || res.mr_live(self.entries[i].omr.host_mr.key());
             if live {
                 self.entries[i].last_use = clock;
@@ -396,6 +400,7 @@ impl OffloadCache {
             }
         }
         self.entries.push(OffloadEntry {
+            mem: buf.mem,
             addr: buf.addr,
             len: buf.len,
             omr,

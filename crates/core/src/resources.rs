@@ -6,7 +6,7 @@ use std::sync::Arc;
 use dcfa::{DcfaContext, OffloadMr};
 use fabric::{Buffer, Cluster, MemRef};
 use simcore::{Ctx, SimEvent};
-use verbs::{CompletionQueue, IbFabric, MemoryRegion, QueuePair, VerbsContext};
+use verbs::{CompletionQueue, IbFabric, MemoryRegion, QueuePair, SharedReceiveQueue, VerbsContext};
 
 /// The resource backend an MPI rank uses.
 pub enum Resources {
@@ -79,6 +79,31 @@ impl Resources {
                 .create_qp(ctx, send_cq, recv_cq)
                 .expect("DCFA create_qp failed"),
             Resources::Host(v) => v.create_qp(send_cq, recv_cq),
+        }
+    }
+
+    /// Create a shared receive queue (resource setup through the
+    /// placement-appropriate path).
+    pub fn create_srq(&self, ctx: &mut Ctx) -> SharedReceiveQueue {
+        match self {
+            Resources::Phi(d) => d.create_srq(ctx).expect("DCFA create_srq failed"),
+            Resources::Host(v) => v.create_srq(),
+        }
+    }
+
+    /// Create a QP attached to a shared receive queue.
+    pub fn create_qp_with_srq(
+        &self,
+        ctx: &mut Ctx,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+        srq: &SharedReceiveQueue,
+    ) -> QueuePair {
+        match self {
+            Resources::Phi(d) => d
+                .create_qp_with_srq(ctx, send_cq, recv_cq, srq)
+                .expect("DCFA create_qp_with_srq failed"),
+            Resources::Host(v) => v.create_qp_with_srq(send_cq, recv_cq, srq),
         }
     }
 

@@ -36,6 +36,9 @@ pub struct SlotTable<T> {
     slots: Vec<Slot<T>>,
     free_head: u32,
     len: usize,
+    /// Maximum number of live entries; inserts past this bound fail
+    /// instead of growing. `u32::MAX - 1` (the index space) by default.
+    limit: u32,
 }
 
 const NO_FREE: u32 = u32::MAX;
@@ -46,6 +49,7 @@ impl<T> SlotTable<T> {
             slots: Vec::new(),
             free_head: NO_FREE,
             len: 0,
+            limit: u32::MAX - 1,
         }
     }
 
@@ -55,14 +59,26 @@ impl<T> SlotTable<T> {
         t
     }
 
+    /// A table that refuses to hold more than `limit` live entries.
+    /// Exhaustion then surfaces as `try_insert() == None` backpressure
+    /// rather than unbounded growth.
+    pub fn with_limit(limit: u32) -> Self {
+        let mut t = SlotTable::new();
+        t.limit = limit;
+        t
+    }
+
     fn split(id: u64) -> (u32, u32) {
         ((id >> 32) as u32, id as u32)
     }
 
-    /// Insert a value, returning its handle. Generations start at 1 so a
-    /// handle is never 0 (the engine uses ids in contexts where 0 would
-    /// read as "unset").
-    pub fn insert(&mut self, value: T) -> u64 {
+    /// Insert a value, returning its handle, or `None` when the table is
+    /// at its limit. Generations start at 1 so a handle is never 0 (the
+    /// engine uses ids in contexts where 0 would read as "unset").
+    pub fn try_insert(&mut self, value: T) -> Option<u64> {
+        if self.len >= self.limit as usize {
+            return None;
+        }
         self.len += 1;
         if self.free_head != NO_FREE {
             let idx = self.free_head;
@@ -74,13 +90,22 @@ impl<T> SlotTable<T> {
                 Slot::Full { .. } => unreachable!("free list points at a full slot"),
             };
             self.slots[idx as usize] = Slot::Full { gen, value };
-            ((gen as u64) << 32) | idx as u64
+            Some(((gen as u64) << 32) | idx as u64)
         } else {
             let idx = self.slots.len() as u32;
-            assert!(idx != u32::MAX, "slot table exhausted");
+            if idx == u32::MAX {
+                self.len -= 1;
+                return None;
+            }
             self.slots.push(Slot::Full { gen: 1, value });
-            (1u64 << 32) | idx as u64
+            Some((1u64 << 32) | idx as u64)
         }
+    }
+
+    /// Infallible insert for tables whose size is bounded by construction
+    /// (panics only at the `u32` index-space limit).
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.try_insert(value).expect("slot table exhausted")
     }
 
     pub fn get(&self, id: u64) -> Option<&T> {
@@ -151,6 +176,12 @@ impl<T> SlotTable<T> {
         self.len == 0
     }
 
+    /// Whether the next `try_insert` would fail. Callers that must not
+    /// burn a sequence number on a doomed operation check this first.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.limit as usize
+    }
+
     /// Iterate `(id, &value)` over live entries.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
@@ -200,17 +231,31 @@ impl<K: Eq> PartialOrd for TimerEntry<K> {
 
 /// Min-heap of `(deadline, key)` pairs. Cancellation is lazy: the engine
 /// validates each popped key against its request/WR table (stale handles
-/// miss on their generation), so no `retain` scan is ever needed.
+/// miss on their generation), so no `retain` scan is ever needed on the
+/// pop path. To keep thousands of arm/cancel cycles from letting dead
+/// entries dominate the heap, callers report cancellations via
+/// [`TimerHeap::note_cancel`] and periodically offer a liveness predicate
+/// to [`TimerHeap::maybe_compact`], which rebuilds the heap once the dead
+/// ratio crosses one half.
 pub struct TimerHeap<K: Eq> {
     heap: BinaryHeap<Reverse<TimerEntry<K>>>,
     next_ticket: u64,
+    /// Upper bound on dead entries still in the heap: incremented by
+    /// `note_cancel`, reset by compaction. An upper bound only — a dead
+    /// entry that drains past its deadline is popped (and skipped by the
+    /// caller's validation) without the heap knowing.
+    dead: usize,
 }
+
+/// Below this size compaction is never worth a rebuild.
+const COMPACT_MIN: usize = 64;
 
 impl<K: Eq> TimerHeap<K> {
     pub fn new() -> Self {
         TimerHeap {
             heap: BinaryHeap::new(),
             next_ticket: 0,
+            dead: 0,
         }
     }
 
@@ -218,6 +263,30 @@ impl<K: Eq> TimerHeap<K> {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.heap.push(Reverse(TimerEntry { due, ticket, key }));
+    }
+
+    /// Record that one armed entry was cancelled elsewhere (its key will
+    /// miss validation when popped). Cheap bookkeeping only; pair with
+    /// [`TimerHeap::maybe_compact`].
+    pub fn note_cancel(&mut self) {
+        self.dead += 1;
+    }
+
+    /// Rebuild the heap without entries `live` rejects, but only when at
+    /// least half the entries are known dead (and the heap is big enough
+    /// to care). Returns whether a compaction ran. Relative order of the
+    /// surviving entries is preserved (tickets travel with them).
+    pub fn maybe_compact<F: FnMut(&K) -> bool>(&mut self, mut live: F) -> bool {
+        if self.heap.len() < COMPACT_MIN || self.dead * 2 < self.heap.len() {
+            return false;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse(e)| live(&e.key))
+            .collect();
+        self.dead = 0;
+        true
     }
 
     /// Earliest deadline, if any.
@@ -359,6 +428,61 @@ mod tests {
         h.drain_due(t(100), &mut out);
         assert_eq!(out, ["b", "c"]);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn limited_table_backpressures_instead_of_growing() {
+        let mut t = SlotTable::with_limit(3);
+        let a = t.try_insert(0u32).unwrap();
+        let _b = t.try_insert(1).unwrap();
+        let _c = t.try_insert(2).unwrap();
+        assert_eq!(t.try_insert(3), None, "limit reached");
+        assert_eq!(t.len(), 3);
+        // Freeing a slot lifts the backpressure.
+        assert_eq!(t.remove(a), Some(0));
+        let d = t.try_insert(4).unwrap();
+        assert_eq!(t.get(d), Some(&4));
+        assert_eq!(t.try_insert(5), None, "full again");
+    }
+
+    #[test]
+    fn timer_heap_compacts_under_arm_cancel_churn() {
+        use std::collections::HashSet;
+        let mut h = TimerHeap::new();
+        let t = SimTime;
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut next_key = 0u64;
+        // Rendezvous-watchdog pattern: arm a timer per operation, cancel
+        // almost all of them on normal completion, re-arm the rest.
+        for round in 0..1_000u64 {
+            for _ in 0..8 {
+                h.push(t(round * 10 + 1_000_000), next_key);
+                live.insert(next_key);
+                next_key += 1;
+            }
+            // Cancel 7 of the 8: only every 8th operation stays armed.
+            for k in (next_key - 8)..next_key {
+                if k % 8 != 0 {
+                    live.remove(&k);
+                    h.note_cancel();
+                }
+            }
+            h.maybe_compact(|k| live.contains(k));
+            assert!(
+                h.len() <= 5 * live.len() / 2 + COMPACT_MIN,
+                "heap grew unbounded: {} entries for {} live timers",
+                h.len(),
+                live.len()
+            );
+        }
+        assert!(live.len() >= 1_000, "churn kept some timers armed");
+        // Surviving entries still drain in deadline order.
+        let mut out = Vec::new();
+        h.drain_due(t(u64::MAX), &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "deadline order kept");
+        assert_eq!(out, sorted);
     }
 
     #[test]

@@ -65,6 +65,11 @@ impl fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
+            "  scale      pairs established {:>5}  comm buffers {:>10} B  srq hw {:>4}",
+            c.pairs_established, c.comm_buffer_bytes, c.srq_highwater
+        )?;
+        writeln!(
+            f,
             "  mr cache   hits {:>6}  misses {:>4}  evictions {:>4}  reg {:>4}  dereg {:>4}  \
              invalidated {:>4}  (resident {}, pinned {})",
             self.mr_cache.hits,
@@ -91,7 +96,7 @@ impl fmt::Display for StatsReport {
 }
 
 /// Number of `u64` words a [`StatsReport`] flattens into.
-const WORDS: usize = 32;
+const WORDS: usize = 35;
 
 impl StatsReport {
     /// Flatten into a fixed word array. The order is part of the
@@ -134,6 +139,9 @@ impl StatsReport {
             o.invalidated,
             c.replay_pruned,
             c.doorbells_coalesced,
+            c.pairs_established,
+            c.comm_buffer_bytes,
+            c.srq_highwater,
         ]
     }
 
@@ -160,6 +168,9 @@ impl StatsReport {
                 offload_fallbacks: w[17],
                 replay_pruned: w[30],
                 doorbells_coalesced: w[31],
+                pairs_established: w[32],
+                comm_buffer_bytes: w[33],
+                srq_highwater: w[34],
             },
             mr_cache: CacheStats {
                 hits: w[18],
@@ -326,6 +337,9 @@ mod tests {
                 offload_fallbacks: 15,
                 replay_pruned: 30,
                 doorbells_coalesced: 31,
+                pairs_established: 32,
+                comm_buffer_bytes: 33,
+                srq_highwater: 34,
             },
             mr_cache: CacheStats {
                 hits: 16,

@@ -88,6 +88,10 @@ pub enum MpiError {
     BadRequest,
     /// Resource exhaustion (e.g. Phi memory for staging).
     OutOfMemory,
+    /// A bounded engine table (requests, inflight WRs) is full. Unlike
+    /// [`MpiError::OutOfMemory`] this is backpressure, not a fatal
+    /// condition: the caller should drive progress and retry.
+    ResourceExhausted,
     /// A transport operation owned by this request failed permanently
     /// (fatal completion status, or transient errors past `retry_limit`).
     /// Only the owning request fails; the rank and all other traffic
@@ -116,6 +120,9 @@ impl fmt::Display for MpiError {
             MpiError::BadRank(r) => write!(f, "rank {r} out of range"),
             MpiError::BadRequest => write!(f, "unknown request handle"),
             MpiError::OutOfMemory => write!(f, "out of simulated memory"),
+            MpiError::ResourceExhausted => {
+                write!(f, "engine table exhausted; progress and retry")
+            }
             MpiError::Transport {
                 status,
                 op,

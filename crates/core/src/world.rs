@@ -13,15 +13,16 @@ use verbs::{IbFabric, VerbsContext};
 
 use crate::comm::Comm;
 use crate::config::{MpiConfig, Placement};
-use crate::engine::{Engine, PeerEndpoint};
+use crate::connect::ConnDirectory;
+use crate::engine::Engine;
 use crate::resources::Resources;
 
 struct Boot {
     n: usize,
-    /// `published[r][j]` = endpoint rank `r` allocated for peer `j`.
-    published: Mutex<Vec<Option<Vec<Option<PeerEndpoint>>>>>,
     event: SimEvent,
-    /// Finalize barrier counter.
+    /// Start/finalize barrier counter. Endpoints are no longer exchanged
+    /// here: QPs and rings establish lazily on first touch through the
+    /// [`ConnDirectory`], so bootstrap is O(ranks), not O(ranks²).
     arrived: Mutex<usize>,
 }
 
@@ -198,10 +199,12 @@ where
     };
     let boot = Arc::new(Boot {
         n,
-        published: Mutex::new(vec![None; n]),
         event: SimEvent::new(),
         arrived: Mutex::new(0),
     });
+    // Connect requests travel one wire hop, like the control traffic of
+    // the real out-of-band channel.
+    let conn = ConnDirectory::new(n, ib.cluster().config().cost.ib_latency);
     let f = Arc::new(f);
     let nodes = ib.cluster().num_nodes();
     for r in 0..n {
@@ -223,7 +226,8 @@ where
         let daemon_stats = daemon_stats.clone();
         let ctrl_hook = ctrl_hook.clone();
         let ctrl_perf = ctrl_perf.clone();
-        sim.spawn(format!("rank{r}"), move |ctx| {
+        let conn = conn.clone();
+        let pid = sim.spawn(format!("rank{r}"), move |ctx| {
             let res = match cfg.placement {
                 Placement::Phi => {
                     let dcfg = dcfa::DcfaConfig {
@@ -243,7 +247,7 @@ where
                     Resources::Host(VerbsContext::open(ib.clone(), node, Domain::Host))
                 }
             };
-            let (mut engine, endpoints) = Engine::create(ctx, r, n, cfg, res);
+            let mut engine = Engine::create(ctx, r, n, cfg, res, conn);
             if let Some(t) = &tracer {
                 engine.set_tracer(t.clone());
             }
@@ -251,32 +255,8 @@ where
                 engine.set_metrics(m.clone());
             }
 
-            // Publish and wait for everyone (the PMI exchange).
-            {
-                boot.published.lock()[r] = Some(endpoints);
-                boot.event.notify_all(&ctx.scheduler());
-            }
-            loop {
-                let seen = boot.event.epoch();
-                if boot.published.lock().iter().all(|e| e.is_some()) {
-                    break;
-                }
-                ctx.wait_event(&boot.event, seen, "mpi bootstrap");
-            }
-            // Wire QPs/rings: peer j's endpoint *for us* is published[j][r].
-            let their_view: Vec<Option<PeerEndpoint>> = {
-                let pub_guard = boot.published.lock();
-                (0..n)
-                    .map(|j| {
-                        if j == r {
-                            None
-                        } else {
-                            pub_guard[j].as_ref().expect("published")[r].clone()
-                        }
-                    })
-                    .collect()
-            };
-            engine.connect(&their_view);
+            // Start barrier: every rank has registered with the connect
+            // directory before anyone's first send can race it.
             barrier_boot(ctx, &boot);
 
             let mut comm = Comm::new(engine);
@@ -288,6 +268,10 @@ where
             barrier_boot(ctx, &boot);
             comm.finalize(ctx);
         });
+        // Shard the event wheel by simulated node: a rank's events stay
+        // on its node's wheel (purely load-balancing metadata — the
+        // merged execution order is identical at any shard count).
+        sim.assign_shard(pid, node.0);
     }
     daemon_stats
 }

@@ -243,10 +243,15 @@ fn rndv_write_fatal_fails_both_ends_then_heals() {
             let buf = comm.alloc(len).unwrap();
             if comm.rank() == 0 {
                 // Arrive late so the receiver-first (RTR → RDMA WRITE) path
-                // runs; the probe pumps progress so the arrived RTR is
+                // runs; the probes pump progress so the arrived RTR is
                 // stashed before isend decides (otherwise the send would go
-                // RTS-first and resolve as a simultaneous rendezvous).
+                // RTS-first and resolve as a simultaneous rendezvous). Two
+                // beats: the first serves the receiver's lazy connect
+                // request (only then can its queued RTR transmit), the
+                // second processes the RTR itself.
                 ctx.sleep(SimDuration::from_millis(2));
+                let _ = comm.iprobe(ctx, Src::Rank(1), TagSel::Tag(999));
+                ctx.sleep(SimDuration::from_millis(1));
                 let _ = comm.iprobe(ctx, Src::Rank(1), TagSel::Tag(999));
                 comm.write(&buf, 0, &pattern(len as usize, 3));
                 let err = comm.send(ctx, &buf, 1, 1).unwrap_err();
@@ -401,8 +406,13 @@ fn fatal_fault_on_completion_packet_is_retried_not_swallowed() {
                 comm.send(ctx, &flush, 1, 2).unwrap();
             } else {
                 // Arrive late: sender-first path, so the receiver's first
-                // ring write is its DONE after the RDMA READ.
+                // ring write is its DONE after the RDMA READ. The probe
+                // blocks until the sender's RTS is actually here (with
+                // lazy connections the pair only establishes once this
+                // rank pumps progress, so a fixed sleep no longer
+                // guarantees arrival).
                 ctx.sleep(SimDuration::from_millis(1));
+                comm.probe(ctx, Src::Rank(0), TagSel::Tag(1));
                 let st = comm.recv(ctx, &buf, Src::Rank(0), TagSel::Tag(1)).unwrap();
                 assert_eq!(st.len, len);
                 assert_eq!(comm.read_vec(&buf), pattern(len as usize, 6));

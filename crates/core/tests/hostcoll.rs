@@ -101,6 +101,11 @@ fn host_staged_bcast_faster_than_plain_for_large_buffers() {
     run_mpi(MpiConfig::dcfa(), 8, move |ctx, comm| {
         let len = 2 << 20;
         let buf = comm.alloc(len).unwrap();
+        // Warm-up round: establish the lazy connections both variants
+        // use, so the timed comparison measures steady-state data
+        // movement rather than first-touch QP/ring setup.
+        collectives::bcast(comm, ctx, &buf, 0).unwrap();
+        hostcoll::bcast_host_staged(comm, ctx, &buf, 0).unwrap();
         collectives::barrier(comm, ctx).unwrap();
         let t0 = ctx.now();
         collectives::bcast(comm, ctx, &buf, 0).unwrap();

@@ -20,7 +20,9 @@ use fabric::{Buffer, Cluster, Domain, MemRef, NodeId};
 use parking_lot::Mutex;
 use scif::{ScifEndpoint, ScifError, ScifFabric};
 use simcore::{Ctx, SimDuration};
-use verbs::{CompletionQueue, IbFabric, MemoryRegion, MrKey, QueuePair, VerbsContext};
+use verbs::{
+    CompletionQueue, IbFabric, MemoryRegion, MrKey, QueuePair, SharedReceiveQueue, VerbsContext,
+};
 
 use crate::daemon::{CtrlEvent, CtrlHook, CtrlOp, CtrlPerf, DcfaStats, PerfProbe, DCFA_PORT};
 use crate::wire::{
@@ -630,6 +632,37 @@ impl DcfaContext {
             Reply::Ok => {
                 self.state.lock().journal.push(JournalEntry::Qp);
                 Ok(self.vctx.create_qp(send_cq, recv_cq))
+            }
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// Create a shared receive queue. Queue-object setup is offloaded to
+    /// the host like a CQ; posts are issued from the Phi directly.
+    pub fn create_srq(&self, ctx: &mut Ctx) -> Result<SharedReceiveQueue, DcfaError> {
+        match self.command(ctx, Cmd::CreateCq)? {
+            Reply::Ok => {
+                self.state.lock().journal.push(JournalEntry::Cq);
+                Ok(self.vctx.create_srq())
+            }
+            Reply::Error { code } => Err(DcfaError::from_code(code)),
+            _ => Err(DcfaError::Protocol),
+        }
+    }
+
+    /// Create a reliable-connected QP attached to a shared receive queue.
+    pub fn create_qp_with_srq(
+        &self,
+        ctx: &mut Ctx,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+        srq: &SharedReceiveQueue,
+    ) -> Result<QueuePair, DcfaError> {
+        match self.command(ctx, Cmd::CreateQp)? {
+            Reply::Ok => {
+                self.state.lock().journal.push(JournalEntry::Qp);
+                Ok(self.vctx.create_qp_with_srq(send_cq, recv_cq, srq))
             }
             Reply::Error { code } => Err(DcfaError::from_code(code)),
             _ => Err(DcfaError::Protocol),

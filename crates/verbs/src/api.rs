@@ -48,11 +48,66 @@ struct QpState {
     backlog: std::collections::VecDeque<InboundSend>,
     send_cq: CompletionQueue,
     recv_cq: CompletionQueue,
+    /// Shared receive queue this QP draws receives from instead of `rq`.
+    srq: Option<Arc<SrqShared>>,
 }
 
 struct InboundSend {
     data: Vec<u8>,
     src: (NodeId, QpNum),
+}
+
+struct SrqState {
+    rq: std::collections::VecDeque<RecvWr>,
+    /// Sends held RNR-style while the pool is empty, remembering the recv
+    /// CQ of the QP each arrived on so a later post completes there.
+    backlog: std::collections::VecDeque<(InboundSend, CompletionQueue)>,
+}
+
+struct SrqShared {
+    state: Mutex<SrqState>,
+}
+
+/// A shared receive queue (`ibv_srq` analogue): one pool of receive work
+/// requests consumed, in post order, by every QP attached to it. An
+/// inbound Send on an attached QP pops the SRQ instead of the QP's own
+/// receive queue; its completion still surfaces on that QP's recv CQ,
+/// carrying `src` so the consumer can tell peers apart.
+pub struct SharedReceiveQueue {
+    fabric: Arc<IbFabric>,
+    shared: Arc<SrqShared>,
+    domain: Domain,
+}
+
+impl SharedReceiveQueue {
+    /// Post a receive work request to the shared pool. If a Send is being
+    /// held RNR-style (the pool ran dry when it arrived), it is delivered
+    /// into this receive immediately, completing on the recv CQ of the QP
+    /// it arrived on.
+    pub fn post_recv(&self, ctx: &mut Ctx, wr: RecvWr) -> Result<(), VerbsError> {
+        for sge in &wr.sges {
+            self.fabric.resolve_sge(sge)?;
+        }
+        let cost = &self.fabric.cluster().config().cost;
+        ctx.sleep(cost.cpu_op(self.domain));
+        let sched = ctx.scheduler();
+        let mut st = self.shared.state.lock();
+        if let Some((inbound, recv_cq)) = st.backlog.pop_front() {
+            drop(st);
+            scatter_into(
+                &self.fabric,
+                self.fabric.cluster(),
+                &inbound.data,
+                &wr,
+                inbound.src,
+                &recv_cq,
+                &sched,
+            );
+            return Ok(());
+        }
+        st.rq.push_back(wr);
+        Ok(())
+    }
 }
 
 struct FaultSpec {
@@ -351,6 +406,40 @@ impl VerbsContext {
 
     /// Create a reliable-connected queue pair.
     pub fn create_qp(&self, send_cq: &CompletionQueue, recv_cq: &CompletionQueue) -> QueuePair {
+        self.create_qp_inner(send_cq, recv_cq, None)
+    }
+
+    /// Create a shared receive queue.
+    pub fn create_srq(&self) -> SharedReceiveQueue {
+        SharedReceiveQueue {
+            fabric: self.fabric.clone(),
+            shared: Arc::new(SrqShared {
+                state: Mutex::new(SrqState {
+                    rq: Default::default(),
+                    backlog: Default::default(),
+                }),
+            }),
+            domain: self.domain,
+        }
+    }
+
+    /// Create a reliable-connected queue pair attached to a shared receive
+    /// queue: inbound Sends consume SRQ entries, never per-QP receives.
+    pub fn create_qp_with_srq(
+        &self,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+        srq: &SharedReceiveQueue,
+    ) -> QueuePair {
+        self.create_qp_inner(send_cq, recv_cq, Some(srq.shared.clone()))
+    }
+
+    fn create_qp_inner(
+        &self,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+        srq: Option<Arc<SrqShared>>,
+    ) -> QueuePair {
         let mut st = self.fabric.state.lock();
         let qpn = QpNum(st.next_qpn);
         st.next_qpn += 1;
@@ -364,6 +453,7 @@ impl VerbsContext {
                 backlog: Default::default(),
                 send_cq: send_cq.clone(),
                 recv_cq: recv_cq.clone(),
+                srq,
             }),
         });
         st.qps.insert((self.node, qpn.0), shared.clone());
@@ -464,6 +554,10 @@ impl QueuePair {
         ctx.sleep(cost.cpu_op(self.domain));
         let sched = ctx.scheduler();
         let mut st = self.shared.state.lock();
+        debug_assert!(
+            st.srq.is_none(),
+            "post_recv on an SRQ-attached QP (post to the SRQ instead)"
+        );
         if let Some(inbound) = st.backlog.pop_front() {
             // RNR-held send: deliver into this receive right away.
             let (recv_cq, node) = (st.recv_cq.clone(), self.shared.node);
@@ -636,8 +730,18 @@ impl QueuePair {
         let qp = st.qps.get(&(remote.0, remote.1 .0))?.clone();
         drop(st);
         let qst = qp.state.lock();
-        let sge = qst.rq.front().map(|wr| wr.sges[0])?;
-        drop(qst);
+        let sge = match qst.srq.clone() {
+            Some(srq) => {
+                drop(qst);
+                let sst = srq.state.lock();
+                sst.rq.front().map(|wr| wr.sges[0])?
+            }
+            None => {
+                let sge = qst.rq.front().map(|wr| wr.sges[0]);
+                drop(qst);
+                sge?
+            }
+        };
         let (buf, _) = self.fabric.resolve_mr(sge.lkey)?;
         Some(buf.mem.domain)
     }
@@ -768,7 +872,33 @@ fn deliver(
                 return;
             };
             let mut rst = rqp.state.lock();
-            if let Some(rwr) = rst.rq.pop_front() {
+            if let Some(srq) = rst.srq.clone() {
+                // SRQ-attached QP: consume from the shared pool; complete
+                // on this QP's recv CQ.
+                let recv_cq = rst.recv_cq.clone();
+                drop(rst);
+                let mut sst = srq.state.lock();
+                if let Some(rwr) = sst.rq.pop_front() {
+                    drop(sst);
+                    scatter_into(
+                        fabric,
+                        &cluster,
+                        &data,
+                        &rwr,
+                        (shared.node, shared.qpn),
+                        &recv_cq,
+                        sched,
+                    );
+                } else {
+                    sst.backlog.push_back((
+                        InboundSend {
+                            data,
+                            src: (shared.node, shared.qpn),
+                        },
+                        recv_cq,
+                    ));
+                }
+            } else if let Some(rwr) = rst.rq.pop_front() {
                 let recv_cq = rst.recv_cq.clone();
                 drop(rst);
                 scatter_into(

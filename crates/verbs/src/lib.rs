@@ -15,7 +15,7 @@ mod api;
 mod cq;
 mod types;
 
-pub use api::{FaultPlan, IbFabric, MemoryRegion, QueuePair, VerbsContext};
+pub use api::{FaultPlan, IbFabric, MemoryRegion, QueuePair, SharedReceiveQueue, VerbsContext};
 pub use cq::CompletionQueue;
 pub use types::{
     MrKey, QpNum, RecvWr, SendOpcode, SendWr, Sge, VerbsError, Wc, WcOpcode, WcStatus,

@@ -490,3 +490,93 @@ fn time_zero_never_regresses() {
     });
     r.sim.run_expect();
 }
+
+#[test]
+fn srq_pools_receives_across_qps_and_holds_backlog() {
+    // Two senders feed one receiver through QPs attached to a single
+    // shared receive queue. Pool entries are consumed in post order
+    // regardless of which QP a Send arrives on; completions surface on
+    // the arrival QP's recv CQ with the sender's (node, qpn); and a Send
+    // arriving while the pool is dry is held RNR-style, delivered by the
+    // next post_recv.
+    let mut r = rig(3);
+    let fabric = r.fabric.clone();
+    type GotCell = Arc<Mutex<Vec<(u64, Vec<u8>, Option<(NodeId, verbs::QpNum)>)>>>;
+    let got: GotCell = Arc::new(Mutex::new(Vec::new()));
+
+    let f1 = fabric.clone();
+    let got2 = got.clone();
+    r.sim.spawn("receiver", move |ctx| {
+        let cl = f1.cluster().clone();
+        let vctx = VerbsContext::open(f1.clone(), NodeId(2), Domain::Host);
+        let buf = cl.alloc_pages(mem(2, Domain::Host), 4 * 1024).unwrap();
+        let mr = vctx.reg_mr(ctx, buf);
+        let cq = vctx.create_cq();
+        let srq = vctx.create_srq();
+        let qp_a = vctx.create_qp_with_srq(&cq, &cq, &srq); // from node 0
+        let qp_b = vctx.create_qp_with_srq(&cq, &cq, &srq); // from node 1
+        qp_a.connect(NodeId(0), verbs::QpNum(3));
+        qp_b.connect(NodeId(1), verbs::QpNum(4));
+        // Two pool slots up front; the third message must be held until
+        // the late post below.
+        srq.post_recv(ctx, RecvWr::new(0, vec![mr.sge(0, 1024)]))
+            .unwrap();
+        srq.post_recv(ctx, RecvWr::new(1, vec![mr.sge(1024, 1024)]))
+            .unwrap();
+        for n in 0..3u64 {
+            if n == 2 {
+                // Pool ran dry; the third Send is backlogged. Posting
+                // delivers it immediately.
+                ctx.sleep(simcore::SimDuration::from_millis(1));
+                srq.post_recv(ctx, RecvWr::new(2, vec![mr.sge(2048, 1024)]))
+                    .unwrap();
+            }
+            let wc = cq.wait(ctx);
+            assert_eq!(wc.status, WcStatus::Success);
+            assert_eq!(wc.opcode, WcOpcode::Recv);
+            let mut out = vec![0u8; wc.byte_len as usize];
+            cl.read(mr.buffer(), wc.wr_id * 1024, &mut out);
+            got2.lock().push((wc.wr_id, out, wc.src));
+        }
+    });
+
+    for (node, delay_us) in [(0usize, 10u64), (1, 20)] {
+        let f = fabric.clone();
+        r.sim.spawn(format!("sender{node}"), move |ctx| {
+            let cl = f.cluster().clone();
+            let vctx = VerbsContext::open(f.clone(), NodeId(node), Domain::Host);
+            let buf = cl.alloc_pages(mem(node, Domain::Host), 1024).unwrap();
+            cl.write(&buf, 0, &vec![node as u8 + 1; 1024]);
+            let mr = vctx.reg_mr(ctx, buf);
+            let cq = vctx.create_cq();
+            let qp = vctx.create_qp(&cq, &cq);
+            qp.connect(NodeId(2), verbs::QpNum(node as u32 + 1));
+            ctx.sleep(simcore::SimDuration::from_micros(delay_us));
+            qp.post_send(ctx, SendWr::send(0, vec![mr.sge(0, 1024)]))
+                .unwrap();
+            if node == 0 {
+                // Sender 0 also supplies the backlogged third message.
+                ctx.sleep(simcore::SimDuration::from_micros(50));
+                qp.post_send(ctx, SendWr::send(1, vec![mr.sge(0, 1024)]))
+                    .unwrap();
+            }
+            let _ = cq.wait(ctx);
+        });
+    }
+    r.sim.run_expect();
+    let got = got.lock();
+    assert_eq!(got.len(), 3);
+    // Pool slots consumed in post order: 0 then 1 then the late 2.
+    assert_eq!(
+        got.iter().map(|(id, _, _)| *id).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    // First arrival is sender 0 (earlier delay) on qp_a, second sender 1
+    // on qp_b, third the backlogged one from sender 0.
+    assert_eq!(got[0].2.map(|(n, _)| n), Some(NodeId(0)));
+    assert_eq!(got[0].1, vec![1u8; 1024]);
+    assert_eq!(got[1].2.map(|(n, _)| n), Some(NodeId(1)));
+    assert_eq!(got[1].1, vec![2u8; 1024]);
+    assert_eq!(got[2].2.map(|(n, _)| n), Some(NodeId(0)));
+    assert_eq!(got[2].1, vec![1u8; 1024]);
+}
