@@ -11,9 +11,11 @@
 //! repro --quick all    # reduced sweeps (for smoke testing)
 //! repro --stats        # per-protocol counters of a traced 4-rank run
 //! repro --trace        # tail of the protocol event ring + audit verdict
-//! repro --faults SPEC  # fault-soak the 4-rank run; SPEC is a comma list
+//! repro --faults SPEC [--srq]
+//!                      # fault-soak the 4-rank run; SPEC is a comma list
 //!                      # of <after>:<kind>[@<src>-><dst>] fault plans,
-//!                      # e.g. "2:transient,9:fatal@0->1"
+//!                      # e.g. "2:transient,9:fatal@0->1". --srq runs it
+//!                      # on the shared-receive-queue pool (CI variant)
 //! repro --daemon-faults SPEC
 //!                      # control-plane chaos soak: crash/drop/delay the
 //!                      # delegation daemons; SPEC is a comma list of
@@ -37,6 +39,21 @@
 //!                      # sweep ranks 8/16/32/64, write the memory-per-rank
 //!                      # curve to PATH as CSV, and gate sub-quadratic
 //!                      # growth of pairs and buffer bytes
+//! repro --kill SPEC [--ranks N] [--shards S] [--no-srq]
+//!                      # rank-death soak at N ranks (default 64): SPEC is
+//!                      # a comma list of <after_ops>:<rank> fail-stop
+//!                      # kills, e.g. "10:7,25:31,40:12,55:50". Survivors
+//!                      # must detect, revoke, shrink to the same world and
+//!                      # complete a verified exchange on it; exits 1 on
+//!                      # any violation. --metrics-json / --compare-metrics
+//!                      # apply to this run's report (with its `failures`
+//!                      # section) instead of the 4-rank profile
+//! repro --chaos [--seed N] [--ranks N] [--shards S] [--no-srq]
+//!                      # deterministic chaos fuzzing: sample a kill
+//!                      # schedule from the seed, soak it twice (replay
+//!                      # must be bit-for-bit identical), gate the outcome,
+//!                      # and on a failure print the greedily shrunk
+//!                      # minimal reproducer in --kill syntax
 //! ```
 
 use bench::{
@@ -114,6 +131,27 @@ fn main() {
     let scale_ranks = parse_count("--ranks");
     let scale_shards = parse_count("--shards").unwrap_or(1);
     let scale_srq = !args.iter().any(|a| a == "--no-srq");
+    // `--srq` moves the 4-rank `--faults` soak onto the SRQ pool.
+    let fault_srq = args.iter().any(|a| a == "--srq");
+    // `--kill SPEC` runs the rank-death soak; `--chaos [--seed N]` the
+    // deterministic chaos fuzzer. Both default to 64 ranks.
+    let kill_spec: Option<&String> = args
+        .iter()
+        .position(|a| a == "--kill")
+        .and_then(|i| args.get(i + 1));
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| match s.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("bad --seed {s:?}: expected an unsigned integer");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(1);
     // `--scale-curve PATH` sweeps rank counts and writes the memory curve.
     let scale_curve: Option<&String> = args
         .iter()
@@ -136,6 +174,8 @@ fn main() {
                 || *a == "--ranks"
                 || *a == "--shards"
                 || *a == "--scale-curve"
+                || *a == "--kill"
+                || *a == "--seed"
             {
                 skip_next = true;
             }
@@ -152,22 +192,40 @@ fn main() {
         || (wanted.is_empty()
             && !show_stats
             && !show_trace
+            && !chaos
             && fault_spec.is_none()
             && daemon_fault_spec.is_none()
             && metrics_json.is_none()
             && compare_metrics.is_none()
             && scale_ranks.is_none()
-            && scale_curve.is_none());
+            && scale_curve.is_none()
+            && kill_spec.is_none());
     let want = |k: &str| all || wanted.contains(&k);
 
-    if let Some(ranks) = scale_ranks {
-        scale_soak(ranks, scale_shards, scale_srq);
+    if let Some(spec) = kill_spec {
+        kill_soak(
+            spec,
+            scale_ranks.unwrap_or(64),
+            scale_shards,
+            scale_srq,
+            metrics_json,
+            compare_metrics,
+            tolerance,
+        );
+    } else if let Some(ranks) = scale_ranks {
+        // With `--chaos`, `--ranks` parameterizes the fuzzer instead.
+        if !chaos {
+            scale_soak(ranks, scale_shards, scale_srq);
+        }
+    }
+    if chaos {
+        chaos_fuzz(seed, scale_ranks.unwrap_or(64), scale_shards, scale_srq);
     }
     if let Some(path) = scale_curve {
         scale_curve_sweep(path, scale_shards, scale_srq);
     }
     if let Some(spec) = fault_spec {
-        fault_soak(spec);
+        fault_soak(spec, fault_srq);
     }
     if let Some(spec) = daemon_fault_spec {
         daemon_fault_soak(spec);
@@ -175,7 +233,9 @@ fn main() {
     if show_stats || show_trace {
         observability(show_stats, show_trace);
     }
-    if metrics_json.is_some() || compare_metrics.is_some() {
+    // The kill soak consumes `--metrics-json` / `--compare-metrics` itself
+    // (its report carries the `failures` section).
+    if (metrics_json.is_some() || compare_metrics.is_some()) && kill_spec.is_none() {
         metrics_report(metrics_json, compare_metrics, tolerance);
     }
 
@@ -532,12 +592,231 @@ fn scale_curve_sweep(path: &str, shards: usize, srq: bool) {
     println!();
 }
 
-/// `--faults SPEC`: arm the parsed fault plans on the fabric, run the
-/// fault-tolerant 4-rank mixed workload, and report how the faults
-/// surfaced: per-rank recovery counters, operation outcomes and the
-/// protocol-auditor verdict. Exits nonzero if the auditor finds an
+/// `--kill SPEC [--ranks N]`: the rank-death soak. Parses the kill
+/// schedule, runs the ULFM-tolerant halo workload with the failure
+/// subsystem armed, prints the recovery counters and gates the outcome
+/// via [`bench::KillSoakRun::healthy`]. `--metrics-json` /
+/// `--compare-metrics` serialize and gate this run's report (including
+/// its `failures` section). Exits 1 on any gate violation, 2 on a
+/// malformed schedule.
+#[allow(clippy::too_many_arguments)]
+fn kill_soak(
+    spec: &str,
+    ranks: usize,
+    shards: usize,
+    srq: bool,
+    json_path: Option<&String>,
+    baseline_path: Option<&String>,
+    tolerance: f64,
+) {
+    let kills = match parse_kill_spec(spec, ranks) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("bad --kill spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "== rank-death soak: {ranks} ranks on {} DES shard(s), SRQ {}, killing {} ==",
+        shards.max(1),
+        if srq { "on" } else { "off" },
+        bench::kill_spec_string(&kills),
+    );
+    let run = bench::kill_soak_run(ranks, shards, srq, &kills);
+    println!(
+        "virtual time {:.1} ms | wall {:.1} ms | {} events | fingerprint {:#018x}",
+        run.obs.elapsed_ns as f64 / 1e6,
+        run.obs.wall_ns as f64 / 1e6,
+        run.obs.sim_events,
+        run.fingerprint()
+    );
+    println!(
+        "operations: {} completed, {} PeerFailed, {} Revoked, {} corrupted payloads",
+        run.ops_ok, run.ops_peer_failed, run.ops_revoked, run.corrupt
+    );
+    if let Some(f) = &run.obs.failures {
+        println!(
+            "failure plane: {} kills, {} detected (p99 latency {:.1} us), \
+             {} revocation epochs, {} shrink agreement(s), {} dead-peer objects reclaimed",
+            f.kills,
+            f.detections,
+            f.detection_latency_p99_ns as f64 / 1e3,
+            f.revokes,
+            f.shrinks,
+            f.reclaimed
+        );
+    }
+    println!(
+        "survivors: {} of {ranks}, shrunk world size {}",
+        run.ranks - run.killed.len(),
+        run.outs
+            .iter()
+            .flatten()
+            .map(|o| o.sub_size)
+            .next()
+            .unwrap_or(0)
+    );
+    match &run.obs.audit {
+        Ok(report) => println!("auditor: OK — {report:?}"),
+        Err(errors) => {
+            println!("auditor: {} invariant violations", errors.len());
+            for e in errors.iter().take(20) {
+                println!("  {e}");
+            }
+        }
+    }
+    let mut bad = false;
+    if let Err(violations) = run.healthy() {
+        for v in &violations {
+            println!("FAIL: {v}");
+        }
+        bad = true;
+    }
+    if json_path.is_some() || baseline_path.is_some() {
+        let report = bench::metrics_report_json(&run.obs);
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("metrics report written to {path}");
+        }
+        if let Some(path) = baseline_path {
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read baseline {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match bench::compare_reports(&baseline, &report, tolerance) {
+                Err(e) => {
+                    eprintln!("compare failed: {e}");
+                    std::process::exit(2);
+                }
+                Ok(violations) if violations.is_empty() => {
+                    println!("metrics within {tolerance}% of baseline {path}");
+                }
+                Ok(violations) => {
+                    println!(
+                        "{} metric(s) drifted beyond {tolerance}% of baseline {path}:",
+                        violations.len()
+                    );
+                    for v in &violations {
+                        println!("  {v}");
+                    }
+                    bad = true;
+                }
+            }
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!();
+}
+
+/// Parse a `--kill` schedule: a comma list of `<after_ops>:<rank>`.
+fn parse_kill_spec(spec: &str, ranks: usize) -> Result<Vec<dcfa_mpi::KillSpec>, String> {
+    let mut kills = Vec::new();
+    for part in spec.split(',') {
+        let (after, rank) = part
+            .split_once(':')
+            .ok_or_else(|| format!("{part:?}: expected <after_ops>:<rank>"))?;
+        let after_ops: u64 = after
+            .trim()
+            .parse()
+            .map_err(|_| format!("{part:?}: bad operation count {after:?}"))?;
+        let rank: usize = rank
+            .trim()
+            .parse()
+            .map_err(|_| format!("{part:?}: bad rank {rank:?}"))?;
+        if !(1..=bench::KILL_SOAK_MAX_AFTER_OPS).contains(&after_ops) {
+            return Err(format!(
+                "{part:?}: after_ops must be in 1..={} (the soak's phase-1 window)",
+                bench::KILL_SOAK_MAX_AFTER_OPS
+            ));
+        }
+        if rank >= ranks {
+            return Err(format!(
+                "{part:?}: rank {rank} out of range for {ranks} ranks"
+            ));
+        }
+        if kills.iter().any(|k: &dcfa_mpi::KillSpec| k.rank == rank) {
+            return Err(format!("{part:?}: rank {rank} killed twice"));
+        }
+        kills.push(dcfa_mpi::KillSpec { rank, after_ops });
+    }
+    if kills.is_empty() {
+        return Err("empty schedule".into());
+    }
+    if kills.len() > ranks.saturating_sub(4) {
+        return Err(format!(
+            "{} kills leave fewer than 4 survivors of {ranks} ranks",
+            kills.len()
+        ));
+    }
+    Ok(kills)
+}
+
+/// `--chaos [--seed N] [--ranks N]`: one deterministic chaos iteration —
+/// sample a kill schedule from the seed, soak it twice (the replay must
+/// fingerprint bit-for-bit identically), gate the outcome, and on a
+/// failure print the greedily shrunk minimal reproducer in `--kill`
+/// syntax. Exits 1 if the schedule surfaced a violation.
+fn chaos_fuzz(seed: u64, ranks: usize, shards: usize, srq: bool) {
+    println!(
+        "== chaos fuzz: seed {seed}, {ranks} ranks on {} DES shard(s), SRQ {} ==",
+        shards.max(1),
+        if srq { "on" } else { "off" },
+    );
+    // Print the sampled schedule before running, so a hang (itself a
+    // bug the fuzzer exists to find) is attributable to a schedule.
+    let schedule = bench::chaos_schedule(seed, ranks);
+    println!(
+        "schedule ({} kills): {}",
+        schedule.len(),
+        bench::kill_spec_string(&schedule)
+    );
+    let report = bench::chaos_run(seed, ranks, shards, srq);
+    println!(
+        "fingerprint {:#018x} | replay {:#018x} ({}) | {} soak run(s)",
+        report.fingerprint,
+        report.replay_fingerprint,
+        if report.fingerprint == report.replay_fingerprint {
+            "bit-for-bit match"
+        } else {
+            "MISMATCH"
+        },
+        report.runs
+    );
+    if report.violations.is_empty() {
+        println!("chaos: schedule survived every gate");
+        println!();
+        return;
+    }
+    println!("chaos: {} gate violation(s):", report.violations.len());
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    if let Some(minimal) = &report.minimal {
+        println!(
+            "minimal reproducer ({} of {} kills): repro --ranks {ranks} --kill \"{}\"",
+            minimal.len(),
+            report.schedule.len(),
+            bench::kill_spec_string(minimal)
+        );
+    }
+    std::process::exit(1);
+}
+
+/// `--faults SPEC [--srq]`: arm the parsed fault plans on the fabric, run
+/// the fault-tolerant 4-rank mixed workload (on the SRQ receive pool when
+/// `--srq` is given — the permanent CI variant), and report how the
+/// faults surfaced: per-rank recovery counters, operation outcomes and
+/// the protocol-auditor verdict. Exits nonzero if the auditor finds an
 /// invariant violation (the trace tail is dumped for diagnosis).
-fn fault_soak(spec: &str) {
+fn fault_soak(spec: &str, srq: bool) {
     let faults = match fabric::parse_fault_spec(spec) {
         Ok(f) => f,
         Err(e) => {
@@ -546,10 +825,11 @@ fn fault_soak(spec: &str) {
         }
     };
     println!(
-        "== fault soak: {} fault plan(s) armed over the 4-rank mixed run ==",
-        faults.len()
+        "== fault soak: {} fault plan(s) armed over the 4-rank mixed run (SRQ {}) ==",
+        faults.len(),
+        if srq { "on" } else { "off" }
     );
-    let soak = bench::fault_soak_run(&ClusterConfig::paper(), &faults);
+    let soak = bench::fault_soak_run(&ClusterConfig::paper(), &faults, srq);
     println!(
         "operations: {} completed, {} failed with a transport error",
         soak.ops_ok, soak.ops_failed

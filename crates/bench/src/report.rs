@@ -164,6 +164,20 @@ pub fn metrics_report_json(run: &ObservabilityRun) -> String {
     );
     out.push_str("},\n");
 
+    // Failure-plane counters, present only when the run had the failure
+    // subsystem armed (kill soaks). Additive: readers of failure-less
+    // reports are unaffected, so the schema version stays.
+    if let Some(f) = &run.failures {
+        out.push_str("\"failures\":{");
+        let _ = write!(
+            out,
+            "\"kills\":{},\"detections\":{},\"detection_latency_p99_ns\":{},\
+             \"revokes\":{},\"shrinks\":{},\"reclaimed\":{}",
+            f.kills, f.detections, f.detection_latency_p99_ns, f.revokes, f.shrinks, f.reclaimed
+        );
+        out.push_str("},\n");
+    }
+
     // Aggregate payload bandwidth over the run's virtual lifetime.
     let bw_gbs = if run.elapsed_ns == 0 {
         0.0
@@ -352,6 +366,36 @@ pub fn compare_reports(
         }
     }
 
+    // Failure-plane gates, present only when both sides ran with the
+    // failure subsystem armed (the section is additive — a baseline or
+    // candidate without it skips the gate). Kill and detection counts are
+    // exact protocol outcomes: any drift means the recovery behaved
+    // differently, so they gate at the drift tolerance like the scale
+    // section. Detection latency is virtual-time and gates the same way.
+    if let (Some(bf), Some(cf)) = (base.get("failures"), cur.get("failures")) {
+        for key in [
+            "kills",
+            "detections",
+            "detection_latency_p99_ns",
+            "revokes",
+            "shrinks",
+            "reclaimed",
+        ] {
+            let (Some(b), Some(c)) = (
+                bf.get(key).and_then(JsonValue::as_f64),
+                cf.get(key).and_then(JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            let d = drift_pct(b, c);
+            if d > tolerance_pct {
+                violations.push(format!(
+                    "failures {key} drifted {d:.1}% ({b:.0} -> {c:.0}), tolerance {tolerance_pct}%"
+                ));
+            }
+        }
+    }
+
     // Wall-clock throughput floors. Unlike the virtual-time gates above,
     // these are machine-dependent, so the baseline carries explicit floor
     // values (chosen with headroom for runner jitter) and the check is
@@ -514,6 +558,52 @@ mod tests {
                 "phases":[{{"phase":"Eager","p99_ns":100}}]}}"#
         );
         assert!(compare_reports(&base, &cur, 25.0).unwrap().is_empty());
+    }
+
+    fn report_with_failures(detections: u64, latency_p99: u64) -> String {
+        format!(
+            r#"{{"schema":"{METRICS_SCHEMA}","bandwidth_gbs":1.0,
+                "failures":{{"kills":4,"detections":{detections},
+                             "detection_latency_p99_ns":{latency_p99},
+                             "revokes":60,"shrinks":1,"reclaimed":71}},
+                "phases":[{{"phase":"Eager","p99_ns":100}}]}}"#
+        )
+    }
+
+    #[test]
+    fn failure_counters_gate_when_present_on_both_sides() {
+        // Identical failure planes pass even at zero tolerance.
+        let r = report_with_failures(4, 7000);
+        assert!(compare_reports(&r, &r, 0.0).unwrap().is_empty());
+        // A missed detection (4 -> 3 = 25% drift) and a doubled detection
+        // latency both violate.
+        let v = compare_reports(
+            &report_with_failures(4, 7000),
+            &report_with_failures(3, 14000),
+            20.0,
+        )
+        .unwrap();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("failures detections")), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|m| m.contains("failures detection_latency_p99_ns")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn failure_section_is_additive() {
+        // A baseline without a failures section accepts a candidate with
+        // one, and vice versa — the gate only binds when both sides have
+        // the section (same convention as the scale gate).
+        let with = report_with_failures(4, 7000);
+        let without = format!(
+            r#"{{"schema":"{METRICS_SCHEMA}","bandwidth_gbs":1.0,
+                "phases":[{{"phase":"Eager","p99_ns":100}}]}}"#
+        );
+        assert!(compare_reports(&without, &with, 0.0).unwrap().is_empty());
+        assert!(compare_reports(&with, &without, 0.0).unwrap().is_empty());
     }
 
     #[test]

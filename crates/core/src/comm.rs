@@ -8,8 +8,15 @@ use std::sync::Arc;
 use fabric::{Buffer, Cluster, MemRef};
 use simcore::Ctx;
 
-use crate::engine::{CommStats, Engine};
+use crate::engine::{CommStats, Engine, SHRINK_TAG_BASE};
+use crate::subcomm::{SubComm, SUBCOMM_TAG_SPACE};
 use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel};
+
+/// Tag band for post-shrink sub-communicators: disjoint from application
+/// tags, `split` color bands, the shrink-agreement band and the
+/// collective band; rotated by shrink epoch so traffic from successive
+/// shrink generations never cross-matches.
+const SHRUNK_COMM_TAG_BASE: Tag = 0xA000_0000;
 
 /// Minimal point-to-point surface the workloads need. Implemented by
 /// DCFA-MPI's [`Comm`] and by the Intel-MPI baseline models in the
@@ -145,6 +152,13 @@ impl Comm {
         self.engine.replay_entries()
     }
 
+    /// Request-table slots currently occupied (issued but not yet
+    /// consumed by `wait`/`test`). Zero once every request was reaped —
+    /// a stranded request or leaked generation shows up here.
+    pub fn requests_live(&self) -> usize {
+        self.engine.requests_live()
+    }
+
     /// Allocate a page-aligned buffer in this rank's memory domain.
     pub fn alloc(&self, len: u64) -> Result<Buffer, MpiError> {
         self.engine
@@ -251,6 +265,208 @@ impl Comm {
         ps: &[&Persistent],
     ) -> Result<Vec<Request>, MpiError> {
         ps.iter().map(|p| self.start(ctx, p)).collect()
+    }
+
+    /// Whether this rank has observed a revocation that no shrink has
+    /// cleared yet.
+    pub fn is_revoked(&self) -> bool {
+        self.engine.is_revoked()
+    }
+
+    /// Revoke the communicator (ULFM `MPI_Comm_revoke` analogue): flood
+    /// a revocation epoch through the health board. Every rank — this
+    /// one immediately, the others at their next progress step — drains
+    /// its pending and future operations with [`MpiError::Revoked`]
+    /// until [`Comm::shrink`] agrees on a surviving-ranks world. No-op
+    /// when the failure subsystem is not installed.
+    pub fn revoke(&mut self, ctx: &mut Ctx) {
+        let Some(board) = self.engine.health().cloned() else {
+            return;
+        };
+        {
+            let cluster = self.engine.cluster();
+            board.revoke(cluster.scheduler());
+        }
+        // Drive one progress step so the caller sees its own engine
+        // drained on return.
+        self.engine.progress(ctx);
+    }
+
+    /// Shrink the communicator (ULFM `MPI_Comm_shrink` analogue):
+    /// fault-tolerant tree agreement on the current death epoch across
+    /// the survivors, committed through the health board's CAS. The
+    /// agreement restarts from scratch whenever a participant dies
+    /// mid-attempt (each restart needs at least one new death, so it
+    /// terminates). On commit the engine is un-revoked and the returned
+    /// sub-communicator covers the survivors with renumbered ranks.
+    ///
+    /// Collective over the survivors: every live rank must call it.
+    pub fn shrink(&mut self, ctx: &mut Ctx) -> Result<SubComm<'_>, MpiError> {
+        let me = self.engine.rank;
+        let n = self.engine.size;
+        let board = self.engine.health().cloned();
+        // Send/recv handles and their backing buffers are carried across
+        // restart attempts and retired after the commit: an in-flight
+        // eager send always reaches a terminal state (completion or a
+        // PeerFailed reap), so nothing is leaked.
+        let mut sends: Vec<Request> = Vec::new();
+        let mut bufs: Vec<Buffer> = Vec::new();
+        let (epoch, survivors) = 'attempt: loop {
+            // Opportunistically retire sends from failed attempts.
+            sends.retain(|&r| self.engine.test(ctx, r).is_none());
+            let epoch = board.as_ref().map_or(0, |b| b.death_epoch());
+            let Some(board) = &board else {
+                // No failure subsystem: the surviving world is the world.
+                self.engine.complete_shrink(0, n as u64);
+                break (0, (0..n).collect::<Vec<Rank>>());
+            };
+            if epoch == 0 {
+                self.engine.complete_shrink(0, n as u64);
+                break (0, (0..n).collect::<Vec<Rank>>());
+            }
+            let survivors = board.live_at(epoch);
+            let Some(my_idx) = survivors.iter().position(|&r| r == me) else {
+                // The board thinks *we* are dead (false positive from an
+                // unresponsive stretch): we cannot participate.
+                return Err(MpiError::PeerFailed(me));
+            };
+            let tag = SHRINK_TAG_BASE + (epoch & 0xFFFF) as Tag;
+            // Gather: every survivor waits for both tree children (over
+            // survivor indices) before reporting up. The root's gather
+            // completing proves every survivor reached this epoch.
+            // `None` request = the recv needs (re-)posting; a child's
+            // entry only leaves the list once its message arrived, so a
+            // transient posting failure can never fake a complete gather.
+            let mut pending: Vec<(Rank, Option<Request>)> = [2 * my_idx + 1, 2 * my_idx + 2]
+                .into_iter()
+                .filter(|&c| c < survivors.len())
+                .map(|c| (survivors[c], None))
+                .collect();
+            while !pending.is_empty() {
+                if board.death_epoch() != epoch {
+                    for (_, r) in pending.drain(..) {
+                        if let Some(r) = r {
+                            self.engine.cancel_recv(ctx, r);
+                        }
+                    }
+                    self.engine.note_agreement_restart();
+                    continue 'attempt;
+                }
+                let seen = self.engine.progress_epoch();
+                self.engine.progress(ctx);
+                let mut progressed = false;
+                let mut j = 0;
+                while j < pending.len() {
+                    let (src, req) = pending[j];
+                    match req {
+                        None => {
+                            let rbuf = self.alloc(8)?;
+                            match self
+                                .engine
+                                .irecv(ctx, &rbuf, Src::Rank(src), TagSel::Tag(tag))
+                            {
+                                Ok(r) => {
+                                    pending[j].1 = Some(r);
+                                    bufs.push(rbuf);
+                                    progressed = true;
+                                }
+                                Err(_) => {
+                                    // Child already dead (epoch check
+                                    // restarts us) or table backpressure:
+                                    // retry next round.
+                                    self.free(&rbuf);
+                                }
+                            }
+                            j += 1;
+                        }
+                        Some(r) => match self.engine.test(ctx, r) {
+                            Some(Ok(_)) => {
+                                pending.swap_remove(j);
+                                progressed = true;
+                            }
+                            Some(Err(_)) => {
+                                // Died mid-transfer or drained by a
+                                // concurrent revocation: re-post.
+                                pending[j].1 = None;
+                                progressed = true;
+                            }
+                            None => j += 1,
+                        },
+                    }
+                }
+                if !progressed && !pending.is_empty() && board.death_epoch() == epoch {
+                    self.engine.wait_progress(ctx, seen, "shrink-gather");
+                }
+            }
+            if my_idx == 0 {
+                // Root: the gather proved every survivor is at `epoch`;
+                // commit unless a death raced us there.
+                let committed = {
+                    let cluster = self.engine.cluster();
+                    board.try_commit_shrink(cluster.scheduler(), epoch)
+                };
+                if committed {
+                    break (epoch, survivors);
+                }
+                self.engine.note_agreement_restart();
+                continue 'attempt;
+            }
+            // Non-root: report up, then wait for the root's commit (or a
+            // death that restarts the agreement).
+            let parent = survivors[(my_idx - 1) / 2];
+            let sbuf = self.alloc(8)?;
+            self.write(&sbuf, 0, &epoch.to_le_bytes());
+            match self.engine.isend(ctx, &sbuf, parent, tag) {
+                Ok(r) => {
+                    sends.push(r);
+                    bufs.push(sbuf);
+                }
+                Err(e) => {
+                    self.free(&sbuf);
+                    if board.death_epoch() != epoch {
+                        self.engine.note_agreement_restart();
+                        continue 'attempt;
+                    }
+                    return Err(e);
+                }
+            }
+            loop {
+                // A commit observed while waiting at `epoch` can only be
+                // for `epoch`: any later commit would need our tag-E'
+                // message, which we have not sent.
+                if board.shrink_commit() == epoch {
+                    break 'attempt (epoch, survivors);
+                }
+                if board.death_epoch() != epoch {
+                    self.engine.note_agreement_restart();
+                    continue 'attempt;
+                }
+                let seen = self.engine.progress_epoch();
+                self.engine.progress(ctx);
+                if board.shrink_commit() == epoch || board.death_epoch() != epoch {
+                    continue;
+                }
+                self.engine.wait_progress(ctx, seen, "shrink-commit");
+            }
+        };
+        // Retire the carried sends (terminal by completion or reap) and
+        // release every agreement buffer.
+        for r in sends.drain(..) {
+            let _ = self.engine.wait(ctx, r);
+        }
+        for b in bufs.drain(..) {
+            self.free(&b);
+        }
+        if epoch != 0 {
+            self.engine.complete_shrink(epoch, survivors.len() as u64);
+        }
+        let my_idx = survivors
+            .iter()
+            .position(|&r| r == me)
+            .expect("committed survivor set contains me");
+        let tag_base =
+            SHRUNK_COMM_TAG_BASE.wrapping_add(((epoch % 512) as Tag) * SUBCOMM_TAG_SPACE);
+        Ok(SubComm::from_members(self, survivors, my_idx, tag_base))
     }
 
     pub(crate) fn quiesce(&mut self, ctx: &mut Ctx) {

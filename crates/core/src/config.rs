@@ -72,6 +72,15 @@ pub struct MpiConfig {
     /// O(ranks²) buffer memory per world. `None` keeps the per-pair ring
     /// path.
     pub srq_depth: Option<u32>,
+    /// Peer-failure detection TTL. `Some(ttl)` starts a heartbeat
+    /// sidecar per rank (period `ttl / 4`) and classifies peers on the
+    /// health board: heartbeat staleness past `ttl` marks a peer
+    /// `Suspect`, past `3 * ttl` promotes it to `Dead`, after which any
+    /// operation targeting it fails with
+    /// [`crate::MpiError::PeerFailed`] instead of hanging. `None`
+    /// disables the sidecar; failures are then detected only by QP-error
+    /// snooping (a flush completion on a WR toward the dead peer).
+    pub peer_ttl: Option<SimDuration>,
 }
 
 impl MpiConfig {
@@ -101,6 +110,7 @@ impl MpiConfig {
             heartbeat_interval: None,
             max_requests: 1 << 20,
             srq_depth: None,
+            peer_ttl: None,
         }
     }
 
@@ -150,6 +160,9 @@ impl MpiConfig {
             assert!(h > SimDuration::ZERO, "heartbeat interval must be positive");
         }
         assert!(self.max_requests >= 4, "need at least 4 request slots");
+        if let Some(t) = self.peer_ttl {
+            assert!(t > SimDuration::ZERO, "peer TTL must be positive");
+        }
         if let Some(d) = self.srq_depth {
             assert!(
                 d >= 2 * self.ring_slots,

@@ -46,6 +46,12 @@ struct RankSlot {
 pub struct ConnDirectory {
     latency: SimDuration,
     inner: Mutex<Vec<RankSlot>>,
+    /// Messages posted so far (drop-injection op counter).
+    posted: Mutex<u64>,
+    /// Half-open drop window `[start, end)` over the posted counter:
+    /// messages whose ordinal falls inside are silently discarded
+    /// (deterministic lost-handshake injection for retry tests).
+    drop_window: Mutex<Option<(u64, u64)>>,
 }
 
 impl ConnDirectory {
@@ -62,7 +68,17 @@ impl ConnDirectory {
                     })
                     .collect(),
             ),
+            posted: Mutex::new(0),
+            drop_window: Mutex::new(None),
         })
+    }
+
+    /// Silently drop the next `count` messages posted after skipping
+    /// `after` more (models lost REQ/ACK handshake frames). Windows
+    /// don't stack; the last call wins.
+    pub fn inject_drop_after(&self, after: u64, count: u64) {
+        let base = *self.posted.lock();
+        *self.drop_window.lock() = Some((base + after, base + after + count));
     }
 
     /// Register `rank`'s progress event so deliveries wake it.
@@ -72,6 +88,17 @@ impl ConnDirectory {
 
     /// Deliver `msg` to `to` after the directory latency.
     pub(crate) fn post(self: &Arc<Self>, sched: &Scheduler, to: Rank, msg: ConnMsg) {
+        let ordinal = {
+            let mut posted = self.posted.lock();
+            let o = *posted;
+            *posted += 1;
+            o
+        };
+        if let Some((start, end)) = *self.drop_window.lock() {
+            if (start..end).contains(&ordinal) {
+                return; // injected frame loss
+            }
+        }
         let dir = self.clone();
         sched.call_after(self.latency, move |s| {
             let mut inner = dir.inner.lock();

@@ -26,7 +26,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use fabric::{Buffer, CostModel, MemRef};
+use fabric::{Buffer, CostModel, HealthBoard, MemRef, PeerState};
 use simcore::{Ctx, SimDuration, SimEvent};
 use verbs::{
     CompletionQueue, MemoryRegion, MrKey, QueuePair, RecvWr, SendWr, SharedReceiveQueue, Wc,
@@ -53,6 +53,24 @@ const CQ_BATCH: usize = 64;
 
 /// Recycled payload buffers kept for unexpected-message copy-out.
 const PAYLOAD_POOL_CAP: usize = 32;
+
+/// Tag band reserved for the shrink-agreement protocol (see
+/// [`crate::comm`]). Operations in this band stay permitted on a revoked
+/// communicator — they ARE the recovery traffic. The low 16 bits carry
+/// the death epoch the agreement attempt runs at, so a restarted
+/// agreement never matches a stale attempt's messages.
+pub(crate) const SHRINK_TAG_BASE: Tag = 0xE000_0000;
+pub(crate) const SHRINK_TAG_END: Tag = 0xF000_0000;
+
+/// Whether `tag` belongs to the shrink-agreement band.
+pub(crate) fn is_shrink_tag(tag: Tag) -> bool {
+    (SHRINK_TAG_BASE..SHRINK_TAG_END).contains(&tag)
+}
+
+/// Panic payload a fail-stopped rank unwinds with. The launcher catches
+/// it (the rank "process" exits as killed, not as a test failure);
+/// anything else propagates as a real panic.
+pub(crate) struct KillMarker;
 
 /// Return an unexpected-message copy-out buffer to the pool: cleared, so
 /// stale bytes from this message can never leak into a shorter later
@@ -179,6 +197,11 @@ enum TimeoutKind {
     Rts { req: u64 },
     /// Receiver-first: re-issue the RTR if the DONE-WRITE hasn't arrived.
     Rtr { req: u64 },
+    /// Lazy-connect handshake: re-issue the connect Req if the pair is
+    /// still unwired (the Req or its Ack was lost on the out-of-band
+    /// channel). `attempt` counts re-issues; past `cmd_retry_limit` the
+    /// peer is declared dead instead of retried forever.
+    Conn { peer: Rank, attempt: u32 },
 }
 
 /// Info a rank publishes during bootstrap, consumed by its peers.
@@ -326,6 +349,25 @@ pub struct CommStats {
     /// High-water mark of concurrently unconsumed SRQ pool slots (0 on
     /// the per-pair ring path).
     pub srq_highwater: u64,
+    /// Peers this rank observed transition to `Dead` on the health board
+    /// (heartbeat staleness or QP-flush snooping) and reaped.
+    pub peer_deaths_detected: u64,
+    /// Distinct peers this rank ever observed in the `Suspect` state
+    /// (stale heartbeat, not yet past the dead line).
+    pub peers_suspected: u64,
+    /// Communicator revocations this rank observed and drained.
+    pub revokes_observed: u64,
+    /// Protocol objects reclaimed from dead peers: failed requests,
+    /// cancelled receives, dropped control packets, stash entries,
+    /// purged unexpected messages and replay-map entries.
+    pub dead_reclaimed: u64,
+    /// Requests drained with [`MpiError::Revoked`] by a revocation.
+    pub reqs_revoked: u64,
+    /// Lazy-connect Req frames re-issued by the handshake watchdog.
+    pub conn_retries: u64,
+    /// Shrink-agreement attempts abandoned because a participant died
+    /// mid-agreement (the death epoch advanced under the attempt).
+    pub agreement_restarts: u64,
 }
 
 /// The per-rank protocol engine.
@@ -409,6 +451,34 @@ pub struct Engine {
     active_peers: Vec<usize>,
     /// Shared receive pool (SRQ mode); `None` on the per-pair ring path.
     srq: Option<SrqPool>,
+    /// The world's failure-detection board (`None` outside `launch`, e.g.
+    /// in unit harnesses). All hot-path health checks are plain atomic
+    /// loads; the expensive reap runs only on a death-epoch transition.
+    health: Option<Arc<HealthBoard>>,
+    /// Death epoch the engine last reaped at (board transitions trigger
+    /// [`Self::reap_dead_peers`]).
+    seen_death_epoch: u64,
+    /// Revocation epoch the engine last drained at.
+    seen_revoke_epoch: u64,
+    /// Whether the communicator is currently revoked: pending work has
+    /// been drained with [`MpiError::Revoked`] and new operations outside
+    /// the shrink-agreement tag band are refused.
+    revoked: bool,
+    /// Peers already reaped (a death epoch can cover several deaths; each
+    /// peer is reaped exactly once).
+    reaped_peers: Vec<bool>,
+    /// Peers ever counted into `peers_suspected` (count distinct peers,
+    /// not observations).
+    suspect_noted: Vec<bool>,
+    /// Shrink epoch the communicator last completed: unexpected messages
+    /// from shrink attempts at or below this epoch are stale and purged.
+    shrink_purge_floor: u64,
+    /// MPI entry operations (`isend`/`irecv`) issued so far — the kill
+    /// schedule's op counter.
+    ops_posted: u64,
+    /// Fail-stop trigger: when set, the rank kills itself (teardown +
+    /// [`KillMarker`] unwind) upon issuing its `kill_after`-th entry op.
+    kill_after: Option<u64>,
     /// Hand-off for a stashed SRQ payload: set just before `handle_packet`
     /// when draining the reorder stash (the bytes are no longer in any
     /// pool slot), consumed by the eager delivery paths, recycled by the
@@ -521,6 +591,15 @@ impl Engine {
             active_peers: Vec::new(),
             srq,
             srq_inline: None,
+            health: None,
+            seen_death_epoch: 0,
+            seen_revoke_epoch: 0,
+            revoked: false,
+            reaped_peers: vec![false; size],
+            suspect_noted: vec![false; size],
+            shrink_purge_floor: 0,
+            ops_posted: 0,
+            kill_after: None,
         }
     }
 
@@ -620,16 +699,95 @@ impl Engine {
             return;
         }
         let ep = self.alloc_peer(ctx, p);
-        let _dev = crate::hotpath::pause();
-        let sched = self.res.cluster().scheduler();
-        self.conn.post(
-            sched,
-            p,
-            ConnMsg::Req {
-                from: self.rank,
-                ep,
-            },
-        );
+        {
+            let _dev = crate::hotpath::pause();
+            let sched = self.res.cluster().scheduler();
+            self.conn.post(
+                sched,
+                p,
+                ConnMsg::Req {
+                    from: self.rank,
+                    ep,
+                },
+            );
+        }
+        // The out-of-band channel can lose the Req (or its Ack): watch
+        // the handshake and re-issue with bounded retries.
+        self.arm_conn_timeout(ctx, p, 1);
+    }
+
+    /// Rebuild the endpoint advertisement for our already-allocated half
+    /// of the pair with `p` (connect-handshake re-issue).
+    fn local_endpoint(&self, p: usize) -> PeerEndpoint {
+        let peer = self.peers[p].as_ref().expect("no peer");
+        PeerEndpoint {
+            qpn: peer.qp.qpn(),
+            node: peer.qp.node(),
+            ring_addr: peer.in_ring.as_ref().map_or(0, |r| r.addr),
+            ring_rkey: peer.in_ring_mr.as_ref().map_or(MrKey(0), |mr| mr.key()),
+        }
+    }
+
+    /// Arm (or re-arm) the lazy-connect handshake watchdog for `peer`.
+    fn arm_conn_timeout(&mut self, ctx: &mut Ctx, peer: Rank, attempt: u32) {
+        let due = ctx.now() + self.cfg.cmd_timeout;
+        self.rndv_timeouts
+            .push(due, TimeoutKind::Conn { peer, attempt });
+        self.progress_event
+            .notify_at(self.res.cluster().scheduler(), due);
+    }
+
+    /// The connect handshake toward `peer` timed out: re-issue the Req
+    /// (the directory deduplicates via the idempotent wire/ack paths), or
+    /// — past the retry budget — declare the peer dead rather than
+    /// retrying forever against a corpse.
+    fn handle_conn_timeout(&mut self, ctx: &mut Ctx, peer: Rank, attempt: u32) {
+        let unwired = self.peers[peer].as_ref().is_some_and(|p| !p.connected);
+        if !unwired {
+            return; // handshake resolved (or the pair was never allocated)
+        }
+        if self
+            .health
+            .as_ref()
+            .is_some_and(|b| b.state(peer) == PeerState::Dead)
+        {
+            return; // the reap already failed everything toward it
+        }
+        if attempt > self.cfg.cmd_retry_limit {
+            if let Some(board) = self.health.clone() {
+                {
+                    let cluster = self.res.cluster();
+                    let sched = cluster.scheduler();
+                    board.promote_dead(sched, peer, sched.now());
+                }
+                self.observe_health(ctx);
+            }
+            // Without a board there is nothing better than keeping the
+            // queued packets parked; the caller's own timeout machinery
+            // (or test harness) owns the verdict.
+            return;
+        }
+        let ep = self.local_endpoint(peer);
+        {
+            let _dev = crate::hotpath::pause();
+            let sched = self.res.cluster().scheduler();
+            self.conn.post(
+                sched,
+                peer,
+                ConnMsg::Req {
+                    from: self.rank,
+                    ep,
+                },
+            );
+        }
+        self.stats.conn_retries += 1;
+        let rank = self.rank;
+        self.trace.record(|| TraceEvent::ConnRetry {
+            rank,
+            peer,
+            attempt,
+        });
+        self.arm_conn_timeout(ctx, peer, attempt + 1);
     }
 
     /// Wire the outbound half of the pair from the peer's endpoint.
@@ -676,6 +834,21 @@ impl Engine {
                         // Each wires from the other's Req; an Ack would
                         // be redundant.
                         self.wire_peer(from, &ep);
+                    } else {
+                        // A re-issued Req at an already-wired pair: our
+                        // Ack was lost. Re-answer idempotently with the
+                        // endpoint we allocated the first time.
+                        let ours = self.local_endpoint(from);
+                        let _dev = crate::hotpath::pause();
+                        let sched = self.res.cluster().scheduler();
+                        self.conn.post(
+                            sched,
+                            from,
+                            ConnMsg::Ack {
+                                from: self.rank,
+                                ep: ours,
+                            },
+                        );
                     }
                 }
                 ConnMsg::Ack { from, ep } => {
@@ -721,6 +894,14 @@ impl Engine {
         if dst >= self.size || dst == self.rank {
             return Err(MpiError::BadRank(dst));
         }
+        self.note_op();
+        self.observe_health(ctx);
+        if self.revoked && !is_shrink_tag(tag) {
+            return Err(MpiError::Revoked);
+        }
+        if self.peer_dead(dst) {
+            return Err(MpiError::PeerFailed(dst));
+        }
         // Backpressure before the pair-sequence increment: a send that
         // cannot get a request slot must not burn a sequence id, or the
         // stream would carry a permanent hole and wedge matching.
@@ -730,6 +911,18 @@ impl Engine {
         self.ensure_peer(ctx, dst);
         let _hot = crate::hotpath::enter();
         ctx.sleep(self.mpi_call);
+        // Late failure gate: the guards above ran before `ensure_peer`
+        // (which may block through a lazy-connect handshake) and the
+        // entry sleep. A death or revocation that landed meanwhile has
+        // already run its one-shot reap/drain, which could not see this
+        // send — fail here instead of burning a sequence id toward a
+        // corpse or enqueueing into a revoked stream.
+        if self.revoked && !is_shrink_tag(tag) {
+            return Err(MpiError::Revoked);
+        }
+        if self.peer_dead(dst) {
+            return Err(MpiError::PeerFailed(dst));
+        }
         let len = buf.len;
         let seq = {
             let peer = self.peers[dst].as_mut().expect("no peer");
@@ -825,6 +1018,16 @@ impl Engine {
                 return Err(MpiError::BadRank(r));
             }
         }
+        self.note_op();
+        self.observe_health(ctx);
+        if self.revoked && !matches!(tag, TagSel::Tag(t) if is_shrink_tag(t)) {
+            return Err(MpiError::Revoked);
+        }
+        if let Src::Rank(r) = src {
+            if self.peer_dead(r) {
+                return Err(MpiError::PeerFailed(r));
+            }
+        }
         if self.reqs.is_full() {
             return Err(MpiError::ResourceExhausted);
         }
@@ -877,6 +1080,29 @@ impl Engine {
             if buf.len > self.cfg.eager_threshold {
                 self.send_rtr(ctx, s, q, &mut posted);
             }
+        }
+        // Late failure gate. The entry guards above ran before this call
+        // slept, drove progress and possibly blocked for ring credit —
+        // any death or revocation observed meanwhile has already had its
+        // one-shot reap/drain pass, which could not see this receive.
+        // Enqueueing it now would strand it forever (nothing will ever
+        // match it and no later sweep revisits the corpse), so gate
+        // again immediately before it becomes reachable only by those
+        // sweeps.
+        let late = if self.revoked && !matches!(tag, TagSel::Tag(t) if is_shrink_tag(t)) {
+            Some(MpiError::Revoked)
+        } else {
+            match src {
+                Src::Rank(r) if self.peer_dead(r) => Some(MpiError::PeerFailed(r)),
+                _ => None,
+            }
+        };
+        if let Some(e) = late {
+            if let Some(l) = posted.rtr_lease.take() {
+                self.mr_cache.release(ctx, &self.res, l);
+            }
+            self.reqs.remove(req);
+            return Err(e);
         }
         self.recv_q.push(posted);
         Ok(Request(req))
@@ -1051,6 +1277,11 @@ impl Engine {
             .sum()
     }
 
+    /// Request-table slots currently occupied (issued, not yet consumed).
+    pub fn requests_live(&self) -> usize {
+        self.reqs.len()
+    }
+
     /// Attach this engine (and its caches) to a shared structured trace
     /// ring. Recording is a no-op until this is called.
     pub fn set_tracer(&mut self, buf: TraceBuf) {
@@ -1066,6 +1297,407 @@ impl Engine {
         self.metrics.attach(hub);
         self.mr_cache.set_metrics(self.metrics.clone());
         self.offload_cache.set_metrics(self.metrics.clone());
+    }
+
+    /// Attach this engine to the world's failure-detection board. Health
+    /// checks (dead-peer refusal, revoke draining, kill unwinding) are
+    /// no-ops until this is called.
+    pub fn set_health(&mut self, board: Arc<HealthBoard>) {
+        self.health = Some(board);
+    }
+
+    /// The attached health board, if any.
+    pub(crate) fn health(&self) -> Option<&Arc<HealthBoard>> {
+        self.health.as_ref()
+    }
+
+    /// Arm the fail-stop trigger: this rank tears down and unwinds with
+    /// [`KillMarker`] upon issuing its `n`-th MPI entry operation.
+    pub fn set_kill_after(&mut self, n: u64) {
+        self.kill_after = Some(n);
+    }
+
+    /// Whether the communicator is currently revoked.
+    pub(crate) fn is_revoked(&self) -> bool {
+        self.revoked
+    }
+
+    /// The progress event's current epoch (for epoch/wait loops outside
+    /// the engine, e.g. the shrink agreement).
+    pub(crate) fn progress_epoch(&self) -> u64 {
+        self.progress_event.epoch()
+    }
+
+    /// Park the simulated process until the progress event advances past
+    /// `seen`.
+    pub(crate) fn wait_progress(&mut self, ctx: &mut Ctx, seen: u64, reason: &'static str) {
+        let _dev = crate::hotpath::pause();
+        ctx.wait_event(&self.progress_event, seen, reason);
+    }
+
+    /// A clone of the progress event, for registering as a health-board
+    /// watcher (death/revoke/commit transitions must wake blocked ranks).
+    pub fn progress_event_handle(&self) -> SimEvent {
+        self.progress_event.clone()
+    }
+
+    // ---- failure handling --------------------------------------------------
+
+    /// Count one MPI entry operation and fire the fail-stop trigger when
+    /// the kill schedule says so: tear the rank's fabric presence down
+    /// through the board (QPs error, daemon sessions die) and unwind.
+    fn note_op(&mut self) {
+        self.ops_posted += 1;
+        if let Some(k) = self.kill_after {
+            if self.ops_posted >= k {
+                let rank = self.rank;
+                self.trace.record(|| TraceEvent::RankKilled { rank });
+                self.res.abandon();
+                self.res.cluster().kill_rank(self.rank);
+                std::panic::panic_any(KillMarker);
+            }
+        }
+    }
+
+    /// Observe the health board: unwind if this rank was fail-stopped
+    /// externally, reap on a death-epoch transition, drain on a
+    /// revocation-epoch transition. Steady state is three atomic loads.
+    fn observe_health(&mut self, ctx: &mut Ctx) {
+        let Some(board) = self.health.clone() else {
+            return;
+        };
+        if board.is_killed(self.rank) {
+            let rank = self.rank;
+            self.trace.record(|| TraceEvent::RankKilled { rank });
+            self.res.abandon();
+            std::panic::panic_any(KillMarker);
+        }
+        let de = board.death_epoch();
+        if de != self.seen_death_epoch {
+            self.seen_death_epoch = de;
+            self.reap_dead_peers(ctx, &board);
+        }
+        let re = board.revoke_epoch();
+        if re != self.seen_revoke_epoch {
+            self.seen_revoke_epoch = re;
+            self.pump_revoke(ctx);
+        }
+    }
+
+    /// Whether the board has promoted `r` to `Dead`. Counts first-time
+    /// `Suspect` observations along the way.
+    fn peer_dead(&mut self, r: Rank) -> bool {
+        let Some(board) = &self.health else {
+            return false;
+        };
+        match board.state(r) {
+            PeerState::Dead => true,
+            PeerState::Suspect => {
+                if !self.suspect_noted[r] {
+                    self.suspect_noted[r] = true;
+                    self.stats.peers_suspected += 1;
+                }
+                false
+            }
+            PeerState::Alive => false,
+        }
+    }
+
+    /// Reap every newly dead peer: fail requests that can never complete
+    /// with [`MpiError::PeerFailed`], release their buffer pins, drop
+    /// in-flight and queued traffic toward the corpse, and reclaim its
+    /// stash/replay state. Runs only on a death-epoch transition.
+    fn reap_dead_peers(&mut self, ctx: &mut Ctx, board: &Arc<HealthBoard>) {
+        let _dev = crate::hotpath::pause();
+        for d in 0..self.size {
+            if d == self.rank || self.reaped_peers[d] || !board.is_dead(d) {
+                continue;
+            }
+            self.reaped_peers[d] = true;
+            self.stats.peer_deaths_detected += 1;
+            let rank = self.rank;
+            self.trace
+                .record(|| TraceEvent::PeerReaped { rank, peer: d });
+            self.reap_one(ctx, d);
+        }
+    }
+
+    /// Reap a single dead peer `d` (see [`Self::reap_dead_peers`]).
+    fn reap_one(&mut self, ctx: &mut Ctx, d: Rank) {
+        let mut reclaimed = 0u64;
+        // In-flight WRs toward the corpse first: removing them here means
+        // their eventual flush completions miss in `handle_wc` (stale
+        // wr_id) instead of triggering NACK recovery toward a dead QP.
+        let dead_wrs: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter_map(|(id, e)| (e.dst == d).then_some(id))
+            .collect();
+        for id in dead_wrs {
+            self.inflight.remove(id);
+            reclaimed += 1;
+        }
+        // Requests whose progress depends on the corpse. The owning
+        // request fails; everything else on this rank stays alive.
+        let dead_reqs: Vec<u64> = self
+            .reqs
+            .iter()
+            .filter_map(|(id, st)| {
+                let hit = match st {
+                    ReqState::EagerSend { status } => status.source == d,
+                    ReqState::RndvSendAwaitDone { dst, .. }
+                    | ReqState::RndvSendWriting { dst, .. } => *dst == d,
+                    ReqState::RndvRecvReading { src, .. } => *src == d,
+                    _ => false,
+                };
+                hit.then_some(id)
+            })
+            .collect();
+        for id in dead_reqs {
+            self.close_span(ctx, id);
+            match self
+                .reqs
+                .replace(id, ReqState::Failed(MpiError::PeerFailed(d)))
+            {
+                Some(ReqState::RndvSendAwaitDone { lease, .. })
+                | Some(ReqState::RndvSendWriting { lease, .. }) => {
+                    self.release_send_lease(ctx, lease);
+                }
+                Some(ReqState::RndvRecvReading { lease, .. }) => {
+                    self.mr_cache.release(ctx, &self.res, lease);
+                }
+                _ => {}
+            }
+            reclaimed += 1;
+        }
+        // Posted receives sourced from the corpse (any-source receives may
+        // still match a live sender and stay).
+        let mut i = 0;
+        while i < self.recv_q.len() {
+            if matches!(self.recv_q[i].src, Src::Rank(s) if s == d) {
+                let mut posted = self.recv_q.remove(i);
+                if let Some(l) = posted.rtr_lease.take() {
+                    self.mr_cache.release(ctx, &self.res, l);
+                }
+                self.reqs
+                    .replace(posted.req, ReqState::Failed(MpiError::PeerFailed(d)));
+                reclaimed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        // Unexpected messages from the corpse have no receiver left to
+        // claim them.
+        let mut j = 0;
+        while j < self.unexpected.len() {
+            let from_dead = match &self.unexpected[j] {
+                Unexpected::Eager { src, .. } | Unexpected::Nack { src, .. } => *src == d,
+                Unexpected::Rts { hdr } => hdr.src_rank == d,
+            };
+            if from_dead {
+                if let Unexpected::Eager { data, .. } = self.unexpected.remove(j) {
+                    recycle_payload(
+                        &mut self.payload_pool,
+                        data,
+                        self.cfg.eager_threshold as usize,
+                    );
+                }
+                reclaimed += 1;
+            } else {
+                j += 1;
+            }
+        }
+        // Pair-local state: queued control packets, reorder stash,
+        // handshake replay maps, stashed RTRs, dead-receive tombstones.
+        if let Some(peer) = self.peers[d].as_mut() {
+            reclaimed += peer.pending_ctrl.len() as u64;
+            peer.pending_ctrl.clear();
+            reclaimed += peer.stashed_rtrs.len() as u64;
+            peer.stashed_rtrs.clear();
+            reclaimed += (peer.served_done.len() + peer.served_dw.len()) as u64;
+            peer.served_done.clear();
+            peer.served_dw.clear();
+            let stash = std::mem::take(&mut peer.srq_stash);
+            reclaimed += stash.len() as u64;
+            for (_, _, data) in stash {
+                recycle_payload(
+                    &mut self.payload_pool,
+                    data,
+                    self.cfg.ring_slot_payload as usize,
+                );
+            }
+        }
+        let before = self.dead_rx.len();
+        self.dead_rx.retain(|&(r, _)| r != d);
+        reclaimed += (before - self.dead_rx.len()) as u64;
+        self.stats.dead_reclaimed += reclaimed;
+    }
+
+    /// Drain this rank's side of a revocation: every pending request and
+    /// posted receive resolves with [`MpiError::Revoked`]; unexpected
+    /// messages are discarded (their pair-sequence ids are consumed so
+    /// the stream stays in step for post-shrink traffic).
+    fn pump_revoke(&mut self, ctx: &mut Ctx) {
+        let _dev = crate::hotpath::pause();
+        self.revoked = true;
+        self.stats.revokes_observed += 1;
+        let rank = self.rank;
+        self.trace.record(|| TraceEvent::RevokeObserved { rank });
+        // The shrink-agreement band is exempt from the drain throughout:
+        // `shrink` runs *on* the revoked communicator (ULFM semantics),
+        // so a second revocation arriving mid-agreement must not eat the
+        // agreement's own messages — that would wedge the recovery at an
+        // unchanged death epoch.
+        // Posted receives first — they hold RTR leases.
+        let mut spared: Vec<u64> = Vec::new();
+        let mut i = 0;
+        while i < self.recv_q.len() {
+            if matches!(self.recv_q[i].tag, TagSel::Tag(t) if is_shrink_tag(t)) {
+                spared.push(self.recv_q[i].req);
+                i += 1;
+                continue;
+            }
+            let mut posted = self.recv_q.remove(i);
+            if let Some(l) = posted.rtr_lease.take() {
+                self.mr_cache.release(ctx, &self.res, l);
+            }
+            self.reqs
+                .replace(posted.req, ReqState::Failed(MpiError::Revoked));
+            self.stats.reqs_revoked += 1;
+        }
+        // Every other live request.
+        let live: Vec<u64> = self
+            .reqs
+            .iter()
+            .filter_map(|(id, st)| {
+                let live = match st {
+                    ReqState::Done(_) | ReqState::Failed(_) => false,
+                    ReqState::EagerSend { status } => !is_shrink_tag(status.tag),
+                    _ => !spared.contains(&id),
+                };
+                live.then_some(id)
+            })
+            .collect();
+        for id in live {
+            self.close_span(ctx, id);
+            match self.reqs.replace(id, ReqState::Failed(MpiError::Revoked)) {
+                Some(ReqState::RndvSendAwaitDone { lease, .. })
+                | Some(ReqState::RndvSendWriting { lease, .. }) => {
+                    self.release_send_lease(ctx, lease);
+                }
+                Some(ReqState::RndvRecvReading { lease, .. }) => {
+                    self.mr_cache.release(ctx, &self.res, lease);
+                }
+                _ => {}
+            }
+            self.stats.reqs_revoked += 1;
+        }
+        // Unexpected messages are dropped, consuming their sequence ids:
+        // the sender already burnt them, so skipping the receive-side
+        // note would desync the pair counters for post-shrink traffic.
+        // Shrink-band arrivals stay (an agreement report that landed
+        // before its gather recv was posted).
+        let mut j = 0;
+        while j < self.unexpected.len() {
+            let shrink_band = match &self.unexpected[j] {
+                Unexpected::Eager { tag, .. } | Unexpected::Nack { tag, .. } => is_shrink_tag(*tag),
+                Unexpected::Rts { hdr } => is_shrink_tag(hdr.tag),
+            };
+            if shrink_band {
+                j += 1;
+                continue;
+            }
+            match self.unexpected.remove(j) {
+                Unexpected::Eager { src, seq, data, .. } => {
+                    if self.peers[src].is_some() {
+                        self.note_rx_seq(src, seq);
+                    }
+                    recycle_payload(
+                        &mut self.payload_pool,
+                        data,
+                        self.cfg.eager_threshold as usize,
+                    );
+                }
+                Unexpected::Rts { hdr } => {
+                    if self.peers[hdr.src_rank].is_some() {
+                        self.note_rx_seq(hdr.src_rank, hdr.seq);
+                    }
+                }
+                Unexpected::Nack { src, seq, .. } => {
+                    if self.peers[src].is_some() {
+                        self.note_rx_seq(src, seq);
+                    }
+                }
+            }
+            self.stats.dead_reclaimed += 1;
+        }
+    }
+
+    /// Complete a shrink at `epoch`: the communicator is un-revoked and
+    /// unexpected messages from stale shrink attempts (epoch at or below
+    /// the new floor) are purged.
+    pub(crate) fn complete_shrink(&mut self, epoch: u64, survivors: u64) {
+        self.revoked = false;
+        self.shrink_purge_floor = epoch;
+        self.trace
+            .record(|| TraceEvent::ShrinkCommit { epoch, survivors });
+        let floor_tag = SHRINK_TAG_BASE + (epoch & 0xFFFF) as Tag;
+        let mut k = 0;
+        while k < self.unexpected.len() {
+            let stale = match &self.unexpected[k] {
+                Unexpected::Eager { tag, .. } | Unexpected::Nack { tag, .. } => {
+                    is_shrink_tag(*tag) && *tag <= floor_tag
+                }
+                Unexpected::Rts { hdr } => is_shrink_tag(hdr.tag) && hdr.tag <= floor_tag,
+            };
+            if stale {
+                match self.unexpected.remove(k) {
+                    Unexpected::Eager { src, seq, data, .. } => {
+                        if self.peers[src].is_some() {
+                            self.note_rx_seq(src, seq);
+                        }
+                        recycle_payload(
+                            &mut self.payload_pool,
+                            data,
+                            self.cfg.eager_threshold as usize,
+                        );
+                    }
+                    Unexpected::Rts { hdr } => {
+                        if self.peers[hdr.src_rank].is_some() {
+                            self.note_rx_seq(hdr.src_rank, hdr.seq);
+                        }
+                    }
+                    Unexpected::Nack { src, seq, .. } => {
+                        if self.peers[src].is_some() {
+                            self.note_rx_seq(src, seq);
+                        }
+                    }
+                }
+                self.stats.dead_reclaimed += 1;
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// Note a shrink-agreement restart (a participant died mid-attempt).
+    pub(crate) fn note_agreement_restart(&mut self) {
+        self.stats.agreement_restarts += 1;
+    }
+
+    /// Cancel a posted receive that will never be waited on (shrink
+    /// agreement restart): the request handle is consumed and any RTR
+    /// pin released. The message may still arrive — it lands in the
+    /// unexpected queue and is purged by the shrink floor.
+    pub(crate) fn cancel_recv(&mut self, ctx: &mut Ctx, req: Request) {
+        if let Some(i) = self.recv_q.iter().position(|r| r.req == req.0) {
+            let mut posted = self.recv_q.remove(i);
+            if let Some(l) = posted.rtr_lease.take() {
+                self.mr_cache.release(ctx, &self.res, l);
+            }
+        }
+        self.close_span(ctx, req.0);
+        self.reqs.remove(req.0);
     }
 
     /// Open a latency span for request `id` and mirror it into the trace
@@ -1423,6 +2055,21 @@ impl Engine {
             if ready {
                 break;
             }
+            // A dead peer grants no more credits (and never answers the
+            // connect handshake): fail the owner instead of blocking the
+            // rank forever.
+            if self
+                .health
+                .as_ref()
+                .is_some_and(|b| b.state(dst) == PeerState::Dead)
+            {
+                if let Some(id) = owner {
+                    self.close_span(ctx, id);
+                    self.reqs
+                        .replace(id, ReqState::Failed(MpiError::PeerFailed(dst)));
+                }
+                return;
+            }
             ctx.wait_event(&self.progress_event, seen, "eager ring credit");
         }
         self.transmit_packet(ctx, dst, hdr, payload, owner);
@@ -1665,6 +2312,7 @@ impl Engine {
     }
 
     fn progress_inner(&mut self, ctx: &mut Ctx) {
+        self.observe_health(ctx);
         self.pump_conn(ctx);
         self.pump_retries(ctx);
         self.pump_rndv_timeouts(ctx);
@@ -2013,6 +2661,33 @@ impl Engine {
             wr_id,
             transient,
         });
+        if wc.status == WcStatus::WrFlushErr {
+            // The QP toward this peer flushed: the peer is dead. Snoop it
+            // onto the health board (faster than heartbeat staleness) and
+            // let the reap fail the owner with `PeerFailed` — recovery
+            // traffic toward a corpse would only flush again.
+            match self.health.clone() {
+                Some(board) => {
+                    {
+                        let cluster = self.res.cluster();
+                        let sched = cluster.scheduler();
+                        board.promote_dead(sched, entry.dst, sched.now());
+                    }
+                    let _ = entry; // the sweep below resolves its owner
+                    self.observe_health(ctx);
+                    // The epoch-transition reap in `observe_health` is
+                    // one-shot per peer: a WR posted after the corpse was
+                    // already reaped (its entry guards raced the
+                    // promotion) would otherwise leave its owner pending
+                    // forever. `reap_one` is an idempotent sweep of
+                    // everything currently toward the corpse, so re-run
+                    // it for every flush.
+                    self.reap_one(ctx, peer);
+                }
+                None => self.fail_wr(ctx, entry, wc.status, false),
+            }
+            return;
+        }
         let ownerless_ctrl = matches!(
             &entry.kind,
             WrKind::Ring { hdr, req: None, .. } if matches!(
@@ -2043,6 +2718,10 @@ impl Engine {
                         self.close_span(ctx, id);
                         self.reqs.replace(id, ReqState::Done(status));
                     }
+                    // Already failed out-of-band (peer death reap or a
+                    // revocation drained it): the late success changes
+                    // nothing.
+                    Some(ReqState::Failed(_)) => {}
                     Some(_) => {
                         panic!("unexpected ring WC for request {id} ({:?})", hdr.kind);
                     }
@@ -2080,6 +2759,11 @@ impl Engine {
                     };
                     self.reqs.replace(req, final_state);
                 }
+                Some(failed @ ReqState::Failed(_)) => {
+                    // Failed out-of-band (revocation) while the read was
+                    // in flight; keep the failure.
+                    self.reqs.replace(req, failed);
+                }
                 Some(other) => {
                     self.reqs.replace(req, other);
                     panic!("unexpected RDMA-read WC for request {req}");
@@ -2111,6 +2795,9 @@ impl Engine {
                         }
                         self.send_ctrl(ctx, dst, hdr);
                         self.reqs.replace(req, ReqState::Done(status));
+                    }
+                    Some(failed @ ReqState::Failed(_)) => {
+                        self.reqs.replace(req, failed);
                     }
                     Some(other) => {
                         self.reqs.replace(req, other);
@@ -2385,6 +3072,7 @@ impl Engine {
         let Engine {
             rndv_timeouts,
             reqs,
+            peers,
             ..
         } = self;
         rndv_timeouts.maybe_compact(|k| match *k {
@@ -2392,6 +3080,7 @@ impl Engine {
                 matches!(reqs.get(req), Some(ReqState::RndvSendAwaitDone { .. }))
             }
             TimeoutKind::Rtr { req } => matches!(reqs.get(req), Some(ReqState::RecvAwaitDone)),
+            TimeoutKind::Conn { peer, .. } => peers[peer].as_ref().is_some_and(|p| !p.connected),
         });
         let now = ctx.now();
         if self.rndv_timeouts.peek_due().is_none_or(|d| d > now) {
@@ -2425,6 +3114,10 @@ impl Engine {
 
     fn handle_rndv_timeout(&mut self, ctx: &mut Ctx, kind: TimeoutKind) {
         let (dst, hdr) = match kind {
+            TimeoutKind::Conn { peer, attempt } => {
+                self.handle_conn_timeout(ctx, peer, attempt);
+                return;
+            }
             TimeoutKind::Rts { req } => {
                 let Some(ReqState::RndvSendAwaitDone { dst, hdr, .. }) = self.reqs.get(req) else {
                     return;

@@ -72,4 +72,4 @@ pub use trace::{audit, AuditReport, TraceBuf, TraceEvent};
 pub use types::{
     Datatype, MpiError, Rank, ReduceOp, Request, Src, Status, Tag, TagSel, TransportOp,
 };
-pub use world::{launch, LaunchOpts};
+pub use world::{launch, KillSpec, LaunchOpts};

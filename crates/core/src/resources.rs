@@ -157,4 +157,12 @@ impl Resources {
             d.close(ctx);
         }
     }
+
+    /// Fail-stop teardown: stop the DCFA heartbeat sidecar without a
+    /// goodbye, so the daemon discovers the death via lease expiry.
+    pub fn abandon(&self) {
+        if let Resources::Phi(d) = self {
+            d.abandon();
+        }
+    }
 }

@@ -81,7 +81,7 @@ impl fmt::Display for StatsReport {
             self.mr_cached,
             self.mr_pinned,
         )?;
-        write!(
+        writeln!(
             f,
             "  offload    syncs {:>5}  twin hits {:>4}  misses {:>4}  evictions {:>4}  \
              invalidated {:>4}  fallbacks {:>4}",
@@ -91,12 +91,24 @@ impl fmt::Display for StatsReport {
             self.offload.evictions,
             self.offload.invalidated,
             c.offload_fallbacks,
+        )?;
+        write!(
+            f,
+            "  failures   deaths seen {:>3}  suspected {:>3}  revokes {:>3}  reclaimed {:>5}  \
+             revoked reqs {:>4}  conn retries {:>3}  agreement restarts {:>3}",
+            c.peer_deaths_detected,
+            c.peers_suspected,
+            c.revokes_observed,
+            c.dead_reclaimed,
+            c.reqs_revoked,
+            c.conn_retries,
+            c.agreement_restarts,
         )
     }
 }
 
 /// Number of `u64` words a [`StatsReport`] flattens into.
-const WORDS: usize = 35;
+const WORDS: usize = 42;
 
 impl StatsReport {
     /// Flatten into a fixed word array. The order is part of the
@@ -142,6 +154,13 @@ impl StatsReport {
             c.pairs_established,
             c.comm_buffer_bytes,
             c.srq_highwater,
+            c.peer_deaths_detected,
+            c.peers_suspected,
+            c.revokes_observed,
+            c.dead_reclaimed,
+            c.reqs_revoked,
+            c.conn_retries,
+            c.agreement_restarts,
         ]
     }
 
@@ -171,6 +190,13 @@ impl StatsReport {
                 pairs_established: w[32],
                 comm_buffer_bytes: w[33],
                 srq_highwater: w[34],
+                peer_deaths_detected: w[35],
+                peers_suspected: w[36],
+                revokes_observed: w[37],
+                dead_reclaimed: w[38],
+                reqs_revoked: w[39],
+                conn_retries: w[40],
+                agreement_restarts: w[41],
             },
             mr_cache: CacheStats {
                 hits: w[18],
@@ -340,6 +366,13 @@ mod tests {
                 pairs_established: 32,
                 comm_buffer_bytes: 33,
                 srq_highwater: 34,
+                peer_deaths_detected: 35,
+                peers_suspected: 36,
+                revokes_observed: 37,
+                dead_reclaimed: 38,
+                reqs_revoked: 39,
+                conn_retries: 40,
+                agreement_restarts: 41,
             },
             mr_cache: CacheStats {
                 hits: 16,

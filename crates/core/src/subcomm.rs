@@ -77,6 +77,26 @@ pub fn split<'a>(
     }))
 }
 
+impl<'a> SubComm<'a> {
+    /// Build a sub-communicator from an agreed member list (the shrink
+    /// path: members and tag base were fixed by the committed epoch, so
+    /// every survivor constructs an identical view without traffic).
+    pub(crate) fn from_members(
+        parent: &'a mut Comm,
+        members: Vec<Rank>,
+        my_idx: usize,
+        tag_base: Tag,
+    ) -> SubComm<'a> {
+        debug_assert!(members[my_idx] == parent.rank());
+        SubComm {
+            parent,
+            members,
+            my_idx,
+            tag_base,
+        }
+    }
+}
+
 impl SubComm<'_> {
     /// Parent rank of sub-rank `r`.
     pub fn parent_rank(&self, r: Rank) -> Rank {

@@ -36,7 +36,7 @@
 //!    engine's phase accounting and fails the audit with the span's
 //!    phase and message id.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -167,6 +167,27 @@ pub enum TraceEvent {
     SpanOpen { rank: Rank, id: u64, phase: Phase },
     /// The matching span close.
     SpanClose { rank: Rank, id: u64, phase: Phase },
+    /// `rank` was fail-stop killed (injection or chaos schedule). From
+    /// this point the auditor forgives end-of-stream obligations that
+    /// involve the dead rank: its unreleased pins, open spans and syncs,
+    /// and handshakes with it as an endpoint can never complete.
+    RankKilled { rank: Rank },
+    /// `rank` observed `peer`'s death (health-board epoch advance) and
+    /// reclaimed every resource tied to the pair.
+    PeerReaped { rank: Rank, peer: Rank },
+    /// `rank` observed a communicator revocation and drained its pending
+    /// operations with `Revoked`.
+    RevokeObserved { rank: Rank },
+    /// The lazy-connect watchdog re-issued a REQ toward `peer`
+    /// (`attempt` counts re-issues, starting at 1).
+    ConnRetry {
+        rank: Rank,
+        peer: Rank,
+        attempt: u32,
+    },
+    /// The shrink agreement committed `epoch`, producing a
+    /// `survivors`-rank world.
+    ShrinkCommit { epoch: u64, survivors: u64 },
 }
 
 struct TraceInner {
@@ -318,6 +339,17 @@ pub struct AuditReport {
     pub offload_degraded: u64,
     /// Metrics spans opened and closed (paired exactly).
     pub spans_closed: u64,
+    /// Ranks fail-stop killed within the stream.
+    pub ranks_killed: u64,
+    /// Peer-death observations (rank, peer) — each survivor that reaped
+    /// a dead peer contributes one.
+    pub peers_reaped: u64,
+    /// Revocation observations across ranks.
+    pub revokes_observed: u64,
+    /// Lazy-connect REQ re-issues.
+    pub conn_retries: u64,
+    /// Shrink agreements committed.
+    pub shrink_commits: u64,
 }
 
 /// Check the protocol invariants over a recorded event stream.
@@ -349,6 +381,9 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
     let mut crash_respawn: HashMap<(usize, u32), (u64, u64)> = HashMap::new();
     // Invariant 6: per-(rank, id) open metrics spans.
     let mut open_spans: HashMap<(Rank, u64), Phase> = HashMap::new();
+    // Fail-stop killed ranks: end-of-stream obligations touching a dead
+    // rank are forgiven (the rank can never answer or release anything).
+    let mut killed: HashSet<Rank> = HashSet::new();
 
     for (i, ev) in events.iter().enumerate() {
         match *ev {
@@ -573,6 +608,22 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
                     ));
                 }
             }
+            TraceEvent::RankKilled { rank } => {
+                report.ranks_killed += 1;
+                killed.insert(rank);
+            }
+            TraceEvent::PeerReaped { .. } => {
+                report.peers_reaped += 1;
+            }
+            TraceEvent::RevokeObserved { .. } => {
+                report.revokes_observed += 1;
+            }
+            TraceEvent::ConnRetry { .. } => {
+                report.conn_retries += 1;
+            }
+            TraceEvent::ShrinkCommit { .. } => {
+                report.shrink_commits += 1;
+            }
             TraceEvent::SpanClose { rank, id, phase } => match open_spans.remove(&(rank, id)) {
                 Some(open_phase) => {
                     if open_phase != phase {
@@ -592,6 +643,9 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
 
     for ((a, b, seq), (rts, done)) in &rts_done {
         if *rts != *done {
+            if killed.contains(a) || killed.contains(b) {
+                continue; // a dead endpoint can never answer
+            }
             errs.push(format!(
                 "RTS {a}->{b} seq {seq}: {rts} RTS vs {done} DONE (must pair exactly)"
             ));
@@ -600,7 +654,7 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
         }
     }
     for ((a, b, seq), (rtr, dw)) in &rtr_dw {
-        if *dw > *rtr {
+        if *dw > *rtr && !killed.contains(a) && !killed.contains(b) {
             errs.push(format!(
                 "RTR {a}->{b} seq {seq}: {dw} DONE-WRITE for {rtr} RTR"
             ));
@@ -610,7 +664,7 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
         if st.live {
             report.mr_leaked += 1;
         }
-        if st.pins != 0 {
+        if st.pins != 0 && !killed.contains(rank) {
             errs.push(format!(
                 "rank{rank} mr {key}: {} pin(s) never released",
                 st.pins
@@ -618,7 +672,7 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
         }
     }
     for (rank, open) in &syncs_open {
-        if *open != 0 {
+        if *open != 0 && !killed.contains(rank) {
             errs.push(format!(
                 "rank{rank}: {open} offload sync(s) never completed"
             ));
@@ -633,6 +687,9 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
         }
     }
     for ((rank, id), phase) in &open_spans {
+        if killed.contains(rank) {
+            continue; // the dead rank's engine was torn down mid-span
+        }
         errs.push(format!(
             "rank{rank} span {phase} msg {id}: never closed before finalize"
         ));

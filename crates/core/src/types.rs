@@ -106,6 +106,14 @@ pub enum MpiError {
     /// (we received its NACK); `peer` is the remote rank and `seq` the
     /// pair sequence id of the dead message.
     RemoteTransport { peer: Rank, seq: u64 },
+    /// The peer rank has been detected as failed (heartbeat staleness
+    /// past the dead line, or a QP toward it flushed): the operation can
+    /// never complete. ULFM `MPI_ERR_PROC_FAILED` analogue.
+    PeerFailed(Rank),
+    /// The communicator was revoked (`Comm::revoke()`): pending and new
+    /// operations drain with this error until `Comm::shrink()` rebuilds
+    /// a surviving-ranks world. ULFM `MPI_ERR_REVOKED` analogue.
+    Revoked,
 }
 
 impl fmt::Display for MpiError {
@@ -136,6 +144,8 @@ impl fmt::Display for MpiError {
                     "remote transport failure at rank {peer} (pair seq {seq})"
                 )
             }
+            MpiError::PeerFailed(r) => write!(f, "peer rank {r} failed"),
+            MpiError::Revoked => write!(f, "communicator revoked"),
         }
     }
 }

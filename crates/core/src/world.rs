@@ -5,17 +5,18 @@
 
 use std::sync::Arc;
 
-use fabric::{Domain, NodeId};
+use fabric::{Domain, HealthBoard, NodeId};
 use parking_lot::Mutex;
 use scif::ScifFabric;
-use simcore::{Ctx, SimEvent, Simulation};
+use simcore::{Ctx, SimDuration, SimEvent, Simulation};
 use verbs::{IbFabric, VerbsContext};
 
 use crate::comm::Comm;
 use crate::config::{MpiConfig, Placement};
 use crate::connect::ConnDirectory;
-use crate::engine::Engine;
+use crate::engine::{Engine, KillMarker};
 use crate::resources::Resources;
+use crate::types::Rank;
 
 struct Boot {
     n: usize,
@@ -24,6 +25,19 @@ struct Boot {
     /// here: QPs and rings establish lazily on first touch through the
     /// [`ConnDirectory`], so bootstrap is O(ranks), not O(ranks²).
     arrived: Mutex<usize>,
+    /// Ranks that fail-stopped and will never arrive again. A dead rank
+    /// counts toward every barrier generation after its death, so
+    /// survivors are not stranded at finalize.
+    dead: Mutex<usize>,
+}
+
+/// One fail-stop injection: kill `rank` as it enters its
+/// `after_ops`-th MPI operation (`isend`/`irecv` entry count — a
+/// deterministic trigger independent of wall-clock and timer jitter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    pub rank: Rank,
+    pub after_ops: u64,
 }
 
 /// Launch options beyond the MPI configuration itself.
@@ -57,6 +71,21 @@ pub struct LaunchOpts {
     /// the `trace` cargo feature (default); without it the field is
     /// accepted but ignored.
     pub metrics: Option<crate::metrics::MetricsHub>,
+    /// Fail-stop kill schedule. Non-empty installs the failure subsystem
+    /// (health board + QP teardown hooks); each spec tears one rank down
+    /// mid-flight. Requires one rank per node — a kill models a whole
+    /// co-processor card dying.
+    pub kills: Vec<KillSpec>,
+    /// Deterministic connect-handshake frame loss `(after, count)`: the
+    /// launch's [`ConnDirectory`] silently drops `count` REQ/ACK frames
+    /// after letting `after` through. Exercises the lazy-connect
+    /// retry/backoff path (see `CommStats::conn_retries`).
+    pub conn_drops: Option<(u64, u64)>,
+    /// Caller-supplied health board (must be sized to the rank count).
+    /// Lets a harness read detection counters and latency samples after
+    /// the run. `None` = the launch creates one itself when the failure
+    /// subsystem is needed.
+    pub health: Option<Arc<HealthBoard>>,
 }
 
 impl Default for LaunchOpts {
@@ -68,6 +97,9 @@ impl Default for LaunchOpts {
             tracer: None,
             daemon: dcfa::DaemonConfig::default(),
             metrics: None,
+            kills: Vec::new(),
+            conn_drops: None,
+            health: None,
         }
     }
 }
@@ -201,10 +233,35 @@ where
         n,
         event: SimEvent::new(),
         arrived: Mutex::new(0),
+        dead: Mutex::new(0),
     });
     // Connect requests travel one wire hop, like the control traffic of
     // the real out-of-band channel.
     let conn = ConnDirectory::new(n, ib.cluster().config().cost.ib_latency);
+    if let Some((after, count)) = opts.conn_drops {
+        conn.inject_drop_after(after, count);
+    }
+    // Failure subsystem: installed when a kill schedule or a detection
+    // TTL asks for it; fault-free launches pay nothing.
+    let board = if !opts.kills.is_empty() || cfg.peer_ttl.is_some() || opts.health.is_some() {
+        let b = opts.health.clone().unwrap_or_else(|| HealthBoard::new(n));
+        assert_eq!(b.num_ranks(), n, "health board sized to the rank count");
+        ib.cluster().install_health(b.clone());
+        Some(b)
+    } else {
+        None
+    };
+    if !opts.kills.is_empty() {
+        assert_eq!(
+            opts.ranks_per_node.max(1),
+            1,
+            "fail-stop injection kills a whole co-processor card: use one rank per node"
+        );
+        for k in &opts.kills {
+            assert!(k.rank < n, "kill spec targets rank {} of {n}", k.rank);
+        }
+        silence_kill_panics();
+    }
     let f = Arc::new(f);
     let nodes = ib.cluster().num_nodes();
     for r in 0..n {
@@ -227,6 +284,15 @@ where
         let ctrl_hook = ctrl_hook.clone();
         let ctrl_perf = ctrl_perf.clone();
         let conn = conn.clone();
+        let board = board.clone();
+        let kill_after = opts.kills.iter().find(|k| k.rank == r).map(|k| k.after_ops);
+        // Fail-stop teardown: error every QP on the rank's node (one
+        // rank per node when kills are armed, so this is exactly the
+        // rank's fabric presence).
+        if let Some(b) = &board {
+            let ib_down = ib.clone();
+            b.set_teardown(r, Box::new(move |_s| ib_down.kill_node(node)));
+        }
         let pid = sim.spawn(format!("rank{r}"), move |ctx| {
             let res = match cfg.placement {
                 Placement::Phi => {
@@ -247,6 +313,7 @@ where
                     Resources::Host(VerbsContext::open(ib.clone(), node, Domain::Host))
                 }
             };
+            let peer_ttl = cfg.peer_ttl;
             let mut engine = Engine::create(ctx, r, n, cfg, res, conn);
             if let Some(t) = &tracer {
                 engine.set_tracer(t.clone());
@@ -254,19 +321,48 @@ where
             if let Some(m) = &metrics {
                 engine.set_metrics(m.clone());
             }
+            if let Some(b) = &board {
+                engine.set_health(b.clone());
+                // Deaths and revocations wake ranks blocked in wait.
+                b.register_watcher(engine.progress_event_handle());
+                if let Some(k) = kill_after {
+                    engine.set_kill_after(k);
+                }
+                if let Some(ttl) = peer_ttl {
+                    let period = SimDuration::from_nanos((ttl.as_nanos() / 4).max(1));
+                    b.start_sidecar(&ctx.scheduler(), r, period, ttl);
+                }
+            }
 
             // Start barrier: every rank has registered with the connect
-            // directory before anyone's first send can race it.
+            // directory before anyone's first send can race it. Kills
+            // only fire on MPI entry ops, so every rank passes this.
             barrier_boot(ctx, &boot);
 
-            let mut comm = Comm::new(engine);
-            f(ctx, &mut comm);
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut comm = Comm::new(engine);
+                f(ctx, &mut comm);
 
-            // MPI_Finalize: flush outstanding protocol acknowledgements,
-            // synchronize, then tear down.
-            comm.quiesce(ctx);
-            barrier_boot(ctx, &boot);
-            comm.finalize(ctx);
+                // MPI_Finalize: flush outstanding protocol
+                // acknowledgements, synchronize, then tear down.
+                comm.quiesce(ctx);
+                barrier_boot(ctx, &boot);
+                comm.finalize(ctx);
+            }));
+            match run {
+                Ok(()) => {}
+                Err(payload) => {
+                    if payload.downcast_ref::<KillMarker>().is_none() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    // Fail-stop unwind: the rank is gone. Count it so
+                    // survivors are not stranded at the finalize barrier.
+                    note_death(ctx, &boot);
+                }
+            }
+            if let Some(b) = &board {
+                b.mark_done();
+            }
         });
         // Shard the event wheel by simulated node: a rank's events stay
         // on its node's wheel (purely load-balancing metadata — the
@@ -277,18 +373,41 @@ where
 }
 
 /// Out-of-band barrier used by the launcher (not charged as MPI traffic).
+/// Dead ranks count toward the generation target: a barrier generation
+/// completes when live arrivals plus deaths cover every rank.
 fn barrier_boot(ctx: &mut Ctx, boot: &Boot) {
     let gen_target = {
         let mut a = boot.arrived.lock();
         *a += 1;
-        (*a).div_ceil(boot.n) * boot.n
+        (*a + *boot.dead.lock()).div_ceil(boot.n) * boot.n
     };
     boot.event.notify_all(&ctx.scheduler());
     loop {
         let seen = boot.event.epoch();
-        if *boot.arrived.lock() >= gen_target {
+        if *boot.arrived.lock() + *boot.dead.lock() >= gen_target {
             break;
         }
         ctx.wait_event(&boot.event, seen, "mpi finalize barrier");
     }
+}
+
+/// A rank fail-stopped: record the death and wake barrier waiters.
+fn note_death(ctx: &mut Ctx, boot: &Boot) {
+    *boot.dead.lock() += 1;
+    boot.event.notify_all(&ctx.scheduler());
+}
+
+/// Fail-stop unwinds are expected control flow, not failures: keep the
+/// default panic hook from spraying a backtrace for every injected kill
+/// while leaving real panics fully reported.
+fn silence_kill_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KillMarker>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }

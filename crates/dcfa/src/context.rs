@@ -761,6 +761,14 @@ impl DcfaContext {
         let _ = self.command(ctx, Cmd::Bye);
         self.state.lock().journal.clear();
     }
+
+    /// Fail-stop teardown: silence the heartbeat sidecar with *no*
+    /// goodbye handshake. The daemon only finds out through lease
+    /// expiry — the reaper then reclaims the session and its objects,
+    /// exactly as it would for a really crashed card.
+    pub fn abandon(&self) {
+        self.hb_stop.store(true, Ordering::Relaxed);
+    }
 }
 
 /// Initial connect with retry: tolerates same-instant daemon startup and

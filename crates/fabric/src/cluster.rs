@@ -10,6 +10,7 @@ use simcore::{Completion, Scheduler, SimDuration, SimTime};
 use crate::channel::BwChannel;
 use crate::config::{ClusterConfig, Domain};
 use crate::faults::{LinkFault, LinkFaultKind};
+use crate::health::HealthBoard;
 use crate::mem::{Buffer, MemRef, Memory, NodeId, OutOfMemory};
 
 /// A scheduled data movement: channel reservations are made at post time
@@ -47,6 +48,9 @@ pub struct Cluster {
     /// Armed per-link fault plans (see [`crate::faults`]). Device models
     /// consult these on every posted data operation.
     link_faults: Mutex<Vec<LinkFault>>,
+    /// Rank-health board, installed by the MPI world at launch (see
+    /// [`crate::health`]). `None` for bare fabric-level tests.
+    health: Mutex<Option<Arc<HealthBoard>>>,
 }
 
 impl Cluster {
@@ -81,7 +85,27 @@ impl Cluster {
             sched,
             nodes,
             link_faults: Mutex::new(Vec::new()),
+            health: Mutex::new(None),
         })
+    }
+
+    /// Install the rank-health board (done once by the MPI world at
+    /// launch, before any rank runs).
+    pub fn install_health(&self, board: Arc<HealthBoard>) {
+        *self.health.lock() = Some(board);
+    }
+
+    /// The installed rank-health board, if any.
+    pub fn health(&self) -> Option<Arc<HealthBoard>> {
+        self.health.lock().clone()
+    }
+
+    /// Fail-stop `rank` now: record ground truth on the health board and
+    /// run its teardown hook (erroring its QPs so in-flight work
+    /// completions flush). Panics if no board is installed.
+    pub fn kill_rank(&self, rank: usize) {
+        let board = self.health().expect("no health board installed");
+        board.kill(&self.sched, rank, self.sched.now());
     }
 
     pub fn config(&self) -> &ClusterConfig {

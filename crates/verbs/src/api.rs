@@ -41,6 +41,10 @@ struct QpShared {
 
 struct QpState {
     remote: Option<(NodeId, QpNum)>,
+    /// The QP is in the error state (owner fail-stopped): every posted
+    /// or in-flight WR targeting it completes with `WrFlushErr` and no
+    /// data moves. Monotone — an errored QP never recovers.
+    dead: bool,
     /// End time of the last transfer posted on the send queue (RC ordering).
     sq_busy: SimTime,
     rq: std::collections::VecDeque<RecvWr>,
@@ -262,6 +266,30 @@ impl IbFabric {
             .map(|e| (e.buffer.clone(), e.write_event.clone()))
     }
 
+    /// Transition every QP owned by `node` to the error state (fail-stop
+    /// teardown): subsequent deliveries on them — in either direction —
+    /// flush with [`WcStatus::WrFlushErr`] and move no data. In the
+    /// simulated cluster ranks map 1:1 onto nodes, so this is the verbs
+    /// half of killing a rank.
+    pub fn kill_node(&self, node: NodeId) {
+        let st = self.state.lock();
+        for qp in st.qps.values() {
+            if qp.node == node {
+                qp.state.lock().dead = true;
+            }
+        }
+    }
+
+    /// Is the QP registered as `(node, qpn)` in the error state (or
+    /// gone entirely)?
+    fn qp_dead(&self, node: NodeId, qpn: QpNum) -> bool {
+        let st = self.state.lock();
+        match st.qps.get(&(node, qpn.0)) {
+            Some(qp) => qp.state.lock().dead,
+            None => true,
+        }
+    }
+
     /// Rebuild a [`MemoryRegion`] handle from its key (used by the DCFA
     /// command client after the host daemon performed the registration).
     pub fn mr_handle(&self, key: MrKey) -> Option<MemoryRegion> {
@@ -448,6 +476,7 @@ impl VerbsContext {
             node: self.node,
             state: Mutex::new(QpState {
                 remote: None,
+                dead: false,
                 sq_busy: SimTime::ZERO,
                 rq: Default::default(),
                 backlog: Default::default(),
@@ -536,6 +565,17 @@ impl QueuePair {
     /// Transition to RTR/RTS against a remote QP (both sides must connect).
     pub fn connect(&self, remote_node: NodeId, remote_qpn: QpNum) {
         self.shared.state.lock().remote = Some((remote_node, remote_qpn));
+    }
+
+    /// Transition this QP to the error state: deliveries flush with
+    /// [`WcStatus::WrFlushErr`] from now on.
+    pub fn set_error(&self) {
+        self.shared.state.lock().dead = true;
+    }
+
+    /// Is this QP in the error state?
+    pub fn is_error(&self) -> bool {
+        self.shared.state.lock().dead
     }
 
     /// Convenience: wire two QPs to each other.
@@ -855,6 +895,16 @@ fn deliver(
             );
         }
     };
+
+    // Fail-stop check at delivery time: if either endpoint QP has been
+    // transitioned to the error state since this WR was posted, the WR
+    // flushes — an error completion surfaces locally and no data moves.
+    // This covers every opcode (RDMA ops resolve payload buffers by rkey
+    // and would otherwise never consult the remote QP at all).
+    if shared.state.lock().dead || fabric.qp_dead(remote.0, remote.1) {
+        push_local(WcStatus::WrFlushErr, wc_opcode_for(wr.opcode));
+        return;
+    }
 
     match wr.opcode {
         SendOpcode::Send => {

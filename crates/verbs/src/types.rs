@@ -287,6 +287,11 @@ pub enum WcStatus {
     /// Link-level retransmission budget exhausted
     /// (IBV_WC_RETRY_EXC_ERR): packets lost on the wire. Transient.
     TransportRetryExceeded,
+    /// The local or remote QP is in the error state
+    /// (IBV_WC_WR_FLUSH_ERR): a fail-stopped peer flushes every posted
+    /// and in-flight WR with this status. Never transient — the QP
+    /// never leaves the error state.
+    WrFlushErr,
 }
 
 impl WcStatus {
@@ -440,5 +445,6 @@ mod tests {
         assert!(!WcStatus::Success.is_transient());
         assert!(!WcStatus::LocalLengthError.is_transient());
         assert!(!WcStatus::RemoteAccessError.is_transient());
+        assert!(!WcStatus::WrFlushErr.is_transient());
     }
 }
