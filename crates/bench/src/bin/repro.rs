@@ -54,6 +54,17 @@
 //!                      # must be bit-for-bit identical), gate the outcome,
 //!                      # and on a failure print the greedily shrunk
 //!                      # minimal reproducer in --kill syntax
+//! repro --trace-out PATH.json
+//!                      # export the traced run as Chrome/Perfetto
+//!                      # trace-event JSON (one track per rank, flow
+//!                      # arrows along causal edges); self-validated
+//!                      # against the trace-event schema before writing.
+//!                      # Applies to the kill soak with --kill, else to
+//!                      # the 4-rank mixed run
+//! repro --explain-msg RANK:SEQ
+//!                      # print the cross-rank causal timeline of every
+//!                      # message sent by RANK with pair sequence SEQ
+//!                      # (same run selection as --trace-out)
 //! ```
 
 use bench::{
@@ -157,6 +168,30 @@ fn main() {
         .iter()
         .position(|a| a == "--scale-curve")
         .and_then(|i| args.get(i + 1));
+    // `--trace-out PATH.json` exports the traced run as Perfetto
+    // trace-event JSON; `--explain-msg RANK:SEQ` prints one message's
+    // cross-rank causal timeline. Both apply to the kill soak when
+    // `--kill` is given, otherwise to the 4-rank mixed run.
+    let trace_out: Option<&String> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1));
+    let explain_msg: Option<(usize, u64)> = args
+        .iter()
+        .position(|a| a == "--explain-msg")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            let parsed = s
+                .split_once(':')
+                .and_then(|(r, q)| Some((r.trim().parse().ok()?, q.trim().parse().ok()?)));
+            match parsed {
+                Some(v) => v,
+                None => {
+                    eprintln!("bad --explain-msg {s:?}: expected <rank>:<seq>");
+                    std::process::exit(2);
+                }
+            }
+        });
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -176,6 +211,8 @@ fn main() {
                 || *a == "--scale-curve"
                 || *a == "--kill"
                 || *a == "--seed"
+                || *a == "--trace-out"
+                || *a == "--explain-msg"
             {
                 skip_next = true;
             }
@@ -199,7 +236,9 @@ fn main() {
             && compare_metrics.is_none()
             && scale_ranks.is_none()
             && scale_curve.is_none()
-            && kill_spec.is_none());
+            && kill_spec.is_none()
+            && trace_out.is_none()
+            && explain_msg.is_none());
     let want = |k: &str| all || wanted.contains(&k);
 
     if let Some(spec) = kill_spec {
@@ -211,6 +250,8 @@ fn main() {
             metrics_json,
             compare_metrics,
             tolerance,
+            trace_out,
+            explain_msg,
         );
     } else if let Some(ranks) = scale_ranks {
         // With `--chaos`, `--ranks` parameterizes the fuzzer instead.
@@ -230,8 +271,22 @@ fn main() {
     if let Some(spec) = daemon_fault_spec {
         daemon_fault_soak(spec);
     }
-    if show_stats || show_trace {
-        observability(show_stats, show_trace);
+    // `--trace-out` / `--explain-msg` without `--kill` attach to the same
+    // traced 4-rank run `--stats` and `--trace` report on.
+    if show_stats
+        || show_trace
+        || (kill_spec.is_none() && (trace_out.is_some() || explain_msg.is_some()))
+    {
+        observability(
+            show_stats,
+            show_trace,
+            kill_spec.is_none().then_some(trace_out).flatten(),
+            if kill_spec.is_none() {
+                explain_msg
+            } else {
+                None
+            },
+        );
     }
     // The kill soak consumes `--metrics-json` / `--compare-metrics` itself
     // (its report carries the `failures` section).
@@ -597,8 +652,9 @@ fn scale_curve_sweep(path: &str, shards: usize, srq: bool) {
 /// subsystem armed, prints the recovery counters and gates the outcome
 /// via [`bench::KillSoakRun::healthy`]. `--metrics-json` /
 /// `--compare-metrics` serialize and gate this run's report (including
-/// its `failures` section). Exits 1 on any gate violation, 2 on a
-/// malformed schedule.
+/// its `failures` and `critical_path` sections); `--trace-out` /
+/// `--explain-msg` export and explain this run's lifecycle trace. Exits
+/// 1 on any gate violation, 2 on a malformed schedule.
 #[allow(clippy::too_many_arguments)]
 fn kill_soak(
     spec: &str,
@@ -608,6 +664,8 @@ fn kill_soak(
     json_path: Option<&String>,
     baseline_path: Option<&String>,
     tolerance: f64,
+    trace_out: Option<&String>,
+    explain: Option<(usize, u64)>,
 ) {
     let kills = match parse_kill_spec(spec, ranks) {
         Ok(k) => k,
@@ -672,6 +730,12 @@ fn kill_soak(
         }
         bad = true;
     }
+    if let Some(path) = trace_out {
+        write_trace_json(path, &run.obs.events);
+    }
+    if let Some((rank, seq)) = explain {
+        print!("{}", bench::stitch::explain_msg(&run.obs.events, rank, seq));
+    }
     if json_path.is_some() || baseline_path.is_some() {
         let report = bench::metrics_report_json(&run.obs);
         if let Some(path) = json_path {
@@ -689,23 +753,27 @@ fn kill_soak(
                     std::process::exit(2);
                 }
             };
-            match bench::compare_reports(&baseline, &report, tolerance) {
+            match bench::compare_reports_full(&baseline, &report, tolerance) {
                 Err(e) => {
                     eprintln!("compare failed: {e}");
                     std::process::exit(2);
                 }
-                Ok(violations) if violations.is_empty() => {
-                    println!("metrics within {tolerance}% of baseline {path}");
-                }
-                Ok(violations) => {
-                    println!(
-                        "{} metric(s) drifted beyond {tolerance}% of baseline {path}:",
-                        violations.len()
-                    );
-                    for v in &violations {
-                        println!("  {v}");
+                Ok((violations, warnings)) => {
+                    for w in &warnings {
+                        println!("warning: {w}");
                     }
-                    bad = true;
+                    if violations.is_empty() {
+                        println!("metrics within {tolerance}% of baseline {path}");
+                    } else {
+                        println!(
+                            "{} metric(s) drifted beyond {tolerance}% of baseline {path}:",
+                            violations.len()
+                        );
+                        for v in &violations {
+                            println!("  {v}");
+                        }
+                        bad = true;
+                    }
                 }
             }
         }
@@ -937,16 +1005,28 @@ fn daemon_fault_soak(spec: &str) {
     println!();
 }
 
-/// `--stats` / `--trace`: run the traced 4-rank mixed-protocol workload
-/// and report counters, fabric utilization, the event-ring tail and the
-/// protocol-auditor verdict.
-fn observability(show_stats: bool, show_trace: bool) {
+/// `--stats` / `--trace` / `--trace-out` / `--explain-msg` (without
+/// `--kill`): run the traced 4-rank mixed-protocol workload and report
+/// counters, fabric utilization, the event-ring tail and the
+/// protocol-auditor verdict, export the Perfetto trace, or explain one
+/// message's causal timeline.
+fn observability(
+    show_stats: bool,
+    show_trace: bool,
+    trace_out: Option<&String>,
+    explain: Option<(usize, u64)>,
+) {
     let run = bench::observability_run(&ClusterConfig::paper());
     if show_stats {
         println!("== per-rank protocol & cache counters (traced 4-rank mixed run) ==");
         for r in &run.reports {
             println!("{r}");
         }
+        println!(
+            "trace ring: {} events captured, {} dropped",
+            run.events.len(),
+            run.dropped
+        );
         if let Some(d) = &run.daemon {
             println!(
                 "dcfa daemons: {} connections, {} commands ({} reg / {} dereg MR, {} reg / {} dereg offload, {} errors)",
@@ -1008,6 +1088,12 @@ fn observability(show_stats: bool, show_trace: bool) {
             println!("  {ev:?}");
         }
     }
+    if let Some(path) = trace_out {
+        write_trace_json(path, &run.events);
+    }
+    if let Some((rank, seq)) = explain {
+        print!("{}", bench::stitch::explain_msg(&run.events, rank, seq));
+    }
     match &run.audit {
         Ok(report) => println!("auditor: OK — {report:?}"),
         Err(errors) => {
@@ -1018,6 +1104,31 @@ fn observability(show_stats: bool, show_trace: bool) {
         }
     }
     println!();
+}
+
+/// Export a traced run as Perfetto trace-event JSON, self-validating the
+/// output against the trace-event schema before writing — CI relies on
+/// this instead of a separate validator command. Exits 1 if the export
+/// fails its own validation (an exporter bug), 2 if the file cannot be
+/// written.
+fn write_trace_json(path: &str, events: &[dcfa_mpi::TraceEvent]) {
+    let out = bench::stitch::trace_json(events);
+    let stats = match bench::stitch::validate_trace_json(&out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace export failed schema self-validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "perfetto trace written to {path}: {} records ({} slices, {} flow pairs, {} tracks) — \
+         load it at https://ui.perfetto.dev",
+        stats.events, stats.slices, stats.flows, stats.tracks
+    );
 }
 
 /// `--metrics-json PATH` / `--compare-metrics BASELINE`: run the profiled
@@ -1073,23 +1184,27 @@ fn metrics_report(json_path: Option<&String>, baseline_path: Option<&String>, to
                 std::process::exit(2);
             }
         };
-        match bench::compare_reports(&baseline, &report, tolerance) {
+        match bench::compare_reports_full(&baseline, &report, tolerance) {
             Err(e) => {
                 eprintln!("compare failed: {e}");
                 std::process::exit(2);
             }
-            Ok(violations) if violations.is_empty() => {
-                println!("metrics within {tolerance}% of baseline {path}");
-            }
-            Ok(violations) => {
-                println!(
-                    "{} metric(s) drifted beyond {tolerance}% of baseline {path}:",
-                    violations.len()
-                );
-                for v in &violations {
-                    println!("  {v}");
+            Ok((violations, warnings)) => {
+                for w in &warnings {
+                    println!("warning: {w}");
                 }
-                std::process::exit(1);
+                if violations.is_empty() {
+                    println!("metrics within {tolerance}% of baseline {path}");
+                } else {
+                    println!(
+                        "{} metric(s) drifted beyond {tolerance}% of baseline {path}:",
+                        violations.len()
+                    );
+                    for v in &violations {
+                        println!("  {v}");
+                    }
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -16,8 +16,9 @@ use serde::Serialize;
 
 pub mod json;
 pub mod report;
+pub mod stitch;
 
-pub use report::{compare_reports, metrics_report_json, METRICS_SCHEMA};
+pub use report::{compare_reports, compare_reports_full, metrics_report_json, METRICS_SCHEMA};
 
 /// Message-size sweep used by the bandwidth/RTT figures (4 B – 2^max_pow,
 /// powers of two).
@@ -468,6 +469,18 @@ pub struct FailureSummary {
     pub reclaimed: u64,
 }
 
+/// Audit an event stream and stamp in the trace ring's drop counter, so
+/// every report carries the loss diagnosis next to the invariant verdict.
+fn audited(
+    events: &[dcfa_mpi::TraceEvent],
+    dropped: u64,
+) -> Result<dcfa_mpi::AuditReport, Vec<String>> {
+    dcfa_mpi::audit(events).map(|mut a| {
+        a.events_dropped = dropped;
+        a
+    })
+}
+
 /// p99 of a sample set (0 for an empty one): nearest-rank on the sorted
 /// samples, the same convention the latency histograms use.
 fn p99(samples: &[u64]) -> u64 {
@@ -493,9 +506,9 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
     let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
-    let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
-    let metrics = dcfa_mpi::MetricsHub::new();
     let cfg = MpiConfig::dcfa();
+    let tracer = dcfa_mpi::TraceBuf::new(cfg.trace_capacity);
+    let metrics = dcfa_mpi::MetricsHub::new();
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
     let reports2 = reports.clone();
     let opts = dcfa_mpi::LaunchOpts {
@@ -568,7 +581,7 @@ pub fn observability_run(ccfg: &ClusterConfig) -> ObservabilityRun {
             .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
             .collect(),
         dropped: tracer.dropped(),
-        audit: dcfa_mpi::audit(&events),
+        audit: audited(&events, tracer.dropped()),
         events,
         metrics,
         elapsed_ns: run_report.final_time.0,
@@ -618,12 +631,12 @@ pub fn fault_soak_run(
     }
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
-    let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
-    let metrics = dcfa_mpi::MetricsHub::new();
     let cfg = MpiConfig {
         srq_depth: srq.then_some(256),
         ..MpiConfig::dcfa()
     };
+    let tracer = dcfa_mpi::TraceBuf::new(cfg.trace_capacity);
+    let metrics = dcfa_mpi::MetricsHub::new();
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
     let reports2 = reports.clone();
     let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64)));
@@ -717,7 +730,7 @@ pub fn fault_soak_run(
                 .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
                 .collect(),
             dropped: tracer.dropped(),
-            audit: dcfa_mpi::audit(&events),
+            audit: audited(&events, tracer.dropped()),
             events,
             metrics,
             elapsed_ns: run_report.final_time.0,
@@ -770,7 +783,11 @@ pub fn daemon_fault_soak_run(
     let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
-    let tracer = dcfa_mpi::TraceBuf::new(1 << 16);
+    let cfg = MpiConfig {
+        heartbeat_interval: Some(simcore::SimDuration::from_micros(200)),
+        ..MpiConfig::dcfa()
+    };
+    let tracer = dcfa_mpi::TraceBuf::new(cfg.trace_capacity);
     let metrics = dcfa_mpi::MetricsHub::new();
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; N]));
     let reports2 = reports.clone();
@@ -794,10 +811,6 @@ pub fn daemon_fault_soak_run(
         domain: fabric::Domain::Host,
     };
     let mem_before: Vec<u64> = (0..N).map(|n| cluster.mem_used(host(n))).collect();
-    let cfg = MpiConfig {
-        heartbeat_interval: Some(simcore::SimDuration::from_micros(200)),
-        ..MpiConfig::dcfa()
-    };
     let daemon = dcfa_mpi::launch(&sim, &ib, &scif, cfg.clone(), N, opts, move |ctx, comm| {
         let (r, n) = (comm.rank(), comm.size());
         let next = (r + 1) % n;
@@ -906,7 +919,7 @@ pub fn daemon_fault_soak_run(
                 .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
                 .collect(),
             dropped: tracer.dropped(),
-            audit: dcfa_mpi::audit(&events),
+            audit: audited(&events, tracer.dropped()),
             events,
             metrics,
             elapsed_ns: run_report.final_time.0,
@@ -1013,14 +1026,14 @@ pub fn scale_run(ranks: usize, shards: usize, srq: bool, faults: &[fabric::LinkF
     }
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
-    // Size the trace ring to the run: a dropped event would unbind the
-    // auditor's verdict.
-    let trace_cap = (ranks * 2048).next_power_of_two().max(1 << 16);
-    let tracer = dcfa_mpi::TraceBuf::new(trace_cap);
     let cfg = MpiConfig {
         srq_depth: if srq { Some(256) } else { None },
         ..MpiConfig::dcfa()
     };
+    // Size the trace ring to the run: a dropped event would unbind the
+    // auditor's verdict. `trace_capacity` is the configured floor.
+    let trace_cap = (ranks * 2048).next_power_of_two().max(cfg.trace_capacity);
+    let tracer = dcfa_mpi::TraceBuf::new(trace_cap);
     let reports = Arc::new(parking_lot::Mutex::new(vec![None; ranks]));
     let reports2 = reports.clone();
     let tallies = Arc::new(parking_lot::Mutex::new((0u64, 0u64, 0u64)));
@@ -1098,7 +1111,7 @@ pub fn scale_run(ranks: usize, shards: usize, srq: bool, faults: &[fabric::LinkF
         ops_failed,
         corrupt,
         reports: per_rank,
-        audit: dcfa_mpi::audit(&events),
+        audit: audited(&events, tracer.dropped()),
         dropped: tracer.dropped(),
         elapsed_ns: run_report.final_time.0,
         wall_ns,
@@ -1343,15 +1356,17 @@ pub fn kill_soak_run(
     let cluster = fabric::Cluster::new(sim.scheduler(), ccfg.clone());
     let ib = verbs::IbFabric::new(cluster.clone());
     let scif = scif::ScifFabric::new(cluster.clone());
-    let trace_cap = (ranks * 4096).next_power_of_two().max(1 << 16);
-    let tracer = dcfa_mpi::TraceBuf::new(trace_cap);
-    let metrics = dcfa_mpi::MetricsHub::new();
-    let board = fabric::HealthBoard::new(ranks);
     let cfg = MpiConfig {
         srq_depth: if srq { Some(256) } else { None },
         peer_ttl: Some(simcore::SimDuration::from_micros(50)),
         ..MpiConfig::dcfa()
     };
+    // `trace_capacity` is the configured floor; kill soaks scale it up
+    // with the rank count so lifecycle streams survive whole.
+    let trace_cap = (ranks * 4096).next_power_of_two().max(cfg.trace_capacity);
+    let tracer = dcfa_mpi::TraceBuf::new(trace_cap);
+    let metrics = dcfa_mpi::MetricsHub::new();
+    let board = fabric::HealthBoard::new(ranks);
     let outs: Arc<parking_lot::Mutex<Vec<Option<KillRankOut>>>> =
         Arc::new(parking_lot::Mutex::new(vec![None; ranks]));
     let outs2 = outs.clone();
@@ -1560,7 +1575,7 @@ pub fn kill_soak_run(
                 .map(|n| cluster.fabric_stats(fabric::NodeId(n)))
                 .collect(),
             dropped: tracer.dropped(),
-            audit: dcfa_mpi::audit(&events),
+            audit: audited(&events, tracer.dropped()),
             events,
             metrics,
             elapsed_ns: run_report.final_time.0,

@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 use dcfa_mpi::{HistogramSnapshot, MpiConfig, Phase};
 
 use crate::json::{self, JsonValue};
+use crate::stitch;
 use crate::ObservabilityRun;
 
 /// Schema identifier stamped into (and required of) every report.
@@ -178,6 +179,19 @@ pub fn metrics_report_json(run: &ObservabilityRun) -> String {
         out.push_str("},\n");
     }
 
+    // Critical path of the traced run (additive, like `failures`): the
+    // heaviest causal chain through the stitched message-lifecycle DAG,
+    // split by edge kind. Virtual-time, hence deterministic — the
+    // comparator gates it at the drift tolerance when both sides have it.
+    if let Some(cp) = stitch::critical_path(&run.events) {
+        out.push_str("\"critical_path\":{");
+        let _ = write!(out, "\"total_ns\":{},\"edges\":{}", cp.total_ns, cp.edges);
+        for (kind, ns) in &cp.breakdown {
+            let _ = write!(out, ",\"{kind}_ns\":{ns}");
+        }
+        out.push_str("},\n");
+    }
+
     // Aggregate payload bandwidth over the run's virtual lifetime.
     let bw_gbs = if run.elapsed_ns == 0 {
         0.0
@@ -278,14 +292,66 @@ fn drift_pct(base: f64, cur: f64) -> f64 {
     }
 }
 
+/// Additive report sections (each may be absent from old reports) and the
+/// numeric keys the comparator gates inside them. Presence is asymmetric
+/// by design — see [`compare_reports_full`].
+const ADDITIVE_SECTIONS: &[(&str, &[&str])] = &[
+    ("scale", &["established_pairs", "bytes_per_rank"]),
+    (
+        "failures",
+        &[
+            "kills",
+            "detections",
+            "detection_latency_p99_ns",
+            "revokes",
+            "shrinks",
+            "reclaimed",
+        ],
+    ),
+    (
+        "critical_path",
+        &[
+            "total_ns",
+            "edges",
+            "wire_ns",
+            "stash_dwell_ns",
+            "credit_stall_ns",
+            "daemon_ns",
+            "rdma_ns",
+            "host_copy_ns",
+            "local_ns",
+        ],
+    ),
+];
+
 /// Diff two serialized reports under a symmetric drift tolerance (in
-/// percent). `Ok(violations)` — empty means the gate passes; `Err` means
-/// one of the inputs could not be parsed or is not a metrics report.
+/// percent). See [`compare_reports_full`]; this wrapper drops the
+/// warnings and returns only the gating violations.
 pub fn compare_reports(
     baseline: &str,
     current: &str,
     tolerance_pct: f64,
 ) -> Result<Vec<String>, String> {
+    compare_reports_full(baseline, current, tolerance_pct).map(|(v, _)| v)
+}
+
+/// Diff two serialized reports under a symmetric drift tolerance (in
+/// percent). `Ok((violations, warnings))` — empty violations means the
+/// gate passes; `Err` means one of the inputs could not be parsed or is
+/// not a metrics report.
+///
+/// Additive sections (`scale`, `failures`, `critical_path`) gate
+/// *asymmetrically*: present on both sides → per-key drift check; only in
+/// the baseline → a warning (an old baseline must keep passing against a
+/// candidate whose run type doesn't produce the section); only in the
+/// candidate → a violation, because the baseline no longer describes what
+/// the code emits and silently skipping would let the new section regress
+/// unwatched forever (refresh the baseline instead).
+pub fn compare_reports_full(
+    baseline: &str,
+    current: &str,
+    tolerance_pct: f64,
+) -> Result<(Vec<String>, Vec<String>), String> {
     let base = json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
     let cur = json::parse(current).map_err(|e| format!("current: {e}"))?;
     for (label, doc) in [("baseline", &base), ("current", &cur)] {
@@ -344,55 +410,41 @@ pub fn compare_reports(
         }
     }
 
-    // Scale gates. Connection count and buffer footprint are deterministic
-    // in virtual time, but stay under the symmetric drift tolerance so a
-    // deliberate workload change only requires a baseline refresh, not a
-    // schema bump. A baseline without a scale section skips the gate
-    // (pre-scale reports stay comparable).
-    if let (Some(bs), Some(cs)) = (base.get("scale"), cur.get("scale")) {
-        for key in ["established_pairs", "bytes_per_rank"] {
-            let (Some(b), Some(c)) = (
-                bs.get(key).and_then(JsonValue::as_f64),
-                cs.get(key).and_then(JsonValue::as_f64),
-            ) else {
-                continue;
-            };
-            let d = drift_pct(b, c);
-            if d > tolerance_pct {
-                violations.push(format!(
-                    "scale {key} drifted {d:.1}% ({b:.0} -> {c:.0}), tolerance {tolerance_pct}%"
-                ));
+    // Additive-section gates. All their metrics are deterministic in
+    // virtual time (connection counts, failure-plane outcomes, critical
+    // path), but stay under the symmetric drift tolerance so a deliberate
+    // workload change only requires a baseline refresh, not a schema
+    // bump. Presence is checked per the asymmetric rule in the doc
+    // comment above.
+    let mut warnings = Vec::new();
+    for (section, keys) in ADDITIVE_SECTIONS {
+        match (base.get(section), cur.get(section)) {
+            (Some(bs), Some(cs)) => {
+                for key in *keys {
+                    let (Some(b), Some(c)) = (
+                        bs.get(key).and_then(JsonValue::as_f64),
+                        cs.get(key).and_then(JsonValue::as_f64),
+                    ) else {
+                        continue;
+                    };
+                    let d = drift_pct(b, c);
+                    if d > tolerance_pct {
+                        violations.push(format!(
+                            "{section} {key} drifted {d:.1}% ({b:.0} -> {c:.0}), \
+                             tolerance {tolerance_pct}%"
+                        ));
+                    }
+                }
             }
-        }
-    }
-
-    // Failure-plane gates, present only when both sides ran with the
-    // failure subsystem armed (the section is additive — a baseline or
-    // candidate without it skips the gate). Kill and detection counts are
-    // exact protocol outcomes: any drift means the recovery behaved
-    // differently, so they gate at the drift tolerance like the scale
-    // section. Detection latency is virtual-time and gates the same way.
-    if let (Some(bf), Some(cf)) = (base.get("failures"), cur.get("failures")) {
-        for key in [
-            "kills",
-            "detections",
-            "detection_latency_p99_ns",
-            "revokes",
-            "shrinks",
-            "reclaimed",
-        ] {
-            let (Some(b), Some(c)) = (
-                bf.get(key).and_then(JsonValue::as_f64),
-                cf.get(key).and_then(JsonValue::as_f64),
-            ) else {
-                continue;
-            };
-            let d = drift_pct(b, c);
-            if d > tolerance_pct {
-                violations.push(format!(
-                    "failures {key} drifted {d:.1}% ({b:.0} -> {c:.0}), tolerance {tolerance_pct}%"
-                ));
-            }
+            (Some(_), None) => warnings.push(format!(
+                "{section}: present in baseline but not in current run — section not gated \
+                 (expected when the run type doesn't produce it)"
+            )),
+            (None, Some(_)) => violations.push(format!(
+                "{section}: new in current run, absent from baseline (refresh the baseline \
+                 so the section is gated)"
+            )),
+            (None, None) => {}
         }
     }
 
@@ -422,7 +474,7 @@ pub fn compare_reports(
             }
         }
     }
-    Ok(violations)
+    Ok((violations, warnings))
 }
 
 #[cfg(test)]
@@ -592,18 +644,86 @@ mod tests {
         );
     }
 
-    #[test]
-    fn failure_section_is_additive() {
-        // A baseline without a failures section accepts a candidate with
-        // one, and vice versa — the gate only binds when both sides have
-        // the section (same convention as the scale gate).
-        let with = report_with_failures(4, 7000);
-        let without = format!(
+    fn report_without_sections() -> String {
+        format!(
             r#"{{"schema":"{METRICS_SCHEMA}","bandwidth_gbs":1.0,
                 "phases":[{{"phase":"Eager","p99_ns":100}}]}}"#
+        )
+    }
+
+    fn report_with_section(section: &str, body: &str) -> String {
+        format!(
+            r#"{{"schema":"{METRICS_SCHEMA}","bandwidth_gbs":1.0,
+                "{section}":{{{body}}},
+                "phases":[{{"phase":"Eager","p99_ns":100}}]}}"#
+        )
+    }
+
+    #[test]
+    fn additive_section_only_in_baseline_warns_but_passes() {
+        // An old baseline (with the section) against a run type that does
+        // not produce it: the gate cannot bind, which is legitimate —
+        // warn, don't fail. One direction test per additive section.
+        for (section, body) in [
+            ("scale", r#""established_pairs":6,"bytes_per_rank":1000"#),
+            ("failures", r#""kills":4,"detections":4"#),
+            (
+                "critical_path",
+                r#""total_ns":5000,"edges":12,"wire_ns":3000"#,
+            ),
+        ] {
+            let with = report_with_section(section, body);
+            let without = report_without_sections();
+            let (v, w) = compare_reports_full(&with, &without, 0.0).unwrap();
+            assert!(v.is_empty(), "{section}: {v:?}");
+            assert_eq!(w.len(), 1, "{section}: {w:?}");
+            assert!(w[0].contains(section), "{w:?}");
+            assert!(w[0].contains("not gated"), "{w:?}");
+            // The violations-only wrapper keeps passing.
+            assert!(compare_reports(&with, &without, 0.0).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn additive_section_only_in_candidate_is_a_violation() {
+        // The code grew a section the baseline has never seen: skipping
+        // silently would leave it ungated forever, so this direction
+        // demands a baseline refresh. One direction test per section.
+        for (section, body) in [
+            ("scale", r#""established_pairs":6,"bytes_per_rank":1000"#),
+            ("failures", r#""kills":4,"detections":4"#),
+            (
+                "critical_path",
+                r#""total_ns":5000,"edges":12,"wire_ns":3000"#,
+            ),
+        ] {
+            let with = report_with_section(section, body);
+            let without = report_without_sections();
+            let (v, w) = compare_reports_full(&without, &with, 0.0).unwrap();
+            assert_eq!(v.len(), 1, "{section}: {v:?}");
+            assert!(v[0].contains(section), "{v:?}");
+            assert!(v[0].contains("refresh the baseline"), "{v:?}");
+            assert!(w.is_empty(), "{section}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn critical_path_drift_gates_when_present_on_both_sides() {
+        let base = report_with_section(
+            "critical_path",
+            r#""total_ns":10000,"edges":20,"wire_ns":6000,"stash_dwell_ns":1000"#,
         );
-        assert!(compare_reports(&without, &with, 0.0).unwrap().is_empty());
-        assert!(compare_reports(&with, &without, 0.0).unwrap().is_empty());
+        assert!(compare_reports(&base, &base, 0.0).unwrap().is_empty());
+        let cur = report_with_section(
+            "critical_path",
+            r#""total_ns":15000,"edges":20,"wire_ns":6000,"stash_dwell_ns":1000"#,
+        );
+        let v = compare_reports(&base, &cur, 25.0).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("critical_path total_ns drifted 50.0%"),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct MpiConfig {
     /// disables the sidecar; failures are then detected only by QP-error
     /// snooping (a flush completion on a WR toward the dead peer).
     pub peer_ttl: Option<SimDuration>,
+    /// Capacity (in events) of the shared structured-trace ring a
+    /// launch attaches when tracing is requested. The ring drops its
+    /// oldest events once full ([`crate::trace::TraceBuf::dropped`]
+    /// counts them), which degrades the post-run audit and message
+    /// stitcher from whole-run proofs to suffix checks — size it to the
+    /// workload. Harnesses that derive larger per-rank capacities treat
+    /// this as a floor.
+    pub trace_capacity: usize,
 }
 
 impl MpiConfig {
@@ -111,6 +119,7 @@ impl MpiConfig {
             max_requests: 1 << 20,
             srq_depth: None,
             peer_ttl: None,
+            trace_capacity: 1 << 16,
         }
     }
 
@@ -169,6 +178,10 @@ impl MpiConfig {
                 "SRQ pool must hold at least two peers' windows"
             );
         }
+        assert!(
+            self.trace_capacity > 0,
+            "trace ring capacity must be positive"
+        );
     }
 }
 
@@ -195,6 +208,16 @@ mod tests {
         let cfg = MpiConfig {
             placement: Placement::Host,
             offload_threshold: Some(8 << 10),
+            ..MpiConfig::dcfa()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "trace ring capacity")]
+    fn zero_trace_capacity_rejected() {
+        let cfg = MpiConfig {
+            trace_capacity: 0,
             ..MpiConfig::dcfa()
         };
         cfg.validate();

@@ -44,7 +44,7 @@ use crate::packet::{
 use crate::resources::Resources;
 use crate::slots::{SlotTable, TimerHeap};
 use crate::stats::{StatsCell, StatsReport};
-use crate::trace::{Trace, TraceBuf, TraceEvent};
+use crate::trace::{MsgStage, Trace, TraceBuf, TraceEvent};
 use crate::types::{MpiError, Rank, Request, Src, Status, Tag, TagSel, TransportOp};
 
 /// Completions drained from the CQ per lock acquisition in a progress
@@ -166,6 +166,7 @@ struct SrqPool {
 
 /// What a tracked send-side work request was doing, so its completion —
 /// or its failure — can be routed to the owning protocol state.
+#[derive(Clone, Copy)]
 enum WrKind {
     /// An eager-ring slot write (data or control packet).
     Ring {
@@ -368,6 +369,9 @@ pub struct CommStats {
     /// Shrink-agreement attempts abandoned because a participant died
     /// mid-agreement (the death epoch advanced under the attempt).
     pub agreement_restarts: u64,
+    /// Eager data sends that parked waiting for ring credit (the
+    /// flow-control window was closed when the send was issued).
+    pub credit_parks: u64,
 }
 
 /// The per-rank protocol engine.
@@ -930,6 +934,8 @@ impl Engine {
             peer.tx_seq += 1;
             s
         };
+        // The message is born: its (src, dst, seq) id is now pinned.
+        self.msg_life(ctx, self.rank, dst, seq, MsgStage::Post, len);
         let status = Status {
             source: dst,
             tag,
@@ -958,6 +964,13 @@ impl Engine {
         // buffer registered directly.
         self.stats.rndv_sends += 1;
         let (src_addr, src_rkey, lease) = self.rndv_source(ctx, buf);
+        // Source-staging edge: the PCIe sync into the host twin, or the
+        // MR pin/registration round-trip for a direct-from-Phi source.
+        let src_stage = match &lease {
+            SendLease::Offload(_) => MsgStage::OffloadSync,
+            SendLease::Mr(_) => MsgStage::MrAcquire,
+        };
+        self.msg_life(ctx, self.rank, dst, seq, src_stage, len);
 
         // Receiver-first? A stashed RTR with our sequence id means the
         // receiver already advertised its buffer.
@@ -1880,6 +1893,61 @@ impl Engine {
         }
     }
 
+    /// The message id a wire packet's lifecycle events record under. A
+    /// message is identified by (sender rank, receiver rank, pair
+    /// sequence id); packets that flow sender→receiver (EAGER, RTS,
+    /// NACK-SEND, DONE-WRITE, NACK-WRITE) and packets that flow
+    /// receiver→sender (RTR, DONE, NACK) map onto it from opposite
+    /// ends. CREDITs belong to no message.
+    fn msg_id(&self, kind: PacketKind, peer: Rank, outbound: bool) -> Option<(Rank, Rank)> {
+        let forward = match kind {
+            PacketKind::Eager
+            | PacketKind::Rts
+            | PacketKind::NackSend
+            | PacketKind::DoneWrite
+            | PacketKind::NackWrite => true,
+            PacketKind::Rtr | PacketKind::Done | PacketKind::Nack => false,
+            PacketKind::Credit => return None,
+        };
+        // On a forward packet the transmitting rank is the message's
+        // sender; on a backward packet it is the receiver.
+        Some(if forward == outbound {
+            (self.rank, peer)
+        } else {
+            (peer, self.rank)
+        })
+    }
+
+    /// Record one message-lifecycle edge event (the post-run stitcher's
+    /// input). The timestamp is taken inside the record closure, so a
+    /// detached trace — or the `trace` feature compiled out — pays
+    /// nothing and the allocation-free hot path is unchanged.
+    #[inline]
+    fn msg_life(&self, ctx: &Ctx, src: Rank, dst: Rank, seq: u64, stage: MsgStage, len: u64) {
+        let at = self.rank;
+        self.trace.record(move || TraceEvent::MsgLife {
+            at,
+            src,
+            dst,
+            seq,
+            stage,
+            t: ctx.now().as_nanos(),
+            len,
+        });
+    }
+
+    /// Lifecycle edge for an outbound packet hitting the wire: NACKs
+    /// record a `Nack` edge, everything else a `Doorbell`.
+    fn msg_life_tx(&self, ctx: &Ctx, dst: Rank, hdr: &PacketHeader) {
+        if let Some((src, mdst)) = self.msg_id(hdr.kind, dst, true) {
+            let stage = match hdr.kind {
+                PacketKind::NackSend | PacketKind::Nack | PacketKind::NackWrite => MsgStage::Nack,
+                _ => MsgStage::Doorbell,
+            };
+            self.msg_life(ctx, src, mdst, hdr.seq, stage, hdr.len);
+        }
+    }
+
     /// Receiver-first: advertise the receive buffer. The registration is
     /// pinned via `posted.rtr_lease` until the receive resolves.
     fn send_rtr(&mut self, ctx: &mut Ctx, src: Rank, seq: u64, posted: &mut PostedRecv) {
@@ -1926,6 +1994,7 @@ impl Engine {
         };
         let wr = SendWr::rdma_write(0, sge, rtr.addr, MrKey(rtr.rkey));
         self.post_tracked(ctx, dst, wr, WrKind::RndvWrite { req });
+        self.msg_life(ctx, self.rank, dst, rtr.seq, MsgStage::RdmaStart, write_len);
     }
 
     /// Ring window for a packet kind: CREDITs may use the 2 reserve slots
@@ -2033,6 +2102,7 @@ impl Engine {
         payload: Option<&Buffer>,
         owner: Option<u64>,
     ) {
+        let mut stalled = false;
         loop {
             self.flush_ctrl(ctx, dst);
             let ready = {
@@ -2070,7 +2140,14 @@ impl Engine {
                 }
                 return;
             }
+            stalled = true;
             ctx.wait_event(&self.progress_event, seen, "eager ring credit");
+        }
+        if stalled {
+            // The send parked for ring credit; the edge ending here is
+            // the credit-stall interval.
+            self.stats.credit_parks += 1;
+            self.msg_life(ctx, self.rank, dst, hdr.seq, MsgStage::CreditStall, hdr.len);
         }
         self.transmit_packet(ctx, dst, hdr, payload, owner);
     }
@@ -2131,6 +2208,10 @@ impl Engine {
             ctx.sleep(cluster.copy_duration(mem_domain, payload_len));
             self.metrics
                 .record_since(t0, || ctx.now(), Phase::EagerCopy, payload_len, Some(dst));
+            if hdr.kind == PacketKind::Eager {
+                // The eager protocol's one copy, now in the staging slot.
+                self.msg_life(ctx, self.rank, dst, hdr.seq, MsgStage::Copy, payload_len);
+            }
         }
         cluster.write(
             &stage,
@@ -2164,6 +2245,7 @@ impl Engine {
                 consumed: hdr.len,
             });
         }
+        self.msg_life_tx(ctx, dst, &hdr);
         let off_in_stage = stage.addr + base;
         let sge = verbs::Sge {
             addr: off_in_stage,
@@ -2238,6 +2320,7 @@ impl Engine {
                 consumed: hdr.len,
             });
         }
+        self.msg_life_tx(ctx, dst, &hdr);
         let sge = verbs::Sge {
             addr: stage.addr + base,
             len: HEADER_LEN + TAIL_LEN,
@@ -2492,6 +2575,9 @@ impl Engine {
             }
             let peer = self.peers[p].as_mut().expect("no peer");
             peer.srq_stash.push((slot_seq, hdr, data));
+            if let Some((src, dst)) = self.msg_id(hdr.kind, p, false) {
+                self.msg_life(ctx, src, dst, hdr.seq, MsgStage::SrqStash, hdr.len);
+            }
             self.repost_srq_slot(ctx, slot);
             return;
         }
@@ -2717,6 +2803,8 @@ impl Engine {
                         let status = *status;
                         self.close_span(ctx, id);
                         self.reqs.replace(id, ReqState::Done(status));
+                        let (dst, seq, len) = (entry.dst, hdr.seq, hdr.len);
+                        self.msg_life(ctx, self.rank, dst, seq, MsgStage::Complete, len);
                     }
                     // Already failed out-of-band (peer death reap or a
                     // revocation drained it): the late success changes
@@ -2740,6 +2828,7 @@ impl Engine {
                     lease,
                 }) => {
                     self.close_span(ctx, req);
+                    self.msg_life(ctx, src, self.rank, seq, MsgStage::RdmaDone, status.len);
                     self.mr_cache.release(ctx, &self.res, lease);
                     self.stats.bytes_received += status.len;
                     let hdr = PacketHeader::control(
@@ -2753,11 +2842,15 @@ impl Engine {
                         peer.served_done.insert(seq, hdr);
                     }
                     self.send_ctrl(ctx, src, hdr);
+                    let completed = truncated.is_none();
                     let final_state = match truncated {
                         Some(e) => ReqState::Failed(e),
                         None => ReqState::Done(status),
                     };
                     self.reqs.replace(req, final_state);
+                    if completed {
+                        self.msg_life(ctx, src, self.rank, seq, MsgStage::Complete, status.len);
+                    }
                 }
                 Some(failed @ ReqState::Failed(_)) => {
                     // Failed out-of-band (revocation) while the read was
@@ -2782,6 +2875,7 @@ impl Engine {
                         // Data placed; the source is free again. Tell the
                         // receiver.
                         self.close_span(ctx, req);
+                        self.msg_life(ctx, self.rank, dst, seq, MsgStage::RdmaDone, full_len);
                         self.release_send_lease(ctx, lease);
                         let hdr = PacketHeader::control(
                             PacketKind::DoneWrite,
@@ -2795,6 +2889,7 @@ impl Engine {
                         }
                         self.send_ctrl(ctx, dst, hdr);
                         self.reqs.replace(req, ReqState::Done(status));
+                        self.msg_life(ctx, self.rank, dst, seq, MsgStage::Complete, full_len);
                     }
                     Some(failed @ ReqState::Failed(_)) => {
                         self.reqs.replace(req, failed);
@@ -2817,6 +2912,11 @@ impl Engine {
         let backoff = self.cfg.retry_backoff * (1u64 << shift);
         self.metrics
             .record_ns(Phase::Backoff, 0, Some(entry.dst), backoff.as_nanos());
+        if let WrKind::Ring { hdr, .. } = entry.kind {
+            if let Some((src, dst)) = self.msg_id(hdr.kind, entry.dst, true) {
+                self.msg_life(ctx, src, dst, hdr.seq, MsgStage::Backoff, hdr.len);
+            }
+        }
         entry.attempts += 1;
         // Re-insert under a fresh handle (the caller removed the entry to
         // classify its completion). The WR is re-stamped with the current
@@ -2841,7 +2941,7 @@ impl Engine {
             let Some(entry) = self.inflight.get(wr_id) else {
                 continue;
             };
-            let (dst, mut wr, attempt) = (entry.dst, entry.wr, entry.attempts);
+            let (dst, mut wr, attempt, kind) = (entry.dst, entry.wr, entry.attempts, entry.kind);
             wr.wr_id = wr_id;
             let rank = self.rank;
             self.trace.record(|| TraceEvent::WrRetry {
@@ -2851,6 +2951,11 @@ impl Engine {
                 attempt,
             });
             self.stats.wr_retries += 1;
+            if let WrKind::Ring { hdr, .. } = kind {
+                if let Some((src, mdst)) = self.msg_id(hdr.kind, dst, true) {
+                    self.msg_life(ctx, src, mdst, hdr.seq, MsgStage::Retry, hdr.len);
+                }
+            }
             let res = self.peers[dst]
                 .as_mut()
                 .expect("no peer")
@@ -3188,6 +3293,9 @@ impl Engine {
             seq: hdr.seq,
             len: hdr.len,
         });
+        if let Some((src, dst)) = self.msg_id(hdr.kind, p, false) {
+            self.msg_life(ctx, src, dst, hdr.seq, MsgStage::Wire, hdr.len);
+        }
         match hdr.kind {
             PacketKind::Credit => {
                 self.trace.record(|| TraceEvent::CreditApply {
@@ -3227,6 +3335,7 @@ impl Engine {
                         if let Some(l) = posted.rtr_lease.take() {
                             self.mr_cache.release(ctx, &self.res, l);
                         }
+                        self.msg_life(ctx, p, rank, hdr.seq, MsgStage::Match, hdr.len);
                         self.deliver_eager_to(ctx, &posted, &hdr, p, slot_base);
                         self.after_match(ctx, posted.seq.is_none(), hdr.src_rank, hdr.seq);
                     }
@@ -3255,6 +3364,7 @@ impl Engine {
                             seq: hdr.seq,
                             data,
                         });
+                        self.msg_life(ctx, p, rank, hdr.seq, MsgStage::UnexpStash, hdr.len);
                     }
                 }
             }
@@ -3298,10 +3408,14 @@ impl Engine {
                     Some(idx) => {
                         let posted = self.recv_q.remove(idx);
                         let was_any = posted.seq.is_none();
+                        self.msg_life(ctx, p, rank, hdr.seq, MsgStage::Match, hdr.len);
                         self.start_rndv_read(ctx, posted, &hdr);
                         self.after_match(ctx, was_any, hdr.src_rank, hdr.seq);
                     }
-                    None => self.unexpected.push(Unexpected::Rts { hdr }),
+                    None => {
+                        self.unexpected.push(Unexpected::Rts { hdr });
+                        self.msg_life(ctx, p, rank, hdr.seq, MsgStage::UnexpStash, hdr.len);
+                    }
                 }
             }
             PacketKind::Rtr => {
@@ -3383,6 +3497,7 @@ impl Engine {
                         self.close_span(ctx, id);
                         self.release_send_lease(ctx, lease);
                         self.reqs.replace(id, ReqState::Done(status));
+                        self.msg_life(ctx, rank, p, hdr.seq, MsgStage::Complete, hdr.len);
                         self.note_watchdog_resolved();
                     }
                 }
@@ -3400,6 +3515,7 @@ impl Engine {
                     if let Some(l) = posted.rtr_lease.take() {
                         self.mr_cache.release(ctx, &self.res, l);
                     }
+                    let completed = hdr.len <= posted.buf.len;
                     let state = if hdr.len > posted.buf.len {
                         // Sender had more data than our buffer: MPI error.
                         ReqState::Failed(MpiError::Truncated {
@@ -3415,6 +3531,9 @@ impl Engine {
                         })
                     };
                     self.reqs.replace(posted.req, state);
+                    if completed {
+                        self.msg_life(ctx, p, rank, hdr.seq, MsgStage::Complete, hdr.len);
+                    }
                     self.note_watchdog_resolved();
                 }
             }
@@ -3581,6 +3700,7 @@ impl Engine {
                 seq,
                 data,
             } => {
+                self.msg_life(ctx, src, self.rank, seq, MsgStage::Match, data.len() as u64);
                 if data.len() as u64 > buf.len {
                     self.reqs.replace(
                         req,
@@ -3594,6 +3714,7 @@ impl Engine {
                 let cluster = self.res.cluster().clone();
                 cluster.write(buf, 0, &data);
                 ctx.sleep(cluster.copy_duration(self.res.mem().domain, data.len() as u64));
+                self.msg_life(ctx, src, self.rank, seq, MsgStage::Copy, data.len() as u64);
                 self.note_rx_seq(src, seq);
                 self.stats.bytes_received += data.len() as u64;
                 self.reqs.replace(
@@ -3604,6 +3725,14 @@ impl Engine {
                         len: data.len() as u64,
                     }),
                 );
+                self.msg_life(
+                    ctx,
+                    src,
+                    self.rank,
+                    seq,
+                    MsgStage::Complete,
+                    data.len() as u64,
+                );
                 // Recycle the copy-out buffer for the next unexpected
                 // message.
                 recycle_payload(
@@ -3613,6 +3742,14 @@ impl Engine {
                 );
             }
             Unexpected::Rts { hdr } => {
+                self.msg_life(
+                    ctx,
+                    hdr.src_rank,
+                    self.rank,
+                    hdr.seq,
+                    MsgStage::Match,
+                    hdr.len,
+                );
                 self.note_rx_seq(hdr.src_rank, hdr.seq);
                 let posted = PostedRecv {
                     req,
@@ -3677,6 +3814,14 @@ impl Engine {
             }
         }
         ctx.sleep(cluster.copy_duration(self.res.mem().domain, hdr.len));
+        self.msg_life(
+            ctx,
+            hdr.src_rank,
+            self.rank,
+            hdr.seq,
+            MsgStage::Copy,
+            hdr.len,
+        );
         self.stats.bytes_received += hdr.len;
         self.reqs.replace(
             posted.req,
@@ -3685,6 +3830,14 @@ impl Engine {
                 tag: hdr.tag,
                 len: hdr.len,
             }),
+        );
+        self.msg_life(
+            ctx,
+            hdr.src_rank,
+            self.rank,
+            hdr.seq,
+            MsgStage::Complete,
+            hdr.len,
         );
     }
 
@@ -3702,6 +3855,14 @@ impl Engine {
             Some(l) => l,
             None => self.mr_cache.acquire(ctx, &self.res, &posted.buf),
         };
+        self.msg_life(
+            ctx,
+            hdr.src_rank,
+            self.rank,
+            hdr.seq,
+            MsgStage::MrAcquire,
+            read_len,
+        );
         let sge = verbs::Sge {
             addr: posted.buf.addr,
             len: read_len,
@@ -3726,6 +3887,14 @@ impl Engine {
         self.open_span(ctx, Phase::RndvRead, req, read_len, hdr.src_rank);
         let wr = SendWr::rdma_read(0, sge, hdr.addr, MrKey(hdr.rkey));
         self.post_tracked(ctx, hdr.src_rank, wr, WrKind::RndvRead { req });
+        self.msg_life(
+            ctx,
+            hdr.src_rank,
+            self.rank,
+            hdr.seq,
+            MsgStage::RdmaStart,
+            read_len,
+        );
     }
 
     /// After matching an any-source receive, assign sequence ids to the

@@ -68,7 +68,7 @@ pub use mrcache::CacheStats;
 pub use packet::PacketKind;
 pub use resources::Resources;
 pub use stats::{StatsCell, StatsReport};
-pub use trace::{audit, AuditReport, TraceBuf, TraceEvent};
+pub use trace::{audit, AuditReport, MsgStage, TraceBuf, TraceEvent};
 pub use types::{
     Datatype, MpiError, Rank, ReduceOp, Request, Src, Status, Tag, TagSel, TransportOp,
 };

@@ -576,6 +576,32 @@ mod tests {
     }
 
     #[test]
+    fn bucket_bounds_round_trip() {
+        // [lo, hi) tiles the u64 range: each bucket's hi is the next
+        // bucket's lo, lo < hi, and the bounds re-index into the bucket
+        // they delimit. Bucket 63's hi is 2^64, representable only as f64
+        // — the reason bucket_hi returns one.
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_hi(0), 2.0);
+        for i in 0..BUCKETS {
+            let (lo, hi) = (Histogram::bucket_lo(i), Histogram::bucket_hi(i));
+            assert!((lo as f64) < hi, "bucket {i} is non-empty");
+            assert_eq!(Histogram::bucket_index(lo), i, "lo re-indexes into {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(
+                    hi,
+                    Histogram::bucket_lo(i + 1) as f64,
+                    "hi({i}) == lo({})",
+                    i + 1
+                );
+                assert_eq!(Histogram::bucket_index(hi as u64), i + 1, "hi is exclusive");
+            } else {
+                assert_eq!(hi, 2.0f64.powi(64), "last bucket's bound is 2^64");
+            }
+        }
+    }
+
+    #[test]
     fn record_and_snapshot_basics() {
         let h = Histogram::new();
         for v in [0, 1, 5, 5, 1000, 1_000_000] {
@@ -716,6 +742,25 @@ mod tests {
         assert_eq!(size_class(1024), 10);
         assert_eq!(size_class(8192), 13);
         assert_eq!(size_class(65536), 16);
+        // Exact powers of two open their class; one below stays in the
+        // previous one.
+        for p in 1..64u32 {
+            let v = 1u64 << p;
+            assert_eq!(size_class(v), p as u8, "2^{p}");
+            assert_eq!(size_class(v - 1), (p - 1) as u8, "2^{p} - 1");
+            if v < u64::MAX {
+                assert_eq!(size_class(v + 1), p as u8, "2^{p} + 1");
+            }
+        }
+        assert_eq!(size_class(u64::MAX), 63);
+        // Around the default eager threshold (8 KiB): crossing it does
+        // not skip a class, so eager and rendezvous latencies straddling
+        // the cutover land in adjacent histograms, not the same one.
+        let eager = crate::MpiConfig::dcfa().eager_threshold;
+        assert_eq!(eager, 8192);
+        assert_eq!(size_class(eager - 1), 12);
+        assert_eq!(size_class(eager), 13);
+        assert_eq!(size_class(eager + 1), 13);
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub struct PacketHeader {
     pub tag: Tag,
     /// Pair sequence id (paper §IV-B3): unique per MPI process pair; a
     /// send and its matching receive hold the same id.
+    ///
+    /// Together with the pair's direction this is the message's stable
+    /// **MsgId** `(src, dst, seq)` used by lifecycle tracing: data-bearing
+    /// kinds (`Eager`/`Rts`/`NackSend`/`DoneWrite`/`NackWrite`) travel
+    /// src → dst, replies (`Rtr`/`Done`/`Nack`) travel dst → src, and every
+    /// packet of one message carries the same `seq`, so any rank can
+    /// recover the MsgId from `(kind, wire peer, seq)` without widening
+    /// the header.
     pub seq: u64,
     /// Eager: payload length. RTS/RTR: full message length.
     /// Credit: consumed-slot count. Done: echo of the rendezvous length.

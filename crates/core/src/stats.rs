@@ -50,8 +50,8 @@ impl fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
-            "  flow ctl   credit grants {:>6}  stale RTRs dropped {:>4}",
-            c.credit_grants, c.stale_rtrs_dropped
+            "  flow ctl   credit grants {:>6}  stale RTRs dropped {:>4}  credit parks {:>5}",
+            c.credit_grants, c.stale_rtrs_dropped, c.credit_parks
         )?;
         writeln!(
             f,
@@ -108,7 +108,7 @@ impl fmt::Display for StatsReport {
 }
 
 /// Number of `u64` words a [`StatsReport`] flattens into.
-const WORDS: usize = 42;
+const WORDS: usize = 43;
 
 impl StatsReport {
     /// Flatten into a fixed word array. The order is part of the
@@ -161,6 +161,7 @@ impl StatsReport {
             c.reqs_revoked,
             c.conn_retries,
             c.agreement_restarts,
+            c.credit_parks,
         ]
     }
 
@@ -197,6 +198,7 @@ impl StatsReport {
                 reqs_revoked: w[39],
                 conn_retries: w[40],
                 agreement_restarts: w[41],
+                credit_parks: w[42],
             },
             mr_cache: CacheStats {
                 hits: w[18],
@@ -373,6 +375,7 @@ mod tests {
                 reqs_revoked: 39,
                 conn_retries: 40,
                 agreement_restarts: 41,
+                credit_parks: 42,
             },
             mr_cache: CacheStats {
                 hits: 16,

@@ -4,10 +4,12 @@
 //! bounded [`TraceBuf`] ring: packet transmit/receive with kind,
 //! sequence id and peer (which covers the RTS/RTR/DONE rendezvous
 //! transitions), MR-cache register/pin/unpin/deregister/evict, credit
-//! grants and applications, offload-sync start/end, and stale-RTR
-//! drops. The simulation runs exactly one process thread at a time, so
-//! the ring's order *is* the simulation's causal order and a recorded
-//! run replays deterministically.
+//! grants and applications, offload-sync start/end, stale-RTR drops,
+//! and timestamped message-lifecycle edges ([`TraceEvent::MsgLife`])
+//! that let a post-run stitcher rebuild each message's cross-rank
+//! causal DAG. The simulation runs exactly one process thread at a
+//! time, so the ring's order *is* the simulation's causal order and a
+//! recorded run replays deterministically.
 //!
 //! Recording is zero-cost when the `trace` cargo feature is disabled:
 //! [`Trace::record`] takes the event as a closure and compiles to
@@ -45,6 +47,75 @@ use parking_lot::Mutex;
 use crate::metrics::Phase;
 use crate::packet::PacketKind;
 use crate::types::Rank;
+
+/// A stage in one message's lifecycle. Each [`TraceEvent::MsgLife`]
+/// event names the stage that *ends* at its timestamp, so two
+/// consecutive events of the same message form one causal edge whose
+/// duration is the timestamp delta (the stitcher in `bench::stitch`
+/// telescopes them into a per-message DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgStage {
+    /// The sender's `isend` assigned the pair sequence id.
+    Post,
+    /// The send sat parked waiting for ring credit (flow control).
+    CreditStall,
+    /// The eager one-copy into the staging slot (or the receive-side
+    /// copy out of the ring slot into the user buffer) finished.
+    Copy,
+    /// The offloading-send-buffer DMA sync to the host twin finished.
+    OffloadSync,
+    /// The rendezvous source lease was acquired (MR-cache hit, or a
+    /// registration command round-trip through the DCFA daemon).
+    MrAcquire,
+    /// The packet's work request was posted (doorbell rung).
+    Doorbell,
+    /// The packet was consumed from the wire at the receiver.
+    Wire,
+    /// SRQ mode: the packet overtook its predecessors and was parked in
+    /// the per-peer reorder stash.
+    SrqStash,
+    /// The packet arrived before its receive was posted and was parked
+    /// in the unexpected-message queue.
+    UnexpStash,
+    /// The message matched a posted receive.
+    Match,
+    /// The rendezvous RDMA READ/WRITE was posted.
+    RdmaStart,
+    /// The rendezvous RDMA READ/WRITE completed.
+    RdmaDone,
+    /// A transiently failed work request entered retry backoff.
+    Backoff,
+    /// A backed-off work request was re-posted.
+    Retry,
+    /// A NACK for this message was transmitted (transport abort).
+    Nack,
+    /// The message resolved at this rank (request done).
+    Complete,
+}
+
+impl MsgStage {
+    /// Stable lower-case name (report keys, Perfetto slice names).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgStage::Post => "post",
+            MsgStage::CreditStall => "credit_stall",
+            MsgStage::Copy => "copy",
+            MsgStage::OffloadSync => "offload_sync",
+            MsgStage::MrAcquire => "mr_acquire",
+            MsgStage::Doorbell => "doorbell",
+            MsgStage::Wire => "wire",
+            MsgStage::SrqStash => "srq_stash",
+            MsgStage::UnexpStash => "unexp_stash",
+            MsgStage::Match => "match",
+            MsgStage::RdmaStart => "rdma_start",
+            MsgStage::RdmaDone => "rdma_done",
+            MsgStage::Backoff => "backoff",
+            MsgStage::Retry => "retry",
+            MsgStage::Nack => "nack",
+            MsgStage::Complete => "complete",
+        }
+    }
+}
 
 /// One recorded protocol event. `from`/`to`/`at` identify ranks;
 /// MR events identify regions by their registration key, which is
@@ -188,6 +259,23 @@ pub enum TraceEvent {
     /// The shrink agreement committed `epoch`, producing a
     /// `survivors`-rank world.
     ShrinkCommit { epoch: u64, survivors: u64 },
+    /// A message-lifecycle edge event observed at rank `at`, in virtual
+    /// time `t` (nanoseconds). The message is identified by its stable
+    /// `MsgId` `(src, dst, seq)` — the sender, the receiver, and the
+    /// sender-stream pair sequence id already carried in every
+    /// [`crate::packet::PacketHeader`] — which is what lets the
+    /// post-run stitcher join per-rank streams into one cross-rank
+    /// causal DAG. `stage` names the edge ending at this event; `len`
+    /// is the message payload length (0 where unknown, e.g. NACKs).
+    MsgLife {
+        at: Rank,
+        src: Rank,
+        dst: Rank,
+        seq: u64,
+        stage: MsgStage,
+        t: u64,
+        len: u64,
+    },
 }
 
 struct TraceInner {
@@ -350,6 +438,14 @@ pub struct AuditReport {
     pub conn_retries: u64,
     /// Shrink agreements committed.
     pub shrink_commits: u64,
+    /// Message-lifecycle edge events observed (see [`MsgStage`]).
+    pub lifecycle_events: u64,
+    /// Events the trace ring discarded before this stream was captured.
+    /// Not derivable from the stream itself — callers that hold the
+    /// [`TraceBuf`] stamp it in from [`TraceBuf::dropped`] after a
+    /// successful audit. Non-zero means the audit covered a suffix of
+    /// the run, not all of it, and any stitched DAG is partial.
+    pub events_dropped: u64,
 }
 
 /// Check the protocol invariants over a recorded event stream.
@@ -623,6 +719,13 @@ pub fn audit(events: &[TraceEvent]) -> Result<AuditReport, Vec<String>> {
             }
             TraceEvent::ShrinkCommit { .. } => {
                 report.shrink_commits += 1;
+            }
+            // Lifecycle events are pure annotations for the post-run
+            // stitcher: they duplicate facts the protocol events above
+            // already assert (sequence order, pairing), so the auditor
+            // only counts them.
+            TraceEvent::MsgLife { .. } => {
+                report.lifecycle_events += 1;
             }
             TraceEvent::SpanClose { rank, id, phase } => match open_spans.remove(&(rank, id)) {
                 Some(open_phase) => {
@@ -1172,6 +1275,53 @@ mod tests {
         };
         let r = audit(&[open, other_rank, close, other_close]).expect("per-rank spans");
         assert_eq!(r.spans_closed, 2);
+    }
+
+    #[test]
+    fn lifecycle_events_are_counted_and_invariant_neutral() {
+        // MsgLife annotations must never trip protocol invariants: a
+        // stream of nothing but lifecycle events is clean, and mixing
+        // them into a handshake changes nothing but the count.
+        let life = |stage, t| TraceEvent::MsgLife {
+            at: 0,
+            src: 0,
+            dst: 1,
+            seq: 0,
+            stage,
+            t,
+            len: 64,
+        };
+        let r = audit(&[
+            life(MsgStage::Post, 100),
+            life(MsgStage::Doorbell, 250),
+            life(MsgStage::Wire, 900),
+            life(MsgStage::Complete, 1000),
+        ])
+        .expect("lifecycle-only stream is clean");
+        assert_eq!(r.lifecycle_events, 4);
+        assert_eq!(r.events_dropped, 0, "audit never invents drops");
+
+        let evs = vec![
+            life(MsgStage::Post, 10),
+            TraceEvent::PacketTx {
+                from: 0,
+                to: 1,
+                kind: PacketKind::Rts,
+                seq: 0,
+                len: 1 << 16,
+            },
+            TraceEvent::PacketTx {
+                from: 1,
+                to: 0,
+                kind: PacketKind::Done,
+                seq: 0,
+                len: 1 << 16,
+            },
+            life(MsgStage::Complete, 5000),
+        ];
+        let r = audit(&evs).expect("annotated handshake is clean");
+        assert_eq!(r.rts_matched, 1);
+        assert_eq!(r.lifecycle_events, 2);
     }
 
     #[test]
